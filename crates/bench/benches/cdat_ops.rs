@@ -1,0 +1,87 @@
+//! E7 / §III.G: the CDAT operation suite — regridding (both schemes),
+//! climatology/anomaly, averagers, and the parallel task graph ablation.
+
+use cdat::{averager, climatology, regrid, statistics, taskgraph::TaskGraph};
+use cdms::RectGrid;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dv3d_bench::{bench_dataset, bench_dataset_sized};
+use std::sync::Arc;
+
+fn regrid_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdat_regrid");
+    group.sample_size(10);
+    for (nlat, nlon) in [(24usize, 48usize), (48, 96)] {
+        let ds = bench_dataset_sized(nlat, nlon);
+        let ta = ds.variable("ta").unwrap().time_slab(0).unwrap();
+        let target = RectGrid::uniform(nlat / 2, nlon / 2).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("bilinear", format!("{nlat}x{nlon}")),
+            &(&ta, &target),
+            |b, (ta, t)| b.iter(|| regrid::bilinear(ta, t).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conservative", format!("{nlat}x{nlon}")),
+            &(&ta, &target),
+            |b, (ta, t)| b.iter(|| regrid::conservative(ta, t).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn analysis_suite(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let ta = ds.variable("ta").unwrap();
+    let mut group = c.benchmark_group("cdat_analysis");
+    group.sample_size(10);
+    group.bench_function("anomaly", |b| b.iter(|| climatology::anomaly(ta).unwrap()));
+    group.bench_function("spatial_mean", |b| b.iter(|| averager::spatial_mean(ta).unwrap()));
+    group.bench_function("zonal_mean", |b| b.iter(|| averager::zonal_mean(ta).unwrap()));
+    group.bench_function("linear_trend", |b| {
+        b.iter(|| statistics::linear_trend(ta).unwrap())
+    });
+    group.bench_function("correlation_self", |b| {
+        b.iter(|| statistics::correlation(ta, ta).unwrap())
+    });
+    group.bench_function("pressure_interp", |b| {
+        b.iter(|| regrid::pressure_interp(ta, &[925.0, 775.0, 550.0]).unwrap())
+    });
+    group.finish();
+}
+
+fn build_graph() -> TaskGraph {
+    let ds = bench_dataset();
+    let ta = ds.variable("ta").unwrap().clone();
+    let mut g = TaskGraph::new();
+    g.add_source("ta", ta).unwrap();
+    g.add_task("anom", &["ta"], |d| climatology::anomaly(&d["ta"])).unwrap();
+    g.add_task("zonal", &["ta"], |d| averager::zonal_mean(&d["ta"])).unwrap();
+    g.add_task("regrid", &["ta"], |d| {
+        let t = RectGrid::uniform(12, 24).unwrap();
+        regrid::bilinear(&d["ta"], &t)
+    })
+    .unwrap();
+    g.add_task("trend", &["ta"], |d| statistics::linear_trend(&d["ta"])).unwrap();
+    g.add_task("series", &["anom"], |d| averager::spatial_mean(&d["anom"])).unwrap();
+    g.add_task("summary", &["series", "zonal"], |d| {
+        Ok(Arc::unwrap_or_clone(d["series"].clone()))
+    })
+    .unwrap();
+    g
+}
+
+fn taskgraph_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdat_taskgraph");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        let g = build_graph();
+        b.iter(|| g.run_serial().unwrap())
+    });
+    group.bench_function("parallel", |b| {
+        let g = build_graph();
+        b.iter(|| g.run_parallel().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regrid_schemes, analysis_suite, taskgraph_serial_vs_parallel);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E5 / Fig 5: hyperwall scaling — client count sweep, the mirror
+//! downsample ablation, and the distributed-vs-single-node comparison.
+//!
+//! On this single-core host the distributed numbers mostly show protocol
+//! overhead; the *mirror vs full-res* ratio is the hardware-independent
+//! shape result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dv3d::interaction::{CameraOp, ConfigOp};
+use hyperwall::cluster::{run_single_node_baseline, run_wall};
+use hyperwall::workflow::WallWorkflowConfig;
+
+fn cfg(n_cells: usize) -> WallWorkflowConfig {
+    WallWorkflowConfig { n_cells, synth: (1, 2, 10, 20), cell_px: (64, 48) }
+}
+
+fn client_count_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_wall_clients");
+    group.sample_size(10);
+    for n in [1usize, 4, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_wall(&cfg(n), 4, 1, &[]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn mirror_downsample_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_mirror_downsample");
+    group.sample_size(10);
+    let config = WallWorkflowConfig { n_cells: 4, synth: (1, 2, 10, 20), cell_px: (128, 96) };
+    for d in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| run_wall(&config, d, 1, &[]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn distributed_vs_single_node(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_vs_single_node");
+    group.sample_size(10);
+    let config = cfg(8);
+    group.bench_function("single_node_8cells", |b| {
+        b.iter(|| run_single_node_baseline(&config, 1).unwrap())
+    });
+    group.bench_function("distributed_8cells", |b| {
+        b.iter(|| run_wall(&config, 4, 1, &[]).unwrap())
+    });
+    group.finish();
+}
+
+fn op_broadcast_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_op_broadcast");
+    group.sample_size(10);
+    let config = cfg(15);
+    let ops = vec![ConfigOp::Camera(CameraOp::Azimuth(10.0))];
+    group.bench_function("wall_with_interaction", |b| {
+        b.iter(|| run_wall(&config, 4, 2, &ops).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    client_count_sweep,
+    mirror_downsample_ablation,
+    distributed_vs_single_node,
+    op_broadcast_latency
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E6 / §III.F: provenance costs — per-action recording overhead,
+//! materialization vs tree depth, serialization, and the executor's
+//! result-cache ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dv3d::modules::prebuilt_plot_workflow;
+use vistrails::executor::Executor;
+use vistrails::module::ModuleRegistry;
+use vistrails::provenance::{Action, Vistrail};
+use vistrails::value::ParamValue;
+
+fn deep_vistrail(depth: usize) -> (Vistrail, u64) {
+    let mut vt = Vistrail::new("deep");
+    let mut head = vt
+        .add_action(Vistrail::ROOT, Action::AddModule { id: 1, type_name: "m".into() })
+        .unwrap();
+    for i in 0..depth {
+        head = vt
+            .add_action(
+                head,
+                Action::SetParameter {
+                    module: 1,
+                    name: format!("p{}", i % 8),
+                    value: ParamValue::Int(i as i64),
+                },
+            )
+            .unwrap();
+    }
+    (vt, head)
+}
+
+fn action_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_record");
+    group.sample_size(10);
+    for depth in [10usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| deep_vistrail(d))
+        });
+    }
+    group.finish();
+}
+
+fn materialize_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_materialize");
+    group.sample_size(10);
+    for depth in [10usize, 100, 400] {
+        let (vt, head) = deep_vistrail(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| vt.materialize(head).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn serialization(c: &mut Criterion) {
+    let (vt, _) = deep_vistrail(200);
+    let json = vt.to_json().unwrap();
+    let mut group = c.benchmark_group("provenance_serde");
+    group.sample_size(10);
+    group.bench_function("to_json_200", |b| b.iter(|| vt.to_json().unwrap()));
+    group.bench_function("from_json_200", |b| b.iter(|| Vistrail::from_json(&json).unwrap()));
+    group.finish();
+}
+
+fn executor_cache_ablation(c: &mut Criterion) {
+    let wf = prebuilt_plot_workflow("slicer", "ta", (1, 3, 12, 24)).unwrap();
+    let pipeline = wf.vistrail.materialize(wf.version).unwrap();
+    let registry = {
+        let mut r = ModuleRegistry::new();
+        dv3d::modules::register_all(&mut r);
+        r
+    };
+    let mut group = c.benchmark_group("executor_cache");
+    group.sample_size(10);
+    group.bench_function("caching_on_warm", |b| {
+        let mut exec = Executor::new(registry.clone());
+        exec.execute(&pipeline).unwrap(); // warm
+        b.iter(|| exec.execute(&pipeline).unwrap())
+    });
+    group.bench_function("caching_off", |b| {
+        let mut exec = Executor::new(registry.clone());
+        exec.caching_enabled = false;
+        b.iter(|| exec.execute(&pipeline).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    action_recording,
+    materialize_vs_depth,
+    serialization,
+    executor_cache_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Each bench target regenerates one experiment from DESIGN.md's
+//! per-experiment index (E2–E8); EXPERIMENTS.md records the measured
+//! numbers next to the paper's qualitative claims.
+
+use cdms::synth::SynthesisSpec;
+use cdms::{Dataset, Variable};
+use dv3d::translation::{translate_scalar, TranslationOptions};
+use rvtk::ImageData;
+
+/// The standard bench dataset: 8 timesteps, 6 levels, 24×48 horizontal.
+pub fn bench_dataset() -> Dataset {
+    SynthesisSpec::new(8, 6, 24, 48).seed(2012).build()
+}
+
+/// A larger dataset for scaling sweeps.
+pub fn bench_dataset_sized(nlat: usize, nlon: usize) -> Dataset {
+    SynthesisSpec::new(4, 6, nlat, nlon).seed(2012).build()
+}
+
+/// Temperature at t=0 as image data.
+pub fn ta_image(ds: &Dataset) -> ImageData {
+    let ta = ds.variable("ta").expect("ta").time_slab(0).expect("slab");
+    translate_scalar(&ta, &TranslationOptions::default()).expect("translate")
+}
+
+/// A scalar variable at t=0.
+pub fn slab(ds: &Dataset, name: &str) -> Variable {
+    ds.variable(name).expect("variable").time_slab(0).expect("slab")
+}

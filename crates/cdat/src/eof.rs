@@ -1,0 +1,352 @@
+//! EOF (Empirical Orthogonal Function) analysis — the workhorse of
+//! climate pattern extraction, part of CDAT's statistics suite.
+//!
+//! Given a `(time, lat, lon)` variable, finds the leading spatial patterns
+//! (EOFs) and their time series (principal components) by power iteration
+//! with deflation on the area-weighted anomaly covariance — no external
+//! linear-algebra crate needed. Masked grid points are excluded.
+
+use cdms::axis::AxisKind;
+use cdms::{CdmsError, MaskedArray, Result, Variable};
+
+/// The result of an EOF decomposition.
+#[derive(Debug, Clone)]
+pub struct EofResult {
+    /// Spatial patterns, unit-norm in the weighted inner product; one
+    /// `(lat, lon)` variable per mode, masked where the input was.
+    pub eofs: Vec<Variable>,
+    /// Principal-component time series, one per mode.
+    pub pcs: Vec<Vec<f64>>,
+    /// Fraction of total (weighted) variance explained per mode.
+    pub explained: Vec<f64>,
+}
+
+/// Computes the leading `n_modes` EOFs of a `(time, lat, lon)` variable.
+///
+/// Grid points masked at *any* timestep are excluded from the analysis
+/// (and masked in the returned patterns). The time mean is removed
+/// internally; rows are weighted by `sqrt(cos φ)` so the decomposition is
+/// of the area-weighted covariance.
+pub fn eof_analysis(var: &Variable, n_modes: usize) -> Result<EofResult> {
+    let t_idx = var
+        .axis_index(AxisKind::Time)
+        .ok_or_else(|| CdmsError::NotFound(format!("time axis on '{}'", var.id)))?;
+    if t_idx != 0 || var.rank() != 3 {
+        return Err(CdmsError::Invalid(
+            "eof_analysis wants a (time, lat, lon) variable".into(),
+        ));
+    }
+    let lat = var
+        .axis(AxisKind::Latitude)
+        .ok_or_else(|| CdmsError::NotFound("latitude axis".into()))?
+        .clone();
+    let lon = var
+        .axis(AxisKind::Longitude)
+        .ok_or_else(|| CdmsError::NotFound("longitude axis".into()))?
+        .clone();
+    let (nt, ny, nx) = (var.shape()[0], var.shape()[1], var.shape()[2]);
+    if nt < 2 {
+        return Err(CdmsError::Invalid("need at least 2 timesteps".into()));
+    }
+    let n_modes = n_modes.min(nt - 1).max(1);
+    let space = ny * nx;
+
+    // Valid points: unmasked at every timestep.
+    let mut valid = vec![true; space];
+    for t in 0..nt {
+        for s in 0..space {
+            if var.array.mask()[t * space + s] {
+                valid[s] = false;
+            }
+        }
+    }
+    let cols: Vec<usize> = (0..space).filter(|&s| valid[s]).collect();
+    if cols.len() < 2 {
+        return Err(CdmsError::EmptySelection("fewer than 2 valid grid points".into()));
+    }
+
+    // Weighted anomaly matrix X: nt × n_cols, row-major.
+    let sqrt_w: Vec<f64> = cols
+        .iter()
+        .map(|&s| lat.values[s / nx].to_radians().cos().max(0.0).sqrt())
+        .collect();
+    let n_cols = cols.len();
+    let mut x = vec![0.0f64; nt * n_cols];
+    for (j, &s) in cols.iter().enumerate() {
+        let mut mean = 0.0;
+        for t in 0..nt {
+            mean += var.array.data()[t * space + s] as f64;
+        }
+        mean /= nt as f64;
+        for t in 0..nt {
+            x[t * n_cols + j] = (var.array.data()[t * space + s] as f64 - mean) * sqrt_w[j];
+        }
+    }
+
+    let total_variance: f64 = x.iter().map(|v| v * v).sum();
+    if total_variance <= 1e-30 {
+        return Err(CdmsError::Invalid("zero variance field".into()));
+    }
+
+    // Power iteration with deflation on C = XᵀX (never formed; two
+    // matvecs per step keep it O(nt·n_cols)).
+    let matvec = |x: &[f64], v: &[f64]| -> Vec<f64> {
+        // u = X v (length nt), then w = Xᵀ u (length n_cols)
+        let mut u = vec![0.0f64; nt];
+        for t in 0..nt {
+            let row = &x[t * n_cols..(t + 1) * n_cols];
+            u[t] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        let mut w = vec![0.0f64; n_cols];
+        for t in 0..nt {
+            let row = &x[t * n_cols..(t + 1) * n_cols];
+            for (j, &r) in row.iter().enumerate() {
+                w[j] += r * u[t];
+            }
+        }
+        w
+    };
+
+    let mut x_work = x.clone();
+    let mut eofs = Vec::with_capacity(n_modes);
+    let mut pcs = Vec::with_capacity(n_modes);
+    let mut explained = Vec::with_capacity(n_modes);
+
+    for mode in 0..n_modes {
+        // deterministic pseudo-random start vector
+        let mut v: Vec<f64> = (0..n_cols)
+            .map(|j| {
+                let h = (j as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 + mode as u64);
+                ((h >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        normalize(&mut v);
+        let mut eigenvalue = 0.0f64;
+        for _ in 0..300 {
+            let mut w = matvec(&x_work, &v);
+            let norm = normalize(&mut w);
+            let delta: f64 =
+                w.iter().zip(&v).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            v = w;
+            eigenvalue = norm;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        if eigenvalue <= 1e-12 * total_variance {
+            break; // remaining variance is numerically zero
+        }
+
+        // PC time series: X v (on the *original* anomaly matrix).
+        let mut pc = vec![0.0f64; nt];
+        for t in 0..nt {
+            let row = &x[t * n_cols..(t + 1) * n_cols];
+            pc[t] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+        }
+
+        // Deflate: X ← X − (X v) vᵀ using the *working* matrix.
+        let mut pc_work = vec![0.0f64; nt];
+        for t in 0..nt {
+            let row = &x_work[t * n_cols..(t + 1) * n_cols];
+            pc_work[t] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+        }
+        for t in 0..nt {
+            let row = &mut x_work[t * n_cols..(t + 1) * n_cols];
+            for (j, r) in row.iter_mut().enumerate() {
+                *r -= pc_work[t] * v[j];
+            }
+        }
+
+        // Un-weight the pattern back to physical space and scatter to grid.
+        let mut data = vec![0.0f32; space];
+        let mut mask = vec![true; space];
+        for (j, &s) in cols.iter().enumerate() {
+            let w = sqrt_w[j];
+            data[s] = if w > 1e-12 { (v[j] / w) as f32 } else { 0.0 };
+            mask[s] = false;
+        }
+        let array = MaskedArray::with_mask(data, mask, &[ny, nx])?;
+        let mut pattern = Variable::new(
+            &format!("{}_eof{}", var.id, mode + 1),
+            array,
+            vec![lat.clone(), lon.clone()],
+        )?;
+        pattern
+            .attributes
+            .insert("long_name".into(), format!("EOF {} of {}", mode + 1, var.id).into());
+
+        eofs.push(pattern);
+        pcs.push(pc);
+        explained.push(eigenvalue / total_variance);
+    }
+    if eofs.is_empty() {
+        return Err(CdmsError::Invalid("no modes converged".into()));
+    }
+    Ok(EofResult { eofs, pcs, explained })
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-300 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdms::calendar::Calendar;
+    use cdms::Axis;
+
+    /// Builds a field that is exactly a1(t)·P1(x) + a2(t)·P2(x) with
+    /// orthogonal patterns and uncorrelated amplitudes.
+    fn two_mode_field(nt: usize, ny: usize, nx: usize) -> Variable {
+        let time = Axis::time(
+            (0..nt).map(|t| t as f64).collect(),
+            "days since 2000-01-01",
+            Calendar::NoLeap365,
+        )
+        .unwrap();
+        let dlat = 180.0 / ny as f64;
+        let lat = Axis::latitude(
+            (0..ny).map(|j| -90.0 + dlat / 2.0 + dlat * j as f64).collect(),
+        )
+        .unwrap();
+        let lon =
+            Axis::longitude((0..nx).map(|i| 360.0 * i as f64 / nx as f64).collect()).unwrap();
+        let arr = MaskedArray::from_fn(&[nt, ny, nx], |ix| {
+            let (t, _j, i) = (ix[0] as f64, ix[1] as f64, ix[2] as f64);
+            let lam = 2.0 * std::f64::consts::PI * i / nx as f64;
+            // mode 1: wavenumber-1, strong slow amplitude
+            let a1 = 10.0 * (0.3 * t).sin();
+            let p1 = lam.sin();
+            // mode 2: wavenumber-2, weaker faster amplitude
+            let a2 = 3.0 * (1.1 * t).cos();
+            let p2 = (2.0 * lam).cos();
+            (a1 * p1 + a2 * p2) as f32
+        });
+        Variable::new("x", arr, vec![time, lat, lon]).unwrap()
+    }
+
+    #[test]
+    fn recovers_planted_modes_in_order() {
+        let v = two_mode_field(40, 8, 24);
+        let r = eof_analysis(&v, 3).unwrap();
+        assert!(r.eofs.len() >= 2);
+        // first two modes explain nearly everything, in amplitude order
+        assert!(r.explained[0] > r.explained[1]);
+        assert!(r.explained[0] + r.explained[1] > 0.98, "{:?}", r.explained);
+        // EOF1 has wavenumber-1 structure: correlate with sin(λ)
+        let e1 = &r.eofs[0];
+        let nx = 24;
+        let mut dot = 0.0f64;
+        let mut norm_a = 0.0f64;
+        let mut norm_b = 0.0f64;
+        for i in 0..nx {
+            let lam = 2.0 * std::f64::consts::PI * i as f64 / nx as f64;
+            let a = e1.array.get(&[4, i]).unwrap() as f64;
+            let b = lam.sin();
+            dot += a * b;
+            norm_a += a * a;
+            norm_b += b * b;
+        }
+        let corr = (dot / (norm_a.sqrt() * norm_b.sqrt())).abs();
+        assert!(corr > 0.98, "EOF1 vs sin(λ) correlation {corr}");
+    }
+
+    #[test]
+    fn pcs_are_uncorrelated() {
+        let v = two_mode_field(40, 8, 24);
+        let r = eof_analysis(&v, 2).unwrap();
+        let (p1, p2) = (&r.pcs[0], &r.pcs[1]);
+        let n = p1.len() as f64;
+        let m1: f64 = p1.iter().sum::<f64>() / n;
+        let m2: f64 = p2.iter().sum::<f64>() / n;
+        let cov: f64 =
+            p1.iter().zip(p2).map(|(a, b)| (a - m1) * (b - m2)).sum::<f64>() / n;
+        let s1 = (p1.iter().map(|a| (a - m1) * (a - m1)).sum::<f64>() / n).sqrt();
+        let s2 = (p2.iter().map(|a| (a - m2) * (a - m2)).sum::<f64>() / n).sqrt();
+        assert!((cov / (s1 * s2)).abs() < 0.05, "PC correlation {}", cov / (s1 * s2));
+    }
+
+    #[test]
+    fn reconstruction_from_modes_matches_input() {
+        let v = two_mode_field(20, 6, 16);
+        let r = eof_analysis(&v, 2).unwrap();
+        // reconstruct anomalies: sum_k pc_k(t) · w·eof_k (weighted pattern)
+        // X is exactly rank 2, so two SVD modes reconstruct the anomalies
+        // exactly: anomaly(t, s) = Σ_k pc_k(t) · eof_k(s) (the √w weights
+        // cancel between the stored un-weighted pattern and the PC).
+        let (nt, ny, nx) = (20, 6, 16);
+        let mut err = 0.0f64;
+        let mut total = 0.0f64;
+        for t in 0..nt {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let truth = v.array.get(&[t, j, i]).unwrap() as f64;
+                    let mut recon = 0.0;
+                    for k in 0..r.eofs.len() {
+                        recon += r.pcs[k][t] * (r.eofs[k].array.get(&[j, i]).unwrap() as f64);
+                    }
+                    let mut mean = 0.0;
+                    for tt in 0..nt {
+                        mean += v.array.get(&[tt, j, i]).unwrap() as f64;
+                    }
+                    mean /= nt as f64;
+                    err += (truth - mean - recon).powi(2);
+                    total += (truth - mean).powi(2);
+                }
+            }
+        }
+        assert!(err / total.max(1e-12) < 0.02, "reconstruction error {}", err / total);
+    }
+
+    #[test]
+    fn masked_points_stay_masked() {
+        let mut v = two_mode_field(12, 6, 12);
+        for t in 0..12 {
+            v.array.mask_at(&[t, 2, 3]).unwrap();
+        }
+        // also a point masked at only one timestep is dropped entirely
+        v.array.mask_at(&[5, 4, 7]).unwrap();
+        let r = eof_analysis(&v, 1).unwrap();
+        assert_eq!(r.eofs[0].array.get_valid(&[2, 3]).unwrap(), None);
+        assert_eq!(r.eofs[0].array.get_valid(&[4, 7]).unwrap(), None);
+        assert!(r.eofs[0].array.get_valid(&[0, 0]).unwrap().is_some());
+    }
+
+    #[test]
+    fn input_validation() {
+        let v = two_mode_field(12, 6, 12);
+        // not (time, lat, lon)
+        let slab = v.time_slab(0).unwrap();
+        assert!(eof_analysis(&slab, 1).is_err());
+        // too few timesteps
+        let short = two_mode_field(1, 6, 12);
+        assert!(eof_analysis(&short, 1).is_err());
+        // constant field
+        let time = Axis::time(vec![0.0, 1.0], "days since 2000-01-01", Calendar::NoLeap365)
+            .unwrap();
+        let lat = Axis::latitude(vec![-45.0, 45.0]).unwrap();
+        let lon = Axis::longitude(vec![0.0, 180.0]).unwrap();
+        let flat = Variable::new(
+            "c",
+            MaskedArray::filled(1.0, &[2, 2, 2]),
+            vec![time, lat, lon],
+        )
+        .unwrap();
+        assert!(eof_analysis(&flat, 1).is_err());
+    }
+
+    #[test]
+    fn n_modes_clamped_to_nt_minus_one() {
+        let v = two_mode_field(4, 6, 12);
+        let r = eof_analysis(&v, 10).unwrap();
+        assert!(r.eofs.len() <= 3);
+    }
+}

@@ -1,0 +1,499 @@
+//! Regridding: horizontal bilinear and conservative remapping between
+//! rectilinear grids, plus vertical interpolation to new pressure levels —
+//! the `regrid2` / `vertical` equivalents.
+
+use cdms::axis::AxisKind;
+use cdms::grid::RectGrid;
+use rayon::prelude::*;
+use cdms::{CdmsError, MaskedArray, Result, Variable};
+
+/// Validates the variable ends with (…, lat, lon) axes and returns their
+/// indices.
+fn horizontal_axes(var: &Variable) -> Result<(usize, usize)> {
+    let lat = var
+        .axis_index(AxisKind::Latitude)
+        .ok_or_else(|| CdmsError::NotFound(format!("latitude axis on '{}'", var.id)))?;
+    let lon = var
+        .axis_index(AxisKind::Longitude)
+        .ok_or_else(|| CdmsError::NotFound(format!("longitude axis on '{}'", var.id)))?;
+    if lon != var.rank() - 1 || lat != var.rank() - 2 {
+        return Err(CdmsError::Invalid(format!(
+            "'{}' must end with (lat, lon) axes; use to_canonical_order() first",
+            var.id
+        )));
+    }
+    Ok((lat, lon))
+}
+
+/// Bilinear regridding onto `target`. Longitude wraps for circular source
+/// axes; masked source corners invalidate the interpolated point (a
+/// conservative mask-propagation choice). Leading (time/level) axes are
+/// preserved.
+pub fn bilinear(var: &Variable, target: &RectGrid) -> Result<Variable> {
+    let (lat_i, lon_i) = horizontal_axes(var)?;
+    let src_lat = &var.axes[lat_i];
+    let src_lon = &var.axes[lon_i];
+    let (ny_s, nx_s) = (src_lat.len(), src_lon.len());
+    let (ny_t, nx_t) = target.shape();
+    let wrap = src_lon.is_circular();
+
+    // Precompute interpolation stencils per target row/col.
+    let lat_stencil: Vec<(usize, f64)> = target
+        .lat
+        .values
+        .iter()
+        .map(|&phi| src_lat.fractional_index(phi))
+        .collect();
+    let lon_stencil: Vec<(usize, usize, f64)> = target
+        .lon
+        .values
+        .iter()
+        .map(|&lam| {
+            if wrap {
+                // wrap-aware fractional index
+                let lam_n = normalize_lon(lam, src_lon.values[0]);
+                let span = 360.0 / nx_s as f64;
+                // find bracketing cell allowing wraparound
+                let mut i0 = 0usize;
+                let mut frac = 0.0f64;
+                let mut found = false;
+                for i in 0..nx_s {
+                    let a = src_lon.values[i];
+                    let b = if i + 1 < nx_s { src_lon.values[i + 1] } else { src_lon.values[0] + 360.0 };
+                    if lam_n >= a - 1e-9 && lam_n <= b + 1e-9 && (b - a).abs() < 2.0 * span {
+                        i0 = i;
+                        frac = ((lam_n - a) / (b - a)).clamp(0.0, 1.0);
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    let (i, f) = src_lon.fractional_index(lam_n);
+                    (i, (i + 1).min(nx_s - 1), f)
+                } else {
+                    (i0, (i0 + 1) % nx_s, frac)
+                }
+            } else {
+                let (i, f) = src_lon.fractional_index(lam);
+                (i, (i + 1).min(nx_s - 1), f)
+            }
+        })
+        .collect();
+
+    let leading: usize = var.shape()[..lat_i].iter().product();
+    let src_plane = ny_s * nx_s;
+    let dst_plane = ny_t * nx_t;
+    let mut data = vec![0.0f32; leading * dst_plane];
+    let mut mask = vec![false; leading * dst_plane];
+
+    // Each leading slab (time x level plane) is independent: regrid them in
+    // parallel with rayon.
+    data.par_chunks_mut(dst_plane)
+        .zip(mask.par_chunks_mut(dst_plane))
+        .enumerate()
+        .for_each(|(l, (data_sl, mask_sl))| {
+            let src_off = l * src_plane;
+            for (jt, &(j0, fy)) in lat_stencil.iter().enumerate() {
+                let j1 = (j0 + 1).min(ny_s - 1);
+                for (it, &(i0, i1, fx)) in lon_stencil.iter().enumerate() {
+                    let idx = |j: usize, i: usize| src_off + j * nx_s + i;
+                    let corners = [idx(j0, i0), idx(j0, i1), idx(j1, i0), idx(j1, i1)];
+                    let dst = jt * nx_t + it;
+                    if corners.iter().any(|&c| var.array.mask()[c]) {
+                        mask_sl[dst] = true;
+                        continue;
+                    }
+                    let d = var.array.data();
+                    let v0 = d[corners[0]] as f64 * (1.0 - fx) + d[corners[1]] as f64 * fx;
+                    let v1 = d[corners[2]] as f64 * (1.0 - fx) + d[corners[3]] as f64 * fx;
+                    data_sl[dst] = (v0 * (1.0 - fy) + v1 * fy) as f32;
+                }
+            }
+        });
+
+    let mut out_shape = var.shape()[..lat_i].to_vec();
+    out_shape.push(ny_t);
+    out_shape.push(nx_t);
+    let array = MaskedArray::with_mask(data, mask, &out_shape)?;
+    let mut axes = var.axes[..lat_i].to_vec();
+    axes.push(target.lat.clone());
+    axes.push(target.lon.clone());
+    let mut v = Variable::new(&var.id, array, axes)?;
+    v.attributes = var.attributes.clone();
+    Ok(v)
+}
+
+fn normalize_lon(lam: f64, base: f64) -> f64 {
+    let mut l = (lam - base).rem_euclid(360.0) + base;
+    if l < base {
+        l += 360.0;
+    }
+    l
+}
+
+/// First-order conservative remapping: each target cell's value is the
+/// area-weighted mean of the overlapping source cells. Conserves the
+/// area-weighted integral of valid data (the property test checks this).
+pub fn conservative(var: &Variable, target: &RectGrid) -> Result<Variable> {
+    let (lat_i, lon_i) = horizontal_axes(var)?;
+    let mut src_lat = var.axes[lat_i].clone();
+    let mut src_lon = var.axes[lon_i].clone();
+    src_lat.gen_bounds();
+    src_lon.gen_bounds();
+    let slat_b = src_lat.bounds.clone().unwrap();
+    let slon_b = src_lon.bounds.clone().unwrap();
+    let tlat_b = target.lat.bounds.clone().unwrap();
+    let tlon_b = target.lon.bounds.clone().unwrap();
+    let (ny_s, nx_s) = (src_lat.len(), src_lon.len());
+    let (ny_t, nx_t) = target.shape();
+
+    // Latitude overlaps in sin-lat (exact sphere areas).
+    let overlap_lat: Vec<Vec<(usize, f64)>> = tlat_b
+        .iter()
+        .map(|&(lo_t, hi_t)| {
+            let (lo_t, hi_t) = order(lo_t, hi_t);
+            let mut v = Vec::new();
+            for (j, &(lo_s, hi_s)) in slat_b.iter().enumerate() {
+                let (lo_s, hi_s) = order(lo_s, hi_s);
+                let lo = lo_t.max(lo_s);
+                let hi = hi_t.min(hi_s);
+                if hi > lo {
+                    let w = hi.to_radians().sin() - lo.to_radians().sin();
+                    if w > 0.0 {
+                        v.push((j, w));
+                    }
+                }
+            }
+            v
+        })
+        .collect();
+    // Longitude overlaps modulo 360.
+    let overlap_lon: Vec<Vec<(usize, f64)>> = tlon_b
+        .iter()
+        .map(|&(lo_t, hi_t)| {
+            let (lo_t, hi_t) = order(lo_t, hi_t);
+            let mut v = Vec::new();
+            for (i, &(lo_s, hi_s)) in slon_b.iter().enumerate() {
+                let (lo_s, hi_s) = order(lo_s, hi_s);
+                // try the source cell shifted by -360, 0, +360
+                for shift in [-360.0, 0.0, 360.0] {
+                    let lo = lo_t.max(lo_s + shift);
+                    let hi = hi_t.min(hi_s + shift);
+                    if hi > lo {
+                        v.push((i, hi - lo));
+                    }
+                }
+            }
+            v
+        })
+        .collect();
+
+    let leading: usize = var.shape()[..lat_i].iter().product();
+    let src_plane = ny_s * nx_s;
+    let dst_plane = ny_t * nx_t;
+    let mut data = vec![0.0f32; leading * dst_plane];
+    let mut mask = vec![false; leading * dst_plane];
+
+    for l in 0..leading {
+        let src_off = l * src_plane;
+        let dst_off = l * dst_plane;
+        for jt in 0..ny_t {
+            for it in 0..nx_t {
+                let mut wsum = 0.0f64;
+                let mut vsum = 0.0f64;
+                for &(js, wy) in &overlap_lat[jt] {
+                    for &(is, wx) in &overlap_lon[it] {
+                        let src = src_off + js * nx_s + is;
+                        if !var.array.mask()[src] {
+                            let w = wy * wx;
+                            wsum += w;
+                            vsum += w * var.array.data()[src] as f64;
+                        }
+                    }
+                }
+                let dst = dst_off + jt * nx_t + it;
+                if wsum > 0.0 {
+                    data[dst] = (vsum / wsum) as f32;
+                } else {
+                    mask[dst] = true;
+                }
+            }
+        }
+    }
+
+    let mut out_shape = var.shape()[..lat_i].to_vec();
+    out_shape.push(ny_t);
+    out_shape.push(nx_t);
+    let array = MaskedArray::with_mask(data, mask, &out_shape)?;
+    let mut axes = var.axes[..lat_i].to_vec();
+    axes.push(target.lat.clone());
+    axes.push(target.lon.clone());
+    let mut v = Variable::new(&var.id, array, axes)?;
+    v.attributes = var.attributes.clone();
+    Ok(v)
+}
+
+fn order(a: f64, b: f64) -> (f64, f64) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Area-weighted global integral mean of the last-two-axes field (helper
+/// used by conservation tests and diagnostics).
+pub fn area_mean_2d(var: &Variable) -> Result<f64> {
+    let (lat_i, _) = horizontal_axes(var)?;
+    if var.rank() != 2 {
+        return Err(CdmsError::Invalid("area_mean_2d wants a rank-2 field".into()));
+    }
+    let grid = RectGrid::new(var.axes[lat_i].clone(), var.axes[lat_i + 1].clone())?;
+    let areas = grid.cell_areas();
+    let mut wsum = 0.0;
+    let mut vsum = 0.0;
+    for (i, &a) in areas.iter().enumerate() {
+        if !var.array.mask()[i] {
+            wsum += a;
+            vsum += a * var.array.data()[i] as f64;
+        }
+    }
+    if wsum <= 0.0 {
+        return Err(CdmsError::EmptySelection("all masked".into()));
+    }
+    Ok(vsum / wsum)
+}
+
+/// Linear-in-log-pressure vertical interpolation onto new pressure levels.
+/// Levels outside the source range are masked (no extrapolation).
+pub fn pressure_interp(var: &Variable, new_levels: &[f64]) -> Result<Variable> {
+    let lev_i = var
+        .axis_index(AxisKind::Level)
+        .ok_or_else(|| CdmsError::NotFound(format!("level axis on '{}'", var.id)))?;
+    let src = &var.axes[lev_i];
+    if new_levels.is_empty() {
+        return Err(CdmsError::Invalid("no target levels".into()));
+    }
+    // work in ln(p); source must be monotonic (Axis guarantees it)
+    let src_logs: Vec<f64> = src.values.iter().map(|&p| p.ln()).collect();
+    let (src_lo, src_hi) = {
+        let (a, b) = src.range();
+        order(a, b)
+    };
+
+    let nl_s = src.len();
+    let nl_t = new_levels.len();
+    let outer: usize = var.shape()[..lev_i].iter().product();
+    let inner: usize = var.shape()[lev_i + 1..].iter().product();
+
+    let mut out_shape = var.shape().to_vec();
+    out_shape[lev_i] = nl_t;
+    let mut data = vec![0.0f32; outer * nl_t * inner];
+    let mut mask = vec![false; data.len()];
+
+    for (lt, &p_new) in new_levels.iter().enumerate() {
+        if p_new < src_lo - 1e-9 || p_new > src_hi + 1e-9 || p_new <= 0.0 {
+            for o in 0..outer {
+                for i in 0..inner {
+                    mask[(o * nl_t + lt) * inner + i] = true;
+                }
+            }
+            continue;
+        }
+        let lp = p_new.ln();
+        // find bracketing source levels in log space
+        let mut k0 = 0usize;
+        for k in 0..nl_s - 1 {
+            let (a, b) = order(src_logs[k], src_logs[k + 1]);
+            if lp >= a - 1e-12 && lp <= b + 1e-12 {
+                k0 = k;
+                break;
+            }
+        }
+        let (la, lb) = (src_logs[k0], src_logs[k0 + 1]);
+        let f = if (lb - la).abs() < 1e-12 { 0.0 } else { ((lp - la) / (lb - la)).clamp(0.0, 1.0) };
+        for o in 0..outer {
+            for i in 0..inner {
+                let s0 = (o * nl_s + k0) * inner + i;
+                let s1 = (o * nl_s + k0 + 1) * inner + i;
+                let dst = (o * nl_t + lt) * inner + i;
+                if var.array.mask()[s0] || var.array.mask()[s1] {
+                    mask[dst] = true;
+                } else {
+                    let v = var.array.data()[s0] as f64 * (1.0 - f)
+                        + var.array.data()[s1] as f64 * f;
+                    data[dst] = v as f32;
+                }
+            }
+        }
+    }
+
+    let array = MaskedArray::with_mask(data, mask, &out_shape)?;
+    let mut axes = var.axes.clone();
+    axes[lev_i] = cdms::Axis::pressure_levels(new_levels.to_vec())?;
+    let mut v = Variable::new(&var.id, array, axes)?;
+    v.attributes = var.attributes.clone();
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdms::synth::SynthesisSpec;
+    use cdms::Axis;
+
+    #[test]
+    fn bilinear_preserves_linear_fields() {
+        // f(lat, lon) = lat → regridding must be exact for interior points
+        let src_grid = RectGrid::uniform(18, 36).unwrap();
+        let arr = MaskedArray::from_fn(&[18, 36], |ix| src_grid.lat.values[ix[0]] as f32);
+        let v = Variable::new("f", arr, vec![src_grid.lat.clone(), src_grid.lon.clone()]).unwrap();
+        let dst = RectGrid::uniform(12, 24).unwrap();
+        let r = bilinear(&v, &dst).unwrap();
+        assert_eq!(r.shape(), &[12, 24]);
+        for j in 1..11 {
+            for i in 0..24 {
+                let got = r.array.get(&[j, i]).unwrap() as f64;
+                let want = dst.lat.values[j];
+                assert!((got - want).abs() < 1e-3, "({j},{i}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn bilinear_wraps_longitude() {
+        // f = cos(lon) is continuous across the wrap point
+        let src = RectGrid::uniform(8, 36).unwrap();
+        let arr = MaskedArray::from_fn(&[8, 36], |ix| {
+            (src.lon.values[ix[1]].to_radians().cos()) as f32
+        });
+        let v = Variable::new("f", arr, vec![src.lat.clone(), src.lon.clone()]).unwrap();
+        // a target grid whose first lon is between src's last cell and 360
+        let lat = Axis::latitude(vec![-10.0, 10.0]).unwrap();
+        let lon = Axis::longitude(vec![355.0, 359.0]).unwrap();
+        let dst = RectGrid::new(lat, lon).unwrap();
+        let r = bilinear(&v, &dst).unwrap();
+        for i in 0..2 {
+            let got = r.array.get(&[0, i]).unwrap() as f64;
+            let want = dst.lon.values[i].to_radians().cos();
+            assert!((got - want).abs() < 0.02, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn bilinear_preserves_leading_axes_and_masks() {
+        let ds = SynthesisSpec::new(2, 3, 16, 32).build();
+        let ta = ds.variable("ta").unwrap();
+        let dst = RectGrid::uniform(8, 16).unwrap();
+        let r = bilinear(ta, &dst).unwrap();
+        assert_eq!(r.shape(), &[2, 3, 8, 16]);
+        // masked field keeps holes
+        let tos = ds.variable("tos").unwrap();
+        let r2 = bilinear(tos, &dst).unwrap();
+        assert!(r2.array.valid_count() < r2.array.len());
+        assert!(r2.array.valid_count() > 0);
+    }
+
+    #[test]
+    fn requires_trailing_lat_lon() {
+        let ds = SynthesisSpec::new(2, 1, 8, 16).build();
+        let ta = ds.variable("ta").unwrap();
+        let scrambled = Variable::new(
+            "x",
+            ta.array.transpose(&[3, 0, 1, 2]).unwrap(),
+            vec![
+                ta.axes[3].clone(),
+                ta.axes[0].clone(),
+                ta.axes[1].clone(),
+                ta.axes[2].clone(),
+            ],
+        )
+        .unwrap();
+        let dst = RectGrid::uniform(4, 8).unwrap();
+        assert!(bilinear(&scrambled, &dst).is_err());
+        assert!(conservative(&scrambled, &dst).is_err());
+    }
+
+    #[test]
+    fn conservative_conserves_global_mean() {
+        let src_grid = RectGrid::uniform(24, 48).unwrap();
+        // a bumpy field
+        let arr = MaskedArray::from_fn(&[24, 48], |ix| {
+            let phi = src_grid.lat.values[ix[0]].to_radians();
+            let lam = src_grid.lon.values[ix[1]].to_radians();
+            (10.0 + 5.0 * (2.0 * lam).sin() * phi.cos() + 3.0 * (3.0 * phi).sin()) as f32
+        });
+        let v =
+            Variable::new("f", arr, vec![src_grid.lat.clone(), src_grid.lon.clone()]).unwrap();
+        let before = area_mean_2d(&v).unwrap();
+        for (nlat, nlon) in [(12, 24), (10, 20), (32, 64)] {
+            let dst = RectGrid::uniform(nlat, nlon).unwrap();
+            let r = conservative(&v, &dst).unwrap();
+            let after = area_mean_2d(&r).unwrap();
+            assert!(
+                (before - after).abs() < 1e-4 * before.abs().max(1.0),
+                "{nlat}x{nlon}: {before} vs {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_handles_masks() {
+        let ds = SynthesisSpec::new(1, 1, 16, 32).build();
+        let tos = ds.variable("tos").unwrap().time_slab(0).unwrap();
+        let dst = RectGrid::uniform(8, 16).unwrap();
+        let r = conservative(&tos, &dst).unwrap();
+        // some cells masked (all-land target cells), most valid
+        assert!(r.array.valid_count() > 0);
+        let (lo, hi) = r.array.min_max().unwrap();
+        assert!(lo > 260.0 && hi < 310.0, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn coarse_to_fine_and_back_is_stable() {
+        let src = RectGrid::uniform(8, 16).unwrap();
+        let arr = MaskedArray::from_fn(&[8, 16], |ix| (ix[0] * 16 + ix[1]) as f32);
+        let v = Variable::new("f", arr, vec![src.lat.clone(), src.lon.clone()]).unwrap();
+        let fine = RectGrid::uniform(32, 64).unwrap();
+        let up = conservative(&v, &fine).unwrap();
+        let back = conservative(&up, &src).unwrap();
+        let m0 = area_mean_2d(&v).unwrap();
+        let m1 = area_mean_2d(&back).unwrap();
+        assert!((m0 - m1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pressure_interp_log_linear() {
+        let ds = SynthesisSpec::new(1, 8, 6, 12).noise(0.0).build();
+        let ta = ds.variable("ta").unwrap();
+        // interpolating onto the source levels reproduces them
+        let src_levels = ta.axis(AxisKind::Level).unwrap().values.clone();
+        let same = pressure_interp(ta, &src_levels).unwrap();
+        for i in 0..40 {
+            assert!(
+                (same.array.data()[i] - ta.array.data()[i]).abs() < 1e-3,
+                "{i}"
+            );
+        }
+        // a midpoint level lands between its neighbours
+        let mid = pressure_interp(ta, &[962.0]).unwrap();
+        let v0 = ta.array.get(&[0, 0, 3, 3]).unwrap();
+        let v1 = ta.array.get(&[0, 1, 3, 3]).unwrap();
+        let vm = mid.array.get(&[0, 0, 3, 3]).unwrap();
+        assert!((vm - v0.min(v1)) > -0.01 && (v0.max(v1) - vm) > -0.01, "{v0} {vm} {v1}");
+    }
+
+    #[test]
+    fn pressure_interp_masks_out_of_range() {
+        let ds = SynthesisSpec::new(1, 4, 4, 8).build();
+        let ta = ds.variable("ta").unwrap(); // levels 1000..700
+        let r = pressure_interp(ta, &[2000.0, 850.0, 10.0]).unwrap();
+        assert_eq!(r.shape()[1], 3);
+        assert_eq!(r.array.get_valid(&[0, 0, 0, 0]).unwrap(), None); // 2000 hPa below ground
+        assert!(r.array.get_valid(&[0, 1, 0, 0]).unwrap().is_some());
+        assert_eq!(r.array.get_valid(&[0, 2, 0, 0]).unwrap(), None); // 10 hPa above top
+        assert!(pressure_interp(ta, &[]).is_err());
+        let lf = ds.variable("sftlf").unwrap();
+        assert!(pressure_interp(lf, &[500.0]).is_err());
+    }
+}

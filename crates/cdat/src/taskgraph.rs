@@ -1,0 +1,282 @@
+//! Parallel analysis task graphs — DV3D's "parallel task execution".
+//!
+//! An analysis recipe is a DAG of named tasks, each a closure from its
+//! dependencies' outputs to a new [`Variable`]. The graph runs either
+//! serially (for baselines/ablation) or wavefront-parallel with rayon.
+
+use cdms::{CdmsError, Result, Variable};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type TaskFn = dyn Fn(&BTreeMap<String, Arc<Variable>>) -> Result<Variable> + Send + Sync;
+
+struct Task {
+    name: String,
+    deps: Vec<String>,
+    run: Box<TaskFn>,
+}
+
+/// A dependency-aware analysis task graph.
+#[derive(Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+/// Execution report: per-task wall time plus the result set.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Completed task outputs by name.
+    pub outputs: BTreeMap<String, Arc<Variable>>,
+    /// Per-task wall-clock durations.
+    pub timings: BTreeMap<String, Duration>,
+    /// Total wall time of the run.
+    pub total: Duration,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// Adds a task with dependencies. Task names must be unique.
+    pub fn add_task(
+        &mut self,
+        name: &str,
+        deps: &[&str],
+        run: impl Fn(&BTreeMap<String, Arc<Variable>>) -> Result<Variable> + Send + Sync + 'static,
+    ) -> Result<()> {
+        if self.tasks.iter().any(|t| t.name == name) {
+            return Err(CdmsError::Invalid(format!("duplicate task '{name}'")));
+        }
+        self.tasks.push(Task {
+            name: name.to_string(),
+            deps: deps.iter().map(|s| s.to_string()).collect(),
+            run: Box::new(run),
+        });
+        Ok(())
+    }
+
+    /// Adds a source task that just provides an existing variable.
+    pub fn add_source(&mut self, name: &str, var: Variable) -> Result<()> {
+        let var = Arc::new(var);
+        self.add_task(name, &[], move |_| Ok((*var).clone()))
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Wavefront schedule: groups of task indices whose dependencies are
+    /// all in earlier groups. Errors on unknown deps or cycles.
+    fn schedule(&self) -> Result<Vec<Vec<usize>>> {
+        let index: BTreeMap<&str, usize> =
+            self.tasks.iter().enumerate().map(|(i, t)| (t.name.as_str(), i)).collect();
+        for t in &self.tasks {
+            for d in &t.deps {
+                if !index.contains_key(d.as_str()) {
+                    return Err(CdmsError::NotFound(format!(
+                        "task '{}' depends on unknown '{d}'",
+                        t.name
+                    )));
+                }
+            }
+        }
+        let mut done: BTreeSet<usize> = BTreeSet::new();
+        let mut waves = Vec::new();
+        while done.len() < self.tasks.len() {
+            let ready: Vec<usize> = (0..self.tasks.len())
+                .filter(|i| !done.contains(i))
+                .filter(|&i| {
+                    self.tasks[i].deps.iter().all(|d| done.contains(&index[d.as_str()]))
+                })
+                .collect();
+            if ready.is_empty() {
+                let stuck: Vec<String> = (0..self.tasks.len())
+                    .filter(|i| !done.contains(i))
+                    .map(|i| self.tasks[i].name.clone())
+                    .collect();
+                return Err(CdmsError::Invalid(format!("cycle among tasks {stuck:?}")));
+            }
+            done.extend(&ready);
+            waves.push(ready);
+        }
+        Ok(waves)
+    }
+
+    /// Runs the graph serially in schedule order.
+    pub fn run_serial(&self) -> Result<TaskReport> {
+        let start = Instant::now();
+        let waves = self.schedule()?;
+        let mut outputs: BTreeMap<String, Arc<Variable>> = BTreeMap::new();
+        let mut timings = BTreeMap::new();
+        for wave in waves {
+            for i in wave {
+                let t = &self.tasks[i];
+                let t0 = Instant::now();
+                let out = (t.run)(&outputs)
+                    .map_err(|e| CdmsError::Invalid(format!("task '{}': {e}", t.name)))?;
+                timings.insert(t.name.clone(), t0.elapsed());
+                outputs.insert(t.name.clone(), Arc::new(out));
+            }
+        }
+        Ok(TaskReport { outputs, timings, total: start.elapsed() })
+    }
+
+    /// Runs the graph with each wavefront parallelized by rayon.
+    pub fn run_parallel(&self) -> Result<TaskReport> {
+        let start = Instant::now();
+        let waves = self.schedule()?;
+        let mut outputs: BTreeMap<String, Arc<Variable>> = BTreeMap::new();
+        let timings: Mutex<BTreeMap<String, Duration>> = Mutex::new(BTreeMap::new());
+        for wave in waves {
+            // Scoped OS threads rather than the rayon pool: analysis tasks
+            // may block on I/O (catalog transfers), which a work-stealing
+            // pool on a small machine would serialize.
+            let collected: Mutex<Vec<(String, Result<Variable>, Duration)>> =
+                Mutex::new(Vec::with_capacity(wave.len()));
+            std::thread::scope(|scope| {
+                for &i in &wave {
+                    let t = &self.tasks[i];
+                    let outputs = &outputs;
+                    let collected = &collected;
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let out = (t.run)(outputs);
+                        collected.lock().push((t.name.clone(), out, t0.elapsed()));
+                    });
+                }
+            });
+            for (name, out, dt) in collected.into_inner() {
+                let out =
+                    out.map_err(|e| CdmsError::Invalid(format!("task '{name}': {e}")))?;
+                timings.lock().insert(name.clone(), dt);
+                outputs.insert(name, Arc::new(out));
+            }
+        }
+        Ok(TaskReport {
+            outputs,
+            timings: timings.into_inner(),
+            total: start.elapsed(),
+        })
+    }
+}
+
+impl std::fmt::Debug for TaskGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.tasks.iter().map(|t| t.name.as_str()).collect();
+        f.debug_struct("TaskGraph").field("tasks", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{averager, climatology};
+    use cdms::synth::SynthesisSpec;
+
+    fn analysis_graph(sleep_ms: u64) -> TaskGraph {
+        let ds = SynthesisSpec::new(4, 2, 8, 16).build();
+        let ta = ds.variable("ta").unwrap().clone();
+        let mut g = TaskGraph::new();
+        g.add_source("ta", ta).unwrap();
+        g.add_task("anom", &["ta"], move |deps| {
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+            climatology::anomaly(&deps["ta"])
+        })
+        .unwrap();
+        g.add_task("zonal", &["ta"], move |deps| {
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+            averager::zonal_mean(&deps["ta"])
+        })
+        .unwrap();
+        g.add_task("series", &["anom"], |deps| averager::spatial_mean(&deps["anom"]))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn serial_run_produces_all_outputs() {
+        let g = analysis_graph(0);
+        let report = g.run_serial().unwrap();
+        assert_eq!(report.outputs.len(), 4);
+        assert_eq!(report.outputs["series"].shape(), &[4, 2]);
+        assert_eq!(report.timings.len(), 4);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = analysis_graph(0);
+        let s = g.run_serial().unwrap();
+        let p = g.run_parallel().unwrap();
+        for name in ["anom", "zonal", "series"] {
+            assert_eq!(s.outputs[name].array, p.outputs[name].array, "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_faster_on_independent_tasks() {
+        // two independent 60ms tasks: serial ≥ 120ms, parallel ≈ 60ms
+        let g = analysis_graph(60);
+        let s = g.run_serial().unwrap();
+        let p = g.run_parallel().unwrap();
+        assert!(
+            p.total < s.total,
+            "parallel {:?} !< serial {:?}",
+            p.total,
+            s.total
+        );
+    }
+
+    #[test]
+    fn unknown_dependency_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", &["ghost"], |_| {
+            Err(CdmsError::Invalid("unreachable".into()))
+        })
+        .unwrap();
+        assert!(g.run_serial().is_err());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", &["b"], |_| Err(CdmsError::Invalid("x".into()))).unwrap();
+        g.add_task("b", &["a"], |_| Err(CdmsError::Invalid("x".into()))).unwrap();
+        let err = g.run_parallel().unwrap_err();
+        assert!(matches!(err, CdmsError::Invalid(m) if m.contains("cycle")));
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", &[], |_| Err(CdmsError::Invalid("x".into()))).unwrap();
+        assert!(g.add_task("a", &[], |_| Err(CdmsError::Invalid("x".into()))).is_err());
+    }
+
+    #[test]
+    fn task_failure_is_attributed() {
+        let mut g = TaskGraph::new();
+        g.add_task("bad", &[], |_| Err(CdmsError::Invalid("numerical blow-up".into())))
+            .unwrap();
+        let err = g.run_serial().unwrap_err();
+        assert!(err.to_string().contains("bad"));
+        assert!(err.to_string().contains("numerical blow-up"));
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        let r = g.run_parallel().unwrap();
+        assert!(r.outputs.is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Masked n-dimensional arrays — the CDMS "transient variable" payload.
+//!
+//! [`MaskedArray`] stores row-major `f32` data plus a per-element validity
+//! mask (`true` = *masked out*, i.e. missing, matching `numpy.ma` semantics).
+//! All arithmetic propagates masks; reductions skip masked elements.
+
+mod ops;
+mod reduce;
+mod slice;
+
+pub use ops::BinOp;
+pub use reduce::Reduction;
+pub use slice::SliceSpec;
+
+use crate::error::{CdmsError, Result};
+
+/// Row-major n-dimensional array of `f32` with an element-wise mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedArray {
+    data: Vec<f32>,
+    /// `true` means the element is masked (missing).
+    mask: Vec<bool>,
+    shape: Vec<usize>,
+}
+
+/// Computes row-major strides for `shape`.
+pub(crate) fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+impl MaskedArray {
+    /// Creates an array from raw data; no elements are masked.
+    ///
+    /// Fails if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let n: usize = shape.iter().product();
+        if data.len() != n {
+            return Err(CdmsError::ShapeMismatch {
+                expected: vec![n],
+                got: vec![data.len()],
+            });
+        }
+        Ok(Self { mask: vec![false; data.len()], data, shape: shape.to_vec() })
+    }
+
+    /// Creates an array with an explicit mask.
+    pub fn with_mask(data: Vec<f32>, mask: Vec<bool>, shape: &[usize]) -> Result<Self> {
+        if data.len() != mask.len() {
+            return Err(CdmsError::Invalid("data/mask length mismatch".into()));
+        }
+        let mut a = Self::from_vec(data, shape)?;
+        a.mask = mask;
+        Ok(a)
+    }
+
+    /// An all-valid array filled with `value`.
+    pub fn filled(value: f32, shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Self { data: vec![value; n], mask: vec![false; n], shape: shape.to_vec() }
+    }
+
+    /// An all-valid array of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::filled(0.0, shape)
+    }
+
+    /// A fully masked array (every element missing).
+    pub fn all_masked(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Self { data: vec![0.0; n], mask: vec![true; n], shape: shape.to_vec() }
+    }
+
+    /// Builds an array by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; shape.len()];
+        for _ in 0..n {
+            data.push(f(&idx));
+            // increment multi-index, last axis fastest
+            for ax in (0..shape.len()).rev() {
+                idx[ax] += 1;
+                if idx[ax] < shape[ax] {
+                    break;
+                }
+                idx[ax] = 0;
+            }
+        }
+        Self { mask: vec![false; n], data, shape: shape.to_vec() }
+    }
+
+    /// Decodes `data` against a fill value: elements equal to (or within
+    /// `1e-6` relative of) `fill` become masked. This is how variables with a
+    /// `missing_value` attribute materialize their mask.
+    pub fn from_filled_data(data: Vec<f32>, shape: &[usize], fill: f32) -> Result<Self> {
+        let tol = fill.abs().max(1.0) * 1e-6;
+        let mask = data.iter().map(|&v| (v - fill).abs() <= tol || v.is_nan()).collect();
+        Self::with_mask(data, mask, shape)
+    }
+
+    /// The array's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements (valid + masked).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.shape)
+    }
+
+    /// Raw data slice (masked positions contain unspecified values).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Mask slice (`true` = masked).
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Mutable mask slice.
+    pub fn mask_mut(&mut self) -> &mut [bool] {
+        &mut self.mask
+    }
+
+    /// Flat offset of a multi-index.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(CdmsError::ShapeMismatch {
+                expected: self.shape.clone(),
+                got: index.to_vec(),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (ax, (&i, &s)) in index.iter().zip(&strides).enumerate() {
+            if i >= self.shape[ax] {
+                return Err(CdmsError::AxisOutOfRange { axis: ax, rank: self.shape[ax] });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Element at `index` regardless of mask state.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Element at `index`, or `None` if masked.
+    pub fn get_valid(&self, index: &[usize]) -> Result<Option<f32>> {
+        let off = self.offset(index)?;
+        Ok(if self.mask[off] { None } else { Some(self.data[off]) })
+    }
+
+    /// Sets the element at `index` and marks it valid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        self.mask[off] = false;
+        Ok(())
+    }
+
+    /// Masks out the element at `index`.
+    pub fn mask_at(&mut self, index: &[usize]) -> Result<()> {
+        let off = self.offset(index)?;
+        self.mask[off] = true;
+        Ok(())
+    }
+
+    /// Number of valid (unmasked) elements.
+    pub fn valid_count(&self) -> usize {
+        self.mask.iter().filter(|&&m| !m).count()
+    }
+
+    /// Fraction of elements that are valid, in `[0, 1]`. Empty arrays are 0.
+    pub fn valid_fraction(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.valid_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Returns the data with masked elements replaced by `fill`.
+    pub fn to_filled(&self, fill: f32) -> Vec<f32> {
+        self.data
+            .iter()
+            .zip(&self.mask)
+            .map(|(&v, &m)| if m { fill } else { v })
+            .collect()
+    }
+
+    /// Iterator over `(flat_index, value)` of valid elements.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.data
+            .iter()
+            .zip(&self.mask)
+            .enumerate()
+            .filter_map(|(i, (&v, &m))| if m { None } else { Some((i, v)) })
+    }
+
+    /// Minimum and maximum over valid elements, or `None` if fully masked.
+    pub fn min_max(&self) -> Option<(f32, f32)> {
+        let mut it = self.iter_valid().map(|(_, v)| v);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Reinterprets the array with a new shape of identical element count.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self> {
+        let n: usize = shape.iter().product();
+        if n != self.len() {
+            return Err(CdmsError::ShapeMismatch {
+                expected: self.shape.clone(),
+                got: shape.to_vec(),
+            });
+        }
+        Ok(Self { data: self.data.clone(), mask: self.mask.clone(), shape: shape.to_vec() })
+    }
+
+    /// Removes all length-1 dimensions (keeps at least rank 1).
+    pub fn squeeze(&self) -> Self {
+        let mut shape: Vec<usize> = self.shape.iter().copied().filter(|&d| d != 1).collect();
+        if shape.is_empty() {
+            shape.push(1);
+        }
+        Self { data: self.data.clone(), mask: self.mask.clone(), shape }
+    }
+
+    /// Permutes axes: `perm[i]` is the source axis of destination axis `i`.
+    pub fn transpose(&self, perm: &[usize]) -> Result<Self> {
+        if perm.len() != self.rank() {
+            return Err(CdmsError::Invalid(format!(
+                "permutation length {} != rank {}",
+                perm.len(),
+                self.rank()
+            )));
+        }
+        let mut seen = vec![false; self.rank()];
+        for &p in perm {
+            if p >= self.rank() || seen[p] {
+                return Err(CdmsError::Invalid(format!("bad permutation {perm:?}")));
+            }
+            seen[p] = true;
+        }
+        let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let src_strides = self.strides();
+        let n = self.len();
+        let mut data = vec![0.0f32; n];
+        let mut mask = vec![false; n];
+        let mut idx = vec![0usize; new_shape.len()];
+        for flat in 0..n {
+            let mut src = 0usize;
+            for (dst_ax, &src_ax) in perm.iter().enumerate() {
+                src += idx[dst_ax] * src_strides[src_ax];
+            }
+            data[flat] = self.data[src];
+            mask[flat] = self.mask[src];
+            for ax in (0..new_shape.len()).rev() {
+                idx[ax] += 1;
+                if idx[ax] < new_shape[ax] {
+                    break;
+                }
+                idx[ax] = 0;
+            }
+        }
+        Ok(Self { data, mask, shape: new_shape })
+    }
+
+    /// Concatenates arrays along `axis`. All other dimensions must agree.
+    pub fn concat(parts: &[&MaskedArray], axis: usize) -> Result<Self> {
+        let first = parts.first().ok_or_else(|| CdmsError::Invalid("concat of nothing".into()))?;
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(CdmsError::AxisOutOfRange { axis, rank });
+        }
+        let mut out_shape = first.shape.clone();
+        let mut total = 0usize;
+        for p in parts {
+            if p.rank() != rank {
+                return Err(CdmsError::ShapeMismatch {
+                    expected: first.shape.clone(),
+                    got: p.shape.clone(),
+                });
+            }
+            for ax in 0..rank {
+                if ax != axis && p.shape[ax] != first.shape[ax] {
+                    return Err(CdmsError::ShapeMismatch {
+                        expected: first.shape.clone(),
+                        got: p.shape.clone(),
+                    });
+                }
+            }
+            total += p.shape[axis];
+        }
+        out_shape[axis] = total;
+
+        let outer: usize = out_shape[..axis].iter().product();
+        let inner: usize = out_shape[axis + 1..].iter().product();
+        let n: usize = out_shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let mut mask = Vec::with_capacity(n);
+        for o in 0..outer {
+            for p in parts {
+                let k = p.shape[axis];
+                let start = o * k * inner;
+                data.extend_from_slice(&p.data[start..start + k * inner]);
+                mask.extend_from_slice(&p.mask[start..start + k * inner]);
+            }
+        }
+        Ok(Self { data, mask, shape: out_shape })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arange(shape: &[usize]) -> MaskedArray {
+        let n: usize = shape.iter().product();
+        MaskedArray::from_vec((0..n).map(|i| i as f32).collect(), shape).unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let a = arange(&[2, 3]);
+        assert_eq!(a.shape(), &[2, 3]);
+        assert_eq!(a.get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(a.get(&[1, 2]).unwrap(), 5.0);
+        assert_eq!(a.strides(), vec![3, 1]);
+        assert!(a.get(&[2, 0]).is_err());
+        assert!(a.get(&[0]).is_err());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(MaskedArray::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+    }
+
+    #[test]
+    fn mask_operations() {
+        let mut a = arange(&[2, 2]);
+        assert_eq!(a.valid_count(), 4);
+        a.mask_at(&[0, 1]).unwrap();
+        assert_eq!(a.valid_count(), 3);
+        assert_eq!(a.get_valid(&[0, 1]).unwrap(), None);
+        a.set(&[0, 1], 9.0).unwrap();
+        assert_eq!(a.get_valid(&[0, 1]).unwrap(), Some(9.0));
+    }
+
+    #[test]
+    fn from_filled_data_detects_missing() {
+        let a = MaskedArray::from_filled_data(vec![1.0, 1e20, 2.0, f32::NAN], &[4], 1e20).unwrap();
+        assert_eq!(a.mask(), &[false, true, false, true]);
+        assert_eq!(a.valid_count(), 2);
+    }
+
+    #[test]
+    fn to_filled_replaces_masked() {
+        let a = MaskedArray::with_mask(vec![1.0, 2.0], vec![false, true], &[2]).unwrap();
+        assert_eq!(a.to_filled(-9.0), vec![1.0, -9.0]);
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let a = MaskedArray::from_fn(&[2, 3], |ix| (ix[0] * 10 + ix[1]) as f32);
+        assert_eq!(a.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn min_max_skips_masked() {
+        let a =
+            MaskedArray::with_mask(vec![5.0, -1.0, 100.0], vec![false, false, true], &[3]).unwrap();
+        assert_eq!(a.min_max(), Some((-1.0, 5.0)));
+        assert_eq!(MaskedArray::all_masked(&[3]).min_max(), None);
+    }
+
+    #[test]
+    fn reshape_and_squeeze() {
+        let a = arange(&[2, 3]);
+        let b = a.reshape(&[3, 2]).unwrap();
+        assert_eq!(b.get(&[1, 1]).unwrap(), 3.0);
+        assert!(a.reshape(&[4]).is_err());
+        let c = arange(&[1, 3, 1]).squeeze();
+        assert_eq!(c.shape(), &[3]);
+        let d = MaskedArray::filled(1.0, &[1, 1]).squeeze();
+        assert_eq!(d.shape(), &[1]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = arange(&[2, 3]);
+        let t = a.transpose(&[1, 0]).unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.get(&[2, 1]).unwrap(), a.get(&[1, 2]).unwrap());
+        assert!(a.transpose(&[0, 0]).is_err());
+        assert!(a.transpose(&[0]).is_err());
+    }
+
+    #[test]
+    fn transpose_3d_preserves_mask() {
+        let mut a = arange(&[2, 3, 4]);
+        a.mask_at(&[1, 2, 3]).unwrap();
+        let t = a.transpose(&[2, 0, 1]).unwrap();
+        assert_eq!(t.shape(), &[4, 2, 3]);
+        assert_eq!(t.get_valid(&[3, 1, 2]).unwrap(), None);
+        assert_eq!(t.get(&[0, 1, 1]).unwrap(), a.get(&[1, 1, 0]).unwrap());
+    }
+
+    #[test]
+    fn concat_along_each_axis() {
+        let a = arange(&[2, 2]);
+        let b = MaskedArray::filled(9.0, &[2, 2]);
+        let c0 = MaskedArray::concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c0.shape(), &[4, 2]);
+        assert_eq!(c0.get(&[2, 0]).unwrap(), 9.0);
+        let c1 = MaskedArray::concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c1.shape(), &[2, 4]);
+        assert_eq!(c1.get(&[0, 2]).unwrap(), 9.0);
+        assert_eq!(c1.get(&[1, 1]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn concat_shape_errors() {
+        let a = arange(&[2, 2]);
+        let b = arange(&[2, 3]);
+        assert!(MaskedArray::concat(&[&a, &b], 0).is_err());
+        assert!(MaskedArray::concat(&[&a, &b], 2).is_err());
+        assert!(MaskedArray::concat(&[], 0).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Axis reductions that skip masked elements, including weighted variants —
+//! the machinery behind CDAT's averagers and statistics.
+
+use super::MaskedArray;
+use crate::error::{CdmsError, Result};
+
+/// The reduction kinds supported by [`MaskedArray::reduce_axis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    Sum,
+    Mean,
+    Min,
+    Max,
+    /// Population standard deviation over valid elements.
+    Std,
+    /// Population variance over valid elements.
+    Var,
+    /// Number of valid elements, as f32.
+    Count,
+}
+
+/// Streaming accumulator for one output cell of a reduction.
+#[derive(Debug, Clone, Copy)]
+struct Acc {
+    n: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f32,
+    max: f32,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc { n: 0, sum: 0.0, sum_sq: 0.0, min: f32::INFINITY, max: f32::NEG_INFINITY }
+    }
+
+    fn push(&mut self, v: f32) {
+        self.n += 1;
+        self.sum += v as f64;
+        self.sum_sq += (v as f64) * (v as f64);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Finishes the accumulation; `None` means the output cell is masked.
+    fn finish(&self, red: Reduction) -> Option<f32> {
+        if red == Reduction::Count {
+            return Some(self.n as f32);
+        }
+        if self.n == 0 {
+            return None;
+        }
+        let n = self.n as f64;
+        Some(match red {
+            Reduction::Sum => self.sum as f32,
+            Reduction::Mean => (self.sum / n) as f32,
+            Reduction::Min => self.min,
+            Reduction::Max => self.max,
+            Reduction::Var => ((self.sum_sq / n) - (self.sum / n).powi(2)).max(0.0) as f32,
+            Reduction::Std => (((self.sum_sq / n) - (self.sum / n).powi(2)).max(0.0)).sqrt() as f32,
+            Reduction::Count => unreachable!(),
+        })
+    }
+}
+
+impl MaskedArray {
+    /// Reduces along `axis`, removing that dimension. Masked elements are
+    /// skipped; output cells with no valid inputs are masked.
+    pub fn reduce_axis(&self, axis: usize, red: Reduction) -> Result<MaskedArray> {
+        if axis >= self.rank() {
+            return Err(CdmsError::AxisOutOfRange { axis, rank: self.rank() });
+        }
+        let shape = self.shape();
+        let outer: usize = shape[..axis].iter().product();
+        let k = shape[axis];
+        let inner: usize = shape[axis + 1..].iter().product();
+
+        let mut out_shape: Vec<usize> = shape.to_vec();
+        out_shape.remove(axis);
+        if out_shape.is_empty() {
+            out_shape.push(1);
+        }
+
+        let mut accs = vec![Acc::new(); outer * inner];
+        for o in 0..outer {
+            for j in 0..k {
+                let base = (o * k + j) * inner;
+                for i in 0..inner {
+                    if !self.mask()[base + i] {
+                        accs[o * inner + i].push(self.data()[base + i]);
+                    }
+                }
+            }
+        }
+        let mut data = Vec::with_capacity(accs.len());
+        let mut mask = Vec::with_capacity(accs.len());
+        for acc in &accs {
+            match acc.finish(red) {
+                Some(v) => {
+                    data.push(v);
+                    mask.push(false);
+                }
+                None => {
+                    data.push(0.0);
+                    mask.push(true);
+                }
+            }
+        }
+        MaskedArray::with_mask(data, mask, &out_shape)
+    }
+
+    /// Weighted mean along `axis` with one weight per index of that axis
+    /// (e.g. cos-latitude area weights). Weights of masked elements are
+    /// excluded from the normalization, as CDAT's averager does.
+    pub fn weighted_mean_axis(&self, axis: usize, weights: &[f64]) -> Result<MaskedArray> {
+        if axis >= self.rank() {
+            return Err(CdmsError::AxisOutOfRange { axis, rank: self.rank() });
+        }
+        let shape = self.shape();
+        if weights.len() != shape[axis] {
+            return Err(CdmsError::ShapeMismatch {
+                expected: vec![shape[axis]],
+                got: vec![weights.len()],
+            });
+        }
+        let outer: usize = shape[..axis].iter().product();
+        let k = shape[axis];
+        let inner: usize = shape[axis + 1..].iter().product();
+
+        let mut out_shape: Vec<usize> = shape.to_vec();
+        out_shape.remove(axis);
+        if out_shape.is_empty() {
+            out_shape.push(1);
+        }
+
+        let m = outer * inner;
+        let mut wsum = vec![0.0f64; m];
+        let mut vsum = vec![0.0f64; m];
+        for o in 0..outer {
+            for j in 0..k {
+                let w = weights[j];
+                let base = (o * k + j) * inner;
+                for i in 0..inner {
+                    if !self.mask()[base + i] {
+                        let cell = o * inner + i;
+                        wsum[cell] += w;
+                        vsum[cell] += w * self.data()[base + i] as f64;
+                    }
+                }
+            }
+        }
+        let mut data = Vec::with_capacity(m);
+        let mut mask = Vec::with_capacity(m);
+        for cell in 0..m {
+            if wsum[cell] > 0.0 {
+                data.push((vsum[cell] / wsum[cell]) as f32);
+                mask.push(false);
+            } else {
+                data.push(0.0);
+                mask.push(true);
+            }
+        }
+        MaskedArray::with_mask(data, mask, &out_shape)
+    }
+
+    /// Reduces the whole array to a scalar, skipping masked elements.
+    pub fn reduce_all(&self, red: Reduction) -> Option<f32> {
+        let mut acc = Acc::new();
+        for (_, v) in self.iter_valid() {
+            acc.push(v);
+        }
+        acc.finish(red)
+    }
+
+    /// Global unweighted mean of valid elements.
+    pub fn mean(&self) -> Option<f32> {
+        self.reduce_all(Reduction::Mean)
+    }
+
+    /// Global population standard deviation of valid elements.
+    pub fn std(&self) -> Option<f32> {
+        self.reduce_all(Reduction::Std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a2x3() -> MaskedArray {
+        MaskedArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap()
+    }
+
+    #[test]
+    fn sum_along_axes() {
+        let a = a2x3();
+        let s0 = a.reduce_axis(0, Reduction::Sum).unwrap();
+        assert_eq!(s0.shape(), &[3]);
+        assert_eq!(s0.data(), &[5.0, 7.0, 9.0]);
+        let s1 = a.reduce_axis(1, Reduction::Sum).unwrap();
+        assert_eq!(s1.shape(), &[2]);
+        assert_eq!(s1.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn mean_skips_masked() {
+        let mut a = a2x3();
+        a.mask_at(&[0, 0]).unwrap();
+        let m = a.reduce_axis(0, Reduction::Mean).unwrap();
+        // column 0 only has the value 4.0 valid
+        assert_eq!(m.data()[0], 4.0);
+        assert_eq!(m.data()[1], 3.5);
+    }
+
+    #[test]
+    fn fully_masked_column_masks_output() {
+        let mut a = a2x3();
+        a.mask_at(&[0, 1]).unwrap();
+        a.mask_at(&[1, 1]).unwrap();
+        let m = a.reduce_axis(0, Reduction::Mean).unwrap();
+        assert_eq!(m.get_valid(&[1]).unwrap(), None);
+        let c = a.reduce_axis(0, Reduction::Count).unwrap();
+        assert_eq!(c.data(), &[2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn min_max_std_var() {
+        let a = a2x3();
+        assert_eq!(a.reduce_axis(1, Reduction::Min).unwrap().data(), &[1.0, 4.0]);
+        assert_eq!(a.reduce_axis(1, Reduction::Max).unwrap().data(), &[3.0, 6.0]);
+        let v = a.reduce_axis(1, Reduction::Var).unwrap();
+        assert!((v.data()[0] - 2.0 / 3.0).abs() < 1e-6);
+        let s = a.reduce_axis(1, Reduction::Std).unwrap();
+        assert!((s.data()[0] - (2.0f32 / 3.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduce_1d_gives_scalar_shape() {
+        let a = MaskedArray::from_vec(vec![1.0, 3.0], &[2]).unwrap();
+        let s = a.reduce_axis(0, Reduction::Mean).unwrap();
+        assert_eq!(s.shape(), &[1]);
+        assert_eq!(s.data(), &[2.0]);
+    }
+
+    #[test]
+    fn weighted_mean_uses_weights() {
+        let a = MaskedArray::from_vec(vec![0.0, 10.0], &[2]).unwrap();
+        let m = a.weighted_mean_axis(0, &[3.0, 1.0]).unwrap();
+        assert!((m.data()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_mean_excludes_masked_weights() {
+        let mut a = MaskedArray::from_vec(vec![0.0, 10.0, 20.0], &[3]).unwrap();
+        a.mask_at(&[2]).unwrap();
+        let m = a.weighted_mean_axis(0, &[1.0, 1.0, 100.0]).unwrap();
+        assert!((m.data()[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_mean_validates_lengths() {
+        let a = a2x3();
+        assert!(a.weighted_mean_axis(0, &[1.0]).is_err());
+        assert!(a.weighted_mean_axis(5, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn global_reductions() {
+        let a = a2x3();
+        assert_eq!(a.mean(), Some(3.5));
+        assert_eq!(a.reduce_all(Reduction::Sum), Some(21.0));
+        assert_eq!(MaskedArray::all_masked(&[4]).mean(), None);
+        assert_eq!(MaskedArray::all_masked(&[4]).reduce_all(Reduction::Count), Some(0.0));
+    }
+}

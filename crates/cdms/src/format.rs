@@ -1,0 +1,445 @@
+//! The `.ncr` self-describing binary container — this repo's NetCDF stand-in.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! magic "NCRS" | version u32
+//! dataset id: string
+//! global attributes
+//! variable count u32, then per variable:
+//!   id: string
+//!   axes: count u32, each fully self-describing
+//!   attributes
+//!   shape: rank u32, dims u64...
+//!   data:  f32 × n
+//!   mask:  bit-packed, ⌈n/8⌉ bytes
+//! ```
+//!
+//! Strings are `u32 length + UTF-8 bytes`. The format is versioned and the
+//! reader validates magic, version, counts and lengths so corrupt files fail
+//! with [`CdmsError::Format`] rather than panicking.
+
+use crate::attr::{AttValue, Attributes};
+use crate::axis::{Axis, AxisKind};
+use crate::calendar::Calendar;
+use crate::dataset::Dataset;
+use crate::error::{CdmsError, Result};
+use crate::{MaskedArray, Variable};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NCRS";
+const VERSION: u32 = 1;
+
+/// Serializes a dataset to bytes.
+pub fn to_bytes(ds: &Dataset) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    put_string(&mut buf, &ds.id);
+    put_attrs(&mut buf, &ds.attributes);
+    buf.put_u32_le(ds.variables().len() as u32);
+    for var in ds.variables() {
+        put_string(&mut buf, &var.id);
+        buf.put_u32_le(var.axes.len() as u32);
+        for ax in &var.axes {
+            put_axis(&mut buf, ax);
+        }
+        put_attrs(&mut buf, &var.attributes);
+        buf.put_u32_le(var.array.rank() as u32);
+        for &d in var.array.shape() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in var.array.data() {
+            buf.put_f32_le(v);
+        }
+        put_mask(&mut buf, var.array.mask());
+    }
+    buf.freeze()
+}
+
+/// Deserializes a dataset from bytes.
+pub fn from_bytes(mut buf: &[u8]) -> Result<Dataset> {
+    let magic = take_bytes(&mut buf, 4)?;
+    if magic != MAGIC {
+        return Err(CdmsError::Format("bad magic (not an .ncr file)".into()));
+    }
+    let version = get_u32(&mut buf)?;
+    if version != VERSION {
+        return Err(CdmsError::Format(format!("unsupported version {version}")));
+    }
+    let id = get_string(&mut buf)?;
+    let mut ds = Dataset::new(&id);
+    ds.attributes = get_attrs(&mut buf)?;
+    let nvars = get_u32(&mut buf)? as usize;
+    if nvars > 1_000_000 {
+        return Err(CdmsError::Format(format!("implausible variable count {nvars}")));
+    }
+    for _ in 0..nvars {
+        let vid = get_string(&mut buf)?;
+        let naxes = get_u32(&mut buf)? as usize;
+        if naxes > 64 {
+            return Err(CdmsError::Format(format!("implausible rank {naxes}")));
+        }
+        let mut axes = Vec::with_capacity(naxes);
+        for _ in 0..naxes {
+            axes.push(get_axis(&mut buf)?);
+        }
+        let attributes = get_attrs(&mut buf)?;
+        let rank = get_u32(&mut buf)? as usize;
+        if rank != naxes {
+            return Err(CdmsError::Format(format!(
+                "variable '{vid}': rank {rank} != axis count {naxes}"
+            )));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(get_u64(&mut buf)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        if n > buf.len() / 4 + 8 {
+            return Err(CdmsError::Format(format!(
+                "variable '{vid}': declared {n} elements exceeds remaining bytes"
+            )));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(get_f32(&mut buf)?);
+        }
+        let mask = get_mask(&mut buf, n)?;
+        let array = MaskedArray::with_mask(data, mask, &shape)?;
+        let mut var = Variable::new(&vid, array, axes)?;
+        var.attributes = attributes;
+        ds.add_variable(var);
+    }
+    Ok(ds)
+}
+
+/// Writes a dataset to a file.
+pub fn write_dataset(ds: &Dataset, path: &Path) -> Result<()> {
+    fs::write(path, to_bytes(ds))?;
+    Ok(())
+}
+
+/// Reads a dataset from a file.
+pub fn read_dataset(path: &Path) -> Result<Dataset> {
+    let bytes = fs::read(path)?;
+    from_bytes(&bytes)
+}
+
+// ---- encoding helpers ----
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_attrs(buf: &mut BytesMut, attrs: &Attributes) {
+    buf.put_u32_le(attrs.len() as u32);
+    for (k, v) in attrs {
+        put_string(buf, k);
+        match v {
+            AttValue::Text(s) => {
+                buf.put_u8(0);
+                put_string(buf, s);
+            }
+            AttValue::Float(f) => {
+                buf.put_u8(1);
+                buf.put_f64_le(*f);
+            }
+            AttValue::Int(i) => {
+                buf.put_u8(2);
+                buf.put_i64_le(*i);
+            }
+            AttValue::FloatVec(v) => {
+                buf.put_u8(3);
+                buf.put_u32_le(v.len() as u32);
+                for &f in v {
+                    buf.put_f64_le(f);
+                }
+            }
+        }
+    }
+}
+
+fn put_axis(buf: &mut BytesMut, ax: &Axis) {
+    put_string(buf, &ax.id);
+    put_string(buf, &ax.units);
+    buf.put_u8(match ax.kind {
+        AxisKind::Latitude => 0,
+        AxisKind::Longitude => 1,
+        AxisKind::Level => 2,
+        AxisKind::Time => 3,
+        AxisKind::Generic => 4,
+    });
+    buf.put_u8(match ax.calendar {
+        Calendar::Gregorian => 0,
+        Calendar::NoLeap365 => 1,
+        Calendar::AllLeap366 => 2,
+        Calendar::Day360 => 3,
+    });
+    buf.put_u64_le(ax.values.len() as u64);
+    for &v in &ax.values {
+        buf.put_f64_le(v);
+    }
+    match &ax.bounds {
+        Some(b) => {
+            buf.put_u8(1);
+            for (lo, hi) in b {
+                buf.put_f64_le(*lo);
+                buf.put_f64_le(*hi);
+            }
+        }
+        None => buf.put_u8(0),
+    }
+    put_attrs(buf, &ax.attributes);
+}
+
+fn put_mask(buf: &mut BytesMut, mask: &[bool]) {
+    let nbytes = mask.len().div_ceil(8);
+    let mut packed = vec![0u8; nbytes];
+    for (i, &m) in mask.iter().enumerate() {
+        if m {
+            packed[i / 8] |= 1 << (i % 8);
+        }
+    }
+    buf.put_slice(&packed);
+}
+
+// ---- decoding helpers ----
+
+fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(CdmsError::Format(format!("truncated: need {n} bytes, have {}", buf.len())));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    Ok(take_bytes(buf, 4)?.iter().rev().fold(0u32, |acc, &b| (acc << 8) | b as u32))
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    Ok(take_bytes(buf, 8)?.iter().rev().fold(0u64, |acc, &b| (acc << 8) | b as u64))
+}
+
+fn get_f32(buf: &mut &[u8]) -> Result<f32> {
+    let mut b = take_bytes(buf, 4)?;
+    Ok(b.get_f32_le())
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64> {
+    let mut b = take_bytes(buf, 8)?;
+    Ok(b.get_f64_le())
+}
+
+fn get_i64(buf: &mut &[u8]) -> Result<i64> {
+    let mut b = take_bytes(buf, 8)?;
+    Ok(b.get_i64_le())
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    Ok(take_bytes(buf, 1)?[0])
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String> {
+    let len = get_u32(buf)? as usize;
+    if len > 1 << 24 {
+        return Err(CdmsError::Format(format!("implausible string length {len}")));
+    }
+    let raw = take_bytes(buf, len)?;
+    String::from_utf8(raw.to_vec()).map_err(|e| CdmsError::Format(format!("bad utf8: {e}")))
+}
+
+fn get_attrs(buf: &mut &[u8]) -> Result<Attributes> {
+    let n = get_u32(buf)? as usize;
+    if n > 100_000 {
+        return Err(CdmsError::Format(format!("implausible attribute count {n}")));
+    }
+    let mut attrs = Attributes::new();
+    for _ in 0..n {
+        let key = get_string(buf)?;
+        let tag = get_u8(buf)?;
+        let value = match tag {
+            0 => AttValue::Text(get_string(buf)?),
+            1 => AttValue::Float(get_f64(buf)?),
+            2 => AttValue::Int(get_i64(buf)?),
+            3 => {
+                let len = get_u32(buf)? as usize;
+                if len > 1 << 24 {
+                    return Err(CdmsError::Format("implausible vector length".into()));
+                }
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(get_f64(buf)?);
+                }
+                AttValue::FloatVec(v)
+            }
+            t => return Err(CdmsError::Format(format!("unknown attribute tag {t}"))),
+        };
+        attrs.insert(key, value);
+    }
+    Ok(attrs)
+}
+
+fn get_axis(buf: &mut &[u8]) -> Result<Axis> {
+    let id = get_string(buf)?;
+    let units = get_string(buf)?;
+    let kind = match get_u8(buf)? {
+        0 => AxisKind::Latitude,
+        1 => AxisKind::Longitude,
+        2 => AxisKind::Level,
+        3 => AxisKind::Time,
+        4 => AxisKind::Generic,
+        t => return Err(CdmsError::Format(format!("unknown axis kind {t}"))),
+    };
+    let calendar = match get_u8(buf)? {
+        0 => Calendar::Gregorian,
+        1 => Calendar::NoLeap365,
+        2 => Calendar::AllLeap366,
+        3 => Calendar::Day360,
+        t => return Err(CdmsError::Format(format!("unknown calendar {t}"))),
+    };
+    let n = get_u64(buf)? as usize;
+    if n > 1 << 30 {
+        return Err(CdmsError::Format(format!("implausible axis length {n}")));
+    }
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(get_f64(buf)?);
+    }
+    let bounds = if get_u8(buf)? == 1 {
+        let mut b = Vec::with_capacity(n);
+        for _ in 0..n {
+            b.push((get_f64(buf)?, get_f64(buf)?));
+        }
+        Some(b)
+    } else {
+        None
+    };
+    let attributes = get_attrs(buf)?;
+    let mut ax = Axis::new(&id, values, &units, kind)?;
+    ax.calendar = calendar;
+    ax.bounds = bounds;
+    ax.attributes = attributes;
+    Ok(ax)
+}
+
+fn get_mask(buf: &mut &[u8], n: usize) -> Result<Vec<bool>> {
+    let nbytes = n.div_ceil(8);
+    let packed = take_bytes(buf, nbytes)?;
+    Ok((0..n).map(|i| packed[i / 8] & (1 << (i % 8)) != 0).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attrs;
+
+    fn sample_dataset() -> Dataset {
+        let time =
+            Axis::time(vec![0.0, 30.0], "days since 2000-01-01", Calendar::NoLeap365).unwrap();
+        let mut lat = Axis::latitude(vec![-45.0, 0.0, 45.0]).unwrap();
+        lat.gen_bounds();
+        let lon = Axis::longitude(vec![0.0, 120.0, 240.0]).unwrap();
+        let mut arr = MaskedArray::from_fn(&[2, 3, 3], |ix| ix.iter().sum::<usize>() as f32);
+        arr.mask_at(&[0, 1, 2]).unwrap();
+        let mut var = Variable::new("ta", arr, vec![time, lat, lon]).unwrap();
+        var.attributes = attrs([("units", "K"), ("long_name", "air temperature")]);
+        var.attributes.insert("missing_value".into(), AttValue::Float(1e20));
+        var.attributes.insert("valid_range".into(), AttValue::FloatVec(vec![150.0, 350.0]));
+        var.attributes.insert("realization".into(), AttValue::Int(1));
+        let mut ds = Dataset::new("cmip_sample").with_attr("institution", "NASA NCCS");
+        ds.add_variable(var);
+        ds
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let ds = sample_dataset();
+        let bytes = to_bytes(&ds);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.id, ds.id);
+        assert_eq!(back.attributes, ds.attributes);
+        let v0 = ds.variable("ta").unwrap();
+        let v1 = back.variable("ta").unwrap();
+        assert_eq!(v1.array, v0.array);
+        assert_eq!(v1.axes, v0.axes);
+        assert_eq!(v1.attributes, v0.attributes);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("cdms_format_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.ncr");
+        let ds = sample_dataset();
+        ds.save(&path).unwrap();
+        let back = Dataset::open(&path).unwrap();
+        assert_eq!(back.variable("ta").unwrap().array, ds.variable("ta").unwrap().array);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = from_bytes(b"NOPE....").unwrap_err();
+        assert!(matches!(err, CdmsError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let ds = sample_dataset();
+        let bytes = to_bytes(&ds);
+        for cut in [3, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, CdmsError::Format(_) | CdmsError::Invalid(_)), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let ds = sample_dataset();
+        let mut bytes = to_bytes(&ds).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(CdmsError::Format(_))));
+    }
+
+    #[test]
+    fn corrupt_tag_rejected() {
+        let ds = sample_dataset();
+        let bytes = to_bytes(&ds).to_vec();
+        // Flip every byte one at a time over the header region; must never panic.
+        for i in 8..bytes.len().min(120) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xFF;
+            let _ = from_bytes(&corrupt); // any Result is fine, panics are not
+        }
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds = Dataset::new("empty");
+        let back = from_bytes(&to_bytes(&ds)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.id, "empty");
+    }
+
+    #[test]
+    fn mask_bit_packing_roundtrips_odd_lengths() {
+        for n in [1usize, 7, 8, 9, 17] {
+            let mut arr = MaskedArray::zeros(&[n]);
+            for i in (0..n).step_by(3) {
+                arr.mask_at(&[i]).unwrap();
+            }
+            let ax = Axis::new("x", (0..n).map(|i| i as f64).collect(), "m", AxisKind::Generic)
+                .unwrap();
+            let mut ds = Dataset::new("m");
+            ds.add_variable(Variable::new("v", arr.clone(), vec![ax]).unwrap());
+            let back = from_bytes(&to_bytes(&ds)).unwrap();
+            assert_eq!(back.variable("v").unwrap().array.mask(), arr.mask(), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+// Index-form loops over several parallel arrays are clearer here than
+// iterator chains; silence the style lint crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+//! # cdms — Climate Data Management System substrate
+//!
+//! A from-scratch Rust reproduction of the data-management layer that DV3D and
+//! UV-CDAT sit on in the SC 2012 paper: CDMS (Climate Data Management System)
+//! plus the NetCDF-style self-describing file model it fronts.
+//!
+//! The crate provides:
+//!
+//! * [`MaskedArray`] — an n-dimensional array of `f32` with an element-wise
+//!   validity mask, strided views, broadcasting arithmetic and axis reductions
+//!   (the equivalent of CDMS "transient variables" backed by numpy masked
+//!   arrays).
+//! * [`Axis`] — CF-convention coordinate axes (latitude, longitude, vertical
+//!   level, time) carrying values, cell bounds, units and metadata.
+//! * [`calendar`] — model calendars (Gregorian, 365-day, 360-day, …) and
+//!   "units since epoch" relative-time encoding/decoding.
+//! * [`grid`] — rectilinear latitude–longitude grids, uniform and gaussian,
+//!   with cell areas and area weights.
+//! * [`Variable`] — a named masked array bound to a domain of axes plus
+//!   attributes; supports coordinate-range subsetting like CDMS `var(...)`
+//!   calls.
+//! * [`Dataset`] + [`mod@format`] — a self-describing binary container (`.ncr`)
+//!   with full write/read round-tripping, standing in for NetCDF.
+//! * [`catalog`] — a directory-backed stand-in for Earth System Grid (ESG)
+//!   federated data access: search by attribute, open remote variables.
+//! * [`synth`] — deterministic synthetic climate fields (temperature,
+//!   geopotential, humidity, divergence-free winds, propagating equatorial
+//!   waves, land/sea mask) substituting for NASA model output.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cdms::synth::SynthesisSpec;
+//!
+//! // Build a small synthetic atmosphere: 4 timesteps, 5 levels, 16x32 grid.
+//! let ds = SynthesisSpec::new(4, 5, 16, 32).seed(7).build();
+//! let ta = ds.variable("ta").unwrap();
+//! assert_eq!(ta.shape(), &[4, 5, 16, 32]);
+//! // Subset the tropics at the first timestep.
+//! let tropics = ta.subset_lat_lon((-20.0, 20.0), (0.0, 360.0)).unwrap();
+//! assert!(tropics.array.valid_count() > 0);
+//! ```
+
+pub mod array;
+pub mod attr;
+pub mod axis;
+pub mod calendar;
+pub mod catalog;
+pub mod dataset;
+pub mod error;
+pub mod format;
+pub mod grid;
+pub mod synth;
+pub mod variable;
+
+pub use array::MaskedArray;
+pub use attr::AttValue;
+pub use axis::{Axis, AxisKind};
+pub use calendar::{Calendar, CompTime, RelTime, TimeUnits};
+pub use dataset::Dataset;
+pub use error::{CdmsError, Result};
+pub use grid::RectGrid;
+pub use variable::Variable;

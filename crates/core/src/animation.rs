@@ -1,0 +1,180 @@
+//! 4D animation: stepping a plot through timesteps.
+//!
+//! "Animating over one of the data dimensions (typically time) provides a
+//! very effective method for viewing and browsing 4D data" (§III.D). The
+//! controller pre-translates each timestep of a variable into image data
+//! and swaps frames into the plot, preserving interactive state.
+
+use crate::plots::Plot;
+use crate::translation::{translate_scalar, TranslationOptions};
+use crate::{Dv3dError, Result};
+use cdms::axis::AxisKind;
+use cdms::Variable;
+use rvtk::ImageData;
+
+/// Steps a plot through a time series.
+#[derive(Debug, Clone)]
+pub struct AnimationController {
+    frames: Vec<ImageData>,
+    current: usize,
+    /// Wrap around at the ends.
+    pub looping: bool,
+}
+
+impl AnimationController {
+    /// Builds a controller from a `(time, [lev,] lat, lon)` variable by
+    /// translating every time slab.
+    pub fn from_variable(var: &Variable, opts: &TranslationOptions) -> Result<AnimationController> {
+        if var.axis_index(AxisKind::Time).is_none() {
+            return Err(Dv3dError::Config(format!("'{}' has no time axis", var.id)));
+        }
+        let nt = var.n_times();
+        let mut frames = Vec::with_capacity(nt);
+        for t in 0..nt {
+            let slab = var.time_slab(t)?;
+            frames.push(translate_scalar(&slab, opts)?);
+        }
+        Ok(AnimationController { frames, current: 0, looping: true })
+    }
+
+    /// Builds a controller from pre-made frames.
+    pub fn from_frames(frames: Vec<ImageData>) -> Result<AnimationController> {
+        if frames.is_empty() {
+            return Err(Dv3dError::Config("animation needs at least one frame".into()));
+        }
+        Ok(AnimationController { frames, current: 0, looping: true })
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Never true (construction requires ≥ 1 frame).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Current frame index.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Steps by `delta` (negative allowed), honouring `looping`, and
+    /// installs the frame into the plot. Returns the new index.
+    pub fn step(&mut self, plot: &mut dyn Plot, delta: i64) -> Result<usize> {
+        let n = self.frames.len() as i64;
+        let raw = self.current as i64 + delta;
+        self.current = if self.looping {
+            raw.rem_euclid(n) as usize
+        } else {
+            raw.clamp(0, n - 1) as usize
+        };
+        plot.set_image(self.frames[self.current].clone())?;
+        Ok(self.current)
+    }
+
+    /// Jumps to an absolute frame.
+    pub fn seek(&mut self, plot: &mut dyn Plot, index: usize) -> Result<usize> {
+        if index >= self.frames.len() {
+            return Err(Dv3dError::Config(format!(
+                "frame {index} out of range ({} frames)",
+                self.frames.len()
+            )));
+        }
+        self.current = index;
+        plot.set_image(self.frames[index].clone())?;
+        Ok(index)
+    }
+
+    /// Renders a full loop over all frames at the given size, returning the
+    /// frames — the offline-animation path (and the fps benchmark body).
+    pub fn render_loop(
+        &mut self,
+        cell: &mut crate::cell::Dv3dCell,
+        width: usize,
+        height: usize,
+    ) -> Result<Vec<rvtk::render::Framebuffer>> {
+        let mut out = Vec::with_capacity(self.frames.len());
+        for i in 0..self.frames.len() {
+            self.seek(cell.plot_mut(), i)?;
+            out.push(cell.render(width, height)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Dv3dCell;
+    use crate::plots::PlotSpec;
+    use cdms::synth::SynthesisSpec;
+
+    fn controller_and_cell() -> (AnimationController, Dv3dCell) {
+        let ds = SynthesisSpec::new(4, 1, 8, 16).build();
+        let pr = ds.variable("pr").unwrap();
+        let opts = TranslationOptions::default();
+        let anim = AnimationController::from_variable(pr, &opts).unwrap();
+        let first = anim.frames[0].clone();
+        (anim, Dv3dCell::new("pr", PlotSpec::slicer(first)))
+    }
+
+    #[test]
+    fn builds_one_frame_per_timestep() {
+        let (anim, _) = controller_and_cell();
+        assert_eq!(anim.len(), 4);
+        assert_eq!(anim.current(), 0);
+    }
+
+    #[test]
+    fn requires_time_axis_and_frames() {
+        let ds = SynthesisSpec::new(2, 1, 8, 16).build();
+        let lf = ds.variable("sftlf").unwrap();
+        assert!(AnimationController::from_variable(lf, &TranslationOptions::default()).is_err());
+        assert!(AnimationController::from_frames(vec![]).is_err());
+    }
+
+    #[test]
+    fn stepping_updates_plot_data() {
+        let (mut anim, mut cell) = controller_and_cell();
+        let d0 = cell.plot().image().scalars.clone();
+        anim.step(cell.plot_mut(), 1).unwrap();
+        assert_eq!(anim.current(), 1);
+        assert_ne!(cell.plot().image().scalars, d0);
+    }
+
+    #[test]
+    fn looping_wraps_both_directions() {
+        let (mut anim, mut cell) = controller_and_cell();
+        anim.step(cell.plot_mut(), -1).unwrap();
+        assert_eq!(anim.current(), 3);
+        anim.step(cell.plot_mut(), 2).unwrap();
+        assert_eq!(anim.current(), 1);
+        anim.looping = false;
+        anim.step(cell.plot_mut(), 100).unwrap();
+        assert_eq!(anim.current(), 3);
+        anim.step(cell.plot_mut(), -100).unwrap();
+        assert_eq!(anim.current(), 0);
+    }
+
+    #[test]
+    fn seek_validates() {
+        let (mut anim, mut cell) = controller_and_cell();
+        assert_eq!(anim.seek(cell.plot_mut(), 2).unwrap(), 2);
+        assert!(anim.seek(cell.plot_mut(), 4).is_err());
+    }
+
+    #[test]
+    fn render_loop_produces_distinct_frames() {
+        let (mut anim, mut cell) = controller_and_cell();
+        cell.show_colorbar = false;
+        cell.show_labels = false;
+        let frames = anim.render_loop(&mut cell, 48, 48).unwrap();
+        assert_eq!(frames.len(), 4);
+        // consecutive frames differ somewhere (the wave moves)
+        let a: Vec<[u8; 4]> = frames[0].colors().iter().map(|c| c.to_u8()).collect();
+        let b: Vec<[u8; 4]> = frames[2].colors().iter().map(|c| c.to_u8()).collect();
+        assert_ne!(a, b);
+    }
+}

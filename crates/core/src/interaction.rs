@@ -1,0 +1,255 @@
+//! Interactive configuration operations and the key/mouse bindings that
+//! produce them.
+//!
+//! Every spreadsheet-cell interaction — dragging a slice plane, leveling a
+//! transfer function, rotating the camera — is a serializable [`ConfigOp`].
+//! That single representation serves three masters: live configuration of a
+//! plot, propagation to the other active cells (and to hyperwall clients),
+//! and recording into the provenance trail.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3D axis selector (serializable mirror of `rvtk`'s `SliceAxis`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Axis3 {
+    X,
+    Y,
+    Z,
+}
+
+impl From<Axis3> for rvtk::filters::SliceAxis {
+    fn from(a: Axis3) -> Self {
+        match a {
+            Axis3::X => rvtk::filters::SliceAxis::X,
+            Axis3::Y => rvtk::filters::SliceAxis::Y,
+            Axis3::Z => rvtk::filters::SliceAxis::Z,
+        }
+    }
+}
+
+/// Rendering mode of the vector slicer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VectorMode {
+    Glyphs,
+    Streamlines,
+}
+
+/// Camera navigation operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CameraOp {
+    Azimuth(f64),
+    Elevation(f64),
+    Zoom(f64),
+    Pan(f64, f64),
+    Roll(f64),
+    Reset,
+}
+
+/// One interactive configuration operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConfigOp {
+    /// Drag a slice plane by whole grid steps.
+    MoveSlice { axis: Axis3, delta: i64 },
+    /// Jump a slice plane to an index.
+    SetSlice { axis: Axis3, index: usize },
+    /// Show/hide one slice plane.
+    TogglePlane { axis: Axis3 },
+    /// Transfer-function leveling drag (normalized cell coordinates).
+    Leveling { dx: f64, dy: f64 },
+    /// Cycle to the next colormap.
+    NextColormap,
+    /// Select a colormap by name.
+    SetColormap(String),
+    /// Invert the colormap.
+    ToggleInvert,
+    /// Set the isosurface level.
+    SetIsovalue(f32),
+    /// Nudge the isovalue by a fraction of the data range.
+    AdjustIsovalue { delta_frac: f32 },
+    /// Switch the vector slicer between glyphs and streamlines.
+    SetVectorMode(VectorMode),
+    /// Navigate the camera.
+    Camera(CameraOp),
+    /// Step the animation (±n timesteps).
+    StepTime(i64),
+}
+
+/// Raw input events, as a GUI toolkit would deliver them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A key press with optional shift.
+    Key { ch: char, shift: bool },
+    /// A mouse drag in normalized cell coordinates, by button.
+    Drag { button: MouseButton, dx: f64, dy: f64 },
+    /// Scroll wheel.
+    Scroll { delta: f64 },
+}
+
+/// Mouse buttons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MouseButton {
+    Left,
+    Middle,
+    Right,
+}
+
+/// The editor mode a cell is in: determines what a left-drag means
+/// (the paper's "pressing a button in a configuration panel" step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DragMode {
+    /// Left-drag rotates the camera.
+    #[default]
+    Navigate,
+    /// Left-drag levels the transfer function.
+    Leveling,
+    /// Left-drag moves the active slice plane.
+    SliceX,
+    SliceY,
+    SliceZ,
+}
+
+/// Translates a raw event into configuration operations under the given
+/// drag mode — the DV3D key/mouse binding table (§III.F).
+pub fn map_event(event: Event, mode: DragMode) -> Vec<ConfigOp> {
+    match event {
+        Event::Key { ch, shift } => match ch {
+            'x' => vec![ConfigOp::MoveSlice {
+                axis: Axis3::X,
+                delta: if shift { -1 } else { 1 },
+            }],
+            'y' => vec![ConfigOp::MoveSlice {
+                axis: Axis3::Y,
+                delta: if shift { -1 } else { 1 },
+            }],
+            'z' => vec![ConfigOp::MoveSlice {
+                axis: Axis3::Z,
+                delta: if shift { -1 } else { 1 },
+            }],
+            'X' => vec![ConfigOp::TogglePlane { axis: Axis3::X }],
+            'Y' => vec![ConfigOp::TogglePlane { axis: Axis3::Y }],
+            'Z' => vec![ConfigOp::TogglePlane { axis: Axis3::Z }],
+            'c' => vec![ConfigOp::NextColormap],
+            'i' => vec![ConfigOp::ToggleInvert],
+            '+' | '=' => vec![ConfigOp::AdjustIsovalue { delta_frac: 0.05 }],
+            '-' => vec![ConfigOp::AdjustIsovalue { delta_frac: -0.05 }],
+            'g' => vec![ConfigOp::SetVectorMode(VectorMode::Glyphs)],
+            's' => vec![ConfigOp::SetVectorMode(VectorMode::Streamlines)],
+            'r' => vec![ConfigOp::Camera(CameraOp::Reset)],
+            '>' | '.' => vec![ConfigOp::StepTime(1)],
+            '<' | ',' => vec![ConfigOp::StepTime(-1)],
+            _ => vec![],
+        },
+        Event::Drag { button, dx, dy } => match (button, mode) {
+            (MouseButton::Left, DragMode::Navigate) => vec![
+                ConfigOp::Camera(CameraOp::Azimuth(-dx * 180.0)),
+                ConfigOp::Camera(CameraOp::Elevation(dy * 90.0)),
+            ],
+            (MouseButton::Left, DragMode::Leveling) => {
+                vec![ConfigOp::Leveling { dx, dy }]
+            }
+            (MouseButton::Left, DragMode::SliceX) => {
+                vec![ConfigOp::MoveSlice { axis: Axis3::X, delta: (dx * 10.0) as i64 }]
+            }
+            (MouseButton::Left, DragMode::SliceY) => {
+                vec![ConfigOp::MoveSlice { axis: Axis3::Y, delta: (dy * 10.0) as i64 }]
+            }
+            (MouseButton::Left, DragMode::SliceZ) => {
+                vec![ConfigOp::MoveSlice { axis: Axis3::Z, delta: (dy * 10.0) as i64 }]
+            }
+            (MouseButton::Middle, _) => {
+                vec![ConfigOp::Camera(CameraOp::Pan(-dx * 50.0, dy * 50.0))]
+            }
+            (MouseButton::Right, _) => {
+                vec![ConfigOp::Camera(CameraOp::Zoom((2.0f64).powf(-dy)))]
+            }
+        },
+        Event::Scroll { delta } => {
+            vec![ConfigOp::Camera(CameraOp::Zoom((2.0f64).powf(delta / 5.0)))]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_map_to_slice_ops() {
+        let ops = map_event(Event::Key { ch: 'x', shift: false }, DragMode::Navigate);
+        assert_eq!(ops, vec![ConfigOp::MoveSlice { axis: Axis3::X, delta: 1 }]);
+        let ops = map_event(Event::Key { ch: 'z', shift: true }, DragMode::Navigate);
+        assert_eq!(ops, vec![ConfigOp::MoveSlice { axis: Axis3::Z, delta: -1 }]);
+        let ops = map_event(Event::Key { ch: 'Z', shift: true }, DragMode::Navigate);
+        assert_eq!(ops, vec![ConfigOp::TogglePlane { axis: Axis3::Z }]);
+    }
+
+    #[test]
+    fn unknown_key_maps_to_nothing() {
+        assert!(map_event(Event::Key { ch: 'q', shift: false }, DragMode::Navigate).is_empty());
+    }
+
+    #[test]
+    fn drag_semantics_depend_on_mode() {
+        let nav = map_event(
+            Event::Drag { button: MouseButton::Left, dx: 0.1, dy: 0.0 },
+            DragMode::Navigate,
+        );
+        assert!(matches!(nav[0], ConfigOp::Camera(CameraOp::Azimuth(_))));
+        let lev = map_event(
+            Event::Drag { button: MouseButton::Left, dx: 0.1, dy: 0.2 },
+            DragMode::Leveling,
+        );
+        assert_eq!(lev, vec![ConfigOp::Leveling { dx: 0.1, dy: 0.2 }]);
+        let slice = map_event(
+            Event::Drag { button: MouseButton::Left, dx: 0.35, dy: 0.0 },
+            DragMode::SliceX,
+        );
+        assert_eq!(slice, vec![ConfigOp::MoveSlice { axis: Axis3::X, delta: 3 }]);
+    }
+
+    #[test]
+    fn middle_and_right_buttons_always_navigate() {
+        for mode in [DragMode::Navigate, DragMode::Leveling, DragMode::SliceZ] {
+            let pan = map_event(
+                Event::Drag { button: MouseButton::Middle, dx: 0.1, dy: 0.1 },
+                mode,
+            );
+            assert!(matches!(pan[0], ConfigOp::Camera(CameraOp::Pan(_, _))));
+            let zoom = map_event(
+                Event::Drag { button: MouseButton::Right, dx: 0.0, dy: -0.5 },
+                mode,
+            );
+            assert!(matches!(zoom[0], ConfigOp::Camera(CameraOp::Zoom(_))));
+        }
+    }
+
+    #[test]
+    fn time_and_colormap_keys() {
+        assert_eq!(
+            map_event(Event::Key { ch: '>', shift: true }, DragMode::Navigate),
+            vec![ConfigOp::StepTime(1)]
+        );
+        assert_eq!(
+            map_event(Event::Key { ch: 'c', shift: false }, DragMode::Navigate),
+            vec![ConfigOp::NextColormap]
+        );
+    }
+
+    #[test]
+    fn ops_serialize_for_the_wire() {
+        let op = ConfigOp::MoveSlice { axis: Axis3::Y, delta: -2 };
+        let s = serde_json::to_string(&op).unwrap();
+        let back: ConfigOp = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, op);
+        let op = ConfigOp::Camera(CameraOp::Pan(1.0, -2.0));
+        let s = serde_json::to_string(&op).unwrap();
+        assert_eq!(serde_json::from_str::<ConfigOp>(&s).unwrap(), op);
+    }
+
+    #[test]
+    fn axis3_converts_to_slice_axis() {
+        use rvtk::filters::SliceAxis;
+        assert_eq!(SliceAxis::from(Axis3::X), SliceAxis::X);
+        assert_eq!(SliceAxis::from(Axis3::Z), SliceAxis::Z);
+    }
+}

@@ -1,0 +1,117 @@
+//! # dv3d — exploratory 3D climate visualization (the paper's contribution)
+//!
+//! DV3D is "a package of high-level modules … providing user-friendly
+//! workflow interfaces for advanced visualization and analysis of climate
+//! data at a level appropriate for scientists" (Maxwell, SC 2012). This
+//! crate is that package, built on the substrates in this workspace:
+//! `cdms` (data), `cdat` (analysis), `rvtk` (rendering) and `vistrails`
+//! (workflow + provenance).
+//!
+//! The pieces map to the paper section by section:
+//!
+//! * [`translation`] — converts CDMS variables into renderable image data
+//!   (the "DV3D translation module", §III.G).
+//! * [`plots`] — the plot types of §III.C: [`plots::SlicerPlot`],
+//!   [`plots::VolumePlot`], [`plots::IsosurfacePlot`],
+//!   [`plots::HovmollerPlot`] (slicer + volume over time-as-height) and
+//!   [`plots::VectorSlicerPlot`].
+//! * [`transfer`] — the interactive *leveling* editor that reshapes color
+//!   and opacity transfer functions with mouse drags (§III.F).
+//! * [`cell`] — the DV3D spreadsheet cell: plot + base map + labels +
+//!   colorbar + pick display + navigation (§III.G).
+//! * [`spreadsheet`] — multi-cell coordination with configuration
+//!   propagation to active cells (§III.E).
+//! * [`animation`] — 4D browsing by animating over time (§III.D).
+//! * [`modules`] — registration of CDMS/CDAT/DV3D as VisTrails packages,
+//!   plus the prebuilt-workflow plot palette (§III.A, §III.F).
+//! * [`calculator`] — the command-line/calculator interface for deriving
+//!   variables with CDAT operations (§III.E).
+//! * [`gui`] — the headless model of the UV-CDAT GUI's panes: project
+//!   view, variable view, plot palette (§III.E).
+//! * [`interaction`] — key/mouse events → configuration operations,
+//!   recorded as provenance (§III.F).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cdms::synth::SynthesisSpec;
+//! use dv3d::prelude::*;
+//!
+//! // Synthesize a small atmosphere and show a temperature slicer.
+//! let ds = SynthesisSpec::new(2, 4, 16, 32).build();
+//! let ta = ds.variable("ta").unwrap().time_slab(0).unwrap();
+//! let image = translate_scalar(&ta, &TranslationOptions::default()).unwrap();
+//! let mut cell = Dv3dCell::new("quick", PlotSpec::slicer(image));
+//! let frame = cell.render(160, 120).unwrap();
+//! assert!(frame.covered_pixels(rvtk::Color::BLACK) > 100);
+//! ```
+
+pub mod animation;
+pub mod calculator;
+pub mod cell;
+pub mod gui;
+pub mod interaction;
+pub mod modules;
+pub mod plots;
+pub mod spreadsheet;
+pub mod transfer;
+pub mod translation;
+
+/// Errors raised by DV3D operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dv3dError {
+    /// Underlying data-management failure.
+    Cdms(String),
+    /// Underlying visualization failure.
+    Vtk(String),
+    /// Underlying workflow failure.
+    Workflow(String),
+    /// Bad plot configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for Dv3dError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dv3dError::Cdms(m) => write!(f, "cdms: {m}"),
+            Dv3dError::Vtk(m) => write!(f, "vtk: {m}"),
+            Dv3dError::Workflow(m) => write!(f, "workflow: {m}"),
+            Dv3dError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Dv3dError {}
+
+impl From<cdms::CdmsError> for Dv3dError {
+    fn from(e: cdms::CdmsError) -> Self {
+        Dv3dError::Cdms(e.to_string())
+    }
+}
+
+impl From<rvtk::VtkError> for Dv3dError {
+    fn from(e: rvtk::VtkError) -> Self {
+        Dv3dError::Vtk(e.to_string())
+    }
+}
+
+impl From<vistrails::WfError> for Dv3dError {
+    fn from(e: vistrails::WfError) -> Self {
+        Dv3dError::Workflow(e.to_string())
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, Dv3dError>;
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::animation::AnimationController;
+    pub use crate::cell::Dv3dCell;
+    pub use crate::interaction::{CameraOp, ConfigOp};
+    pub use crate::plots::{Plot, PlotSpec};
+    pub use crate::spreadsheet::Dv3dSpreadsheet;
+    pub use crate::transfer::TransferEditor;
+    pub use crate::translation::{translate_scalar, translate_vector, TranslationOptions};
+    pub use crate::{Dv3dError, Result};
+}

@@ -1,0 +1,595 @@
+//! VisTrails package registration: CDMS, CDAT and DV3D as workflow
+//! modules, plus the prebuilt plot workflows the palette exposes.
+//!
+//! This is the "tightly coupled integration" of Fig 1: each library's
+//! functionality becomes typed modules in the [`ModuleRegistry`], so users
+//! can compose them in the workflow builder, execute them with caching, and
+//! have every edit recorded as provenance. (The loosely coupled path —
+//! external tools like R or MatLab — uses
+//! `ModuleRegistry::register_external_tool`; see the integration tests.)
+
+use crate::cell::Dv3dCell;
+use crate::interaction::VectorMode;
+use crate::plots::{HovmollerMode, PlotSpec};
+use crate::translation::{translate_scalar, translate_vector, TranslationOptions};
+use cdms::synth::SynthesisSpec;
+use cdms::{Dataset, Variable};
+use rvtk::render::Framebuffer;
+use rvtk::ImageData;
+use vistrails::module::{single, ModuleRegistry, PortType};
+use vistrails::pipeline::ModuleId;
+use vistrails::provenance::{Action, VersionId, Vistrail};
+use vistrails::value::{ParamValue, Params, WfData};
+use vistrails::WfError;
+
+/// Opaque type tags used on ports.
+pub mod tags {
+    pub const DATASET: &str = "cdms.Dataset";
+    pub const VARIABLE: &str = "cdms.Variable";
+    pub const IMAGE: &str = "rvtk.ImageData";
+    pub const PLOT: &str = "dv3d.PlotSpec";
+    pub const FRAME: &str = "rvtk.Frame";
+}
+
+fn exec_err(msg: impl std::fmt::Display) -> WfError {
+    WfError::Execution { module: 0, message: msg.to_string() }
+}
+
+fn need_var(inputs: &std::collections::BTreeMap<String, WfData>, port: &str) -> Result<Variable, WfError> {
+    inputs
+        .get(port)
+        .and_then(|d| d.as_opaque::<Variable>())
+        .map(|v| (*v).clone())
+        .ok_or_else(|| exec_err(format!("missing '{port}' variable input")))
+}
+
+fn need_image(
+    inputs: &std::collections::BTreeMap<String, WfData>,
+    port: &str,
+) -> Result<ImageData, WfError> {
+    inputs
+        .get(port)
+        .and_then(|d| d.as_opaque::<ImageData>())
+        .map(|v| (*v).clone())
+        .ok_or_else(|| exec_err(format!("missing '{port}' image input")))
+}
+
+fn param_i64(params: &Params, name: &str, default: i64) -> i64 {
+    params.get(name).and_then(ParamValue::as_i64).unwrap_or(default)
+}
+
+fn param_f64(params: &Params, name: &str, default: f64) -> f64 {
+    params.get(name).and_then(ParamValue::as_f64).unwrap_or(default)
+}
+
+/// Registers the `cdms`, `cdat` and `dv3d` packages into a registry.
+pub fn register_all(reg: &mut ModuleRegistry) {
+    register_cdms(reg);
+    register_cdat(reg);
+    register_dv3d(reg);
+}
+
+fn register_cdms(reg: &mut ModuleRegistry) {
+    // Synthetic-data source (our ESG/model-output stand-in).
+    reg.register_fn(
+        "cdms",
+        "SynthSource",
+        &[],
+        &[("dataset", PortType::Opaque(tags::DATASET.into()))],
+        |_inputs, params| {
+            let spec = SynthesisSpec::new(
+                param_i64(params, "nt", 4) as usize,
+                param_i64(params, "nlev", 4) as usize,
+                param_i64(params, "nlat", 16) as usize,
+                param_i64(params, "nlon", 32) as usize,
+            )
+            .seed(param_i64(params, "seed", 42) as u64);
+            Ok(single("dataset", WfData::opaque(tags::DATASET, spec.build())))
+        },
+    );
+    // Open a .ncr file.
+    reg.register_fn(
+        "cdms",
+        "OpenFile",
+        &[],
+        &[("dataset", PortType::Opaque(tags::DATASET.into()))],
+        |_inputs, params| {
+            let path = params
+                .get("path")
+                .and_then(ParamValue::as_str)
+                .ok_or_else(|| exec_err("OpenFile needs a 'path' parameter"))?;
+            let ds = Dataset::open(path).map_err(exec_err)?;
+            Ok(single("dataset", WfData::opaque(tags::DATASET, ds)))
+        },
+    );
+    // Select one variable (optionally one timestep) from a dataset.
+    reg.register_fn(
+        "cdms",
+        "SelectVariable",
+        &[("dataset", PortType::Opaque(tags::DATASET.into()))],
+        &[("variable", PortType::Opaque(tags::VARIABLE.into()))],
+        |inputs, params| {
+            let ds = inputs
+                .get("dataset")
+                .and_then(|d| d.as_opaque::<Dataset>())
+                .ok_or_else(|| exec_err("missing 'dataset' input"))?;
+            let name = params
+                .get("name")
+                .and_then(ParamValue::as_str)
+                .ok_or_else(|| exec_err("SelectVariable needs a 'name' parameter"))?;
+            let mut var = ds.require(name).map_err(exec_err)?.clone();
+            let t = param_i64(params, "time_index", -1);
+            if t >= 0 {
+                var = var.time_slab(t as usize).map_err(exec_err)?;
+            }
+            Ok(single("variable", WfData::opaque(tags::VARIABLE, var)))
+        },
+    );
+}
+
+fn register_cdat(reg: &mut ModuleRegistry) {
+    let var_in = ("variable", PortType::Opaque(tags::VARIABLE.into()));
+    let var_out = ("variable", PortType::Opaque(tags::VARIABLE.into()));
+    reg.register_fn("cdat", "Anomaly", std::slice::from_ref(&var_in), std::slice::from_ref(&var_out), |inputs, _| {
+        let v = need_var(inputs, "variable")?;
+        let out = cdat::climatology::anomaly(&v).map_err(exec_err)?;
+        Ok(single("variable", WfData::opaque(tags::VARIABLE, out)))
+    });
+    reg.register_fn("cdat", "TimeSlab", std::slice::from_ref(&var_in), std::slice::from_ref(&var_out), |inputs, params| {
+        let v = need_var(inputs, "variable")?;
+        let t = param_i64(params, "index", 0).max(0) as usize;
+        let out = v.time_slab(t).map_err(exec_err)?;
+        Ok(single("variable", WfData::opaque(tags::VARIABLE, out)))
+    });
+    reg.register_fn("cdat", "Regrid", std::slice::from_ref(&var_in), std::slice::from_ref(&var_out), |inputs, params| {
+        let v = need_var(inputs, "variable")?;
+        let grid = cdms::RectGrid::uniform(
+            param_i64(params, "nlat", 16) as usize,
+            param_i64(params, "nlon", 32) as usize,
+        )
+        .map_err(exec_err)?;
+        let out = cdat::regrid::bilinear(&v, &grid).map_err(exec_err)?;
+        Ok(single("variable", WfData::opaque(tags::VARIABLE, out)))
+    });
+    reg.register_fn(
+        "cdat",
+        "HovmollerVolume",
+        std::slice::from_ref(&var_in),
+        std::slice::from_ref(&var_out),
+        |inputs, _| {
+            let v = need_var(inputs, "variable")?;
+            let out = cdat::hovmoller::hovmoller_volume(&v).map_err(exec_err)?;
+            Ok(single("variable", WfData::opaque(tags::VARIABLE, out)))
+        },
+    );
+}
+
+fn register_dv3d(reg: &mut ModuleRegistry) {
+    let image_out = ("image", PortType::Opaque(tags::IMAGE.into()));
+    let image_in = ("image", PortType::Opaque(tags::IMAGE.into()));
+    let plot_out = ("plot", PortType::Opaque(tags::PLOT.into()));
+
+    reg.register_fn(
+        "dv3d",
+        "TranslateScalar",
+        &[("variable", PortType::Opaque(tags::VARIABLE.into()))],
+        std::slice::from_ref(&image_out),
+        |inputs, params| {
+            let v = need_var(inputs, "variable")?;
+            let opts = TranslationOptions {
+                vertical_scale: param_f64(params, "vertical_scale", 10.0),
+                time_as_vertical: None,
+            };
+            let img = translate_scalar(&v, &opts).map_err(exec_err)?;
+            Ok(single("image", WfData::opaque(tags::IMAGE, img)))
+        },
+    );
+    reg.register_fn(
+        "dv3d",
+        "TranslateVector",
+        &[
+            ("u", PortType::Opaque(tags::VARIABLE.into())),
+            ("v", PortType::Opaque(tags::VARIABLE.into())),
+        ],
+        std::slice::from_ref(&image_out),
+        |inputs, params| {
+            let u = need_var(inputs, "u")?;
+            let v = need_var(inputs, "v")?;
+            let opts = TranslationOptions {
+                vertical_scale: param_f64(params, "vertical_scale", 10.0),
+                time_as_vertical: None,
+            };
+            let img = translate_vector(&u, &v, &opts).map_err(exec_err)?;
+            Ok(single("image", WfData::opaque(tags::IMAGE, img)))
+        },
+    );
+    reg.register_fn(
+        "dv3d",
+        "SlicerPlot",
+        &[
+            image_in.clone(),
+            ("overlay", PortType::Opaque(tags::IMAGE.into())),
+        ],
+        std::slice::from_ref(&plot_out),
+        |inputs, _| {
+            let img = need_image(inputs, "image")?;
+            let overlay = inputs
+                .get("overlay")
+                .and_then(|d| d.as_opaque::<ImageData>())
+                .map(|o| (*o).clone());
+            let spec = match overlay {
+                Some(o) => PlotSpec::slicer_with_overlay(img, o),
+                None => PlotSpec::slicer(img),
+            };
+            Ok(single("plot", WfData::opaque(tags::PLOT, spec)))
+        },
+    );
+    reg.register_fn("dv3d", "VolumePlot", std::slice::from_ref(&image_in), std::slice::from_ref(&plot_out), |inputs, _| {
+        let img = need_image(inputs, "image")?;
+        Ok(single("plot", WfData::opaque(tags::PLOT, PlotSpec::volume(img))))
+    });
+    reg.register_fn(
+        "dv3d",
+        "IsosurfacePlot",
+        &[
+            image_in.clone(),
+            ("color", PortType::Opaque(tags::IMAGE.into())),
+        ],
+        std::slice::from_ref(&plot_out),
+        |inputs, params| {
+            let img = need_image(inputs, "image")?;
+            let color = inputs
+                .get("color")
+                .and_then(|d| d.as_opaque::<ImageData>())
+                .map(|o| (*o).clone());
+            let isovalue = params.get("isovalue").and_then(ParamValue::as_f64).map(|v| v as f32);
+            let spec = PlotSpec::Isosurface { image: img, color_image: color, isovalue };
+            Ok(single("plot", WfData::opaque(tags::PLOT, spec)))
+        },
+    );
+    reg.register_fn(
+        "dv3d",
+        "HovmollerPlot",
+        std::slice::from_ref(&image_in),
+        std::slice::from_ref(&plot_out),
+        |inputs, params| {
+            let img = need_image(inputs, "image")?;
+            let mode = match params.get("mode").and_then(ParamValue::as_str) {
+                Some("volume") => HovmollerMode::Volume,
+                _ => HovmollerMode::Slicer,
+            };
+            Ok(single(
+                "plot",
+                WfData::opaque(tags::PLOT, PlotSpec::Hovmoller { image: img, mode }),
+            ))
+        },
+    );
+    reg.register_fn(
+        "dv3d",
+        "VectorSlicerPlot",
+        std::slice::from_ref(&image_in),
+        std::slice::from_ref(&plot_out),
+        |inputs, params| {
+            let img = need_image(inputs, "image")?;
+            let mode = match params.get("mode").and_then(ParamValue::as_str) {
+                Some("streamlines") => VectorMode::Streamlines,
+                _ => VectorMode::Glyphs,
+            };
+            Ok(single(
+                "plot",
+                WfData::opaque(tags::PLOT, PlotSpec::VectorSlicer { image: img, mode }),
+            ))
+        },
+    );
+    // Fig 3's combined cell: a volume render and a slicer sharing one view.
+    reg.register_fn(
+        "dv3d",
+        "CombinedPlot",
+        std::slice::from_ref(&image_in),
+        std::slice::from_ref(&plot_out),
+        |inputs, _| {
+            let img = need_image(inputs, "image")?;
+            let spec = PlotSpec::Combined {
+                members: vec![PlotSpec::volume(img.clone()), PlotSpec::slicer(img)],
+            };
+            Ok(single("plot", WfData::opaque(tags::PLOT, spec)))
+        },
+    );
+    // The spreadsheet-cell sink: renders the plot to a frame.
+    reg.register_fn_sink(
+        "dv3d",
+        "Cell",
+        &[("plot", PortType::Opaque(tags::PLOT.into()))],
+        &[
+            ("frame", PortType::Opaque(tags::FRAME.into())),
+            ("coverage", PortType::Float),
+        ],
+        true,
+        |inputs, params| {
+            let spec = inputs
+                .get("plot")
+                .and_then(|d| d.as_opaque::<PlotSpec>())
+                .ok_or_else(|| exec_err("missing 'plot' input"))?;
+            let name = params
+                .get("name")
+                .and_then(ParamValue::as_str)
+                .unwrap_or("cell")
+                .to_string();
+            let mut cell =
+                Dv3dCell::try_new(&name, (*spec).clone()).map_err(exec_err)?;
+            let w = param_i64(params, "width", 160).max(16) as usize;
+            let h = param_i64(params, "height", 120).max(16) as usize;
+            let frame: Framebuffer = cell.render(w, h).map_err(exec_err)?;
+            let coverage =
+                frame.covered_pixels(rvtk::Color::BLACK) as f64 / (w * h) as f64;
+            let mut out = single("frame", WfData::opaque(tags::FRAME, frame));
+            out.insert("coverage".into(), WfData::Float(coverage));
+            Ok(out)
+        },
+    );
+}
+
+/// Identifies one prebuilt workflow (a plot-palette entry made concrete).
+#[derive(Debug, Clone)]
+pub struct PrebuiltWorkflow {
+    /// The provenance tree containing the workflow.
+    pub vistrail: Vistrail,
+    /// The version to materialize.
+    pub version: VersionId,
+    /// The cell (sink) module id.
+    pub cell_module: ModuleId,
+}
+
+/// Builds the prebuilt "variable → translate → plot → cell" workflow for a
+/// named plot type, entirely through provenance actions (so the whole
+/// construction is recorded and branchable). `plot` is one of `"slicer"`,
+/// `"volume"`, `"isosurface"`, `"combined"` (Fig 3's volume + slicer),
+/// `"hovmoller_slicer"`, `"hovmoller_volume"`.
+pub fn prebuilt_plot_workflow(
+    plot: &str,
+    variable: &str,
+    synth: (i64, i64, i64, i64),
+) -> Result<PrebuiltWorkflow, WfError> {
+    let (plot_type, plot_params, needs_hovmoller): (&str, Vec<(&str, ParamValue)>, bool) =
+        match plot {
+            "slicer" => ("dv3d.SlicerPlot", vec![], false),
+            "volume" => ("dv3d.VolumePlot", vec![], false),
+            "isosurface" => ("dv3d.IsosurfacePlot", vec![], false),
+            "combined" => ("dv3d.CombinedPlot", vec![], false),
+            "hovmoller_slicer" => {
+                ("dv3d.HovmollerPlot", vec![("mode", ParamValue::Str("slicer".into()))], true)
+            }
+            "hovmoller_volume" => {
+                ("dv3d.HovmollerPlot", vec![("mode", ParamValue::Str("volume".into()))], true)
+            }
+            other => return Err(WfError::NotFound(format!("prebuilt plot '{other}'"))),
+        };
+
+    let mut vt = Vistrail::new(&format!("{plot} of {variable}"));
+    let mut actions = vec![
+        Action::AddModule { id: 1, type_name: "cdms.SynthSource".into() },
+        Action::SetParameter { module: 1, name: "nt".into(), value: ParamValue::Int(synth.0) },
+        Action::SetParameter { module: 1, name: "nlev".into(), value: ParamValue::Int(synth.1) },
+        Action::SetParameter { module: 1, name: "nlat".into(), value: ParamValue::Int(synth.2) },
+        Action::SetParameter { module: 1, name: "nlon".into(), value: ParamValue::Int(synth.3) },
+        Action::AddModule { id: 2, type_name: "cdms.SelectVariable".into() },
+        Action::SetParameter {
+            module: 2,
+            name: "name".into(),
+            value: ParamValue::Str(variable.into()),
+        },
+        Action::AddConnection { from: (1, "dataset".into()), to: (2, "dataset".into()) },
+    ];
+    let mut src_module = 2;
+    if needs_hovmoller {
+        actions.push(Action::AddModule { id: 3, type_name: "cdat.HovmollerVolume".into() });
+        actions.push(Action::AddConnection {
+            from: (2, "variable".into()),
+            to: (3, "variable".into()),
+        });
+        src_module = 3;
+    } else {
+        actions.push(Action::SetParameter {
+            module: 2,
+            name: "time_index".into(),
+            value: ParamValue::Int(0),
+        });
+    }
+    actions.extend([
+        Action::AddModule { id: 10, type_name: "dv3d.TranslateScalar".into() },
+        Action::AddConnection {
+            from: (src_module, "variable".into()),
+            to: (10, "variable".into()),
+        },
+        Action::AddModule { id: 11, type_name: plot_type.into() },
+        Action::AddConnection { from: (10, "image".into()), to: (11, "image".into()) },
+        Action::AddModule { id: 12, type_name: "dv3d.Cell".into() },
+        Action::AddConnection { from: (11, "plot".into()), to: (12, "plot".into()) },
+        Action::SetParameter {
+            module: 12,
+            name: "name".into(),
+            value: ParamValue::Str(format!("{variable} {plot}")),
+        },
+    ]);
+    for (name, value) in plot_params {
+        actions.push(Action::SetParameter { module: 11, name: name.into(), value });
+    }
+    let version = vt.add_actions(Vistrail::ROOT, actions)?;
+    vt.tag(version, "prebuilt")?;
+    Ok(PrebuiltWorkflow { vistrail: vt, version, cell_module: 12 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vistrails::executor::Executor;
+
+    fn registry() -> ModuleRegistry {
+        let mut r = ModuleRegistry::new();
+        register_all(&mut r);
+        r
+    }
+
+    #[test]
+    fn packages_register_expected_modules() {
+        let r = registry();
+        for t in [
+            "cdms.SynthSource",
+            "cdms.OpenFile",
+            "cdms.SelectVariable",
+            "cdat.Anomaly",
+            "cdat.TimeSlab",
+            "cdat.Regrid",
+            "cdat.HovmollerVolume",
+            "dv3d.TranslateScalar",
+            "dv3d.TranslateVector",
+            "dv3d.SlicerPlot",
+            "dv3d.VolumePlot",
+            "dv3d.IsosurfacePlot",
+            "dv3d.HovmollerPlot",
+            "dv3d.VectorSlicerPlot",
+            "dv3d.CombinedPlot",
+            "dv3d.Cell",
+        ] {
+            assert!(r.get(t).is_ok(), "missing {t}");
+        }
+        assert!(r.descriptor("dv3d.Cell").unwrap().is_sink);
+    }
+
+    #[test]
+    fn prebuilt_slicer_executes_end_to_end() {
+        let wf = prebuilt_plot_workflow("slicer", "ta", (2, 3, 12, 24)).unwrap();
+        let pipeline = wf.vistrail.materialize(wf.version).unwrap();
+        let mut exec = Executor::new(registry());
+        let results = exec.execute(&pipeline).unwrap();
+        let coverage = results
+            .output(wf.cell_module, "coverage")
+            .and_then(WfData::as_float)
+            .unwrap();
+        assert!(coverage > 0.05, "cell rendered {coverage} coverage");
+        let frame = results
+            .output(wf.cell_module, "frame")
+            .and_then(|d| d.as_opaque::<Framebuffer>())
+            .unwrap();
+        assert_eq!(frame.width(), 160);
+    }
+
+    #[test]
+    fn prebuilt_combined_executes() {
+        let wf = prebuilt_plot_workflow("combined", "ta", (1, 3, 10, 20)).unwrap();
+        let pipeline = wf.vistrail.materialize(wf.version).unwrap();
+        let mut exec = Executor::new(registry());
+        let results = exec.execute(&pipeline).unwrap();
+        let cov = results
+            .output(wf.cell_module, "coverage")
+            .and_then(WfData::as_float)
+            .unwrap();
+        assert!(cov > 0.05, "combined cell coverage {cov}");
+    }
+
+    #[test]
+    fn prebuilt_hovmoller_executes() {
+        let wf = prebuilt_plot_workflow("hovmoller_volume", "wave", (6, 1, 12, 24)).unwrap();
+        let pipeline = wf.vistrail.materialize(wf.version).unwrap();
+        let mut exec = Executor::new(registry());
+        let results = exec.execute(&pipeline).unwrap();
+        assert!(results
+            .output(wf.cell_module, "coverage")
+            .and_then(WfData::as_float)
+            .unwrap()
+            > 0.01);
+    }
+
+    #[test]
+    fn unknown_prebuilt_rejected() {
+        assert!(prebuilt_plot_workflow("sparkles", "ta", (1, 1, 4, 8)).is_err());
+    }
+
+    #[test]
+    fn select_variable_validates() {
+        let r = registry();
+        let m = r.get("cdms.SelectVariable").unwrap();
+        // missing dataset input
+        let err = m.execute(&Default::default(), &Params::new()).unwrap_err();
+        assert!(matches!(err, WfError::Execution { .. }));
+    }
+
+    #[test]
+    fn open_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dv3d_modules_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ncr");
+        let ds = SynthesisSpec::new(1, 1, 4, 8).build();
+        ds.save(&path).unwrap();
+        let r = registry();
+        let m = r.get("cdms.OpenFile").unwrap();
+        let mut params = Params::new();
+        params.insert("path".into(), ParamValue::Str(path.display().to_string()));
+        let out = m.execute(&Default::default(), &params).unwrap();
+        let opened = out["dataset"].as_opaque::<Dataset>().unwrap();
+        assert!(opened.variable("ta").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+        // missing file errors
+        let mut params = Params::new();
+        params.insert("path".into(), ParamValue::Str("/nonexistent.ncr".into()));
+        assert!(m.execute(&Default::default(), &params).is_err());
+    }
+
+    #[test]
+    fn provenance_branch_changes_plot_type() {
+        // Branch the prebuilt slicer into a volume plot at the same parent —
+        // the §III.F "switch back and forth between branches" workflow.
+        let wf = prebuilt_plot_workflow("slicer", "ta", (1, 3, 10, 20)).unwrap();
+        let mut vt = wf.vistrail.clone();
+        // find the version path, branch from the head by swapping module 11
+        let head = wf.version;
+        let branch = vt
+            .add_actions(
+                head,
+                vec![
+                    Action::DeleteModule { id: 11 },
+                    Action::AddModule { id: 21, type_name: "dv3d.VolumePlot".into() },
+                    Action::AddConnection { from: (10, "image".into()), to: (21, "image".into()) },
+                    Action::AddConnection { from: (21, "plot".into()), to: (12, "plot".into()) },
+                ],
+            )
+            .unwrap();
+        let mut exec = Executor::new(registry());
+        // both versions still materialize and run
+        let slicer_cov = exec
+            .execute(&vt.materialize(head).unwrap())
+            .unwrap()
+            .output(12, "coverage")
+            .and_then(WfData::as_float)
+            .unwrap();
+        let volume_cov = exec
+            .execute(&vt.materialize(branch).unwrap())
+            .unwrap()
+            .output(12, "coverage")
+            .and_then(WfData::as_float)
+            .unwrap();
+        assert!(slicer_cov > 0.0 && volume_cov > 0.0);
+    }
+
+    #[test]
+    fn caching_skips_upstream_on_param_edit() {
+        let wf = prebuilt_plot_workflow("slicer", "ta", (1, 2, 8, 16)).unwrap();
+        let mut exec = Executor::new(registry());
+        let p1 = wf.vistrail.materialize(wf.version).unwrap();
+        exec.execute(&p1).unwrap();
+        // change only the cell's size: source/translate/plot are cache hits
+        let mut vt = wf.vistrail.clone();
+        let v2 = vt
+            .add_action(
+                wf.version,
+                Action::SetParameter {
+                    module: 12,
+                    name: "width".into(),
+                    value: ParamValue::Int(64),
+                },
+            )
+            .unwrap();
+        let results = exec.execute(&vt.materialize(v2).unwrap()).unwrap();
+        assert!(results.cache_hits() >= 4, "hits: {}", results.cache_hits());
+    }
+}

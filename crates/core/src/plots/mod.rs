@@ -1,0 +1,239 @@
+//! The DV3D plot types (§III.C): coordinated interactive 3D views, each
+//! highlighting particular features of the data.
+//!
+//! Every plot implements [`Plot`]: it owns its data and interactive state,
+//! responds to [`ConfigOp`]s, and populates an `rvtk` renderer with actors
+//! and volumes. DV3D cells, the spreadsheet, the animation controller and
+//! the hyperwall clients all drive plots exclusively through this trait.
+
+mod composite;
+mod hovmoller;
+mod isosurface;
+mod slicer;
+mod vector_slicer;
+mod volume;
+
+pub use composite::CompositePlot;
+pub use hovmoller::{HovmollerMode, HovmollerPlot};
+pub use isosurface::IsosurfacePlot;
+pub use slicer::SlicerPlot;
+pub use vector_slicer::VectorSlicerPlot;
+pub use volume::VolumePlot;
+
+use crate::interaction::{ConfigOp, VectorMode};
+use crate::Result;
+use rvtk::render::Renderer;
+use rvtk::{ImageData, LookupTable};
+
+/// The common interface of all DV3D plot types.
+pub trait Plot: Send {
+    /// Short type name shown in labels ("Slicer", "Volume", …).
+    fn type_name(&self) -> &'static str;
+
+    /// Applies a configuration operation; returns `true` when the op was
+    /// meaningful for this plot type (camera ops are handled by the cell).
+    fn configure(&mut self, op: &ConfigOp) -> Result<bool>;
+
+    /// Adds this plot's actors/volumes to a renderer.
+    fn populate(&self, renderer: &mut Renderer) -> Result<()>;
+
+    /// The scalar range being visualized.
+    fn scalar_range(&self) -> (f32, f32);
+
+    /// The lookup table for the cell's colorbar legend.
+    fn legend(&self) -> LookupTable;
+
+    /// Replaces the plot's data (animation steps through timesteps this
+    /// way), preserving interactive state where it remains valid.
+    fn set_image(&mut self, image: ImageData) -> Result<()>;
+
+    /// The current primary image (used by probing).
+    fn image(&self) -> &ImageData;
+
+    /// One-line description of the interactive state for the cell label.
+    fn status_line(&self) -> String;
+}
+
+/// A declarative description of a plot — what the plot-palette entries and
+/// workflow modules construct.
+#[derive(Debug, Clone)]
+pub enum PlotSpec {
+    Slicer {
+        image: ImageData,
+        /// Second variable overlaid as contour lines on the z plane.
+        overlay: Option<ImageData>,
+    },
+    Volume {
+        image: ImageData,
+    },
+    Isosurface {
+        image: ImageData,
+        /// Second variable coloring the surface.
+        color_image: Option<ImageData>,
+        /// Initial isovalue (defaults to the range midpoint).
+        isovalue: Option<f32>,
+    },
+    Hovmoller {
+        image: ImageData,
+        mode: HovmollerMode,
+    },
+    VectorSlicer {
+        image: ImageData,
+        mode: VectorMode,
+    },
+    /// Several plots sharing one cell (Fig 3's combined volume + slicer).
+    Combined {
+        members: Vec<PlotSpec>,
+    },
+}
+
+impl PlotSpec {
+    /// A slicer over one field.
+    pub fn slicer(image: ImageData) -> PlotSpec {
+        PlotSpec::Slicer { image, overlay: None }
+    }
+
+    /// A slicer with a second-variable contour overlay.
+    pub fn slicer_with_overlay(image: ImageData, overlay: ImageData) -> PlotSpec {
+        PlotSpec::Slicer { image, overlay: Some(overlay) }
+    }
+
+    /// A volume rendering.
+    pub fn volume(image: ImageData) -> PlotSpec {
+        PlotSpec::Volume { image }
+    }
+
+    /// An isosurface at the range midpoint.
+    pub fn isosurface(image: ImageData) -> PlotSpec {
+        PlotSpec::Isosurface { image, color_image: None, isovalue: None }
+    }
+
+    /// An isosurface of one variable colored by another.
+    pub fn isosurface_colored(image: ImageData, color_image: ImageData) -> PlotSpec {
+        PlotSpec::Isosurface { image, color_image: Some(color_image), isovalue: None }
+    }
+
+    /// A Hovmöller slicer (time as the vertical dimension).
+    pub fn hovmoller_slicer(image: ImageData) -> PlotSpec {
+        PlotSpec::Hovmoller { image, mode: HovmollerMode::Slicer }
+    }
+
+    /// A Hovmöller volume rendering.
+    pub fn hovmoller_volume(image: ImageData) -> PlotSpec {
+        PlotSpec::Hovmoller { image, mode: HovmollerMode::Volume }
+    }
+
+    /// A vector slicer (glyphs by default).
+    pub fn vector_slicer(image: ImageData) -> PlotSpec {
+        PlotSpec::VectorSlicer { image, mode: VectorMode::Glyphs }
+    }
+
+    /// Fig 3's combined cell: a volume rendering with a slice plane.
+    pub fn combined_volume_slicer(image: ImageData) -> PlotSpec {
+        PlotSpec::Combined {
+            members: vec![PlotSpec::volume(image.clone()), PlotSpec::slicer(image)],
+        }
+    }
+
+    /// Builds the live plot object.
+    pub fn build(self) -> Result<Box<dyn Plot>> {
+        Ok(match self {
+            PlotSpec::Slicer { image, overlay } => {
+                Box::new(SlicerPlot::new(image, overlay)?)
+            }
+            PlotSpec::Volume { image } => Box::new(VolumePlot::new(image)?),
+            PlotSpec::Isosurface { image, color_image, isovalue } => {
+                Box::new(IsosurfacePlot::new(image, color_image, isovalue)?)
+            }
+            PlotSpec::Hovmoller { image, mode } => {
+                Box::new(HovmollerPlot::new(image, mode)?)
+            }
+            PlotSpec::VectorSlicer { image, mode } => {
+                Box::new(VectorSlicerPlot::new(image, mode)?)
+            }
+            PlotSpec::Combined { members } => {
+                let built: Result<Vec<Box<dyn Plot>>> =
+                    members.into_iter().map(|m| m.build()).collect();
+                Box::new(CompositePlot::new(built?)?)
+            }
+        })
+    }
+
+    /// The plot type's palette name.
+    pub fn palette_name(&self) -> &'static str {
+        match self {
+            PlotSpec::Slicer { .. } => "Slicer",
+            PlotSpec::Volume { .. } => "Volume",
+            PlotSpec::Isosurface { .. } => "Isosurface",
+            PlotSpec::Hovmoller { mode: HovmollerMode::Slicer, .. } => "Hovmoller Slicer",
+            PlotSpec::Hovmoller { mode: HovmollerMode::Volume, .. } => "Hovmoller Volume",
+            PlotSpec::VectorSlicer { .. } => "Vector Slicer",
+            PlotSpec::Combined { .. } => "Combined",
+        }
+    }
+}
+
+/// Range helper shared by plot constructors.
+pub(crate) fn image_range(image: &ImageData) -> (f32, f32) {
+    image.scalar_range().unwrap_or((0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_image() -> ImageData {
+        ImageData::from_fn([6, 6, 4], [1.0; 3], [0.0; 3], |x, y, z| (x + y + z) as f32)
+    }
+
+    #[test]
+    fn specs_build_all_plot_types() {
+        let specs: Vec<(PlotSpec, &str)> = vec![
+            (PlotSpec::slicer(tiny_image()), "Slicer"),
+            (PlotSpec::volume(tiny_image()), "Volume"),
+            (PlotSpec::isosurface(tiny_image()), "Isosurface"),
+            (PlotSpec::hovmoller_slicer(tiny_image()), "Hovmoller Slicer"),
+            (PlotSpec::hovmoller_volume(tiny_image()), "Hovmoller Volume"),
+        ];
+        for (spec, name) in specs {
+            assert_eq!(spec.palette_name(), name);
+            let plot = spec.build().unwrap();
+            assert!(!plot.type_name().is_empty());
+            assert!(!plot.status_line().is_empty());
+        }
+        // vector slicer needs vectors
+        let n = 6 * 6 * 4;
+        let img = tiny_image().with_vectors(vec![[1.0, 0.0, 0.0]; n]).unwrap();
+        let plot = PlotSpec::vector_slicer(img).build().unwrap();
+        assert_eq!(plot.type_name(), "Vector Slicer");
+    }
+
+    #[test]
+    fn every_plot_renders_nonempty_scene() {
+        use rvtk::render::{Framebuffer, Renderer};
+        let n = 6 * 6 * 4;
+        let plots: Vec<Box<dyn Plot>> = vec![
+            PlotSpec::slicer(tiny_image()).build().unwrap(),
+            PlotSpec::volume(tiny_image()).build().unwrap(),
+            PlotSpec::isosurface(tiny_image()).build().unwrap(),
+            PlotSpec::hovmoller_volume(tiny_image()).build().unwrap(),
+            PlotSpec::vector_slicer(
+                tiny_image().with_vectors(vec![[2.0, 1.0, 0.0]; n]).unwrap(),
+            )
+            .build()
+            .unwrap(),
+        ];
+        for plot in plots {
+            let mut r = Renderer::new();
+            plot.populate(&mut r).unwrap();
+            r.reset_camera();
+            let mut fb = Framebuffer::new(48, 48);
+            r.render(&mut fb);
+            assert!(
+                fb.covered_pixels(rvtk::Color::BLACK) > 10,
+                "{} rendered empty",
+                plot.type_name()
+            );
+        }
+    }
+}

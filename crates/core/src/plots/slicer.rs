@@ -1,0 +1,271 @@
+//! The Slicer plot: interactively draggable slice planes showing
+//! pseudocolor images, optionally overlaid with a second variable's
+//! contour map (§III.C).
+
+use crate::interaction::{Axis3, ConfigOp};
+use crate::plots::{image_range, Plot};
+use crate::transfer::TransferEditor;
+use crate::{Dv3dError, Result};
+use rvtk::filters::{auto_levels, contour_lines, slice_axis, SliceAxis};
+use rvtk::render::{Actor, Renderer};
+use rvtk::{Color, ImageData, LookupTable};
+
+/// Interactive slice planes through a scalar volume.
+#[derive(Debug, Clone)]
+pub struct SlicerPlot {
+    image: ImageData,
+    /// Optional second variable contoured over the z plane.
+    overlay: Option<ImageData>,
+    /// Current slice index per axis.
+    pub slice_index: [usize; 3],
+    /// Which planes are visible.
+    pub plane_enabled: [bool; 3],
+    /// Transfer-function state (colormap + range).
+    pub editor: TransferEditor,
+    /// Number of overlay contour levels.
+    pub n_contours: usize,
+}
+
+impl SlicerPlot {
+    /// A slicer with the z plane enabled at mid-volume.
+    pub fn new(image: ImageData, overlay: Option<ImageData>) -> Result<SlicerPlot> {
+        if let Some(ov) = &overlay {
+            if ov.dims != image.dims {
+                return Err(Dv3dError::Config(format!(
+                    "overlay dims {:?} != image dims {:?}",
+                    ov.dims, image.dims
+                )));
+            }
+        }
+        let editor = TransferEditor::new(image_range(&image));
+        let slice_index = [image.dims[0] / 2, image.dims[1] / 2, image.dims[2] / 2];
+        Ok(SlicerPlot {
+            image,
+            overlay,
+            slice_index,
+            plane_enabled: [false, false, true],
+            editor,
+            n_contours: 6,
+        })
+    }
+
+    fn move_slice(&mut self, axis: Axis3, delta: i64) {
+        let ai = SliceAxis::from(axis).index();
+        let n = self.image.dims[ai] as i64;
+        let cur = self.slice_index[ai] as i64;
+        self.slice_index[ai] = (cur + delta).clamp(0, n - 1) as usize;
+    }
+}
+
+impl Plot for SlicerPlot {
+    fn type_name(&self) -> &'static str {
+        "Slicer"
+    }
+
+    fn configure(&mut self, op: &ConfigOp) -> Result<bool> {
+        match op {
+            ConfigOp::MoveSlice { axis, delta } => {
+                self.move_slice(*axis, *delta);
+                Ok(true)
+            }
+            ConfigOp::SetSlice { axis, index } => {
+                let ai = SliceAxis::from(*axis).index();
+                if *index >= self.image.dims[ai] {
+                    return Err(Dv3dError::Config(format!(
+                        "slice index {index} out of range for axis {ai}"
+                    )));
+                }
+                self.slice_index[ai] = *index;
+                Ok(true)
+            }
+            ConfigOp::TogglePlane { axis } => {
+                let ai = SliceAxis::from(*axis).index();
+                self.plane_enabled[ai] = !self.plane_enabled[ai];
+                Ok(true)
+            }
+            ConfigOp::Leveling { dx, dy } => {
+                self.editor.drag(*dx, *dy);
+                Ok(true)
+            }
+            ConfigOp::NextColormap => {
+                self.editor.next_colormap();
+                Ok(true)
+            }
+            ConfigOp::SetColormap(name) => {
+                if !self.editor.set_colormap(name) {
+                    return Err(Dv3dError::Config(format!("unknown colormap '{name}'")));
+                }
+                Ok(true)
+            }
+            ConfigOp::ToggleInvert => {
+                self.editor.toggle_invert();
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn populate(&self, renderer: &mut Renderer) -> Result<()> {
+        for (ai, axis) in [SliceAxis::X, SliceAxis::Y, SliceAxis::Z].into_iter().enumerate() {
+            if !self.plane_enabled[ai] {
+                continue;
+            }
+            let surf = slice_axis(&self.image, axis, self.slice_index[ai])?;
+            let mut actor =
+                Actor::from_poly_data(surf).with_lookup_table(self.editor.lookup_table());
+            actor.property.lighting = false;
+            renderer.add_actor(actor);
+        }
+        // overlay contours on the z plane
+        if let Some(ov) = &self.overlay {
+            if self.plane_enabled[2] {
+                let range = image_range(ov);
+                let levels = auto_levels(range, self.n_contours);
+                let mut lines = contour_lines(ov, SliceAxis::Z, self.slice_index[2], &levels)?;
+                // lift contour lines slightly above the plane so they show
+                for p in &mut lines.points {
+                    p.z += self.image.spacing[2] * 0.02;
+                }
+                let mut actor = Actor::from_poly_data(lines).with_color(Color::WHITE);
+                actor.property.lighting = false;
+                renderer.add_actor(actor);
+            }
+        }
+        Ok(())
+    }
+
+    fn scalar_range(&self) -> (f32, f32) {
+        self.editor.data_range
+    }
+
+    fn legend(&self) -> LookupTable {
+        self.editor.lookup_table()
+    }
+
+    fn set_image(&mut self, image: ImageData) -> Result<()> {
+        if let Some(ov) = &self.overlay {
+            if ov.dims != image.dims {
+                return Err(Dv3dError::Config("new image dims do not match overlay".into()));
+            }
+        }
+        for ai in 0..3 {
+            self.slice_index[ai] = self.slice_index[ai].min(image.dims[ai].saturating_sub(1));
+        }
+        self.editor.rescale(image_range(&image));
+        self.image = image;
+        Ok(())
+    }
+
+    fn image(&self) -> &ImageData {
+        &self.image
+    }
+
+    fn status_line(&self) -> String {
+        format!(
+            "slices x:{} y:{} z:{} [{}{}{}]",
+            self.slice_index[0],
+            self.slice_index[1],
+            self.slice_index[2],
+            if self.plane_enabled[0] { 'X' } else { '-' },
+            if self.plane_enabled[1] { 'Y' } else { '-' },
+            if self.plane_enabled[2] { 'Z' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvtk::render::Framebuffer;
+
+    fn image() -> ImageData {
+        ImageData::from_fn([8, 8, 6], [1.0; 3], [0.0; 3], |x, y, z| (x + y + z) as f32)
+    }
+
+    #[test]
+    fn starts_mid_volume_with_z_plane() {
+        let p = SlicerPlot::new(image(), None).unwrap();
+        assert_eq!(p.slice_index, [4, 4, 3]);
+        assert_eq!(p.plane_enabled, [false, false, true]);
+    }
+
+    #[test]
+    fn move_slice_clamps() {
+        let mut p = SlicerPlot::new(image(), None).unwrap();
+        p.configure(&ConfigOp::MoveSlice { axis: Axis3::Z, delta: 100 }).unwrap();
+        assert_eq!(p.slice_index[2], 5);
+        p.configure(&ConfigOp::MoveSlice { axis: Axis3::Z, delta: -100 }).unwrap();
+        assert_eq!(p.slice_index[2], 0);
+    }
+
+    #[test]
+    fn set_slice_validates() {
+        let mut p = SlicerPlot::new(image(), None).unwrap();
+        assert!(p.configure(&ConfigOp::SetSlice { axis: Axis3::X, index: 7 }).unwrap());
+        assert!(p.configure(&ConfigOp::SetSlice { axis: Axis3::X, index: 8 }).is_err());
+    }
+
+    #[test]
+    fn toggling_planes_changes_scene_size() {
+        let mut p = SlicerPlot::new(image(), None).unwrap();
+        let mut r1 = Renderer::new();
+        p.populate(&mut r1).unwrap();
+        assert_eq!(r1.actors().len(), 1);
+        p.configure(&ConfigOp::TogglePlane { axis: Axis3::X }).unwrap();
+        p.configure(&ConfigOp::TogglePlane { axis: Axis3::Y }).unwrap();
+        let mut r3 = Renderer::new();
+        p.populate(&mut r3).unwrap();
+        assert_eq!(r3.actors().len(), 3);
+    }
+
+    #[test]
+    fn overlay_contours_add_line_actor() {
+        let ov = ImageData::from_fn([8, 8, 6], [1.0; 3], [0.0; 3], |x, _, _| x as f32);
+        let p = SlicerPlot::new(image(), Some(ov)).unwrap();
+        let mut r = Renderer::new();
+        p.populate(&mut r).unwrap();
+        assert_eq!(r.actors().len(), 2);
+        assert!(!r.actors()[1].poly_data.lines.is_empty());
+    }
+
+    #[test]
+    fn overlay_dims_validated() {
+        let ov = ImageData::from_fn([4, 4, 4], [1.0; 3], [0.0; 3], |_, _, _| 0.0);
+        assert!(SlicerPlot::new(image(), Some(ov)).is_err());
+    }
+
+    #[test]
+    fn unhandled_ops_return_false() {
+        let mut p = SlicerPlot::new(image(), None).unwrap();
+        assert!(!p.configure(&ConfigOp::SetIsovalue(1.0)).unwrap());
+        assert!(!p.configure(&ConfigOp::StepTime(1)).unwrap());
+    }
+
+    #[test]
+    fn renders_pseudocolor_slice() {
+        let p = SlicerPlot::new(image(), None).unwrap();
+        let mut r = Renderer::new();
+        p.populate(&mut r).unwrap();
+        r.reset_camera();
+        let mut fb = Framebuffer::new(64, 64);
+        r.render(&mut fb);
+        assert!(fb.covered_pixels(Color::BLACK) > 100);
+    }
+
+    #[test]
+    fn set_image_rescales_and_clamps() {
+        let mut p = SlicerPlot::new(image(), None).unwrap();
+        p.slice_index = [7, 7, 5];
+        let smaller =
+            ImageData::from_fn([4, 4, 2], [1.0; 3], [0.0; 3], |x, _, _| 100.0 * x as f32);
+        p.set_image(smaller).unwrap();
+        assert_eq!(p.slice_index, [3, 3, 1]);
+        assert_eq!(p.scalar_range(), (0.0, 300.0));
+    }
+
+    #[test]
+    fn status_line_reflects_state() {
+        let p = SlicerPlot::new(image(), None).unwrap();
+        assert_eq!(p.status_line(), "slices x:4 y:4 z:3 [--Z]");
+    }
+}

@@ -1,0 +1,172 @@
+//! The client (display) node: executes its 1-cell sub-workflow locally at
+//! full resolution and responds to propagated interaction ops.
+
+use crate::protocol::{read_message, write_message, Message};
+use crate::workflow::wall_registry;
+use crate::{Result, WallError};
+use dv3d::cell::Dv3dCell;
+use dv3d::plots::PlotSpec;
+use std::net::TcpStream;
+use std::time::Instant;
+use vistrails::executor::Executor;
+use vistrails::pipeline::Pipeline;
+
+/// A display client, driven entirely by server messages.
+pub struct ClientNode {
+    id: usize,
+    stream: TcpStream,
+    cell: Option<Dv3dCell>,
+    size: (usize, usize),
+    frames_rendered: u64,
+}
+
+impl ClientNode {
+    /// Connects to the server and identifies itself.
+    pub fn connect(addr: std::net::SocketAddr, id: usize) -> Result<ClientNode> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_message(&mut stream, &Message::Hello { client_id: id })?;
+        Ok(ClientNode { id, stream, cell: None, size: (64, 64), frames_rendered: 0 })
+    }
+
+    /// Runs the message loop until `Shutdown`. Returns the number of frames
+    /// rendered.
+    pub fn run(mut self) -> Result<u64> {
+        loop {
+            match read_message(&mut self.stream)? {
+                Message::AssignWorkflow { pipeline_json, cell_module, width, height } => {
+                    self.size = (width, height);
+                    let pipeline = Pipeline::from_json(&pipeline_json)?;
+                    self.cell = Some(self.instantiate(&pipeline, cell_module)?);
+                    write_message(&mut self.stream, &Message::Ready { client_id: self.id })?;
+                }
+                Message::Op(op) => {
+                    if let Some(cell) = &mut self.cell {
+                        // ops the local plot type doesn't understand are fine
+                        let _ = cell.configure(&op);
+                    }
+                }
+                Message::Execute { frame } => {
+                    let cell = self.cell.as_mut().ok_or_else(|| {
+                        WallError::Protocol("Execute before AssignWorkflow".into())
+                    })?;
+                    let start = Instant::now();
+                    let fb = cell.render(self.size.0, self.size.1)?;
+                    let render_ms = start.elapsed().as_secs_f64() * 1000.0;
+                    let coverage = fb.covered_pixels(rvtk::Color::BLACK) as f64
+                        / (self.size.0 * self.size.1) as f64;
+                    self.frames_rendered += 1;
+                    write_message(
+                        &mut self.stream,
+                        &Message::FrameDone { client_id: self.id, frame, coverage, render_ms },
+                    )?;
+                }
+                Message::Shutdown => return Ok(self.frames_rendered),
+                other => {
+                    return Err(WallError::Protocol(format!(
+                        "client {} got unexpected {other:?}",
+                        self.id
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Executes the assigned sub-workflow up to the plot module and builds
+    /// the live cell from the produced `PlotSpec`.
+    fn instantiate(&self, pipeline: &Pipeline, cell_module: u64) -> Result<Dv3dCell> {
+        // find the plot module feeding the cell's "plot" port
+        let plot_conn = pipeline
+            .inputs_of(cell_module)
+            .into_iter()
+            .find(|c| c.to_port == "plot")
+            .ok_or_else(|| WallError::Protocol("cell has no plot input".into()))?
+            .clone();
+        let mut exec = Executor::new(wall_registry());
+        let results = exec.execute_subset(pipeline, Some(plot_conn.from_module))?;
+        let spec = results
+            .output(plot_conn.from_module, &plot_conn.from_port)
+            .and_then(|d| d.as_opaque::<PlotSpec>())
+            .ok_or_else(|| WallError::Protocol("plot module produced no PlotSpec".into()))?;
+        let name = pipeline.modules[&cell_module]
+            .params
+            .get("name")
+            .and_then(vistrails::value::ParamValue::as_str)
+            .unwrap_or("wall cell")
+            .to_string();
+        Dv3dCell::try_new(&name, (*spec).clone()).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::{build_wall_pipeline, split_per_client, WallWorkflowConfig};
+    use std::net::TcpListener;
+
+    /// Drives one client through the full protocol by hand.
+    #[test]
+    fn client_full_protocol_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let client_thread = std::thread::spawn(move || {
+            let client = ClientNode::connect(addr, 0).unwrap();
+            client.run().unwrap()
+        });
+
+        let (mut stream, _) = listener.accept().unwrap();
+        // hello
+        let hello = read_message(&mut stream).unwrap();
+        assert_eq!(hello, Message::Hello { client_id: 0 });
+        // assign
+        let cfg = WallWorkflowConfig { n_cells: 2, synth: (1, 2, 8, 16), cell_px: (48, 48) };
+        let (p, chains) = build_wall_pipeline(&cfg).unwrap();
+        let subs = split_per_client(&p, &chains).unwrap();
+        write_message(
+            &mut stream,
+            &Message::AssignWorkflow {
+                pipeline_json: subs[0].to_json().unwrap(),
+                cell_module: chains[0].cell,
+                width: 48,
+                height: 48,
+            },
+        )
+        .unwrap();
+        assert_eq!(read_message(&mut stream).unwrap(), Message::Ready { client_id: 0 });
+        // an op, then two frames
+        write_message(
+            &mut stream,
+            &Message::Op(dv3d::interaction::ConfigOp::NextColormap),
+        )
+        .unwrap();
+        for frame in 0..2u64 {
+            write_message(&mut stream, &Message::Execute { frame }).unwrap();
+            match read_message(&mut stream).unwrap() {
+                Message::FrameDone { client_id, frame: f, coverage, render_ms } => {
+                    assert_eq!(client_id, 0);
+                    assert_eq!(f, frame);
+                    assert!(coverage > 0.0);
+                    assert!(render_ms >= 0.0);
+                }
+                other => panic!("expected FrameDone, got {other:?}"),
+            }
+        }
+        write_message(&mut stream, &Message::Shutdown).unwrap();
+        assert_eq!(client_thread.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn execute_before_assign_is_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let client = ClientNode::connect(addr, 1).unwrap();
+            client.run()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        read_message(&mut stream).unwrap(); // hello
+        write_message(&mut stream, &Message::Execute { frame: 0 }).unwrap();
+        assert!(client_thread.join().unwrap().is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Spawning a full loopback wall: server + N client threads, one scenario.
+
+use crate::client::ClientNode;
+use crate::server::{FrameReport, HyperwallServer};
+use crate::workflow::WallWorkflowConfig;
+use crate::Result;
+use dv3d::interaction::ConfigOp;
+use std::time::Instant;
+
+/// Summary of one wall run.
+#[derive(Debug, Clone)]
+pub struct WallRunReport {
+    /// Clients that participated.
+    pub n_clients: usize,
+    /// Time to assign all sub-workflows and get Ready, ms.
+    pub assign_ms: f64,
+    /// Per-frame reports.
+    pub frames: Vec<FrameReport>,
+    /// Broadcast latencies of the interaction ops, ms.
+    pub op_broadcast_ms: Vec<f64>,
+    /// Total frames rendered across all clients.
+    pub client_frames: u64,
+}
+
+impl WallRunReport {
+    /// Mean client render time across all frames, ms.
+    pub fn mean_client_render_ms(&self) -> f64 {
+        let all: Vec<f64> = self
+            .frames
+            .iter()
+            .flat_map(|f| f.client_render_ms.iter().copied())
+            .collect();
+        if all.is_empty() {
+            0.0
+        } else {
+            all.iter().sum::<f64>() / all.len() as f64
+        }
+    }
+
+    /// Mean server mirror time per frame, ms.
+    pub fn mean_mirror_ms(&self) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.frames.iter().map(|f| f.mirror_ms).sum::<f64>() / self.frames.len() as f64
+        }
+    }
+}
+
+/// Runs a complete wall scenario on loopback: `n_frames` distributed
+/// frames, with `ops` broadcast between frame 0 and frame 1 (mirroring a
+/// user interacting once at the touchscreen).
+pub fn run_wall(
+    cfg: &WallWorkflowConfig,
+    mirror_downsample: usize,
+    n_frames: u64,
+    ops: &[ConfigOp],
+) -> Result<WallRunReport> {
+    let mut server = HyperwallServer::bind(cfg, mirror_downsample)?;
+    let addr = server.addr()?;
+    let n = cfg.n_cells;
+
+    let client_threads: Vec<_> = (0..n)
+        .map(|id| {
+            std::thread::spawn(move || -> Result<u64> {
+                let client = ClientNode::connect(addr, id)?;
+                client.run()
+            })
+        })
+        .collect();
+
+    server.accept_clients(n)?;
+    let assign_start = Instant::now();
+    server.assign_workflows(cfg)?;
+    let assign_ms = assign_start.elapsed().as_secs_f64() * 1000.0;
+
+    let mut frames = Vec::new();
+    let mut op_broadcast_ms = Vec::new();
+    for frame in 0..n_frames {
+        if frame == 1 {
+            for op in ops {
+                op_broadcast_ms.push(server.broadcast_op(op)?);
+            }
+        }
+        frames.push(server.execute_frame(frame)?);
+    }
+    server.shutdown()?;
+
+    let mut client_frames = 0;
+    for t in client_threads {
+        client_frames += t.join().map_err(|_| {
+            crate::WallError::Protocol("client thread panicked".into())
+        })??;
+    }
+    Ok(WallRunReport { n_clients: n, assign_ms, frames, op_broadcast_ms, client_frames })
+}
+
+/// Renders the same wall workload entirely on one node at full resolution
+/// (the no-hyperwall baseline): returns total wall time in ms.
+pub fn run_single_node_baseline(cfg: &WallWorkflowConfig, n_frames: u64) -> Result<f64> {
+    let (pipeline, chains) = crate::workflow::build_wall_pipeline(cfg)?;
+    let mut exec = vistrails::executor::Executor::new(crate::workflow::wall_registry());
+    // build all cells once (like clients do)
+    let mut cells = Vec::new();
+    for chain in &chains {
+        let results = exec.execute_subset(&pipeline, Some(chain.plot))?;
+        let spec = results
+            .output(chain.plot, "plot")
+            .and_then(|d| d.as_opaque::<dv3d::plots::PlotSpec>())
+            .ok_or_else(|| crate::WallError::Protocol("no PlotSpec".into()))?;
+        cells.push(dv3d::cell::Dv3dCell::try_new("baseline", (*spec).clone())?);
+    }
+    let start = Instant::now();
+    for _ in 0..n_frames {
+        for cell in &mut cells {
+            cell.render(cfg.cell_px.0, cfg.cell_px.1)?;
+        }
+    }
+    Ok(start.elapsed().as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv3d::interaction::{Axis3, CameraOp};
+
+    fn small_cfg(n_cells: usize) -> WallWorkflowConfig {
+        WallWorkflowConfig { n_cells, synth: (1, 2, 10, 20), cell_px: (64, 48) }
+    }
+
+    #[test]
+    fn three_cell_wall_end_to_end() {
+        let cfg = small_cfg(3);
+        let ops = vec![
+            ConfigOp::Camera(CameraOp::Azimuth(20.0)),
+            ConfigOp::MoveSlice { axis: Axis3::Z, delta: 1 },
+        ];
+        let report = run_wall(&cfg, 4, 2, &ops).unwrap();
+        assert_eq!(report.n_clients, 3);
+        assert_eq!(report.frames.len(), 2);
+        assert_eq!(report.client_frames, 6);
+        assert_eq!(report.op_broadcast_ms.len(), 2);
+        // every client rendered something on every frame
+        for f in &report.frames {
+            assert!(f.coverage.iter().all(|&c| c > 0.0), "{f:?}");
+            assert!(f.round_trip_ms > 0.0);
+            assert!(f.mirror_ms > 0.0);
+        }
+        assert!(report.assign_ms > 0.0);
+        assert!(report.mean_client_render_ms() > 0.0);
+    }
+
+    #[test]
+    fn fifteen_cell_wall_smoke() {
+        // the paper's full 15-cell scenario, tiny sizes
+        let cfg = WallWorkflowConfig { n_cells: 15, synth: (1, 2, 8, 16), cell_px: (32, 24) };
+        let report = run_wall(&cfg, 2, 1, &[]).unwrap();
+        assert_eq!(report.n_clients, 15);
+        assert_eq!(report.client_frames, 15);
+    }
+
+    #[test]
+    fn server_mirror_mosaic_covers_all_panels() {
+        use crate::layout::WallLayout;
+        use crate::server::HyperwallServer;
+        let cfg = WallWorkflowConfig { n_cells: 6, synth: (1, 2, 8, 16), cell_px: (64, 48) };
+        let layout = WallLayout::small(2, 3, (64, 48));
+        let mut server = HyperwallServer::bind(&cfg, 2).unwrap();
+        let addr = server.addr().unwrap();
+        let clients: Vec<_> = (0..6)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    crate::client::ClientNode::connect(addr, id).unwrap().run()
+                })
+            })
+            .collect();
+        server.accept_clients(6).unwrap();
+        server.assign_workflows(&cfg).unwrap();
+        let mosaic = server.mirror_mosaic(&layout).unwrap();
+        assert_eq!(mosaic.width(), 3 * 32);
+        assert_eq!(mosaic.height(), 2 * 24);
+        // every panel region has some non-background pixels
+        for row in 0..2 {
+            for col in 0..3 {
+                let mut lit = 0;
+                for y in 0..24 {
+                    for x in 0..32 {
+                        if mosaic.pixel(col * 32 + x, row * 24 + y).luminance() > 0.02 {
+                            lit += 1;
+                        }
+                    }
+                }
+                assert!(lit > 10, "panel ({row},{col}) dark: {lit}");
+            }
+        }
+        server.shutdown().unwrap();
+        for c in clients {
+            c.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn baseline_runs() {
+        let cfg = small_cfg(2);
+        let ms = run_single_node_baseline(&cfg, 1).unwrap();
+        assert!(ms > 0.0);
+    }
+
+    #[test]
+    fn mirror_is_cheaper_than_full_res() {
+        // the design rationale: the server's reduced-resolution mirror costs
+        // far less than the full-resolution work the clients do
+        let cfg = WallWorkflowConfig { n_cells: 2, synth: (1, 2, 10, 20), cell_px: (160, 120) };
+        let report = run_wall(&cfg, 4, 2, &[]).unwrap();
+        let mirror = report.mean_mirror_ms() / cfg.n_cells as f64; // per cell
+        let client = report.mean_client_render_ms();
+        assert!(
+            mirror < client,
+            "mirror {mirror:.2}ms/cell should be cheaper than full-res {client:.2}ms"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! # hyperwall — distributed visualization framework (§III.H, Fig 5)
+//!
+//! Reproduces the NCCS hyperwall deployment: a server node holding the full
+//! multi-cell workflow, plus one client node per display. "At execution
+//! time the server instance sends edited versions of the workflow to each
+//! client node for local execution. Each client workflow consists of one of
+//! the cell modules (and all its upstream modules) from the server
+//! workflow. The server instance executes a reduced resolution instance of
+//! the full workflow, whereas each client instance executes a full
+//! resolution 1-cell sub-workflow."
+//!
+//! The cluster nodes are threads connected by real TCP sockets on loopback
+//! (the protocol is identical to what separate hosts would speak):
+//!
+//! * [`protocol`] — length-prefixed JSON messages (workflow assignment,
+//!   interaction ops, frame execution, completion reports).
+//! * [`workflow`] — builds the 15-cell wall workflow and splits it into
+//!   per-client sub-workflows with `Pipeline::upstream_subgraph`.
+//! * [`server`] / [`client`] — the two node roles.
+//! * [`layout`] — wall geometry (the NCCS wall: 5×3 panels).
+//! * [`cluster`] — spawns a full loopback wall and reports timings.
+
+pub mod client;
+pub mod cluster;
+pub mod layout;
+pub mod protocol;
+pub mod server;
+pub mod workflow;
+
+/// Errors raised by hyperwall operations.
+#[derive(Debug)]
+pub enum WallError {
+    Io(std::io::Error),
+    Protocol(String),
+    Workflow(vistrails::WfError),
+    Render(String),
+}
+
+impl std::fmt::Display for WallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WallError::Io(e) => write!(f, "io: {e}"),
+            WallError::Protocol(m) => write!(f, "protocol: {m}"),
+            WallError::Workflow(e) => write!(f, "workflow: {e}"),
+            WallError::Render(m) => write!(f, "render: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WallError {}
+
+impl From<std::io::Error> for WallError {
+    fn from(e: std::io::Error) -> Self {
+        WallError::Io(e)
+    }
+}
+
+impl From<vistrails::WfError> for WallError {
+    fn from(e: vistrails::WfError) -> Self {
+        WallError::Workflow(e)
+    }
+}
+
+impl From<dv3d::Dv3dError> for WallError {
+    fn from(e: dv3d::Dv3dError) -> Self {
+        WallError::Render(e.to_string())
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, WallError>;

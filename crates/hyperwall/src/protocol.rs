@@ -1,0 +1,132 @@
+//! The wire protocol between the server node and the display clients:
+//! length-prefixed JSON messages over TCP.
+
+use crate::{Result, WallError};
+use dv3d::interaction::ConfigOp;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Messages exchanged between server and clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Client → server: identify after connecting.
+    Hello { client_id: usize },
+    /// Server → client: the 1-cell sub-workflow to own.
+    AssignWorkflow {
+        /// Serialized `vistrails::Pipeline`.
+        pipeline_json: String,
+        /// The cell (sink) module id within the pipeline.
+        cell_module: u64,
+        /// Full-resolution render size for this display.
+        width: usize,
+        height: usize,
+    },
+    /// Client → server: the assigned workflow executed and the cell is live.
+    Ready { client_id: usize },
+    /// Server → client: apply an interaction op (propagated navigation /
+    /// configuration from the server GUI).
+    Op(ConfigOp),
+    /// Server → client: render frame `frame` now.
+    Execute { frame: u64 },
+    /// Client → server: frame finished.
+    FrameDone {
+        client_id: usize,
+        frame: u64,
+        /// Fraction of non-background pixels (sanity signal).
+        coverage: f64,
+        /// Render wall time in milliseconds.
+        render_ms: f64,
+    },
+    /// Server → client: shut down cleanly.
+    Shutdown,
+}
+
+/// Writes one message (u32-LE length prefix + JSON body).
+pub fn write_message(stream: &mut impl Write, msg: &Message) -> Result<()> {
+    let body = serde_json::to_vec(msg).map_err(|e| WallError::Protocol(e.to_string()))?;
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one message; blocks until a full frame arrives.
+pub fn read_message(stream: &mut impl Read) -> Result<Message> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > 256 << 20 {
+        return Err(WallError::Protocol(format!("implausible message length {len}")));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    serde_json::from_slice(&body).map_err(|e| WallError::Protocol(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv3d::interaction::{Axis3, CameraOp};
+
+    #[test]
+    fn roundtrip_through_a_buffer() {
+        let msgs = vec![
+            Message::Hello { client_id: 3 },
+            Message::AssignWorkflow {
+                pipeline_json: "{}".into(),
+                cell_module: 12,
+                width: 1920,
+                height: 1080,
+            },
+            Message::Ready { client_id: 3 },
+            Message::Op(ConfigOp::MoveSlice { axis: Axis3::Z, delta: 2 }),
+            Message::Op(ConfigOp::Camera(CameraOp::Azimuth(15.0))),
+            Message::Execute { frame: 7 },
+            Message::FrameDone { client_id: 3, frame: 7, coverage: 0.42, render_ms: 12.5 },
+            Message::Shutdown,
+        ];
+        let mut buf: Vec<u8> = Vec::new();
+        for m in &msgs {
+            write_message(&mut buf, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for expect in &msgs {
+            let got = read_message(&mut cursor).unwrap();
+            assert_eq!(&got, expect);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, &Message::Shutdown).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_message(&mut cursor), Err(WallError::Protocol(_))));
+    }
+
+    #[test]
+    fn works_over_real_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let msg = read_message(&mut stream).unwrap();
+            write_message(&mut stream, &msg).unwrap(); // echo
+        });
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let msg = Message::Execute { frame: 99 };
+        write_message(&mut stream, &msg).unwrap();
+        let back = read_message(&mut stream).unwrap();
+        assert_eq!(back, msg);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,311 @@
+//! The server (control) node: owns the full workflow, ships sub-workflows
+//! to clients, mirrors everything at reduced resolution, and propagates
+//! the user's interaction ops to the wall.
+
+use crate::protocol::{read_message, write_message, Message};
+use crate::workflow::{split_per_client, wall_registry, CellChain, WallWorkflowConfig};
+use crate::{Result, WallError};
+use dv3d::cell::Dv3dCell;
+use dv3d::interaction::ConfigOp;
+use dv3d::plots::PlotSpec;
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+use vistrails::executor::Executor;
+use vistrails::pipeline::Pipeline;
+
+/// Timing record of one distributed frame.
+#[derive(Debug, Clone)]
+pub struct FrameReport {
+    pub frame: u64,
+    /// Per-client render times, ms (client-measured).
+    pub client_render_ms: Vec<f64>,
+    /// Wall time from Execute broadcast to the last FrameDone, ms.
+    pub round_trip_ms: f64,
+    /// Server's low-res mirror render time for all cells, ms.
+    pub mirror_ms: f64,
+    /// Per-client coverage fractions.
+    pub coverage: Vec<f64>,
+}
+
+/// The hyperwall server.
+pub struct HyperwallServer {
+    listener: TcpListener,
+    clients: Vec<TcpStream>,
+    /// The full wall pipeline.
+    pub pipeline: Pipeline,
+    /// One chain per cell.
+    pub chains: Vec<CellChain>,
+    /// Local low-resolution mirror cells (the touchscreen spreadsheet).
+    mirror: Vec<Dv3dCell>,
+    /// Mirror resolution per cell.
+    pub mirror_px: (usize, usize),
+}
+
+impl HyperwallServer {
+    /// Binds a listener and prepares the wall workflow + local mirror.
+    pub fn bind(cfg: &WallWorkflowConfig, mirror_downsample: usize) -> Result<HyperwallServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let (pipeline, chains) = crate::workflow::build_wall_pipeline(cfg)?;
+        let d = mirror_downsample.max(1);
+        let mirror_px = (cfg.cell_px.0 / d, cfg.cell_px.1 / d);
+        Ok(HyperwallServer {
+            listener,
+            clients: Vec::new(),
+            pipeline,
+            chains,
+            mirror: Vec::new(),
+            mirror_px,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> Result<std::net::SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts `n` clients (ordered by their Hello ids).
+    pub fn accept_clients(&mut self, n: usize) -> Result<()> {
+        let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (mut stream, _) = self.listener.accept()?;
+            stream.set_nodelay(true).ok();
+            match read_message(&mut stream)? {
+                Message::Hello { client_id } if client_id < n => {
+                    slots[client_id] = Some(stream);
+                }
+                other => {
+                    return Err(WallError::Protocol(format!("expected Hello, got {other:?}")))
+                }
+            }
+        }
+        self.clients = slots
+            .into_iter()
+            .map(|s| s.ok_or_else(|| WallError::Protocol("missing client".into())))
+            .collect::<Result<_>>()?;
+        Ok(())
+    }
+
+    /// Ships each client its sub-workflow and waits for all Ready replies.
+    /// Also instantiates the server's local low-res mirror of every cell.
+    pub fn assign_workflows(&mut self, cfg: &WallWorkflowConfig) -> Result<()> {
+        let subs = split_per_client(&self.pipeline, &self.chains)?;
+        for (i, stream) in self.clients.iter_mut().enumerate() {
+            write_message(
+                stream,
+                &Message::AssignWorkflow {
+                    pipeline_json: subs[i].to_json()?,
+                    cell_module: self.chains[i].cell,
+                    width: cfg.cell_px.0,
+                    height: cfg.cell_px.1,
+                },
+            )?;
+        }
+        for stream in self.clients.iter_mut() {
+            match read_message(stream)? {
+                Message::Ready { .. } => {}
+                other => {
+                    return Err(WallError::Protocol(format!("expected Ready, got {other:?}")))
+                }
+            }
+        }
+        // Build the local mirror by executing each plot stage once.
+        self.mirror.clear();
+        let mut exec = Executor::new(wall_registry());
+        for chain in self.chains.clone() {
+            let results = exec.execute_subset(&self.pipeline, Some(chain.plot))?;
+            let spec = results
+                .output(chain.plot, "plot")
+                .and_then(|d| d.as_opaque::<PlotSpec>())
+                .ok_or_else(|| WallError::Protocol("no PlotSpec for mirror".into()))?;
+            let mut cell = Dv3dCell::try_new("mirror", (*spec).clone())?;
+            cell.show_colorbar = false;
+            self.mirror.push(cell);
+        }
+        Ok(())
+    }
+
+    /// Broadcasts an interaction op to every client and applies it to the
+    /// local mirror. Returns the broadcast wall time in ms.
+    pub fn broadcast_op(&mut self, op: &ConfigOp) -> Result<f64> {
+        let start = Instant::now();
+        for stream in self.clients.iter_mut() {
+            write_message(stream, &Message::Op(op.clone()))?;
+        }
+        for cell in &mut self.mirror {
+            let _ = cell.configure(op);
+        }
+        Ok(start.elapsed().as_secs_f64() * 1000.0)
+    }
+
+    /// Executes one distributed frame: broadcast Execute, render the local
+    /// mirror while clients render full-res, then collect all FrameDone.
+    pub fn execute_frame(&mut self, frame: u64) -> Result<FrameReport> {
+        let start = Instant::now();
+        for stream in self.clients.iter_mut() {
+            write_message(stream, &Message::Execute { frame })?;
+        }
+        // server-side reduced-resolution mirror of the full spreadsheet
+        let mirror_start = Instant::now();
+        for cell in &mut self.mirror {
+            cell.render(self.mirror_px.0.max(16), self.mirror_px.1.max(16))?;
+        }
+        let mirror_ms = mirror_start.elapsed().as_secs_f64() * 1000.0;
+
+        let mut client_render_ms = vec![0.0; self.clients.len()];
+        let mut coverage = vec![0.0; self.clients.len()];
+        for stream in self.clients.iter_mut() {
+            match read_message(stream)? {
+                Message::FrameDone { client_id, frame: f, coverage: c, render_ms } => {
+                    if f != frame {
+                        return Err(WallError::Protocol(format!(
+                            "client {client_id} answered frame {f}, expected {frame}"
+                        )));
+                    }
+                    client_render_ms[client_id] = render_ms;
+                    coverage[client_id] = c;
+                }
+                other => {
+                    return Err(WallError::Protocol(format!(
+                        "expected FrameDone, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(FrameReport {
+            frame,
+            client_render_ms,
+            round_trip_ms: start.elapsed().as_secs_f64() * 1000.0,
+            mirror_ms,
+            coverage,
+        })
+    }
+
+    /// Assembles the server's low-resolution mirror cells into one mosaic
+    /// framebuffer arranged by the wall layout — the touchscreen preview of
+    /// the whole wall.
+    pub fn mirror_mosaic(&mut self, layout: &crate::layout::WallLayout) -> Result<rvtk::render::Framebuffer> {
+        let (mw, mh) = (self.mirror_px.0.max(16), self.mirror_px.1.max(16));
+        let mut mosaic = rvtk::render::Framebuffer::new(mw * layout.cols, mh * layout.rows);
+        for (i, cell) in self.mirror.iter_mut().enumerate() {
+            let Some((row, col)) = layout.panel_of(i) else {
+                break;
+            };
+            let frame = cell.render(mw, mh)?;
+            mosaic.blit(&frame, col * mw, row * mh);
+        }
+        Ok(mosaic)
+    }
+
+    /// Shuts the wall down.
+    pub fn shutdown(&mut self) -> Result<()> {
+        for stream in self.clients.iter_mut() {
+            write_message(stream, &Message::Shutdown)?;
+        }
+        Ok(())
+    }
+
+    /// Number of connected clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{read_message, write_message, Message};
+    use crate::workflow::WallWorkflowConfig;
+
+    fn cfg() -> WallWorkflowConfig {
+        WallWorkflowConfig { n_cells: 2, synth: (1, 2, 8, 16), cell_px: (32, 24) }
+    }
+
+    #[test]
+    fn rejects_bad_hello() {
+        let mut server = HyperwallServer::bind(&cfg(), 4).unwrap();
+        let addr = server.addr().unwrap();
+        let rogue = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            // claims an out-of-range client id
+            write_message(&mut s, &Message::Hello { client_id: 99 }).unwrap();
+        });
+        let err = server.accept_clients(2).unwrap_err();
+        assert!(matches!(err, WallError::Protocol(_)), "{err}");
+        rogue.join().unwrap();
+    }
+
+    #[test]
+    fn rejects_non_hello_first_message() {
+        let mut server = HyperwallServer::bind(&cfg(), 4).unwrap();
+        let addr = server.addr().unwrap();
+        let rogue = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            write_message(&mut s, &Message::Execute { frame: 0 }).unwrap();
+        });
+        assert!(server.accept_clients(1).is_err());
+        rogue.join().unwrap();
+    }
+
+    #[test]
+    fn client_disconnect_surfaces_as_error() {
+        let mut server = HyperwallServer::bind(&cfg(), 4).unwrap();
+        let addr = server.addr().unwrap();
+        // a client that hangs up right after Hello
+        let quitter = std::thread::spawn(move || {
+            for id in 0..2 {
+                let mut s = std::net::TcpStream::connect(addr).unwrap();
+                write_message(&mut s, &Message::Hello { client_id: id }).unwrap();
+                drop(s);
+            }
+        });
+        server.accept_clients(2).unwrap();
+        quitter.join().unwrap();
+        // assignment hits the closed sockets somewhere: send may buffer,
+        // but the Ready read must fail
+        let err = server.assign_workflows(&cfg()).unwrap_err();
+        assert!(matches!(err, WallError::Io(_) | WallError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn frame_mismatch_detected() {
+        let mut server = HyperwallServer::bind(&cfg(), 4).unwrap();
+        let addr = server.addr().unwrap();
+        // two concurrent fake clients that answer the wrong frame number
+        let fakes: Vec<_> = (0..2usize)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    let mut s = std::net::TcpStream::connect(addr).unwrap();
+                    write_message(&mut s, &Message::Hello { client_id: id }).unwrap();
+                    match read_message(&mut s).unwrap() {
+                        Message::AssignWorkflow { .. } => {}
+                        other => panic!("{other:?}"),
+                    }
+                    write_message(&mut s, &Message::Ready { client_id: id }).unwrap();
+                    match read_message(&mut s).unwrap() {
+                        Message::Execute { .. } => {}
+                        other => panic!("{other:?}"),
+                    }
+                    write_message(
+                        &mut s,
+                        &Message::FrameDone {
+                            client_id: id,
+                            frame: 999,
+                            coverage: 0.5,
+                            render_ms: 1.0,
+                        },
+                    )
+                    .unwrap();
+                    // hold the socket open until the server errors out
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                })
+            })
+            .collect();
+        server.accept_clients(2).unwrap();
+        server.assign_workflows(&cfg()).unwrap();
+        let err = server.execute_frame(0).unwrap_err();
+        assert!(matches!(err, WallError::Protocol(_)), "{err}");
+        for f in fakes {
+            f.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! RGBA colors with float components in `[0, 1]`.
+
+/// An RGBA color.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Color {
+    pub r: f32,
+    pub g: f32,
+    pub b: f32,
+    pub a: f32,
+}
+
+impl Color {
+    /// An opaque RGB color.
+    pub const fn rgb(r: f32, g: f32, b: f32) -> Color {
+        Color { r, g, b, a: 1.0 }
+    }
+
+    /// An RGBA color.
+    pub const fn rgba(r: f32, g: f32, b: f32, a: f32) -> Color {
+        Color { r, g, b, a }
+    }
+
+    pub const BLACK: Color = Color::rgb(0.0, 0.0, 0.0);
+    pub const WHITE: Color = Color::rgb(1.0, 1.0, 1.0);
+    pub const RED: Color = Color::rgb(1.0, 0.0, 0.0);
+    pub const GREEN: Color = Color::rgb(0.0, 1.0, 0.0);
+    pub const BLUE: Color = Color::rgb(0.0, 0.0, 1.0);
+    /// Fully transparent black.
+    pub const TRANSPARENT: Color = Color::rgba(0.0, 0.0, 0.0, 0.0);
+
+    /// Linear interpolation between two colors (component-wise, incl. alpha).
+    pub fn lerp(self, o: Color, t: f32) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        Color {
+            r: self.r + (o.r - self.r) * t,
+            g: self.g + (o.g - self.g) * t,
+            b: self.b + (o.b - self.b) * t,
+            a: self.a + (o.a - self.a) * t,
+        }
+    }
+
+    /// Multiplies RGB by `k`, leaving alpha (diffuse shading).
+    pub fn scaled(self, k: f32) -> Color {
+        Color { r: self.r * k, g: self.g * k, b: self.b * k, a: self.a }
+    }
+
+    /// Clamps all components to `[0, 1]`.
+    pub fn clamped(self) -> Color {
+        Color {
+            r: self.r.clamp(0.0, 1.0),
+            g: self.g.clamp(0.0, 1.0),
+            b: self.b.clamp(0.0, 1.0),
+            a: self.a.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Packs to 8-bit RGBA.
+    pub fn to_u8(self) -> [u8; 4] {
+        let q = |v: f32| (v.clamp(0.0, 1.0) * 255.0 + 0.5) as u8;
+        [q(self.r), q(self.g), q(self.b), q(self.a)]
+    }
+
+    /// Unpacks from 8-bit RGBA.
+    pub fn from_u8(c: [u8; 4]) -> Color {
+        Color {
+            r: c[0] as f32 / 255.0,
+            g: c[1] as f32 / 255.0,
+            b: c[2] as f32 / 255.0,
+            a: c[3] as f32 / 255.0,
+        }
+    }
+
+    /// "Over" alpha compositing: `self` drawn over `dst`.
+    pub fn over(self, dst: Color) -> Color {
+        let a = self.a + dst.a * (1.0 - self.a);
+        if a <= 0.0 {
+            return Color::TRANSPARENT;
+        }
+        Color {
+            r: (self.r * self.a + dst.r * dst.a * (1.0 - self.a)) / a,
+            g: (self.g * self.a + dst.g * dst.a * (1.0 - self.a)) / a,
+            b: (self.b * self.a + dst.b * dst.a * (1.0 - self.a)) / a,
+            a,
+        }
+    }
+
+    /// Perceptual luminance (Rec. 709).
+    pub fn luminance(self) -> f32 {
+        0.2126 * self.r + 0.7152 * self.g + 0.0722 * self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let c = Color::rgba(0.25, 0.5, 0.75, 1.0);
+        let u = c.to_u8();
+        assert_eq!(u, [64, 128, 191, 255]);
+        let back = Color::from_u8(u);
+        assert!((back.r - 0.25).abs() < 0.01);
+        assert!((back.b - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Color::BLACK;
+        let b = Color::WHITE;
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert!((mid.r - 0.5).abs() < 1e-6);
+        // t is clamped
+        assert_eq!(a.lerp(b, 2.0), b);
+    }
+
+    #[test]
+    fn over_compositing() {
+        // opaque over anything = itself
+        assert_eq!(Color::RED.over(Color::BLUE), Color::RED);
+        // 50% red over opaque blue
+        let c = Color::rgba(1.0, 0.0, 0.0, 0.5).over(Color::BLUE);
+        assert!((c.r - 0.5).abs() < 1e-6);
+        assert!((c.b - 0.5).abs() < 1e-6);
+        assert!((c.a - 1.0).abs() < 1e-6);
+        // transparent over transparent
+        assert_eq!(Color::TRANSPARENT.over(Color::TRANSPARENT), Color::TRANSPARENT);
+    }
+
+    #[test]
+    fn shading_helpers() {
+        let c = Color::rgb(0.5, 0.5, 0.5).scaled(2.0);
+        assert_eq!(c.r, 1.0);
+        assert_eq!(c.clamped().r, 1.0);
+        assert_eq!(Color::rgb(2.0, -1.0, 0.5).clamped(), Color::rgb(1.0, 0.0, 0.5));
+        assert!((Color::WHITE.luminance() - 1.0).abs() < 1e-6);
+        assert!(Color::GREEN.luminance() > Color::BLUE.luminance());
+    }
+}

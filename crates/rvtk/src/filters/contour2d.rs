@@ -1,0 +1,233 @@
+//! Marching-squares contour lines over an axis-aligned slice.
+//!
+//! DV3D's Slicer can overlay a *second* variable as a contour map on a
+//! pseudocolor plane; this filter produces those contour polylines.
+
+use crate::filters::slice::SliceAxis;
+use crate::image_data::ImageData;
+use crate::math::Vec3;
+use crate::poly_data::PolyData;
+use crate::{Result, VtkError};
+
+/// Extracts contour line segments of `img` at each of `levels`, on the
+/// axis-aligned plane `axis = slice_index`. Output contains line cells
+/// (2-point polylines) with the contour level as the per-point scalar.
+/// Cells containing NaN corners are skipped.
+pub fn contour_lines(
+    img: &ImageData,
+    axis: SliceAxis,
+    slice_index: usize,
+    levels: &[f32],
+) -> Result<PolyData> {
+    let ai = axis.index();
+    if slice_index >= img.dims[ai] {
+        return Err(VtkError::Invalid(format!(
+            "slice index {slice_index} out of range (len {})",
+            img.dims[ai]
+        )));
+    }
+    let (u_ax, v_ax) = match axis {
+        SliceAxis::X => (1, 2),
+        SliceAxis::Y => (0, 2),
+        SliceAxis::Z => (0, 1),
+    };
+    let (nu, nv) = (img.dims[u_ax], img.dims[v_ax]);
+    let mut out = PolyData::new();
+    let mut scalars: Vec<f32> = Vec::new();
+
+    let point_at = |u: usize, v: usize| -> ([usize; 3], Vec3) {
+        let mut ijk = [0usize; 3];
+        ijk[ai] = slice_index;
+        ijk[u_ax] = u;
+        ijk[v_ax] = v;
+        (ijk, Vec3::ZERO)
+    };
+    let world = |ijk: [usize; 3]| img.point(ijk[0], ijk[1], ijk[2]);
+
+    for &level in levels {
+        for v in 0..nv.saturating_sub(1) {
+            for u in 0..nu.saturating_sub(1) {
+                // cell corners: 0=(u,v) 1=(u+1,v) 2=(u+1,v+1) 3=(u,v+1)
+                let corners = [
+                    point_at(u, v).0,
+                    point_at(u + 1, v).0,
+                    point_at(u + 1, v + 1).0,
+                    point_at(u, v + 1).0,
+                ];
+                let vals = corners.map(|c| img.scalar(c[0], c[1], c[2]));
+                if vals.iter().any(|x| x.is_nan()) {
+                    continue;
+                }
+                let mut case = 0u8;
+                for (c, &x) in vals.iter().enumerate() {
+                    if x >= level {
+                        case |= 1 << c;
+                    }
+                }
+                if case == 0 || case == 0b1111 {
+                    continue;
+                }
+                // edge crossings: edges are (0,1) (1,2) (2,3) (3,0)
+                let edges = [(0usize, 1usize), (1, 2), (2, 3), (3, 0)];
+                let mut crossings: Vec<Vec3> = Vec::with_capacity(4);
+                for &(a, b) in &edges {
+                    let (va, vb) = (vals[a], vals[b]);
+                    if (va >= level) != (vb >= level) {
+                        let t = ((level - va) / (vb - va)).clamp(0.0, 1.0) as f64;
+                        crossings.push(world(corners[a]).lerp(world(corners[b]), t));
+                    }
+                }
+                // 2 crossings → one segment; 4 (saddle) → two segments paired
+                // by the midpoint-value disambiguation.
+                match crossings.len() {
+                    2 => {
+                        push_segment(&mut out, &mut scalars, crossings[0], crossings[1], level);
+                    }
+                    4 => {
+                        let centre = vals.iter().sum::<f32>() / 4.0;
+                        // crossing order follows edges 01,12,23,30
+                        if (centre >= level) == (vals[0] >= level) {
+                            push_segment(&mut out, &mut scalars, crossings[0], crossings[3], level);
+                            push_segment(&mut out, &mut scalars, crossings[1], crossings[2], level);
+                        } else {
+                            push_segment(&mut out, &mut scalars, crossings[0], crossings[1], level);
+                            push_segment(&mut out, &mut scalars, crossings[2], crossings[3], level);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out.scalars = Some(scalars);
+    Ok(out)
+}
+
+fn push_segment(out: &mut PolyData, scalars: &mut Vec<f32>, a: Vec3, b: Vec3, level: f32) {
+    let ia = out.add_point(a);
+    let ib = out.add_point(b);
+    scalars.push(level);
+    scalars.push(level);
+    out.lines.push(vec![ia, ib]);
+}
+
+/// Evenly spaced contour levels across a scalar range (n interior levels).
+pub fn auto_levels(range: (f32, f32), n: usize) -> Vec<f32> {
+    if n == 0 || range.1 <= range.0 {
+        return Vec::new();
+    }
+    (1..=n)
+        .map(|i| range.0 + (range.1 - range.0) * i as f32 / (n + 1) as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_contour_has_right_radius() {
+        // radial field on a z-slice
+        let img = ImageData::from_fn([32, 32, 1], [1.0; 3], [0.0; 3], |x, y, _| {
+            (((x - 15.5).powi(2) + (y - 15.5).powi(2)) as f32).sqrt()
+        });
+        let c = contour_lines(&img, SliceAxis::Z, 0, &[8.0]).unwrap();
+        assert!(!c.lines.is_empty());
+        for &p in &c.points {
+            let r = ((p.x - 15.5).powi(2) + (p.y - 15.5).powi(2)).sqrt();
+            assert!((r - 8.0).abs() < 0.25, "point at radius {r}");
+        }
+        // total length ≈ circumference 2π·8
+        let total: f64 = c
+            .lines
+            .iter()
+            .map(|l| (c.points[l[1] as usize] - c.points[l[0] as usize]).length())
+            .sum();
+        let circ = 2.0 * std::f64::consts::PI * 8.0;
+        assert!((total - circ).abs() / circ < 0.05, "length {total} vs {circ}");
+    }
+
+    #[test]
+    fn linear_field_contours_are_straight() {
+        let img = ImageData::from_fn([16, 16, 1], [1.0; 3], [0.0; 3], |x, _, _| x as f32);
+        let c = contour_lines(&img, SliceAxis::Z, 0, &[5.5]).unwrap();
+        for &p in &c.points {
+            assert!((p.x - 5.5).abs() < 1e-5);
+        }
+        // scalar carries the level
+        assert!(c.scalars.as_ref().unwrap().iter().all(|&s| s == 5.5));
+    }
+
+    #[test]
+    fn multiple_levels_accumulate() {
+        let img = ImageData::from_fn([16, 16, 1], [1.0; 3], [0.0; 3], |x, _, _| x as f32);
+        let c1 = contour_lines(&img, SliceAxis::Z, 0, &[4.5]).unwrap();
+        let c2 = contour_lines(&img, SliceAxis::Z, 0, &[4.5, 9.5]).unwrap();
+        assert_eq!(c2.lines.len(), 2 * c1.lines.len());
+    }
+
+    #[test]
+    fn nan_cells_skipped() {
+        let mut img = ImageData::from_fn([8, 8, 1], [1.0; 3], [0.0; 3], |x, _, _| x as f32);
+        let idx = img.index(4, 4, 0);
+        img.scalars[idx] = f32::NAN;
+        let c = contour_lines(&img, SliceAxis::Z, 0, &[3.5]).unwrap();
+        // still contours away from the hole
+        assert!(!c.lines.is_empty());
+        for &p in &c.points {
+            assert!(p.x.is_finite());
+        }
+    }
+
+    #[test]
+    fn no_levels_or_flat_field_yield_empty() {
+        let img = ImageData::from_fn([8, 8, 1], [1.0; 3], [0.0; 3], |_, _, _| 1.0);
+        assert!(contour_lines(&img, SliceAxis::Z, 0, &[]).unwrap().lines.is_empty());
+        assert!(contour_lines(&img, SliceAxis::Z, 0, &[5.0]).unwrap().lines.is_empty());
+    }
+
+    #[test]
+    fn saddle_case_produces_two_segments() {
+        // checkerboard 2×2 cell: corners 10, 0 / 0, 10 — saddle at level 5
+        let img = ImageData::new(
+            [2, 2, 1],
+            [1.0; 3],
+            [0.0; 3],
+            vec![10.0, 0.0, 0.0, 10.0],
+        )
+        .unwrap();
+        let c = contour_lines(&img, SliceAxis::Z, 0, &[5.0]).unwrap();
+        assert_eq!(c.lines.len(), 2);
+    }
+
+    #[test]
+    fn auto_levels_interior() {
+        let l = auto_levels((0.0, 10.0), 4);
+        assert_eq!(l, vec![2.0, 4.0, 6.0, 8.0]);
+        assert!(auto_levels((5.0, 5.0), 4).is_empty());
+        assert!(auto_levels((0.0, 1.0), 0).is_empty());
+    }
+
+    #[test]
+    fn bad_slice_index_rejected() {
+        let img = ImageData::from_fn([4, 4, 2], [1.0; 3], [0.0; 3], |_, _, _| 0.0);
+        assert!(contour_lines(&img, SliceAxis::Z, 2, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn works_on_x_and_y_slices() {
+        let img = ImageData::from_fn([6, 6, 6], [1.0; 3], [0.0; 3], |_, y, z| (y + z) as f32);
+        let cx = contour_lines(&img, SliceAxis::X, 2, &[4.5]).unwrap();
+        assert!(!cx.lines.is_empty());
+        for &p in &cx.points {
+            assert_eq!(p.x, 2.0);
+            assert!((p.y + p.z - 4.5).abs() < 1e-5);
+        }
+        let img2 = ImageData::from_fn([6, 6, 6], [1.0; 3], [0.0; 3], |x, _, z| (x + z) as f32);
+        let cy = contour_lines(&img2, SliceAxis::Y, 3, &[4.5]).unwrap();
+        assert!(!cy.lines.is_empty());
+        for &p in &cy.points {
+            assert_eq!(p.y, 3.0);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Vector glyphs: arrows drawn on a slice plane, the other rendering mode
+//! of DV3D's Vector slicer.
+
+use crate::filters::slice::SliceAxis;
+use crate::image_data::ImageData;
+use crate::math::Vec3;
+use crate::poly_data::PolyData;
+use crate::{Result, VtkError};
+
+/// Glyph generation options.
+#[derive(Debug, Clone)]
+pub struct GlyphOptions {
+    /// Sample every `stride`-th grid point in each in-plane direction.
+    pub stride: usize,
+    /// World length of a glyph for a unit-speed vector.
+    pub scale: f64,
+    /// Skip vectors slower than this.
+    pub min_speed: f64,
+    /// Cap the drawn length at this many world units (0 = uncapped).
+    pub max_length: f64,
+}
+
+impl Default for GlyphOptions {
+    fn default() -> GlyphOptions {
+        GlyphOptions { stride: 2, scale: 1.0, min_speed: 1e-6, max_length: 0.0 }
+    }
+}
+
+/// Emits arrow glyphs (a shaft line plus two head lines) for the in-plane
+/// projection of the vector field on the plane `axis = slice_index`.
+/// Point scalars carry the full 3D speed for color mapping.
+pub fn glyphs_on_slice(
+    img: &ImageData,
+    axis: SliceAxis,
+    slice_index: usize,
+    opts: &GlyphOptions,
+) -> Result<PolyData> {
+    let vectors = img
+        .vectors
+        .as_ref()
+        .ok_or_else(|| VtkError::MissingData("vector field".into()))?;
+    let ai = axis.index();
+    if slice_index >= img.dims[ai] {
+        return Err(VtkError::Invalid(format!(
+            "slice index {slice_index} out of range (len {})",
+            img.dims[ai]
+        )));
+    }
+    if opts.stride == 0 {
+        return Err(VtkError::Invalid("stride must be ≥ 1".into()));
+    }
+    let (u_ax, v_ax) = match axis {
+        SliceAxis::X => (1, 2),
+        SliceAxis::Y => (0, 2),
+        SliceAxis::Z => (0, 1),
+    };
+    let (nu, nv) = (img.dims[u_ax], img.dims[v_ax]);
+    let mut out = PolyData::new();
+    let mut scalars: Vec<f32> = Vec::new();
+
+    for v in (0..nv).step_by(opts.stride) {
+        for u in (0..nu).step_by(opts.stride) {
+            let mut ijk = [0usize; 3];
+            ijk[ai] = slice_index;
+            ijk[u_ax] = u;
+            ijk[v_ax] = v;
+            let vec = vectors[img.index(ijk[0], ijk[1], ijk[2])];
+            let speed3 =
+                ((vec[0] as f64).powi(2) + (vec[1] as f64).powi(2) + (vec[2] as f64).powi(2))
+                    .sqrt();
+            if speed3 < opts.min_speed || !speed3.is_finite() {
+                continue;
+            }
+            // project onto the plane
+            let mut dir = Vec3::new(vec[0] as f64, vec[1] as f64, vec[2] as f64);
+            match axis {
+                SliceAxis::X => dir.x = 0.0,
+                SliceAxis::Y => dir.y = 0.0,
+                SliceAxis::Z => dir.z = 0.0,
+            }
+            let in_plane = dir.length();
+            if in_plane < opts.min_speed {
+                continue;
+            }
+            let mut len = in_plane * opts.scale;
+            if opts.max_length > 0.0 {
+                len = len.min(opts.max_length);
+            }
+            let base = img.point(ijk[0], ijk[1], ijk[2]);
+            let unit = dir / in_plane;
+            let tip = base + unit * len;
+            // head: two barbs at ±150° from the direction, 25% of length
+            let plane_normal = match axis {
+                SliceAxis::X => Vec3::new(1.0, 0.0, 0.0),
+                SliceAxis::Y => Vec3::new(0.0, 1.0, 0.0),
+                SliceAxis::Z => Vec3::new(0.0, 0.0, 1.0),
+            };
+            let side = unit.cross(plane_normal).normalized();
+            let barb = len * 0.25;
+            let left = tip - unit * barb + side * (barb * 0.6);
+            let right = tip - unit * barb - side * (barb * 0.6);
+
+            let speed = speed3 as f32;
+            let b = out.add_point(base);
+            let t = out.add_point(tip);
+            let l = out.add_point(left);
+            let r = out.add_point(right);
+            scalars.extend_from_slice(&[speed; 4]);
+            out.lines.push(vec![b, t]);
+            out.lines.push(vec![t, l]);
+            out.lines.push(vec![t, r]);
+        }
+    }
+    out.scalars = Some(scalars);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(n: usize, f: impl Fn(usize, usize, usize) -> [f32; 3]) -> ImageData {
+        let mut vectors = Vec::with_capacity(n * n * n);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    vectors.push(f(i, j, k));
+                }
+            }
+        }
+        ImageData::from_fn([n, n, n], [1.0; 3], [0.0; 3], |_, _, _| 0.0)
+            .with_vectors(vectors)
+            .unwrap()
+    }
+
+    #[test]
+    fn requires_vectors_and_valid_args() {
+        let img = ImageData::from_fn([4, 4, 4], [1.0; 3], [0.0; 3], |_, _, _| 0.0);
+        assert!(glyphs_on_slice(&img, SliceAxis::Z, 0, &GlyphOptions::default()).is_err());
+        let img = flow(4, |_, _, _| [1.0, 0.0, 0.0]);
+        assert!(glyphs_on_slice(&img, SliceAxis::Z, 9, &GlyphOptions::default()).is_err());
+        let bad = GlyphOptions { stride: 0, ..Default::default() };
+        assert!(glyphs_on_slice(&img, SliceAxis::Z, 0, &bad).is_err());
+    }
+
+    #[test]
+    fn uniform_flow_arrows_point_x() {
+        let img = flow(8, |_, _, _| [2.0, 0.0, 0.0]);
+        let opts = GlyphOptions { stride: 4, scale: 1.0, ..Default::default() };
+        let g = glyphs_on_slice(&img, SliceAxis::Z, 0, &opts).unwrap();
+        // 2×2 sample points, 3 lines each
+        assert_eq!(g.lines.len(), 4 * 3);
+        // shaft of the first arrow: from base toward +x with length 2
+        let shaft = &g.lines[0];
+        let a = g.points[shaft[0] as usize];
+        let b = g.points[shaft[1] as usize];
+        assert!((b.x - a.x - 2.0).abs() < 1e-9);
+        assert!((b.y - a.y).abs() < 1e-12);
+        // scalar carries speed
+        assert!(g.scalars.as_ref().unwrap().iter().all(|&s| (s - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn stride_reduces_count() {
+        let img = flow(9, |_, _, _| [1.0, 1.0, 0.0]);
+        let g1 = glyphs_on_slice(
+            &img,
+            SliceAxis::Z,
+            0,
+            &GlyphOptions { stride: 1, ..Default::default() },
+        )
+        .unwrap();
+        let g3 = glyphs_on_slice(
+            &img,
+            SliceAxis::Z,
+            0,
+            &GlyphOptions { stride: 3, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(g1.lines.len(), 81 * 3);
+        assert_eq!(g3.lines.len(), 9 * 3);
+    }
+
+    #[test]
+    fn slow_vectors_skipped() {
+        let img = flow(6, |i, _, _| if i < 3 { [0.0; 3] } else { [1.0, 0.0, 0.0] });
+        let g = glyphs_on_slice(
+            &img,
+            SliceAxis::Z,
+            0,
+            &GlyphOptions { stride: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(g.lines.len(), 3 * 6 * 3); // only i ≥ 3 columns emit
+    }
+
+    #[test]
+    fn out_of_plane_component_projected_away() {
+        // purely vertical flow on a z-slice leaves nothing in plane
+        let img = flow(6, |_, _, _| [0.0, 0.0, 5.0]);
+        let g = glyphs_on_slice(&img, SliceAxis::Z, 0, &GlyphOptions::default()).unwrap();
+        assert!(g.lines.is_empty());
+        // on an x-slice the z component survives
+        let g = glyphs_on_slice(&img, SliceAxis::X, 0, &GlyphOptions::default()).unwrap();
+        assert!(!g.lines.is_empty());
+    }
+
+    #[test]
+    fn max_length_caps_glyphs() {
+        let img = flow(6, |_, _, _| [100.0, 0.0, 0.0]);
+        let opts = GlyphOptions { stride: 5, scale: 1.0, max_length: 1.5, ..Default::default() };
+        let g = glyphs_on_slice(&img, SliceAxis::Z, 0, &opts).unwrap();
+        let shaft = &g.lines[0];
+        let a = g.points[shaft[0] as usize];
+        let b = g.points[shaft[1] as usize];
+        assert!(((b - a).length() - 1.5).abs() < 1e-9);
+    }
+}

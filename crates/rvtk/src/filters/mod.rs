@@ -1,0 +1,30 @@
+//! Geometry and data filters — the middle of the VTK-style pipeline.
+//!
+//! Each filter is a function from data to data:
+//!
+//! * [`isosurface`] / [`isosurface_colored`] — marching-tetrahedra surface
+//!   extraction (DV3D's Isosurface plot).
+//! * [`slice_axis`] / [`slice_plane`] — pseudocolor slice planes (Slicer).
+//! * [`contour_lines`] — marching-squares contour overlays.
+//! * [`streamlines`] / [`glyphs_on_slice`] — vector-field visualization
+//!   (Vector slicer).
+//! * [`threshold`] — keep points whose scalar passes a predicate.
+//! * [`probe`] — point probing (the spreadsheet cell "pick" operation).
+
+mod contour2d;
+mod glyph;
+mod isosurface;
+mod outline;
+mod probe;
+mod slice;
+mod streamline;
+mod threshold;
+
+pub use contour2d::{auto_levels, contour_lines};
+pub use glyph::{glyphs_on_slice, GlyphOptions};
+pub use isosurface::{isosurface, isosurface_colored};
+pub use outline::outline;
+pub use probe::{probe, ProbeResult};
+pub use slice::{slice_axis, slice_plane, SliceAxis};
+pub use streamline::{streamlines, StreamlineOptions};
+pub use threshold::threshold;

@@ -1,0 +1,69 @@
+//! Outline filter: the 12-edge wireframe box of a dataset's bounds —
+//! the spatial reference frame DV3D cells draw around their volumes.
+
+use crate::math::{Bounds, Vec3};
+use crate::poly_data::PolyData;
+
+/// Produces the 12 edges of `bounds` as line cells.
+pub fn outline(bounds: &Bounds) -> PolyData {
+    let mut pd = PolyData::new();
+    if bounds.is_empty() {
+        return pd;
+    }
+    let (lo, hi) = (bounds.min, bounds.max);
+    // 8 corners, bit i of the index selects min/max per axis (x=1, y=2, z=4)
+    for k in 0..8u32 {
+        pd.add_point(Vec3::new(
+            if k & 1 == 0 { lo.x } else { hi.x },
+            if k & 2 == 0 { lo.y } else { hi.y },
+            if k & 4 == 0 { lo.z } else { hi.z },
+        ));
+    }
+    const EDGES: [(u32, u32); 12] = [
+        (0, 1), (2, 3), (4, 5), (6, 7), // x-aligned
+        (0, 2), (1, 3), (4, 6), (5, 7), // y-aligned
+        (0, 4), (1, 5), (2, 6), (3, 7), // z-aligned
+    ];
+    for (a, b) in EDGES {
+        pd.lines.push(vec![a, b]);
+    }
+    pd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_edges_eight_corners() {
+        let mut b = Bounds::empty();
+        b.include(Vec3::new(0.0, 0.0, 0.0));
+        b.include(Vec3::new(2.0, 3.0, 4.0));
+        let o = outline(&b);
+        assert_eq!(o.points.len(), 8);
+        assert_eq!(o.lines.len(), 12);
+        // every edge is axis-aligned with positive length
+        for l in &o.lines {
+            let a = o.points[l[0] as usize];
+            let c = o.points[l[1] as usize];
+            let d = c - a;
+            let nonzero =
+                [d.x, d.y, d.z].iter().filter(|v| v.abs() > 1e-12).count();
+            assert_eq!(nonzero, 1, "edge {a:?} -> {c:?}");
+        }
+        // total edge length = 4(w + h + d)
+        let total: f64 = o
+            .lines
+            .iter()
+            .map(|l| (o.points[l[1] as usize] - o.points[l[0] as usize]).length())
+            .sum();
+        assert!((total - 4.0 * (2.0 + 3.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_bounds_empty_outline() {
+        let o = outline(&Bounds::empty());
+        assert!(o.points.is_empty());
+        assert!(o.lines.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Point probing: the value-readout behind the DV3D cell "pick" display.
+
+use crate::image_data::ImageData;
+use crate::math::Vec3;
+
+/// The result of probing a world-space location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeResult {
+    /// Where the probe landed (input point).
+    pub position: Vec3,
+    /// Trilinearly interpolated scalar, `None` outside the volume or in a
+    /// missing-data cell.
+    pub scalar: Option<f32>,
+    /// Interpolated vector when the volume carries vectors.
+    pub vector: Option<[f32; 3]>,
+    /// Nearest grid indices `(i, j, k)`.
+    pub nearest_index: [usize; 3],
+    /// Scalar at the nearest grid point (NaN-aware).
+    pub nearest_scalar: Option<f32>,
+}
+
+/// Probes `img` at a world point.
+pub fn probe(img: &ImageData, p: Vec3) -> ProbeResult {
+    let c = img.world_to_continuous(p);
+    let clamp_idx = |x: f64, n: usize| -> usize {
+        (x.round().max(0.0) as usize).min(n.saturating_sub(1))
+    };
+    let nearest = [
+        clamp_idx(c.x, img.dims[0]),
+        clamp_idx(c.y, img.dims[1]),
+        clamp_idx(c.z, img.dims[2]),
+    ];
+    let nv = img.scalar(nearest[0], nearest[1], nearest[2]);
+    ProbeResult {
+        position: p,
+        scalar: img.sample_continuous(c),
+        vector: img.sample_vector_continuous(c),
+        nearest_index: nearest,
+        nearest_scalar: (!nv.is_nan()).then_some(nv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> ImageData {
+        ImageData::from_fn([4, 4, 4], [1.0; 3], [0.0; 3], |x, y, z| {
+            (x + 10.0 * y + 100.0 * z) as f32
+        })
+    }
+
+    #[test]
+    fn interior_probe_interpolates() {
+        let r = probe(&ramp(), Vec3::new(1.5, 2.0, 0.5));
+        assert!((r.scalar.unwrap() - (1.5 + 20.0 + 50.0)).abs() < 1e-4);
+        assert_eq!(r.nearest_index, [2, 2, 1]); // 1.5 rounds to 2
+        assert_eq!(r.nearest_scalar, Some(122.0));
+    }
+
+    #[test]
+    fn outside_probe_returns_none_but_nearest_clamps() {
+        let r = probe(&ramp(), Vec3::new(-5.0, 0.0, 0.0));
+        assert_eq!(r.scalar, None);
+        assert_eq!(r.nearest_index, [0, 0, 0]);
+        assert_eq!(r.nearest_scalar, Some(0.0));
+        let r = probe(&ramp(), Vec3::new(100.0, 100.0, 100.0));
+        assert_eq!(r.nearest_index, [3, 3, 3]);
+    }
+
+    #[test]
+    fn nan_cell_probes_as_missing() {
+        let mut img = ramp();
+        let idx = img.index(0, 0, 0);
+        img.scalars[idx] = f32::NAN;
+        let r = probe(&img, Vec3::new(0.25, 0.25, 0.25));
+        assert_eq!(r.scalar, None);
+        let r = probe(&img, Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(r.nearest_scalar, None);
+    }
+
+    #[test]
+    fn vector_probe_when_present() {
+        let img = ramp().with_vectors(vec![[1.0, 2.0, 3.0]; 64]).unwrap();
+        let r = probe(&img, Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(r.vector, Some([1.0, 2.0, 3.0]));
+        let r = probe(&ramp(), Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(r.vector, None);
+    }
+}

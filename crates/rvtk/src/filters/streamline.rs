@@ -1,0 +1,256 @@
+//! Streamline integration through a vector field (RK4).
+//!
+//! The DV3D Vector slicer shows streamlines seeded on a draggable plane;
+//! this filter integrates them with classic fourth-order Runge–Kutta in
+//! both directions from each seed.
+
+use crate::image_data::ImageData;
+use crate::math::Vec3;
+use crate::poly_data::PolyData;
+use crate::{Result, VtkError};
+
+/// Streamline integration options.
+#[derive(Debug, Clone)]
+pub struct StreamlineOptions {
+    /// Integration step in world units.
+    pub step_size: f64,
+    /// Maximum steps per direction.
+    pub max_steps: usize,
+    /// Stop when |v| falls below this.
+    pub min_speed: f64,
+    /// Integrate backwards from the seed too.
+    pub both_directions: bool,
+}
+
+impl Default for StreamlineOptions {
+    fn default() -> StreamlineOptions {
+        StreamlineOptions {
+            step_size: 0.5,
+            max_steps: 200,
+            min_speed: 1e-6,
+            both_directions: true,
+        }
+    }
+}
+
+/// Integrates streamlines from `seeds` (world coordinates) through the
+/// vector field of `img`. The result has one polyline per (non-degenerate)
+/// streamline; point scalars carry the local speed |v|.
+pub fn streamlines(
+    img: &ImageData,
+    seeds: &[Vec3],
+    opts: &StreamlineOptions,
+) -> Result<PolyData> {
+    if img.vectors.is_none() {
+        return Err(VtkError::MissingData("vector field".into()));
+    }
+    if opts.step_size <= 0.0 {
+        return Err(VtkError::Invalid("step size must be positive".into()));
+    }
+    let mut out = PolyData::new();
+    let mut scalars: Vec<f32> = Vec::new();
+
+    for &seed in seeds {
+        let mut line_points: Vec<(Vec3, f32)> = Vec::new();
+        // backward half (reversed later), then forward half
+        if opts.both_directions {
+            let back = integrate(img, seed, -opts.step_size, opts);
+            line_points.extend(back.into_iter().rev());
+        }
+        let fwd = integrate(img, seed, opts.step_size, opts);
+        // avoid duplicating the seed point when both halves are present
+        if !line_points.is_empty() && !fwd.is_empty() {
+            line_points.extend(fwd.into_iter().skip(1));
+        } else {
+            line_points.extend(fwd);
+        }
+        if line_points.len() < 2 {
+            continue;
+        }
+        let start = out.points.len() as u32;
+        for (p, s) in &line_points {
+            out.add_point(*p);
+            scalars.push(*s);
+        }
+        out.lines.push((start..start + line_points.len() as u32).collect());
+    }
+    out.scalars = Some(scalars);
+    Ok(out)
+}
+
+/// One-directional RK4 integration; returns points including the seed.
+fn integrate(img: &ImageData, seed: Vec3, h: f64, opts: &StreamlineOptions) -> Vec<(Vec3, f32)> {
+    let sample = |p: Vec3| -> Option<Vec3> {
+        let v = img.sample_vector_continuous(img.world_to_continuous(p))?;
+        Some(Vec3::new(v[0] as f64, v[1] as f64, v[2] as f64))
+    };
+    let mut pts = Vec::new();
+    let mut p = seed;
+    let Some(v0) = sample(p) else {
+        return pts;
+    };
+    pts.push((p, v0.length() as f32));
+    for _ in 0..opts.max_steps {
+        let Some(k1) = sample(p) else { break };
+        if k1.length() < opts.min_speed {
+            break;
+        }
+        let Some(k2) = sample(p + k1.normalized() * (h / 2.0)) else { break };
+        let Some(k3) = sample(p + k2.normalized() * (h / 2.0)) else { break };
+        let Some(k4) = sample(p + k3.normalized() * h) else { break };
+        // direction-normalized RK4: fixed spatial step along the blended dir
+        let dir = (k1.normalized() + k2.normalized() * 2.0 + k3.normalized() * 2.0
+            + k4.normalized())
+        .normalized();
+        if dir.length() < 0.5 {
+            break;
+        }
+        p = p + dir * h;
+        match sample(p) {
+            Some(v) => pts.push((p, v.length() as f32)),
+            None => break,
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform flow in +x.
+    fn uniform_flow(n: usize) -> ImageData {
+        let img = ImageData::from_fn([n, n, n], [1.0; 3], [0.0; 3], |_, _, _| 0.0);
+        let count = n * n * n;
+        img.with_vectors(vec![[1.0, 0.0, 0.0]; count]).unwrap()
+    }
+
+    /// Solid-body rotation about the z axis through the volume centre.
+    fn rotation_flow(n: usize) -> ImageData {
+        let c = (n - 1) as f64 / 2.0;
+        let mut vectors = Vec::with_capacity(n * n * n);
+        for _k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (x, y) = (i as f64 - c, j as f64 - c);
+                    vectors.push([-y as f32, x as f32, 0.0]);
+                }
+            }
+        }
+        ImageData::from_fn([n, n, n], [1.0; 3], [0.0; 3], |_, _, _| 0.0)
+            .with_vectors(vectors)
+            .unwrap()
+    }
+
+    #[test]
+    fn requires_vectors() {
+        let img = ImageData::from_fn([4, 4, 4], [1.0; 3], [0.0; 3], |_, _, _| 0.0);
+        assert!(streamlines(&img, &[Vec3::ZERO], &StreamlineOptions::default()).is_err());
+    }
+
+    #[test]
+    fn uniform_flow_gives_straight_lines() {
+        let img = uniform_flow(10);
+        let opts = StreamlineOptions { both_directions: false, ..Default::default() };
+        let sl = streamlines(&img, &[Vec3::new(0.5, 4.5, 4.5)], &opts).unwrap();
+        assert_eq!(sl.lines.len(), 1);
+        let line = &sl.lines[0];
+        assert!(line.len() > 10);
+        for &i in line {
+            let p = sl.points[i as usize];
+            assert!((p.y - 4.5).abs() < 1e-9);
+            assert!((p.z - 4.5).abs() < 1e-9);
+        }
+        // x advances monotonically
+        let xs: Vec<f64> = line.iter().map(|&i| sl.points[i as usize].x).collect();
+        assert!(xs.windows(2).all(|w| w[1] > w[0]));
+        // speed scalar = 1 everywhere
+        assert!(sl.scalars.as_ref().unwrap().iter().all(|&s| (s - 1.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn both_directions_extends_line() {
+        let img = uniform_flow(12);
+        let seed = Vec3::new(5.5, 5.5, 5.5);
+        let one = streamlines(
+            &img,
+            &[seed],
+            &StreamlineOptions { both_directions: false, ..Default::default() },
+        )
+        .unwrap();
+        let two = streamlines(&img, &[seed], &StreamlineOptions::default()).unwrap();
+        assert!(two.lines[0].len() > one.lines[0].len());
+        // no duplicated seed point
+        let pts = &two.lines[0];
+        for w in pts.windows(2) {
+            let a = two.points[w[0] as usize];
+            let b = two.points[w[1] as usize];
+            assert!((a - b).length() > 1e-9);
+        }
+    }
+
+    #[test]
+    fn rotation_flow_circles_back() {
+        let img = rotation_flow(21);
+        let seed = Vec3::new(15.0, 10.0, 10.0); // radius 5 from centre
+        let opts = StreamlineOptions {
+            step_size: 0.2,
+            max_steps: 400,
+            both_directions: false,
+            ..Default::default()
+        };
+        let sl = streamlines(&img, &[seed], &opts).unwrap();
+        let line = &sl.lines[0];
+        let centre = Vec3::new(10.0, 10.0, 10.0);
+        // radius stays ~constant
+        for &i in line.iter().step_by(10) {
+            let r = (sl.points[i as usize] - centre).length();
+            assert!((r - 5.0).abs() < 0.35, "radius {r}");
+        }
+        // line comes back near the seed (full circle ≈ 2π·5 ≈ 31 units / 0.2 step)
+        let min_return = line
+            .iter()
+            .skip(100)
+            .map(|&i| (sl.points[i as usize] - seed).length())
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_return < 1.0, "closest return {min_return}");
+    }
+
+    #[test]
+    fn leaves_domain_and_stops() {
+        let img = uniform_flow(6);
+        let opts = StreamlineOptions { both_directions: false, ..Default::default() };
+        let sl = streamlines(&img, &[Vec3::new(4.0, 2.5, 2.5)], &opts).unwrap();
+        let last = sl.points[*sl.lines[0].last().unwrap() as usize];
+        assert!(last.x <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn seed_outside_domain_is_skipped() {
+        let img = uniform_flow(6);
+        let sl = streamlines(
+            &img,
+            &[Vec3::new(-10.0, 0.0, 0.0), Vec3::new(1.0, 2.0, 2.0)],
+            &StreamlineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sl.lines.len(), 1);
+    }
+
+    #[test]
+    fn zero_velocity_stops_immediately() {
+        let img = ImageData::from_fn([5, 5, 5], [1.0; 3], [0.0; 3], |_, _, _| 0.0)
+            .with_vectors(vec![[0.0; 3]; 125])
+            .unwrap();
+        let sl = streamlines(&img, &[Vec3::new(2.0, 2.0, 2.0)], &StreamlineOptions::default())
+            .unwrap();
+        assert!(sl.lines.is_empty());
+    }
+
+    #[test]
+    fn invalid_step_rejected() {
+        let img = uniform_flow(4);
+        let opts = StreamlineOptions { step_size: 0.0, ..Default::default() };
+        assert!(streamlines(&img, &[Vec3::ZERO], &opts).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Threshold filter: keep grid points whose scalar passes a predicate,
+//! emitting them as a point cloud (point sprites when rendered).
+
+use crate::image_data::ImageData;
+use crate::poly_data::PolyData;
+use crate::Result;
+
+/// Extracts all grid points with `lo <= scalar <= hi` as a point cloud with
+/// their scalars attached. NaNs never pass.
+pub fn threshold(img: &ImageData, lo: f32, hi: f32) -> Result<PolyData> {
+    let mut out = PolyData::new();
+    let mut scalars = Vec::new();
+    let [nx, ny, nz] = img.dims;
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let v = img.scalar(i, j, k);
+                if v.is_nan() || v < lo || v > hi {
+                    continue;
+                }
+                out.add_point(img.point(i, j, k));
+                scalars.push(v);
+            }
+        }
+    }
+    out.scalars = Some(scalars);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> ImageData {
+        ImageData::from_fn([4, 4, 4], [1.0; 3], [0.0; 3], |x, y, z| (x + y + z) as f32)
+    }
+
+    #[test]
+    fn band_selection() {
+        let img = ramp();
+        let t = threshold(&img, 2.0, 3.0).unwrap();
+        let s = t.scalars.as_ref().unwrap();
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|&v| (2.0..=3.0).contains(&v)));
+        // count matches combinatorics: #{(x,y,z) in 0..4³ : 2 ≤ x+y+z ≤ 3}
+        let expect = (0..4)
+            .flat_map(|x| (0..4).flat_map(move |y| (0..4).map(move |z| x + y + z)))
+            .filter(|&s| (2..=3).contains(&s))
+            .count();
+        assert_eq!(t.points.len(), expect);
+    }
+
+    #[test]
+    fn empty_band_gives_empty_cloud() {
+        let img = ramp();
+        let t = threshold(&img, 100.0, 200.0).unwrap();
+        assert!(t.points.is_empty());
+    }
+
+    #[test]
+    fn nan_never_passes() {
+        let mut img = ramp();
+        for v in img.scalars.iter_mut() {
+            *v = f32::NAN;
+        }
+        let t = threshold(&img, f32::NEG_INFINITY, f32::INFINITY).unwrap();
+        assert!(t.points.is_empty());
+    }
+
+    #[test]
+    fn full_band_keeps_everything() {
+        let img = ramp();
+        let t = threshold(&img, 0.0, 9.0).unwrap();
+        assert_eq!(t.points.len(), 64);
+    }
+}

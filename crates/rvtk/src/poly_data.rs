@@ -1,0 +1,323 @@
+//! Polygonal data: points, triangles and polylines with per-point
+//! attributes — the output type of geometry filters and the input to the
+//! rasterizer.
+
+use crate::math::{Bounds, Vec3};
+
+/// Polygonal geometry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PolyData {
+    /// Point positions.
+    pub points: Vec<Vec3>,
+    /// Optional per-point normals (same length as `points` when present).
+    pub normals: Option<Vec<Vec3>>,
+    /// Optional per-point scalars used for color mapping.
+    pub scalars: Option<Vec<f32>>,
+    /// Triangles as point-index triples.
+    pub triangles: Vec<[u32; 3]>,
+    /// Polylines as runs of point indices.
+    pub lines: Vec<Vec<u32>>,
+}
+
+impl PolyData {
+    /// An empty mesh.
+    pub fn new() -> PolyData {
+        PolyData::default()
+    }
+
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Adds a point, returning its index.
+    pub fn add_point(&mut self, p: Vec3) -> u32 {
+        self.points.push(p);
+        (self.points.len() - 1) as u32
+    }
+
+    /// World-space bounding box over all points.
+    pub fn bounds(&self) -> Bounds {
+        let mut b = Bounds::empty();
+        for &p in &self.points {
+            b.include(p);
+        }
+        b
+    }
+
+    /// Scalar range, `None` when scalars are absent or empty.
+    pub fn scalar_range(&self) -> Option<(f32, f32)> {
+        let s = self.scalars.as_ref()?;
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in s {
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        lo.is_finite().then_some((lo, hi))
+    }
+
+    /// Computes area-weighted per-point normals from the triangle mesh.
+    pub fn compute_normals(&mut self) {
+        let mut normals = vec![Vec3::ZERO; self.points.len()];
+        for tri in &self.triangles {
+            let [a, b, c] = tri.map(|i| self.points[i as usize]);
+            // un-normalized cross product weights by triangle area
+            let n = (b - a).cross(c - a);
+            for &i in tri {
+                normals[i as usize] = normals[i as usize] + n;
+            }
+        }
+        for n in &mut normals {
+            *n = n.normalized();
+        }
+        self.normals = Some(normals);
+    }
+
+    /// Appends another mesh (points, cells and attributes), re-indexing.
+    /// Attribute arrays present on one side only are padded with defaults.
+    pub fn append(&mut self, other: &PolyData) {
+        let offset = self.points.len() as u32;
+        self.points.extend_from_slice(&other.points);
+        match (&mut self.normals, &other.normals) {
+            (Some(a), Some(b)) => a.extend_from_slice(b),
+            (Some(a), None) => a.extend(std::iter::repeat_n(Vec3::ZERO, other.points.len())),
+            (None, Some(b)) => {
+                let mut a = vec![Vec3::ZERO; offset as usize];
+                a.extend_from_slice(b);
+                self.normals = Some(a);
+            }
+            (None, None) => {}
+        }
+        match (&mut self.scalars, &other.scalars) {
+            (Some(a), Some(b)) => a.extend_from_slice(b),
+            (Some(a), None) => a.extend(std::iter::repeat_n(0.0, other.points.len())),
+            (None, Some(b)) => {
+                let mut a = vec![0.0; offset as usize];
+                a.extend_from_slice(b);
+                self.scalars = Some(a);
+            }
+            (None, None) => {}
+        }
+        self.triangles
+            .extend(other.triangles.iter().map(|t| t.map(|i| i + offset)));
+        self.lines
+            .extend(other.lines.iter().map(|l| l.iter().map(|&i| i + offset).collect::<Vec<_>>()));
+    }
+
+    /// Total surface area of the triangle mesh.
+    pub fn surface_area(&self) -> f64 {
+        self.triangles
+            .iter()
+            .map(|tri| {
+                let [a, b, c] = tri.map(|i| self.points[i as usize]);
+                (b - a).cross(c - a).length() * 0.5
+            })
+            .sum()
+    }
+
+    /// True when every triangle edge is shared by exactly two triangles —
+    /// i.e. the mesh is a closed (watertight) surface. The isosurface
+    /// property tests use this.
+    pub fn is_closed_surface(&self) -> bool {
+        use std::collections::HashMap;
+        if self.triangles.is_empty() {
+            return false;
+        }
+        let mut edges: HashMap<(u32, u32), i32> = HashMap::new();
+        for tri in &self.triangles {
+            for e in [(tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])] {
+                let key = (e.0.min(e.1), e.0.max(e.1));
+                *edges.entry(key).or_insert(0) += 1;
+            }
+        }
+        edges.values().all(|&c| c == 2)
+    }
+
+    /// Merges points closer than `tol`, remapping cells. Useful after
+    /// per-cell isosurface extraction to make a watertight mesh.
+    pub fn merge_points(&mut self, tol: f64) {
+        use std::collections::HashMap;
+        let inv = 1.0 / tol.max(1e-12);
+        let mut map: HashMap<(i64, i64, i64), u32> = HashMap::new();
+        let mut remap = vec![0u32; self.points.len()];
+        let mut new_points = Vec::new();
+        let mut new_normals = self.normals.as_ref().map(|_| Vec::new());
+        let mut new_scalars = self.scalars.as_ref().map(|_| Vec::new());
+        for (i, &p) in self.points.iter().enumerate() {
+            let key = (
+                (p.x * inv).round() as i64,
+                (p.y * inv).round() as i64,
+                (p.z * inv).round() as i64,
+            );
+            let idx = *map.entry(key).or_insert_with(|| {
+                new_points.push(p);
+                if let (Some(nn), Some(on)) = (new_normals.as_mut(), self.normals.as_ref()) {
+                    nn.push(on[i]);
+                }
+                if let (Some(ns), Some(os)) = (new_scalars.as_mut(), self.scalars.as_ref()) {
+                    ns.push(os[i]);
+                }
+                (new_points.len() - 1) as u32
+            });
+            remap[i] = idx;
+        }
+        self.points = new_points;
+        self.normals = new_normals;
+        self.scalars = new_scalars;
+        for tri in &mut self.triangles {
+            *tri = tri.map(|i| remap[i as usize]);
+        }
+        // drop degenerate triangles created by merging
+        self.triangles
+            .retain(|t| t[0] != t[1] && t[1] != t[2] && t[0] != t[2]);
+        for line in &mut self.lines {
+            for i in line.iter_mut() {
+                *i = remap[*i as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unit right triangle in the z=0 plane.
+    fn tri() -> PolyData {
+        let mut pd = PolyData::new();
+        let a = pd.add_point(Vec3::new(0.0, 0.0, 0.0));
+        let b = pd.add_point(Vec3::new(1.0, 0.0, 0.0));
+        let c = pd.add_point(Vec3::new(0.0, 1.0, 0.0));
+        pd.triangles.push([a, b, c]);
+        pd
+    }
+
+    /// A tetrahedron (closed surface).
+    fn tetra() -> PolyData {
+        let mut pd = PolyData::new();
+        let p = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        for &q in &p {
+            pd.add_point(q);
+        }
+        pd.triangles = vec![[0, 2, 1], [0, 1, 3], [1, 2, 3], [0, 3, 2]];
+        pd
+    }
+
+    #[test]
+    fn area_and_bounds() {
+        let pd = tri();
+        assert!((pd.surface_area() - 0.5).abs() < 1e-12);
+        let b = pd.bounds();
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn normals_point_consistently() {
+        let mut pd = tri();
+        pd.compute_normals();
+        let n = pd.normals.as_ref().unwrap();
+        for v in n {
+            assert!((v.z - 1.0).abs() < 1e-12, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn closed_surface_detection() {
+        assert!(!tri().is_closed_surface());
+        assert!(tetra().is_closed_surface());
+        assert!(!PolyData::new().is_closed_surface());
+    }
+
+    #[test]
+    fn append_reindexes_cells() {
+        let mut a = tri();
+        let b = tri();
+        a.append(&b);
+        assert_eq!(a.points.len(), 6);
+        assert_eq!(a.triangles.len(), 2);
+        assert_eq!(a.triangles[1], [3, 4, 5]);
+    }
+
+    #[test]
+    fn append_pads_missing_attributes() {
+        let mut a = tri();
+        a.scalars = Some(vec![1.0, 2.0, 3.0]);
+        let mut b = tri();
+        b.normals = Some(vec![Vec3::new(0.0, 0.0, 1.0); 3]);
+        a.append(&b);
+        assert_eq!(a.scalars.as_ref().unwrap().len(), 6);
+        assert_eq!(a.scalars.as_ref().unwrap()[4], 0.0);
+        assert_eq!(a.normals.as_ref().unwrap().len(), 6);
+        assert_eq!(a.normals.as_ref().unwrap()[0], Vec3::ZERO);
+    }
+
+    #[test]
+    fn scalar_range_skips_nan() {
+        let mut pd = tri();
+        pd.scalars = Some(vec![1.0, f32::NAN, 3.0]);
+        assert_eq!(pd.scalar_range(), Some((1.0, 3.0)));
+        pd.scalars = None;
+        assert_eq!(pd.scalar_range(), None);
+    }
+
+    #[test]
+    fn merge_points_welds_duplicates() {
+        // two triangles sharing an edge, with the shared points duplicated
+        let mut pd = PolyData::new();
+        let p = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            // duplicates of points 1 and 2
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+        ];
+        for &q in &p {
+            pd.add_point(q);
+        }
+        pd.triangles = vec![[0, 1, 2], [3, 5, 4]];
+        pd.merge_points(1e-6);
+        assert_eq!(pd.points.len(), 4);
+        assert_eq!(pd.triangles.len(), 2);
+        // shared edge now uses the same indices
+        let t1 = pd.triangles[1];
+        assert!(t1.contains(&1) && t1.contains(&2));
+    }
+
+    #[test]
+    fn merge_points_drops_degenerate_triangles() {
+        let mut pd = PolyData::new();
+        pd.add_point(Vec3::ZERO);
+        pd.add_point(Vec3::new(1e-9, 0.0, 0.0)); // will weld with point 0
+        pd.add_point(Vec3::new(1.0, 0.0, 0.0));
+        pd.triangles = vec![[0, 1, 2]];
+        pd.merge_points(1e-6);
+        assert!(pd.triangles.is_empty());
+    }
+
+    #[test]
+    fn lines_survive_append_and_merge() {
+        let mut pd = PolyData::new();
+        pd.add_point(Vec3::ZERO);
+        pd.add_point(Vec3::new(1.0, 0.0, 0.0));
+        pd.lines.push(vec![0, 1]);
+        let mut other = PolyData::new();
+        other.add_point(Vec3::new(2.0, 0.0, 0.0));
+        other.add_point(Vec3::new(3.0, 0.0, 0.0));
+        other.lines.push(vec![0, 1]);
+        pd.append(&other);
+        assert_eq!(pd.lines.len(), 2);
+        assert_eq!(pd.lines[1], vec![2, 3]);
+    }
+}

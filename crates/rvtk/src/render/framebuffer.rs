@@ -1,0 +1,262 @@
+//! Offscreen framebuffer: color + depth, with PPM export.
+
+use crate::color::Color;
+use std::io::Write;
+use std::path::Path;
+
+/// An RGBA + depth framebuffer.
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    /// Row-major colors (y = 0 is the top row).
+    color: Vec<Color>,
+    /// NDC depth in [-1, 1]; +∞ means empty.
+    depth: Vec<f32>,
+}
+
+impl Framebuffer {
+    /// Creates a framebuffer cleared to black.
+    pub fn new(width: usize, height: usize) -> Framebuffer {
+        Framebuffer {
+            width,
+            height,
+            color: vec![Color::BLACK; width * height],
+            depth: vec![f32::INFINITY; width * height],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Aspect ratio (w/h).
+    pub fn aspect(&self) -> f64 {
+        self.width as f64 / self.height.max(1) as f64
+    }
+
+    /// Clears color and depth.
+    pub fn clear(&mut self, background: Color) {
+        self.color.fill(background);
+        self.depth.fill(f32::INFINITY);
+    }
+
+    /// Pixel color at `(x, y)`; panics out of range (test/diagnostic use).
+    pub fn pixel(&self, x: usize, y: usize) -> Color {
+        self.color[y * self.width + x]
+    }
+
+    /// Depth at `(x, y)`.
+    pub fn depth_at(&self, x: usize, y: usize) -> f32 {
+        self.depth[y * self.width + x]
+    }
+
+    /// Sets a pixel unconditionally (no depth test), for 2D overlays.
+    pub fn set_pixel(&mut self, x: usize, y: usize, c: Color) {
+        if x < self.width && y < self.height {
+            let i = y * self.width + x;
+            self.color[i] = if c.a >= 1.0 { c } else { c.over(self.color[i]) };
+        }
+    }
+
+    /// Depth-tested plot: writes color+depth when `z` is closer.
+    /// Translucent fragments blend without writing depth.
+    pub fn plot(&mut self, x: usize, y: usize, z: f32, c: Color) {
+        if x >= self.width || y >= self.height {
+            return;
+        }
+        let i = y * self.width + x;
+        if z < self.depth[i] {
+            if c.a >= 0.999 {
+                self.color[i] = c;
+                self.depth[i] = z;
+            } else {
+                self.color[i] = Color { a: 1.0, ..c }.lerp(self.color[i], 1.0 - c.a);
+            }
+        }
+    }
+
+    /// Raw color slice.
+    pub fn colors(&self) -> &[Color] {
+        &self.color
+    }
+
+    /// Splits the framebuffer into `n` horizontal bands, returning
+    /// `(y0, colors, depths)` per band — each band owns disjoint rows so
+    /// they can be rasterized in parallel.
+    pub(crate) fn bands(&mut self, n: usize) -> Vec<(usize, &mut [Color], &mut [f32])> {
+        let n = n.clamp(1, self.height.max(1));
+        let rows_per = self.height.div_ceil(n);
+        let width = self.width;
+        let mut out = Vec::with_capacity(n);
+        let mut color_rest: &mut [Color] = &mut self.color;
+        let mut depth_rest: &mut [f32] = &mut self.depth;
+        let mut y = 0usize;
+        while y < self.height {
+            let rows = rows_per.min(self.height - y);
+            let (c, cr) = color_rest.split_at_mut(rows * width);
+            let (d, dr) = depth_rest.split_at_mut(rows * width);
+            color_rest = cr;
+            depth_rest = dr;
+            out.push((y, c, d));
+            y += rows;
+        }
+        out
+    }
+
+    /// Mean luminance over all pixels — a cheap "did anything render" probe
+    /// used heavily by tests.
+    pub fn mean_luminance(&self) -> f32 {
+        if self.color.is_empty() {
+            return 0.0;
+        }
+        self.color.iter().map(|c| c.luminance()).sum::<f32>() / self.color.len() as f32
+    }
+
+    /// Number of pixels whose color differs from `background`.
+    pub fn covered_pixels(&self, background: Color) -> usize {
+        self.color
+            .iter()
+            .filter(|&&c| {
+                (c.r - background.r).abs() > 1e-3
+                    || (c.g - background.g).abs() > 1e-3
+                    || (c.b - background.b).abs() > 1e-3
+            })
+            .count()
+    }
+
+    /// Copies `src` into this framebuffer with its top-left corner at
+    /// `(x0, y0)`, clipping at the edges (no depth transfer) — used to
+    /// assemble mosaics like the hyperwall preview.
+    pub fn blit(&mut self, src: &Framebuffer, x0: usize, y0: usize) {
+        for sy in 0..src.height() {
+            let dy = y0 + sy;
+            if dy >= self.height {
+                break;
+            }
+            for sx in 0..src.width() {
+                let dx = x0 + sx;
+                if dx >= self.width {
+                    break;
+                }
+                self.color[dy * self.width + dx] = src.pixel(sx, sy);
+            }
+        }
+    }
+
+    /// Writes a binary PPM (P6) image.
+    pub fn save_ppm(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "P6\n{} {}\n255", self.width, self.height)?;
+        for c in &self.color {
+            let [r, g, b, _] = c.to_u8();
+            f.write_all(&[r, g, b])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_and_pixel_access() {
+        let mut fb = Framebuffer::new(4, 3);
+        assert_eq!(fb.width(), 4);
+        assert_eq!(fb.height(), 3);
+        fb.clear(Color::BLUE);
+        assert_eq!(fb.pixel(3, 2), Color::BLUE);
+        assert_eq!(fb.depth_at(0, 0), f32::INFINITY);
+        assert!((fb.aspect() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_test_keeps_nearest() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.plot(0, 0, 0.5, Color::RED);
+        fb.plot(0, 0, 0.8, Color::GREEN); // farther: rejected
+        assert_eq!(fb.pixel(0, 0), Color::RED);
+        fb.plot(0, 0, 0.2, Color::BLUE); // nearer: replaces
+        assert_eq!(fb.pixel(0, 0), Color::BLUE);
+        assert_eq!(fb.depth_at(0, 0), 0.2);
+    }
+
+    #[test]
+    fn translucent_blends_without_depth_write() {
+        let mut fb = Framebuffer::new(1, 1);
+        fb.plot(0, 0, 0.5, Color::RED);
+        fb.plot(0, 0, 0.3, Color::rgba(0.0, 0.0, 1.0, 0.5));
+        let c = fb.pixel(0, 0);
+        assert!(c.r > 0.4 && c.b > 0.4, "{c:?}");
+        // depth still that of the opaque fragment
+        assert_eq!(fb.depth_at(0, 0), 0.5);
+    }
+
+    #[test]
+    fn out_of_range_plots_ignored() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.plot(5, 5, 0.0, Color::WHITE);
+        fb.set_pixel(5, 5, Color::WHITE);
+        assert_eq!(fb.covered_pixels(Color::BLACK), 0);
+    }
+
+    #[test]
+    fn coverage_and_luminance_probes() {
+        let mut fb = Framebuffer::new(2, 2);
+        assert_eq!(fb.mean_luminance(), 0.0);
+        fb.set_pixel(0, 0, Color::WHITE);
+        assert_eq!(fb.covered_pixels(Color::BLACK), 1);
+        assert!((fb.mean_luminance() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bands_partition_all_rows() {
+        let mut fb = Framebuffer::new(3, 10);
+        let bands = fb.bands(4);
+        let total_rows: usize = bands.iter().map(|(_, c, _)| c.len() / 3).sum();
+        assert_eq!(total_rows, 10);
+        // bands start at increasing y
+        let ys: Vec<usize> = bands.iter().map(|(y, _, _)| *y).collect();
+        assert!(ys.windows(2).all(|w| w[1] > w[0]));
+        // more bands than rows clamps
+        let mut fb2 = Framebuffer::new(2, 2);
+        assert_eq!(fb2.bands(16).len(), 2);
+    }
+
+    #[test]
+    fn blit_copies_with_clipping() {
+        let mut dst = Framebuffer::new(6, 6);
+        let mut src = Framebuffer::new(3, 3);
+        src.set_pixel(0, 0, Color::RED);
+        src.set_pixel(2, 2, Color::GREEN);
+        dst.blit(&src, 2, 2);
+        assert_eq!(dst.pixel(2, 2), Color::RED);
+        assert_eq!(dst.pixel(4, 4), Color::GREEN);
+        assert_eq!(dst.pixel(0, 0), Color::BLACK);
+        // clipping at the edge must not panic; the visible corner copies
+        dst.blit(&src, 5, 5);
+        assert_eq!(dst.pixel(5, 5), Color::RED);
+    }
+
+    #[test]
+    fn ppm_export_writes_header_and_payload() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.set_pixel(0, 0, Color::RED);
+        let path = std::env::temp_dir().join(format!("rvtk_fb_{}.ppm", std::process::id()));
+        fb.save_ppm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 3 * 2 * 3);
+        // first pixel red
+        let off = 11;
+        assert_eq!(&bytes[off..off + 3], &[255, 0, 0]);
+        std::fs::remove_file(&path).ok();
+    }
+}

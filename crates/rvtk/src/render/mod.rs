@@ -1,0 +1,29 @@
+//! Software rendering: cameras, lights, actors, a z-buffered rasterizer,
+//! a ray-cast volume renderer, offscreen framebuffers and stereo modes.
+//!
+//! The pipeline mirrors VTK: a [`Renderer`] owns [`Actor`]s (surface/line
+//! geometry), [`Volume`]s (ray-cast scalar fields), a [`Camera`] and
+//! [`Light`]s, and draws into the [`Framebuffer`] of a [`RenderWindow`].
+//! DV3D hides all of these behind its plot types, exactly as the paper
+//! describes ("without exposing details such as actors, cameras, renderers,
+//! and transfer functions").
+
+mod actor;
+mod camera;
+mod framebuffer;
+mod light;
+mod renderer;
+mod text;
+mod volume;
+mod window;
+
+pub(crate) mod rasterizer;
+
+pub use actor::{Actor, Property, Representation};
+pub use camera::Camera;
+pub use framebuffer::Framebuffer;
+pub use light::Light;
+pub use renderer::Renderer;
+pub use text::{draw_colorbar, draw_text, text_width, GLYPH_HEIGHT};
+pub use volume::{BlendMode, Volume, VolumeProperty};
+pub use window::{RenderWindow, StereoMode};

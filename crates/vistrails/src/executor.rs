@@ -1,0 +1,390 @@
+//! The caching, branch-parallel pipeline executor.
+//!
+//! Execution walks the pipeline in topological *wavefronts*: every module
+//! whose inputs are ready runs, and modules in the same wavefront run on
+//! separate threads (the paper's "parallel task execution"). Results are
+//! cached by module signature (type + params + upstream signatures), so
+//! re-executing after a small edit only recomputes the dirty cone — the
+//! mechanism that makes VisTrails-style exploratory tweaking cheap.
+
+use crate::module::ModuleRegistry;
+use crate::pipeline::{ModuleId, Pipeline};
+use crate::value::WfData;
+use crate::{Result, WfError};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+/// Per-module outputs of one execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecResults {
+    outputs: BTreeMap<ModuleId, BTreeMap<String, WfData>>,
+    /// Execution log entries in completion order.
+    pub log: Vec<ExecLogEntry>,
+}
+
+impl ExecResults {
+    /// Output of `module` on `port`.
+    pub fn output(&self, module: ModuleId, port: &str) -> Option<&WfData> {
+        self.outputs.get(&module)?.get(port)
+    }
+
+    /// All outputs of a module.
+    pub fn module_outputs(&self, module: ModuleId) -> Option<&BTreeMap<String, WfData>> {
+        self.outputs.get(&module)
+    }
+
+    /// Number of modules that executed (or were served from cache).
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when nothing ran.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// How many modules were served from cache.
+    pub fn cache_hits(&self) -> usize {
+        self.log.iter().filter(|e| e.cache_hit).count()
+    }
+}
+
+/// One module's execution record — the execution-provenance log entry.
+#[derive(Debug, Clone)]
+pub struct ExecLogEntry {
+    pub module: ModuleId,
+    pub type_name: String,
+    pub duration: Duration,
+    pub cache_hit: bool,
+    /// Signature used as the cache key.
+    pub signature: u64,
+}
+
+/// The executor: registry + cross-run result cache.
+#[derive(Debug)]
+pub struct Executor {
+    registry: ModuleRegistry,
+    cache: HashMap<u64, BTreeMap<String, WfData>>,
+    /// Disable to measure uncached performance (ablation).
+    pub caching_enabled: bool,
+}
+
+impl Executor {
+    /// Creates an executor over a registry.
+    pub fn new(registry: ModuleRegistry) -> Executor {
+        Executor { registry, cache: HashMap::new(), caching_enabled: true }
+    }
+
+    /// The registry.
+    pub fn registry(&self) -> &ModuleRegistry {
+        &self.registry
+    }
+
+    /// Clears the result cache.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Number of cached module results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Executes the full pipeline; returns per-module outputs and a log.
+    pub fn execute(&mut self, pipeline: &Pipeline) -> Result<ExecResults> {
+        self.execute_subset(pipeline, None)
+    }
+
+    /// Executes only what `sink` needs (or everything when `None`).
+    pub fn execute_subset(
+        &mut self,
+        pipeline: &Pipeline,
+        sink: Option<ModuleId>,
+    ) -> Result<ExecResults> {
+        pipeline.validate(&self.registry)?;
+        let target = match sink {
+            Some(s) => pipeline.upstream_subgraph(s)?,
+            None => pipeline.clone(),
+        };
+        let order = target.topological_order()?;
+
+        // Group into wavefronts: depth = 1 + max(depth of inputs).
+        let mut depth: BTreeMap<ModuleId, usize> = BTreeMap::new();
+        for &id in &order {
+            let d = target
+                .inputs_of(id)
+                .iter()
+                .map(|c| depth[&c.from_module] + 1)
+                .max()
+                .unwrap_or(0);
+            depth.insert(id, d);
+        }
+        let max_depth = depth.values().copied().max().unwrap_or(0);
+
+        let mut results = ExecResults::default();
+        // Precompute signatures once.
+        let signatures: BTreeMap<ModuleId, u64> = order
+            .iter()
+            .map(|&id| (id, target.module_signature(id)))
+            .collect();
+
+        for level in 0..=max_depth {
+            let wave: Vec<ModuleId> =
+                order.iter().copied().filter(|id| depth[id] == level).collect();
+            // Collect per-module work items (inputs are ready by construction).
+            let mut jobs = Vec::with_capacity(wave.len());
+            for &id in &wave {
+                let sig = signatures[&id];
+                if self.caching_enabled {
+                    if let Some(hit) = self.cache.get(&sig) {
+                        results.outputs.insert(id, hit.clone());
+                        results.log.push(ExecLogEntry {
+                            module: id,
+                            type_name: target.modules[&id].type_name.clone(),
+                            duration: Duration::ZERO,
+                            cache_hit: true,
+                            signature: sig,
+                        });
+                        continue;
+                    }
+                }
+                let mut inputs: BTreeMap<String, WfData> = BTreeMap::new();
+                for c in target.inputs_of(id) {
+                    if let Some(v) = results.output(c.from_module, &c.from_port) {
+                        inputs.insert(c.to_port.clone(), v.clone());
+                    }
+                }
+                let node = &target.modules[&id];
+                let module = self.registry.get(&node.type_name)?;
+                jobs.push((id, sig, node.type_name.clone(), node.params.clone(), inputs, module));
+            }
+
+            // Run the wavefront in parallel.
+            type JobOutput = (ModuleId, u64, String, Duration, Result<BTreeMap<String, WfData>>);
+            let outcomes: Mutex<Vec<JobOutput>> = Mutex::new(Vec::with_capacity(jobs.len()));
+            if jobs.len() <= 1 {
+                for (id, sig, tn, params, inputs, module) in jobs {
+                    let start = Instant::now();
+                    let out = module
+                        .execute(&inputs, &params)
+                        .map_err(|e| wrap_exec_err(id, e));
+                    outcomes.lock().push((id, sig, tn, start.elapsed(), out));
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for (id, sig, tn, params, inputs, module) in jobs {
+                        let outcomes = &outcomes;
+                        scope.spawn(move || {
+                            let start = Instant::now();
+                            let out = module
+                                .execute(&inputs, &params)
+                                .map_err(|e| wrap_exec_err(id, e));
+                            outcomes.lock().push((id, sig, tn, start.elapsed(), out));
+                        });
+                    }
+                });
+            }
+            for (id, sig, type_name, duration, out) in outcomes.into_inner() {
+                let out = out?;
+                if self.caching_enabled {
+                    self.cache.insert(sig, out.clone());
+                }
+                results.outputs.insert(id, out);
+                results.log.push(ExecLogEntry {
+                    module: id,
+                    type_name,
+                    duration,
+                    cache_hit: false,
+                    signature: sig,
+                });
+            }
+        }
+        Ok(results)
+    }
+}
+
+fn wrap_exec_err(id: ModuleId, e: WfError) -> WfError {
+    match e {
+        WfError::Execution { message, .. } => WfError::Execution { module: id, message },
+        other => WfError::Execution { module: id, message: other.to_string() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{single, PortType};
+    use crate::value::{ParamValue, WfData};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn registry(counter: Arc<AtomicUsize>) -> ModuleRegistry {
+        let mut r = ModuleRegistry::new();
+        let c1 = counter.clone();
+        r.register_fn("m", "src", &[], &[("out", PortType::Float)], move |_, params| {
+            c1.fetch_add(1, Ordering::SeqCst);
+            let v = params.get("v").and_then(ParamValue::as_f64).unwrap_or(1.0);
+            Ok(single("out", WfData::Float(v)))
+        });
+        let c2 = counter.clone();
+        r.register_fn(
+            "m",
+            "add",
+            &[("a", PortType::Float), ("b", PortType::Float)],
+            &[("out", PortType::Float)],
+            move |inputs, _| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                let a = inputs.get("a").and_then(WfData::as_float).unwrap_or(0.0);
+                let b = inputs.get("b").and_then(WfData::as_float).unwrap_or(0.0);
+                Ok(single("out", WfData::Float(a + b)))
+            },
+        );
+        r.register_fn("m", "fail", &[], &[("out", PortType::Float)], |_, _| {
+            Err(WfError::Execution { module: 0, message: "boom".into() })
+        });
+        let c3 = counter;
+        r.register_fn("m", "slow", &[], &[("out", PortType::Float)], move |_, _| {
+            c3.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            Ok(single("out", WfData::Float(1.0)))
+        });
+        r
+    }
+
+    fn diamond() -> Pipeline {
+        let mut p = Pipeline::new();
+        p.add_module(1, "m.src").unwrap();
+        p.add_module(2, "m.src").unwrap();
+        p.add_module(3, "m.add").unwrap();
+        p.connect((1, "out"), (3, "a")).unwrap();
+        p.connect((2, "out"), (3, "b")).unwrap();
+        p.set_parameter(1, "v", ParamValue::Float(40.0)).unwrap();
+        p.set_parameter(2, "v", ParamValue::Float(2.0)).unwrap();
+        p
+    }
+
+    #[test]
+    fn executes_dataflow() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        let results = exec.execute(&diamond()).unwrap();
+        assert_eq!(results.output(3, "out").and_then(WfData::as_float), Some(42.0));
+        assert_eq!(results.len(), 3);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        assert_eq!(results.cache_hits(), 0);
+    }
+
+    #[test]
+    fn cache_skips_repeat_work() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        exec.execute(&diamond()).unwrap();
+        let second = exec.execute(&diamond()).unwrap();
+        // no new module executions
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        assert_eq!(second.cache_hits(), 3);
+        assert_eq!(second.output(3, "out").and_then(WfData::as_float), Some(42.0));
+    }
+
+    #[test]
+    fn parameter_edit_recomputes_only_dirty_cone() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        exec.execute(&diamond()).unwrap();
+        let mut p2 = diamond();
+        p2.set_parameter(1, "v", ParamValue::Float(100.0)).unwrap();
+        let results = exec.execute(&p2).unwrap();
+        assert_eq!(results.output(3, "out").and_then(WfData::as_float), Some(102.0));
+        // module 2 was cached; modules 1 and 3 re-ran
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(results.cache_hits(), 1);
+    }
+
+    #[test]
+    fn caching_can_be_disabled() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        exec.caching_enabled = false;
+        exec.execute(&diamond()).unwrap();
+        exec.execute(&diamond()).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+        assert_eq!(exec.cache_len(), 0);
+    }
+
+    #[test]
+    fn clear_cache_forces_recompute() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        exec.execute(&diamond()).unwrap();
+        assert!(exec.cache_len() > 0);
+        exec.clear_cache();
+        exec.execute(&diamond()).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn failing_module_reports_id() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter));
+        let mut p = Pipeline::new();
+        p.add_module(7, "m.fail").unwrap();
+        match exec.execute(&p) {
+            Err(WfError::Execution { module, message }) => {
+                assert_eq!(module, 7);
+                assert_eq!(message, "boom");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_subset_runs_only_upstream() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        let p = diamond();
+        let results = exec.execute_subset(&p, Some(1)).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        assert!(results.output(3, "out").is_none());
+    }
+
+    #[test]
+    fn independent_branches_run_in_parallel() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter));
+        let mut p = Pipeline::new();
+        for id in 1..=4 {
+            p.add_module(id, "m.slow").unwrap();
+        }
+        let start = Instant::now();
+        exec.execute(&p).unwrap();
+        let elapsed = start.elapsed();
+        // serial would be ≥ 160ms; parallel should be well under
+        assert!(
+            elapsed < Duration::from_millis(140),
+            "wavefront not parallel: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn log_records_all_modules() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter));
+        let results = exec.execute(&diamond()).unwrap();
+        assert_eq!(results.log.len(), 3);
+        let types: Vec<&str> = results.log.iter().map(|e| e.type_name.as_str()).collect();
+        assert!(types.contains(&"m.add"));
+        assert!(results.log.iter().all(|e| e.signature != 0));
+    }
+
+    #[test]
+    fn invalid_pipeline_rejected_before_running() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        let mut p = Pipeline::new();
+        p.add_module(1, "m.unknown").unwrap();
+        assert!(exec.execute(&p).is_err());
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+    }
+}

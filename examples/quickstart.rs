@@ -1,0 +1,50 @@
+//! Quickstart: synthesize a small atmosphere, slice it, render to PPM.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dv3d::prelude::*;
+use uvcdat::cdms::synth::SynthesisSpec;
+use uvcdat::dv3d;
+
+fn main() -> Result<()> {
+    let out_dir = std::path::Path::new("out");
+    std::fs::create_dir_all(out_dir).expect("create out/");
+
+    // 1. Data: a deterministic synthetic atmosphere (stands in for model
+    //    output pulled from the Earth System Grid).
+    let ds = SynthesisSpec::new(4, 8, 36, 72).seed(7).build();
+    let ta = ds.variable("ta").expect("air temperature").time_slab(0)?;
+    println!("loaded {} {:?} [{}]", ta.id, ta.shape(), ta.units().unwrap_or("?"));
+
+    // 2. Translation: CDMS variable → renderable image data.
+    let image = translate_scalar(&ta, &TranslationOptions::default())?;
+
+    // 3. A DV3D cell with a Slicer plot and a coastline base map.
+    let mut cell = Dv3dCell::new("ta / synth_atmosphere", PlotSpec::slicer(image));
+    cell.set_base_map(ds.variable("sftlf").expect("land fraction"))?;
+
+    // 4. Interact: enable the x-plane too, drag the z slice up two levels,
+    //    rotate the camera a little.
+    cell.configure(&ConfigOp::TogglePlane { axis: dv3d::interaction::Axis3::X })?;
+    cell.configure(&ConfigOp::MoveSlice { axis: dv3d::interaction::Axis3::Z, delta: 2 })?;
+    cell.configure(&ConfigOp::Camera(CameraOp::Azimuth(25.0)))?;
+
+    // 5. Render offscreen and save.
+    let frame = cell.render(640, 480)?;
+    let path = out_dir.join("quickstart_slicer.ppm");
+    frame.save_ppm(&path).expect("write ppm");
+    println!(
+        "rendered {} ({} px covered) -> {}",
+        cell.plot().status_line(),
+        frame.covered_pixels(uvcdat::rvtk::Color::BLACK),
+        path.display()
+    );
+
+    // 6. Probe a value like the cell's pick display would.
+    if let Some((p, v)) = cell.pick(320.0, 240.0, 640, 480) {
+        println!("pick at ({:.0}E, {:.0}N, lev {:.0}) = {:.2} K", p.x, p.y, p.z, v);
+    }
+    Ok(())
+}

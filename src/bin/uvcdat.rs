@@ -1,0 +1,237 @@
+//! `uvcdat` — the command-line face of the application.
+//!
+//! ```text
+//! uvcdat synth  -o data.ncr [--nt 8 --nlev 6 --nlat 24 --nlon 48 --seed 42]
+//! uvcdat info   data.ncr
+//! uvcdat calc   data.ncr "anom = ta - avg(ta, 'time')" [-o out.ncr]
+//! uvcdat plot   data.ncr --var ta --type slicer -o out.ppm
+//!               [--time 0 --width 640 --height 480 --colormap viridis]
+//! uvcdat wall   [--cells 15 --frames 2]
+//! ```
+
+use dv3d::cell::Dv3dCell;
+use dv3d::interaction::ConfigOp;
+use dv3d::plots::PlotSpec;
+use dv3d::translation::{translate_scalar, TranslationOptions};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use uvcdat::cdms::synth::SynthesisSpec;
+use uvcdat::cdms::Dataset;
+use uvcdat::{cdat, cdms, dv3d, hyperwall};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  uvcdat synth  -o FILE [--nt N --nlev N --nlat N --nlon N --seed N]
+  uvcdat info   FILE
+  uvcdat calc   FILE EXPR [-o FILE]
+  uvcdat plot   FILE --var NAME --type TYPE -o FILE.ppm
+                [--time N --width N --height N --colormap NAME]
+  uvcdat wall   [--cells N --frames N]
+
+plot types: slicer volume isosurface hovmoller_slicer hovmoller_volume";
+
+/// Splits `args` into positional arguments and `--flag value` options.
+fn parse(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
+    let mut pos = Vec::new();
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < args.len() {
+                opts.insert(name, args[i + 1].as_str());
+                i += 2;
+            } else {
+                opts.insert(name, "");
+                i += 1;
+            }
+        } else if a == "-o" {
+            if i + 1 < args.len() {
+                opts.insert("o", args[i + 1].as_str());
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else {
+            pos.push(a);
+            i += 1;
+        }
+    }
+    (pos, opts)
+}
+
+fn opt_usize(opts: &HashMap<&str, &str>, name: &str, default: usize) -> Result<usize, String> {
+    match opts.get(name) {
+        Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got '{v}'")),
+        None => Ok(default),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse(args);
+    match pos.first().copied() {
+        Some("synth") => cmd_synth(&opts),
+        Some("info") => cmd_info(&pos, &opts),
+        Some("calc") => cmd_calc(&pos, &opts),
+        Some("plot") => cmd_plot(&pos, &opts),
+        Some("wall") => cmd_wall(&opts),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn cmd_synth(opts: &HashMap<&str, &str>) -> Result<(), String> {
+    let out = opts.get("o").ok_or("synth needs -o FILE")?;
+    let spec = SynthesisSpec::new(
+        opt_usize(opts, "nt", 8)?,
+        opt_usize(opts, "nlev", 6)?,
+        opt_usize(opts, "nlat", 24)?,
+        opt_usize(opts, "nlon", 48)?,
+    )
+    .seed(opt_usize(opts, "seed", 42)? as u64);
+    let mut ds = spec.build();
+    ds.id = std::path::Path::new(out)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("synth")
+        .to_string();
+    ds.save(out).map_err(|e| e.to_string())?;
+    println!("wrote {} variables to {out}", ds.len());
+    Ok(())
+}
+
+fn cmd_info(pos: &[&str], _opts: &HashMap<&str, &str>) -> Result<(), String> {
+    let path = pos.get(1).ok_or("info needs a FILE")?;
+    let ds = Dataset::open(path).map_err(|e| e.to_string())?;
+    println!("dataset '{}' ({} variables)", ds.id, ds.len());
+    for (k, v) in &ds.attributes {
+        println!("  :{k} = {v}");
+    }
+    for var in ds.variables() {
+        let axes: Vec<String> =
+            var.axes.iter().map(|a| format!("{}({})", a.id, a.len())).collect();
+        println!(
+            "  {} [{}]  {}  \"{}\"  valid {:.1}%",
+            var.id,
+            axes.join(", "),
+            var.units().unwrap_or("-"),
+            var.long_name(),
+            var.array.valid_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_calc(pos: &[&str], opts: &HashMap<&str, &str>) -> Result<(), String> {
+    let path = pos.get(1).ok_or("calc needs a FILE")?;
+    let expr = pos.get(2).ok_or("calc needs an EXPR")?;
+    let mut ds = Dataset::open(path).map_err(|e| e.to_string())?;
+    let value = dv3d::calculator::evaluate(&mut ds, expr).map_err(|e| e.to_string())?;
+    match &value {
+        dv3d::calculator::CalcValue::Scalar(s) => println!("{s}"),
+        dv3d::calculator::CalcValue::Variable(v) => {
+            println!(
+                "{} {:?} mean {:.4} (valid {:.1}%)",
+                v.id,
+                v.shape(),
+                v.array.mean().unwrap_or(f32::NAN),
+                v.array.valid_fraction() * 100.0
+            );
+        }
+    }
+    if let Some(out) = opts.get("o") {
+        ds.save(out).map_err(|e| e.to_string())?;
+        println!("wrote {} variables to {out}", ds.len());
+    }
+    Ok(())
+}
+
+fn cmd_plot(pos: &[&str], opts: &HashMap<&str, &str>) -> Result<(), String> {
+    let path = pos.get(1).ok_or("plot needs a FILE")?;
+    let var_name = opts.get("var").ok_or("plot needs --var NAME")?;
+    let plot_type = opts.get("type").copied().unwrap_or("slicer");
+    let out = opts.get("o").ok_or("plot needs -o FILE.ppm")?;
+    let width = opt_usize(opts, "width", 640)?;
+    let height = opt_usize(opts, "height", 480)?;
+    let t = opt_usize(opts, "time", 0)?;
+
+    let ds = Dataset::open(path).map_err(|e| e.to_string())?;
+    let var = ds.require(var_name).map_err(|e| e.to_string())?;
+    let topts = TranslationOptions::default();
+
+    let spec = match plot_type {
+        "slicer" | "volume" | "isosurface" => {
+            let slab = if var.axis_index(cdms::axis::AxisKind::Time).is_some() {
+                var.time_slab(t).map_err(|e| e.to_string())?
+            } else {
+                var.clone()
+            };
+            let img = translate_scalar(&slab, &topts).map_err(|e| e.to_string())?;
+            match plot_type {
+                "slicer" => PlotSpec::slicer(img),
+                "volume" => PlotSpec::volume(img),
+                _ => PlotSpec::isosurface(img),
+            }
+        }
+        "hovmoller_slicer" | "hovmoller_volume" => {
+            let vol = cdat::hovmoller::hovmoller_volume(var).map_err(|e| e.to_string())?;
+            let img = translate_scalar(&vol, &topts).map_err(|e| e.to_string())?;
+            if plot_type == "hovmoller_slicer" {
+                PlotSpec::hovmoller_slicer(img)
+            } else {
+                PlotSpec::hovmoller_volume(img)
+            }
+        }
+        other => return Err(format!("unknown plot type '{other}'")),
+    };
+
+    let mut cell = Dv3dCell::try_new(&format!("{var_name} / {}", ds.id), spec)
+        .map_err(|e| e.to_string())?;
+    if let Some(lf) = ds.variable("sftlf") {
+        cell.set_base_map(lf).ok();
+    }
+    if let Some(cmap) = opts.get("colormap") {
+        cell.configure(&ConfigOp::SetColormap(cmap.to_string()))
+            .map_err(|e| e.to_string())?;
+    }
+    let fb = cell.render(width, height).map_err(|e| e.to_string())?;
+    fb.save_ppm(out).map_err(|e| e.to_string())?;
+    println!(
+        "{plot_type} of {var_name} -> {out} ({} px covered)",
+        fb.covered_pixels(uvcdat::rvtk::Color::BLACK)
+    );
+    Ok(())
+}
+
+fn cmd_wall(opts: &HashMap<&str, &str>) -> Result<(), String> {
+    let cells = opt_usize(opts, "cells", 15)?;
+    let frames = opt_usize(opts, "frames", 2)? as u64;
+    let cfg = hyperwall::workflow::WallWorkflowConfig {
+        n_cells: cells,
+        synth: (1, 3, 16, 32),
+        cell_px: (96, 72),
+    };
+    let report = hyperwall::cluster::run_wall(&cfg, 4, frames, &[])
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} clients, {} frames: assign {:.1} ms, mean client render {:.1} ms, mean mirror {:.1} ms",
+        report.n_clients,
+        frames,
+        report.assign_ms,
+        report.mean_client_render_ms(),
+        report.mean_mirror_ms()
+    );
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! E1 / Fig 1: the UV-CDAT architecture — tightly coupled packages
+//! (CDAT, DV3D) and loosely coupled external tools wired through the
+//! VisTrails workflow/provenance layer, with the spreadsheet on top.
+
+use uvcdat::dv3d::modules::{register_all, tags};
+use uvcdat::vistrails::executor::Executor;
+use uvcdat::vistrails::module::{ModuleRegistry, PortType};
+use uvcdat::vistrails::pipeline::Pipeline;
+use uvcdat::vistrails::provenance::{Action, Vistrail};
+use uvcdat::vistrails::spreadsheet::{CellBinding, Spreadsheet};
+use uvcdat::vistrails::value::{ParamValue, WfData};
+
+fn full_registry() -> ModuleRegistry {
+    let mut reg = ModuleRegistry::new();
+    register_all(&mut reg);
+    // the loosely coupled side of Fig 1: external analysis tools
+    reg.register_external_tool("external", "VisIt", |_inputs, params| {
+        Ok(format!(
+            "visit session over {}",
+            params.get("dataset").and_then(ParamValue::as_str).unwrap_or("?")
+        ))
+    });
+    reg.register_external_tool("external", "Matlab", |inputs, _| {
+        inputs
+            .get("input")
+            .and_then(WfData::as_float)
+            .map(|x| format!("ans = {x:.2}"))
+            .ok_or_else(|| "matlab needs numeric input".to_string())
+    });
+    reg
+}
+
+#[test]
+fn tightly_coupled_packages_coexist_in_one_registry() {
+    let reg = full_registry();
+    // three tightly coupled packages + the loose adapters
+    assert!(!reg.package_types("cdms").is_empty());
+    assert!(!reg.package_types("cdat").is_empty());
+    assert!(!reg.package_types("dv3d").is_empty());
+    assert_eq!(reg.package_types("external").len(), 2);
+}
+
+#[test]
+fn cross_package_pipeline_executes_with_typed_ports() {
+    // cdms → cdat → dv3d chain, validated against port types.
+    let reg = full_registry();
+    let mut p = Pipeline::new();
+    p.add_module(1, "cdms.SynthSource").unwrap();
+    p.set_parameter(1, "nt", ParamValue::Int(2)).unwrap();
+    p.set_parameter(1, "nlat", ParamValue::Int(10)).unwrap();
+    p.set_parameter(1, "nlon", ParamValue::Int(20)).unwrap();
+    p.add_module(2, "cdms.SelectVariable").unwrap();
+    p.set_parameter(2, "name", ParamValue::Str("ta".into())).unwrap();
+    p.connect((1, "dataset"), (2, "dataset")).unwrap();
+    p.add_module(3, "cdat.Anomaly").unwrap();
+    p.connect((2, "variable"), (3, "variable")).unwrap();
+    p.add_module(4, "cdat.TimeSlab").unwrap();
+    p.connect((3, "variable"), (4, "variable")).unwrap();
+    p.add_module(5, "dv3d.TranslateScalar").unwrap();
+    p.connect((4, "variable"), (5, "variable")).unwrap();
+    p.add_module(6, "dv3d.SlicerPlot").unwrap();
+    p.connect((5, "image"), (6, "image")).unwrap();
+    p.add_module(7, "dv3d.Cell").unwrap();
+    p.connect((6, "plot"), (7, "plot")).unwrap();
+    p.validate(&reg).unwrap();
+
+    let mut exec = Executor::new(reg);
+    let results = exec.execute(&p).unwrap();
+    let coverage = results.output(7, "coverage").and_then(WfData::as_float).unwrap();
+    assert!(coverage > 0.05, "coverage {coverage}");
+    // the frame flows as an opaque rvtk type through the engine
+    let frame = results.output(7, "frame").unwrap();
+    assert_eq!(frame.type_tag(), tags::FRAME);
+}
+
+#[test]
+fn type_mismatches_across_packages_are_caught() {
+    let reg = full_registry();
+    let mut p = Pipeline::new();
+    p.add_module(1, "cdms.SynthSource").unwrap();
+    p.add_module(2, "dv3d.TranslateScalar").unwrap();
+    // Dataset → variable port: wrong opaque tag
+    p.connect((1, "dataset"), (2, "variable")).unwrap();
+    assert!(matches!(
+        p.validate(&reg),
+        Err(uvcdat::vistrails::WfError::TypeMismatch { .. })
+    ));
+}
+
+#[test]
+fn loosely_coupled_tools_run_in_workflows() {
+    let reg = full_registry();
+    let mut p = Pipeline::new();
+    p.add_module(1, "external.VisIt").unwrap();
+    p.set_parameter(1, "dataset", ParamValue::Str("merra2".into())).unwrap();
+    let mut exec = Executor::new(reg);
+    let out = exec.execute(&p).unwrap();
+    assert_eq!(
+        out.output(1, "result").and_then(|d| d.as_str()),
+        Some("visit session over merra2")
+    );
+}
+
+#[test]
+fn spreadsheet_binds_provenance_versions_and_reloads() {
+    // The UV-CDAT GUI model: a spreadsheet whose cells are provenance
+    // versions; saving keeps everything reproducible.
+    let mut vt = Vistrail::new("session");
+    let v1 = vt
+        .add_actions(
+            Vistrail::ROOT,
+            vec![
+                Action::AddModule { id: 1, type_name: "cdms.SynthSource".into() },
+                Action::AddModule { id: 2, type_name: "cdms.SelectVariable".into() },
+                Action::SetParameter {
+                    module: 2,
+                    name: "name".into(),
+                    value: ParamValue::Str("ta".into()),
+                },
+                Action::AddConnection { from: (1, "dataset".into()), to: (2, "dataset".into()) },
+            ],
+        )
+        .unwrap();
+    vt.tag(v1, "ta pipeline").unwrap();
+
+    let mut sheet = Spreadsheet::new("main", 2, 2);
+    sheet
+        .set_cell((0, 0), CellBinding { version: v1, sink: 2, label: "ta".into() })
+        .unwrap();
+    sheet.set_active((0, 0), true).unwrap();
+    let saved = sheet.save_with_provenance(&vt).unwrap();
+
+    let (sheet2, vt2) = Spreadsheet::load_with_provenance(&saved).unwrap();
+    assert_eq!(sheet2.cell((0, 0)).unwrap().version, v1);
+    let p = vt2.materialize(vt2.tagged("ta pipeline").unwrap()).unwrap();
+    p.validate(&full_registry()).unwrap();
+}
+
+#[test]
+fn external_tool_type_is_any_and_composes() {
+    // any numeric output can feed the Matlab adapter
+    let reg = full_registry();
+    let mut p = Pipeline::new();
+    p.add_module(1, "cdms.SynthSource").unwrap();
+    p.set_parameter(1, "nlat", ParamValue::Int(6)).unwrap();
+    p.set_parameter(1, "nlon", ParamValue::Int(12)).unwrap();
+    p.add_module(2, "cdms.SelectVariable").unwrap();
+    p.set_parameter(2, "name", ParamValue::Str("pr".into())).unwrap();
+    p.connect((1, "dataset"), (2, "dataset")).unwrap();
+    // reuse the dv3d.Cell's Float coverage output as the numeric input
+    p.add_module(3, "dv3d.TranslateScalar").unwrap();
+    p.add_module(4, "cdat.TimeSlab").unwrap();
+    p.connect((2, "variable"), (4, "variable")).unwrap();
+    p.connect((4, "variable"), (3, "variable")).unwrap();
+    p.add_module(5, "dv3d.SlicerPlot").unwrap();
+    p.connect((3, "image"), (5, "image")).unwrap();
+    p.add_module(6, "dv3d.Cell").unwrap();
+    p.connect((5, "plot"), (6, "plot")).unwrap();
+    p.add_module(7, "external.Matlab").unwrap();
+    p.connect((6, "coverage"), (7, "input")).unwrap();
+    p.validate(&reg).unwrap();
+    let mut exec = Executor::new(reg);
+    let out = exec.execute(&p).unwrap();
+    let text = out.output(7, "result").and_then(|d| d.as_str()).unwrap();
+    assert!(text.starts_with("ans = "), "{text}");
+}
+
+#[test]
+fn port_type_helper_matches_runtime_values() {
+    // PortType::Opaque tags line up with what the modules actually emit.
+    let t = PortType::Opaque(tags::VARIABLE.into());
+    let ds = uvcdat::cdms::synth::SynthesisSpec::new(1, 1, 4, 8).build();
+    let v = ds.variable("ta").unwrap().clone();
+    assert!(t.accepts(&WfData::opaque(tags::VARIABLE, v)));
+    assert!(!t.accepts(&WfData::opaque(tags::DATASET, 3u8)));
+}

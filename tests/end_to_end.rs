@@ -1,0 +1,188 @@
+//! End-to-end data-flow tests: catalog → file format → analysis →
+//! translation → plots → rendering, across every crate boundary.
+
+use uvcdat::cdat::{averager, climatology, regrid, statistics};
+use uvcdat::cdms::catalog::{EsgCatalog, FacetQuery};
+use uvcdat::cdms::synth::SynthesisSpec;
+use uvcdat::cdms::{Dataset, RectGrid};
+use uvcdat::dv3d::cell::Dv3dCell;
+use uvcdat::dv3d::interaction::{Axis3, CameraOp, ConfigOp};
+use uvcdat::dv3d::plots::PlotSpec;
+use uvcdat::dv3d::translation::{translate_scalar, TranslationOptions};
+use uvcdat::rvtk::Color;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("uvcdat_e2e_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[test]
+fn esg_to_rendered_frame() {
+    // Publish into the (simulated) federation, search it, open it, analyze
+    // it, render it: the complete §III.G workflow without the GUI.
+    let root = temp_dir("full");
+    let mut catalog = EsgCatalog::new(&root).unwrap();
+    let mut ds = SynthesisSpec::new(3, 4, 18, 36).seed(99).build();
+    ds.id = "merra_like_run1".into();
+    catalog.publish(&ds, Some("esg.nccs.nasa.gov")).unwrap();
+
+    // discovery by facet
+    let hits = catalog.search(&FacetQuery::new().facet("model", "SYNTH-1").variable("ta"));
+    assert_eq!(hits.len(), 1);
+    let opened = catalog.open(&hits[0].id.clone()).unwrap();
+
+    // analysis: anomaly then time slab
+    let ta = opened.variable("ta").unwrap();
+    let anom = climatology::anomaly(ta).unwrap();
+    let slab = anom.time_slab(1).unwrap();
+
+    // translation + plot + render
+    let img = translate_scalar(&slab, &TranslationOptions::default()).unwrap();
+    let mut cell = Dv3dCell::new("ta anomaly", PlotSpec::slicer(img));
+    cell.set_base_map(opened.variable("sftlf").unwrap()).unwrap();
+    cell.configure(&ConfigOp::Camera(CameraOp::Elevation(-20.0))).unwrap();
+    let fb = cell.render(200, 150).unwrap();
+    assert!(fb.covered_pixels(Color::BLACK) > 500);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn ncr_file_preserves_analysis_results() {
+    // derived variables written to .ncr read back bit-identical
+    let dir = temp_dir("ncr");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ds = SynthesisSpec::new(4, 2, 12, 24).build();
+    let ta = ds.variable("ta").unwrap();
+    let anom = climatology::anomaly(ta).unwrap();
+    let zonal = averager::zonal_mean(&anom).unwrap();
+
+    let mut derived = Dataset::new("derived").with_attr("history", "anomaly + zonal mean");
+    derived.add_variable(zonal.clone());
+    let path = dir.join("derived.ncr");
+    derived.save(&path).unwrap();
+
+    let back = Dataset::open(&path).unwrap();
+    let rt = back.variable(&zonal.id).unwrap();
+    assert_eq!(rt.array, zonal.array);
+    assert_eq!(rt.axes, zonal.axes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn regrid_then_plot_preserves_structure() {
+    // regridding to a coarser grid then plotting still shows the field;
+    // pattern correlation between original and round-tripped field is high
+    let ds = SynthesisSpec::new(1, 3, 24, 48).noise(0.0).build();
+    let ta = ds.variable("ta").unwrap().time_slab(0).unwrap();
+
+    let coarse = RectGrid::uniform(12, 24).unwrap();
+    let lo = regrid::bilinear(&ta, &coarse).unwrap();
+    let fine = RectGrid::uniform(24, 48).unwrap();
+    let back = regrid::bilinear(&lo, &fine).unwrap();
+
+    let r = statistics::correlation(&ta, &back).unwrap();
+    assert!(r > 0.98, "round-trip correlation {r}");
+
+    let img = translate_scalar(&lo, &TranslationOptions::default()).unwrap();
+    let mut cell = Dv3dCell::new("lo-res ta", PlotSpec::volume(img));
+    let fb = cell.render(120, 90).unwrap();
+    assert!(fb.covered_pixels(Color::BLACK) > 100);
+}
+
+#[test]
+fn every_plot_type_renders_the_same_dataset() {
+    // one dataset drives all five §III.C plot types
+    let ds = SynthesisSpec::new(6, 4, 16, 32).build();
+    let opts = TranslationOptions::default();
+    let ta = ds.variable("ta").unwrap().time_slab(0).unwrap();
+    let hus = ds.variable("hus").unwrap().time_slab(0).unwrap();
+    let ua = ds.variable("ua").unwrap().time_slab(0).unwrap();
+    let va = ds.variable("va").unwrap().time_slab(0).unwrap();
+    let wave = uvcdat::cdat::hovmoller::hovmoller_volume(ds.variable("wave").unwrap()).unwrap();
+
+    let ta_img = translate_scalar(&ta, &opts).unwrap();
+    let hus_img = translate_scalar(&hus, &opts).unwrap();
+    let wave_img = translate_scalar(&wave, &opts).unwrap();
+    let wind_img =
+        uvcdat::dv3d::translation::translate_vector(&ua, &va, &opts).unwrap();
+
+    let specs = vec![
+        ("slicer", PlotSpec::slicer_with_overlay(ta_img.clone(), hus_img.clone())),
+        ("volume", PlotSpec::volume(ta_img.clone())),
+        ("isosurface", PlotSpec::isosurface_colored(ta_img, hus_img)),
+        ("hovmoller slicer", PlotSpec::hovmoller_slicer(wave_img.clone())),
+        ("hovmoller volume", PlotSpec::hovmoller_volume(wave_img)),
+        ("vector slicer", PlotSpec::vector_slicer(wind_img)),
+    ];
+    for (name, spec) in specs {
+        let mut cell = Dv3dCell::try_new(name, spec).unwrap();
+        let fb = cell.render(96, 72).unwrap();
+        assert!(
+            fb.covered_pixels(Color::BLACK) > 50,
+            "{name} rendered almost nothing"
+        );
+    }
+}
+
+#[test]
+fn animation_over_time_changes_frames() {
+    use uvcdat::dv3d::animation::AnimationController;
+    let ds = SynthesisSpec::new(5, 1, 12, 24).build();
+    let pr = ds.variable("pr").unwrap();
+    let opts = TranslationOptions::default();
+    let mut anim = AnimationController::from_variable(pr, &opts).unwrap();
+    let mut cell = Dv3dCell::new(
+        "pr",
+        PlotSpec::slicer(translate_scalar(&pr.time_slab(0).unwrap(), &opts).unwrap()),
+    );
+    cell.show_labels = false;
+    cell.show_colorbar = false;
+    let frames = anim.render_loop(&mut cell, 64, 48).unwrap();
+    assert_eq!(frames.len(), 5);
+    // the ITCZ precipitation wave moves: successive frames differ
+    let mut distinct = 0;
+    for w in frames.windows(2) {
+        let diff = w[0]
+            .colors()
+            .iter()
+            .zip(w[1].colors())
+            .filter(|(a, b)| a.to_u8() != b.to_u8())
+            .count();
+        if diff > 10 {
+            distinct += 1;
+        }
+    }
+    assert!(distinct >= 3, "only {distinct} frame pairs differ");
+}
+
+#[test]
+fn masked_data_survives_the_whole_pipeline() {
+    // SST is masked over land; the mask must flow through analysis,
+    // translation (as NaN) and rendering (as the LUT's nan color).
+    let ds = SynthesisSpec::new(2, 1, 16, 32).build();
+    let tos = ds.variable("tos").unwrap();
+    let anom = climatology::anomaly(tos).unwrap();
+    assert_eq!(anom.array.valid_count(), tos.array.valid_count());
+    let slab = anom.time_slab(0).unwrap();
+    let img = translate_scalar(&slab, &TranslationOptions::default()).unwrap();
+    let n_nan = img.scalars.iter().filter(|v| v.is_nan()).count();
+    assert_eq!(n_nan, slab.array.len() - slab.array.valid_count());
+    let mut cell = Dv3dCell::new("tos anom", PlotSpec::slicer(img));
+    let fb = cell.render(96, 72).unwrap();
+    assert!(fb.covered_pixels(Color::BLACK) > 100);
+}
+
+#[test]
+fn calculator_feeds_the_viewer() {
+    // derive with the calculator, then render what it made
+    let mut ds = SynthesisSpec::new(2, 3, 12, 24).build();
+    uvcdat::dv3d::calculator::evaluate(&mut ds, "spd = sqrt(ua*ua + va*va)").unwrap();
+    let spd = ds.variable("spd").unwrap().time_slab(0).unwrap();
+    let img = translate_scalar(&spd, &TranslationOptions::default()).unwrap();
+    let mut cell = Dv3dCell::new("wind speed", PlotSpec::volume(img));
+    cell.configure(&ConfigOp::Leveling { dx: -0.3, dy: 0.5 }).unwrap();
+    cell.configure(&ConfigOp::MoveSlice { axis: Axis3::Z, delta: 1 }).ok();
+    let fb = cell.render(96, 72).unwrap();
+    assert!(fb.covered_pixels(Color::BLACK) > 30);
+}
