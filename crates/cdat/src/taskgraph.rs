@@ -11,6 +11,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 type TaskFn = dyn Fn(&BTreeMap<String, Arc<Variable>>) -> Result<Variable> + Send + Sync;
+/// One finished task: name, outcome, per-attempt wall times.
+type TaskOutcome = (String, Result<Variable>, Vec<Duration>);
 
 struct Task {
     name: String,
@@ -18,10 +20,66 @@ struct Task {
     run: Box<TaskFn>,
 }
 
+/// How a run reacts to a failing task: total attempts per task, and the
+/// backoff slept between them (doubling each retry). Mirrors
+/// `vistrails::executor::RetryPolicy` without coupling the crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles on every further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Fail fast: one attempt, no backoff.
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
+impl RetryPolicy {
+    /// Up to `retries` re-runs after the first failure.
+    pub fn retries(retries: u32, backoff: Duration) -> RetryPolicy {
+        RetryPolicy { max_attempts: retries.saturating_add(1), backoff }
+    }
+
+    /// Runs `f` under the policy, returning per-attempt wall times and the
+    /// final outcome (the last error when every attempt fails).
+    fn run(
+        &self,
+        f: impl Fn(&BTreeMap<String, Arc<Variable>>) -> Result<Variable>,
+        deps: &BTreeMap<String, Arc<Variable>>,
+    ) -> (Vec<Duration>, Result<Variable>) {
+        let max = self.max_attempts.max(1);
+        let mut timings = Vec::new();
+        let mut backoff = self.backoff;
+        loop {
+            let t0 = Instant::now();
+            let out = f(deps);
+            timings.push(t0.elapsed());
+            match out {
+                Ok(v) => return (timings, Ok(v)),
+                Err(e) => {
+                    if timings.len() as u32 >= max {
+                        return (timings, Err(e));
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A dependency-aware analysis task graph.
 #[derive(Default)]
 pub struct TaskGraph {
     tasks: Vec<Task>,
+    /// Per-task retry policy applied by both runners (default: fail fast).
+    pub retry: RetryPolicy,
 }
 
 /// Execution report: per-task wall time plus the result set.
@@ -29,8 +87,11 @@ pub struct TaskGraph {
 pub struct TaskReport {
     /// Completed task outputs by name.
     pub outputs: BTreeMap<String, Arc<Variable>>,
-    /// Per-task wall-clock durations.
+    /// Per-task wall-clock durations (summed over attempts).
     pub timings: BTreeMap<String, Duration>,
+    /// Per-task wall time of each individual attempt, in order (length 1
+    /// everywhere unless the retry policy re-ran a failing task).
+    pub attempt_timings: BTreeMap<String, Vec<Duration>>,
     /// Total wall time of the run.
     pub total: Duration,
 }
@@ -118,17 +179,19 @@ impl TaskGraph {
         let waves = self.schedule()?;
         let mut outputs: BTreeMap<String, Arc<Variable>> = BTreeMap::new();
         let mut timings = BTreeMap::new();
+        let mut attempt_timings = BTreeMap::new();
         for wave in waves {
             for i in wave {
                 let t = &self.tasks[i];
-                let t0 = Instant::now();
-                let out = (t.run)(&outputs)
+                let (attempts, out) = self.retry.run(&t.run, &outputs);
+                let out = out
                     .map_err(|e| CdmsError::Invalid(format!("task '{}': {e}", t.name)))?;
-                timings.insert(t.name.clone(), t0.elapsed());
+                timings.insert(t.name.clone(), attempts.iter().sum());
+                attempt_timings.insert(t.name.clone(), attempts);
                 outputs.insert(t.name.clone(), Arc::new(out));
             }
         }
-        Ok(TaskReport { outputs, timings, total: start.elapsed() })
+        Ok(TaskReport { outputs, timings, attempt_timings, total: start.elapsed() })
     }
 
     /// Runs the graph with each wavefront parallelized by rayon.
@@ -136,37 +199,35 @@ impl TaskGraph {
         let start = Instant::now();
         let waves = self.schedule()?;
         let mut outputs: BTreeMap<String, Arc<Variable>> = BTreeMap::new();
-        let timings: Mutex<BTreeMap<String, Duration>> = Mutex::new(BTreeMap::new());
+        let mut timings = BTreeMap::new();
+        let mut attempt_timings = BTreeMap::new();
         for wave in waves {
             // Scoped OS threads rather than the rayon pool: analysis tasks
             // may block on I/O (catalog transfers), which a work-stealing
             // pool on a small machine would serialize.
-            let collected: Mutex<Vec<(String, Result<Variable>, Duration)>> =
+            let collected: Mutex<Vec<TaskOutcome>> =
                 Mutex::new(Vec::with_capacity(wave.len()));
             std::thread::scope(|scope| {
                 for &i in &wave {
                     let t = &self.tasks[i];
                     let outputs = &outputs;
                     let collected = &collected;
+                    let retry = &self.retry;
                     scope.spawn(move || {
-                        let t0 = Instant::now();
-                        let out = (t.run)(outputs);
-                        collected.lock().push((t.name.clone(), out, t0.elapsed()));
+                        let (attempts, out) = retry.run(&t.run, outputs);
+                        collected.lock().push((t.name.clone(), out, attempts));
                     });
                 }
             });
-            for (name, out, dt) in collected.into_inner() {
+            for (name, out, attempts) in collected.into_inner() {
                 let out =
                     out.map_err(|e| CdmsError::Invalid(format!("task '{name}': {e}")))?;
-                timings.lock().insert(name.clone(), dt);
+                timings.insert(name.clone(), attempts.iter().sum());
+                attempt_timings.insert(name.clone(), attempts);
                 outputs.insert(name, Arc::new(out));
             }
         }
-        Ok(TaskReport {
-            outputs,
-            timings: timings.into_inner(),
-            total: start.elapsed(),
-        })
+        Ok(TaskReport { outputs, timings, attempt_timings, total: start.elapsed() })
     }
 }
 
@@ -270,6 +331,54 @@ mod tests {
         let err = g.run_serial().unwrap_err();
         assert!(err.to_string().contains("bad"));
         assert!(err.to_string().contains("numerical blow-up"));
+    }
+
+    fn graph_with_flaky_task(failures: usize) -> TaskGraph {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ds = SynthesisSpec::new(4, 2, 8, 16).build();
+        let ta = ds.variable("ta").unwrap().clone();
+        let mut g = TaskGraph::new();
+        g.add_source("ta", ta).unwrap();
+        let calls = AtomicUsize::new(0);
+        g.add_task("flaky", &["ta"], move |deps| {
+            if calls.fetch_add(1, Ordering::SeqCst) < failures {
+                Err(CdmsError::Invalid("transient I/O hiccup".into()))
+            } else {
+                climatology::anomaly(&deps["ta"])
+            }
+        })
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn retry_policy_recovers_flaky_task() {
+        for parallel in [false, true] {
+            let mut g = graph_with_flaky_task(2);
+            g.retry = RetryPolicy::retries(2, Duration::from_millis(1));
+            let report = if parallel { g.run_parallel() } else { g.run_serial() }.unwrap();
+            assert!(report.outputs.contains_key("flaky"));
+            // provenance records all three attempts and sums them
+            assert_eq!(report.attempt_timings["flaky"].len(), 3, "parallel={parallel}");
+            assert_eq!(report.attempt_timings["ta"].len(), 1);
+            assert!(report.timings["flaky"] >= report.attempt_timings["flaky"][0]);
+        }
+    }
+
+    #[test]
+    fn default_policy_fails_fast_on_flaky_task() {
+        let g = graph_with_flaky_task(1);
+        let err = g.run_serial().unwrap_err();
+        assert!(err.to_string().contains("flaky"), "{err}");
+        assert!(err.to_string().contains("transient"), "{err}");
+    }
+
+    #[test]
+    fn retries_exhausted_reports_last_error() {
+        let mut g = graph_with_flaky_task(usize::MAX);
+        g.retry = RetryPolicy::retries(2, Duration::ZERO);
+        let err = g.run_parallel().unwrap_err();
+        assert!(err.to_string().contains("transient"), "{err}");
     }
 
     #[test]

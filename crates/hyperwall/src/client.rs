@@ -1,19 +1,31 @@
 //! The client (display) node: executes its 1-cell sub-workflow locally at
 //! full resolution and responds to propagated interaction ops.
+//!
+//! [`ClientNode::run`] is the strict loop used by healthy walls; the
+//! fault-injection harness drives [`ClientNode::run_with_faults`], which
+//! misbehaves exactly as its [`ClientFaults`] script says (crash at a
+//! frame, delay replies, corrupt a reply, refuse reconnects) and treats a
+//! lost connection as a graceful end of service rather than an error —
+//! in a degraded wall the server is entitled to drop us.
 
-use crate::protocol::{read_message, write_message, Message};
+use crate::fault::ClientFaults;
+use crate::protocol::{
+    read_message, read_message_deadline, write_message, Message,
+};
 use crate::workflow::wall_registry;
 use crate::{Result, WallError};
 use dv3d::cell::Dv3dCell;
 use dv3d::plots::PlotSpec;
+use std::io::Write;
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vistrails::executor::Executor;
 use vistrails::pipeline::Pipeline;
 
 /// A display client, driven entirely by server messages.
 pub struct ClientNode {
     id: usize,
+    addr: std::net::SocketAddr,
     stream: TcpStream,
     cell: Option<Dv3dCell>,
     size: (usize, usize),
@@ -26,11 +38,12 @@ impl ClientNode {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         write_message(&mut stream, &Message::Hello { client_id: id })?;
-        Ok(ClientNode { id, stream, cell: None, size: (64, 64), frames_rendered: 0 })
+        Ok(ClientNode { id, addr, stream, cell: None, size: (64, 64), frames_rendered: 0 })
     }
 
-    /// Runs the message loop until `Shutdown`. Returns the number of frames
-    /// rendered.
+    /// Runs the strict message loop until `Shutdown`. Returns the number of
+    /// frames rendered. Any protocol violation or connection loss is an
+    /// error.
     pub fn run(mut self) -> Result<u64> {
         loop {
             match read_message(&mut self.stream)? {
@@ -47,18 +60,13 @@ impl ClientNode {
                     }
                 }
                 Message::Execute { frame } => {
-                    let cell = self.cell.as_mut().ok_or_else(|| {
-                        WallError::Protocol("Execute before AssignWorkflow".into())
-                    })?;
-                    let start = Instant::now();
-                    let fb = cell.render(self.size.0, self.size.1)?;
-                    let render_ms = start.elapsed().as_secs_f64() * 1000.0;
-                    let coverage = fb.covered_pixels(rvtk::Color::BLACK) as f64
-                        / (self.size.0 * self.size.1) as f64;
-                    self.frames_rendered += 1;
+                    let done = self.render_frame(frame)?;
+                    write_message(&mut self.stream, &done)?;
+                }
+                Message::Heartbeat { seq } => {
                     write_message(
                         &mut self.stream,
-                        &Message::FrameDone { client_id: self.id, frame, coverage, render_ms },
+                        &Message::HeartbeatAck { client_id: self.id, seq },
                     )?;
                 }
                 Message::Shutdown => return Ok(self.frames_rendered),
@@ -70,6 +78,149 @@ impl ClientNode {
                 }
             }
         }
+    }
+
+    /// Runs the message loop under a fault script. Differences from
+    /// [`ClientNode::run`]:
+    ///
+    /// * scripted faults fire on cue (drop / delay / corrupt / refuse);
+    /// * a lost or dropped connection ends the loop gracefully with the
+    ///   frames rendered so far (the server has degraded our panel and is
+    ///   serving its mirror — that is the design, not an error);
+    /// * after a scripted crash the client attempts the recovery
+    ///   handshake (reconnect, `Hello`, wait for re-`AssignWorkflow`),
+    ///   honouring any scripted reconnect refusals.
+    pub fn run_with_faults(mut self, faults: ClientFaults) -> Result<u64> {
+        let delay = Duration::from_millis(faults.reply_delay_ms());
+        let mut refusals_left = faults.refused_reconnects();
+        let mut dropped = false;
+        let mut corrupted = false;
+        // after a reconnect the next message must arrive under a deadline:
+        // the server may have given this panel up, and a blocking read
+        // would hang the client thread forever
+        let mut expect_reassign = false;
+        loop {
+            let msg = if expect_reassign {
+                match read_message_deadline(
+                    &mut self.stream,
+                    Duration::from_secs(2),
+                    "re-AssignWorkflow",
+                ) {
+                    Ok(m) => m,
+                    Err(_) => return Ok(self.frames_rendered),
+                }
+            } else {
+                match read_message(&mut self.stream) {
+                    Ok(m) => m,
+                    Err(_) => return Ok(self.frames_rendered),
+                }
+            };
+            expect_reassign = false;
+            match msg {
+                Message::AssignWorkflow { pipeline_json, cell_module, width, height } => {
+                    self.size = (width, height);
+                    let pipeline = Pipeline::from_json(&pipeline_json)?;
+                    self.cell = Some(self.instantiate(&pipeline, cell_module)?);
+                    std::thread::sleep(delay);
+                    if write_message(&mut self.stream, &Message::Ready { client_id: self.id })
+                        .is_err()
+                    {
+                        return Ok(self.frames_rendered);
+                    }
+                }
+                Message::Op(op) => {
+                    if let Some(cell) = &mut self.cell {
+                        let _ = cell.configure(&op);
+                    }
+                }
+                Message::Execute { frame } => {
+                    if !dropped && faults.drop_at() == Some(frame) {
+                        // scripted crash: vanish without answering (close
+                        // the socket NOW so the server sees a dead peer,
+                        // not a slow one, while we redial)
+                        dropped = true;
+                        self.stream.shutdown(std::net::Shutdown::Both).ok();
+                        if !self.reconnect(&mut refusals_left) {
+                            return Ok(self.frames_rendered);
+                        }
+                        self.cell = None;
+                        expect_reassign = true;
+                        continue;
+                    }
+                    if !corrupted && faults.corrupt_at() == Some(frame) {
+                        // scripted corruption: a plausible length prefix
+                        // followed by bytes that are not a Message
+                        corrupted = true;
+                        let garbage = *b"!!not-json-data!";
+                        let mut framed = (garbage.len() as u32).to_le_bytes().to_vec();
+                        framed.extend_from_slice(&garbage);
+                        if self.stream.write_all(&framed).is_err() {
+                            return Ok(self.frames_rendered);
+                        }
+                        continue;
+                    }
+                    let done = self.render_frame(frame)?;
+                    std::thread::sleep(delay);
+                    if write_message(&mut self.stream, &done).is_err() {
+                        return Ok(self.frames_rendered);
+                    }
+                }
+                Message::Heartbeat { seq } => {
+                    std::thread::sleep(delay);
+                    if write_message(
+                        &mut self.stream,
+                        &Message::HeartbeatAck { client_id: self.id, seq },
+                    )
+                    .is_err()
+                    {
+                        return Ok(self.frames_rendered);
+                    }
+                }
+                Message::Shutdown => return Ok(self.frames_rendered),
+                other => {
+                    return Err(WallError::Protocol(format!(
+                        "client {} got unexpected {other:?}",
+                        self.id
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Renders the assigned cell and builds the `FrameDone` reply.
+    fn render_frame(&mut self, frame: u64) -> Result<Message> {
+        let cell = self
+            .cell
+            .as_mut()
+            .ok_or_else(|| WallError::Protocol("Execute before AssignWorkflow".into()))?;
+        let start = Instant::now();
+        let fb = cell.render(self.size.0, self.size.1)?;
+        let render_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let coverage = fb.covered_pixels(rvtk::Color::BLACK) as f64
+            / (self.size.0 * self.size.1) as f64;
+        self.frames_rendered += 1;
+        Ok(Message::FrameDone { client_id: self.id, frame, coverage, render_ms })
+    }
+
+    /// The client half of crash recovery: redial the server and say Hello,
+    /// pretending the first `refusals_left` attempts fail (flaky network).
+    /// Gives up (returns false) after a bounded number of attempts.
+    fn reconnect(&mut self, refusals_left: &mut u32) -> bool {
+        for attempt in 0u64..40 {
+            std::thread::sleep(Duration::from_millis(5 * (attempt + 1).min(10)));
+            if *refusals_left > 0 {
+                *refusals_left -= 1;
+                continue;
+            }
+            let Ok(mut s) = TcpStream::connect(self.addr) else { continue };
+            s.set_nodelay(true).ok();
+            if write_message(&mut s, &Message::Hello { client_id: self.id }).is_err() {
+                continue;
+            }
+            self.stream = s;
+            return true;
+        }
+        false
     }
 
     /// Executes the assigned sub-workflow up to the plot module and builds
@@ -101,6 +252,7 @@ impl ClientNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultPlan};
     use crate::workflow::{build_wall_pipeline, split_per_client, WallWorkflowConfig};
     use std::net::TcpListener;
 
@@ -134,12 +286,17 @@ mod tests {
         )
         .unwrap();
         assert_eq!(read_message(&mut stream).unwrap(), Message::Ready { client_id: 0 });
-        // an op, then two frames
+        // an op, a heartbeat, then two frames
         write_message(
             &mut stream,
             &Message::Op(dv3d::interaction::ConfigOp::NextColormap),
         )
         .unwrap();
+        write_message(&mut stream, &Message::Heartbeat { seq: 5 }).unwrap();
+        assert_eq!(
+            read_message(&mut stream).unwrap(),
+            Message::HeartbeatAck { client_id: 0, seq: 5 }
+        );
         for frame in 0..2u64 {
             write_message(&mut stream, &Message::Execute { frame }).unwrap();
             match read_message(&mut stream).unwrap() {
@@ -168,5 +325,53 @@ mod tests {
         read_message(&mut stream).unwrap(); // hello
         write_message(&mut stream, &Message::Execute { frame: 0 }).unwrap();
         assert!(client_thread.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn faulted_client_drops_on_cue_and_redials() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let faults = FaultPlan::none()
+            .inject(0, Fault::DropAtFrame(0))
+            .inject(0, Fault::RefuseReconnect(1))
+            .client(0);
+        let client_thread = std::thread::spawn(move || {
+            let client = ClientNode::connect(addr, 0).unwrap();
+            client.run_with_faults(faults).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        read_message(&mut stream).unwrap(); // hello
+        // order Execute{0}: the scripted crash fires, the socket dies
+        write_message(&mut stream, &Message::Execute { frame: 0 }).unwrap();
+        assert!(read_message(&mut stream).is_err(), "client should have hung up");
+        // the client redials (after one refused attempt) and says Hello again
+        let (mut stream2, _) = listener.accept().unwrap();
+        assert_eq!(
+            read_message(&mut stream2).unwrap(),
+            Message::Hello { client_id: 0 }
+        );
+        // we never re-assign; the client's deadline expires and it exits
+        // gracefully having rendered nothing
+        assert_eq!(client_thread.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn faulted_client_corrupts_on_cue_then_exits_gracefully() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let scripted = FaultPlan::none().inject(0, Fault::CorruptAtFrame(0)).client(0);
+        let client_thread = std::thread::spawn(move || {
+            let client = ClientNode::connect(addr, 0).unwrap();
+            client.run_with_faults(scripted).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        read_message(&mut stream).unwrap(); // hello
+        write_message(&mut stream, &Message::Execute { frame: 0 }).unwrap();
+        // the reply is garbage, not a Message
+        let err = read_message(&mut stream).unwrap_err();
+        assert!(matches!(err, WallError::Protocol(_)), "{err}");
+        // server hangs up on the corrupt client; client exits gracefully
+        drop(stream);
+        assert_eq!(client_thread.join().unwrap(), 0);
     }
 }

@@ -1,7 +1,14 @@
 //! Spawning a full loopback wall: server + N client threads, one scenario.
+//!
+//! [`run_wall`] runs a healthy wall; [`run_wall_with_faults`] runs the same
+//! scenario under a [`FaultPlan`], exercising the degradation path: panels
+//! whose client crashes are served from the server mirror, and the
+//! [`WallRunReport`] counts how many panel-frames the audience saw at
+//! mirror quality.
 
 use crate::client::ClientNode;
-use crate::server::{FrameReport, HyperwallServer};
+use crate::fault::FaultPlan;
+use crate::server::{FrameReport, HyperwallServer, PanelState, WallTuning};
 use crate::workflow::WallWorkflowConfig;
 use crate::Result;
 use dv3d::interaction::ConfigOp;
@@ -20,6 +27,16 @@ pub struct WallRunReport {
     pub op_broadcast_ms: Vec<f64>,
     /// Total frames rendered across all clients.
     pub client_frames: u64,
+    /// Panel-frames served from the server mirror instead of a live client.
+    pub degraded_frames: u64,
+    /// Successful panel recoveries (Degraded → Live).
+    pub reconnects: u64,
+    /// FrameDone waits that expired at the server's deadline.
+    pub deadline_misses: u64,
+    /// Health of each panel when the run ended.
+    pub final_states: Vec<PanelState>,
+    /// Human-readable fault timeline from the server.
+    pub incidents: Vec<String>,
 }
 
 impl WallRunReport {
@@ -45,6 +62,16 @@ impl WallRunReport {
             self.frames.iter().map(|f| f.mirror_ms).sum::<f64>() / self.frames.len() as f64
         }
     }
+
+    /// Fraction of panel-frames served degraded, in `[0, 1]`.
+    pub fn degraded_fraction(&self) -> f64 {
+        let total = (self.n_clients as u64) * (self.frames.len() as u64);
+        if total == 0 {
+            0.0
+        } else {
+            self.degraded_frames as f64 / total as f64
+        }
+    }
 }
 
 /// Runs a complete wall scenario on loopback: `n_frames` distributed
@@ -56,15 +83,43 @@ pub fn run_wall(
     n_frames: u64,
     ops: &[ConfigOp],
 ) -> Result<WallRunReport> {
-    let mut server = HyperwallServer::bind(cfg, mirror_downsample)?;
+    run_wall_with_faults(
+        cfg,
+        mirror_downsample,
+        n_frames,
+        ops,
+        &FaultPlan::none(),
+        WallTuning::default(),
+    )
+}
+
+/// Runs a wall scenario under a fault plan. Every client runs
+/// [`ClientNode::run_with_faults`] with its slice of the plan (clients the
+/// plan does not mention behave normally), and the server runs with the
+/// given [`WallTuning`] deadlines / retry policy.
+///
+/// The run completes — all `n_frames` frames are served — regardless of
+/// which clients the plan kills; failed panels are mirror-substituted and
+/// their recovery is attempted with capped exponential backoff.
+pub fn run_wall_with_faults(
+    cfg: &WallWorkflowConfig,
+    mirror_downsample: usize,
+    n_frames: u64,
+    ops: &[ConfigOp],
+    plan: &FaultPlan,
+    tuning: WallTuning,
+) -> Result<WallRunReport> {
+    let heartbeat_every = tuning.heartbeat_every_frames;
+    let mut server = HyperwallServer::bind_tuned(cfg, mirror_downsample, tuning)?;
     let addr = server.addr()?;
     let n = cfg.n_cells;
 
     let client_threads: Vec<_> = (0..n)
         .map(|id| {
+            let faults = plan.client(id);
             std::thread::spawn(move || -> Result<u64> {
                 let client = ClientNode::connect(addr, id)?;
-                client.run()
+                client.run_with_faults(faults)
             })
         })
         .collect();
@@ -82,6 +137,9 @@ pub fn run_wall(
                 op_broadcast_ms.push(server.broadcast_op(op)?);
             }
         }
+        if heartbeat_every > 0 && frame > 0 && frame % heartbeat_every == 0 {
+            server.heartbeat()?;
+        }
         frames.push(server.execute_frame(frame)?);
     }
     server.shutdown()?;
@@ -92,7 +150,18 @@ pub fn run_wall(
             crate::WallError::Protocol("client thread panicked".into())
         })??;
     }
-    Ok(WallRunReport { n_clients: n, assign_ms, frames, op_broadcast_ms, client_frames })
+    Ok(WallRunReport {
+        n_clients: n,
+        assign_ms,
+        frames,
+        op_broadcast_ms,
+        client_frames,
+        degraded_frames: server.degraded_frames_total(),
+        reconnects: server.reconnects_total(),
+        deadline_misses: server.deadline_misses_total(),
+        final_states: server.panel_states(),
+        incidents: server.incidents.clone(),
+    })
 }
 
 /// Renders the same wall workload entirely on one node at full resolution
@@ -122,10 +191,23 @@ pub fn run_single_node_baseline(cfg: &WallWorkflowConfig, n_frames: u64) -> Resu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::Fault;
     use dv3d::interaction::{Axis3, CameraOp};
+    use std::time::Duration;
 
     fn small_cfg(n_cells: usize) -> WallWorkflowConfig {
         WallWorkflowConfig { n_cells, synth: (1, 2, 10, 20), cell_px: (64, 48) }
+    }
+
+    fn fast_tuning() -> WallTuning {
+        WallTuning {
+            io_deadline: Duration::from_secs(1),
+            frame_deadline: Duration::from_secs(1),
+            backoff_base_frames: 1,
+            max_reconnect_attempts: 4,
+            reconnect_poll: Duration::from_millis(400),
+            heartbeat_every_frames: 0,
+        }
     }
 
     #[test]
@@ -145,9 +227,17 @@ mod tests {
             assert!(f.coverage.iter().all(|&c| c > 0.0), "{f:?}");
             assert!(f.round_trip_ms > 0.0);
             assert!(f.mirror_ms > 0.0);
+            assert!(f.degraded.iter().all(|&d| !d), "{f:?}");
         }
         assert!(report.assign_ms > 0.0);
         assert!(report.mean_client_render_ms() > 0.0);
+        // a healthy wall has a clean fault ledger
+        assert_eq!(report.degraded_frames, 0);
+        assert_eq!(report.reconnects, 0);
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.degraded_fraction(), 0.0);
+        assert_eq!(report.final_states, vec![PanelState::Live; 3]);
+        assert!(report.incidents.is_empty(), "{:?}", report.incidents);
     }
 
     #[test]
@@ -157,6 +247,7 @@ mod tests {
         let report = run_wall(&cfg, 2, 1, &[]).unwrap();
         assert_eq!(report.n_clients, 15);
         assert_eq!(report.client_frames, 15);
+        assert_eq!(report.degraded_frames, 0);
     }
 
     #[test]
@@ -218,5 +309,89 @@ mod tests {
             mirror < client,
             "mirror {mirror:.2}ms/cell should be cheaper than full-res {client:.2}ms"
         );
+    }
+
+    /// The issue's acceptance scenario: one client crashes at frame 2 of 8
+    /// (its first reconnect attempt is refused by the fault plan), yet the
+    /// wall completes every frame — the dead panel is mirror-substituted
+    /// while degraded and restored to Live once the client comes back.
+    #[test]
+    fn client_crash_mid_run_degrades_then_recovers() {
+        let cfg = small_cfg(3);
+        let plan = FaultPlan::none()
+            .inject(1, Fault::DropAtFrame(2))
+            .inject(1, Fault::RefuseReconnect(1));
+        // one op broadcast before the crash, so recovery also exercises the
+        // op-replay path (the reconnecting client must catch up)
+        let ops = vec![ConfigOp::Camera(CameraOp::Azimuth(10.0))];
+        let report =
+            run_wall_with_faults(&cfg, 4, 8, &ops, &plan, fast_tuning()).unwrap();
+        // the wall never stopped: all 8 frames served, with coverage
+        assert_eq!(report.frames.len(), 8);
+        for f in &report.frames {
+            assert!(f.coverage.iter().all(|&c| c > 0.0), "{f:?}");
+        }
+        // the crash frame was served from the mirror for the dead panel
+        assert!(report.degraded_frames > 0, "{report:?}");
+        assert!(report.frames[2].degraded[1], "{:?}", report.frames[2]);
+        // healthy panels never degraded
+        assert!(report.frames.iter().all(|f| !f.degraded[0] && !f.degraded[2]));
+        // the victim recovered: exactly one reconnect, and the wall ended
+        // with every panel live again
+        assert_eq!(report.reconnects, 1, "{:?}", report.incidents);
+        assert_eq!(report.final_states, vec![PanelState::Live; 3]);
+        // the last frame was served fully live
+        assert!(report.frames[7].degraded.iter().all(|&d| !d), "{:?}", report.incidents);
+        // the two healthy clients rendered all 8 frames; the victim missed
+        // at least the crash frame
+        assert!(report.client_frames >= 16, "{report:?}");
+        assert!(report.client_frames < 24, "{report:?}");
+        assert!(report.degraded_fraction() > 0.0 && report.degraded_fraction() < 0.5);
+        assert!(!report.incidents.is_empty());
+    }
+
+    /// A panel whose client never comes back stays degraded for the rest of
+    /// the run and the wall still completes (mirror keeps covering it).
+    #[test]
+    fn permanently_dead_panel_stays_degraded() {
+        let cfg = small_cfg(2);
+        let plan = FaultPlan::none()
+            .inject(0, Fault::DropAtFrame(1))
+            .inject(0, Fault::RefuseReconnect(u32::MAX));
+        let mut tuning = fast_tuning();
+        tuning.max_reconnect_attempts = 2;
+        tuning.reconnect_poll = Duration::from_millis(30);
+        let report = run_wall_with_faults(&cfg, 4, 5, &[], &plan, tuning).unwrap();
+        assert_eq!(report.frames.len(), 5);
+        assert_eq!(report.reconnects, 0);
+        // frames 1..4 degraded for panel 0 → 4 mirror-served panel-frames
+        assert_eq!(report.degraded_frames, 4, "{:?}", report.incidents);
+        assert_eq!(report.final_states[0], PanelState::Degraded);
+        assert_eq!(report.final_states[1], PanelState::Live);
+        // the mirror kept the dead panel lit
+        for f in &report.frames[1..] {
+            assert!(f.degraded[0]);
+            assert!(f.coverage[0] > 0.0);
+        }
+    }
+
+    /// A client that replies too slowly trips the frame deadline and is
+    /// degraded (the miss is counted separately from disconnects).
+    #[test]
+    fn delayed_client_trips_frame_deadline() {
+        let cfg = small_cfg(2);
+        // client 1 replies ~300ms late to everything; with a 100ms frame
+        // deadline the server degrades it on the first frame
+        let plan = FaultPlan::none().inject(1, Fault::DelayReplies(300));
+        let mut tuning = fast_tuning();
+        tuning.frame_deadline = Duration::from_millis(100);
+        tuning.max_reconnect_attempts = 1;
+        tuning.reconnect_poll = Duration::from_millis(10);
+        let report = run_wall_with_faults(&cfg, 4, 3, &[], &plan, tuning).unwrap();
+        assert!(report.deadline_misses >= 1, "{:?}", report.incidents);
+        assert!(report.degraded_frames >= 1);
+        assert_eq!(report.final_states[1], PanelState::Degraded);
+        // frame 0 for client 0 was honest and live
+        assert!(!report.frames[0].degraded[0]);
     }
 }

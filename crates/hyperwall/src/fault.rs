@@ -1,0 +1,187 @@
+//! Deterministic fault injection for wall resilience testing.
+//!
+//! A [`FaultPlan`] scripts exactly what goes wrong, where, and when: client
+//! code consults its [`ClientFaults`] at each protocol step and misbehaves
+//! on cue. Because the plan is plain data (and the seeded constructor is a
+//! pure function of its seed), every failure scenario is reproducible —
+//! the degradation/recovery tests in [`crate::cluster`] are ordinary
+//! deterministic unit tests, not flaky chaos runs.
+
+use std::collections::BTreeMap;
+
+/// One scripted misbehaviour of a display client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop the TCP connection upon receiving `Execute { frame }` —
+    /// simulates a client crash mid-animation.
+    DropAtFrame(u64),
+    /// Sleep this many milliseconds before every reply — simulates a
+    /// saturated node; large values trip the server's frame deadline.
+    DelayReplies(u64),
+    /// Answer `Execute { frame }` with garbage bytes instead of a valid
+    /// `FrameDone` — simulates wire corruption / a buggy client build.
+    CorruptAtFrame(u64),
+    /// Pretend the first K reconnect attempts fail (flaky network between
+    /// the crash and the recovery).
+    RefuseReconnect(u32),
+}
+
+/// All faults scripted for a single client, with query helpers the client
+/// loop calls at each decision point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientFaults {
+    faults: Vec<Fault>,
+}
+
+impl ClientFaults {
+    /// True when nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Frame at which this client drops its connection, if scripted.
+    pub fn drop_at(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::DropAtFrame(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Scripted delay before every reply, in milliseconds.
+    pub fn reply_delay_ms(&self) -> u64 {
+        self.faults
+            .iter()
+            .find_map(|f| match f {
+                Fault::DelayReplies(d) => Some(*d),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Frame whose `FrameDone` is replaced by garbage bytes, if scripted.
+    pub fn corrupt_at(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::CorruptAtFrame(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// How many reconnect attempts the client must pretend fail.
+    pub fn refused_reconnects(&self) -> u32 {
+        self.faults
+            .iter()
+            .find_map(|f| match f {
+                Fault::RefuseReconnect(k) => Some(*k),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// A scripted failure scenario for a whole wall run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    per_client: BTreeMap<usize, ClientFaults>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every client behaves.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Scripts a fault for one client. Chainable.
+    pub fn inject(mut self, client: usize, fault: Fault) -> FaultPlan {
+        self.per_client.entry(client).or_default().faults.push(fault);
+        self
+    }
+
+    /// The faults scripted for `client` (empty set when unscripted).
+    pub fn client(&self, client: usize) -> ClientFaults {
+        self.per_client.get(&client).cloned().unwrap_or_default()
+    }
+
+    /// True when no client has scripted faults.
+    pub fn is_empty(&self) -> bool {
+        self.per_client.values().all(ClientFaults::is_empty)
+    }
+
+    /// Clients with at least one scripted fault.
+    pub fn faulty_clients(&self) -> Vec<usize> {
+        self.per_client
+            .iter()
+            .filter(|(_, f)| !f.is_empty())
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// A seeded random crash: picks one victim client and one crash frame
+    /// deterministically from `seed` (SplitMix64), with `refusals` flaky
+    /// reconnect attempts. Same seed → same scenario, always.
+    pub fn seeded_crash(seed: u64, n_clients: usize, n_frames: u64, refusals: u32) -> FaultPlan {
+        assert!(n_clients > 0 && n_frames > 0, "empty wall scenario");
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let victim = (next() % n_clients as u64) as usize;
+        let frame = next() % n_frames;
+        FaultPlan::none()
+            .inject(victim, Fault::DropAtFrame(frame))
+            .inject(victim, Fault::RefuseReconnect(refusals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_find_scripted_faults() {
+        let plan = FaultPlan::none()
+            .inject(2, Fault::DropAtFrame(5))
+            .inject(2, Fault::RefuseReconnect(3))
+            .inject(0, Fault::DelayReplies(40))
+            .inject(1, Fault::CorruptAtFrame(1));
+        assert_eq!(plan.client(2).drop_at(), Some(5));
+        assert_eq!(plan.client(2).refused_reconnects(), 3);
+        assert_eq!(plan.client(0).reply_delay_ms(), 40);
+        assert_eq!(plan.client(1).corrupt_at(), Some(1));
+        // unscripted client: all-clear defaults
+        let clean = plan.client(9);
+        assert!(clean.is_empty());
+        assert_eq!(clean.drop_at(), None);
+        assert_eq!(clean.reply_delay_ms(), 0);
+        assert_eq!(clean.corrupt_at(), None);
+        assert_eq!(clean.refused_reconnects(), 0);
+        assert_eq!(plan.faulty_clients(), vec![0, 1, 2]);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn seeded_crash_is_deterministic_and_in_range() {
+        let a = FaultPlan::seeded_crash(42, 15, 8, 2);
+        let b = FaultPlan::seeded_crash(42, 15, 8, 2);
+        assert_eq!(a, b);
+        let victims = a.faulty_clients();
+        assert_eq!(victims.len(), 1);
+        assert!(victims[0] < 15);
+        let faults = a.client(victims[0]);
+        assert!(faults.drop_at().unwrap() < 8);
+        assert_eq!(faults.refused_reconnects(), 2);
+        // different seeds explore different scenarios
+        let scenarios: std::collections::BTreeSet<_> = (0..32)
+            .map(|s| {
+                let p = FaultPlan::seeded_crash(s, 15, 8, 0);
+                let v = p.faulty_clients()[0];
+                (v, p.client(v).drop_at().unwrap())
+            })
+            .collect();
+        assert!(scenarios.len() > 5, "seeds barely vary: {scenarios:?}");
+    }
+}

@@ -13,27 +13,66 @@
 //! (the protocol is identical to what separate hosts would speak):
 //!
 //! * [`protocol`] — length-prefixed JSON messages (workflow assignment,
-//!   interaction ops, frame execution, completion reports).
+//!   interaction ops, frame execution, completion reports, heartbeats).
 //! * [`workflow`] — builds the 15-cell wall workflow and splits it into
 //!   per-client sub-workflows with `Pipeline::upstream_subgraph`.
 //! * [`server`] / [`client`] — the two node roles.
 //! * [`layout`] — wall geometry (the NCCS wall: 5×3 panels).
 //! * [`cluster`] — spawns a full loopback wall and reports timings.
+//! * [`fault`] — deterministic fault injection for resilience testing.
+//!
+//! ## Fault tolerance
+//!
+//! A wall of 15 display nodes has 15 chances per frame for something to go
+//! wrong, and a demo in front of an audience cannot stop because one panel
+//! died. The fault layer keeps the wall animating through client failures:
+//!
+//! * **Deadlines everywhere.** Every protocol exchange runs under a read /
+//!   write timeout ([`protocol::read_message_deadline`] and friends), every
+//!   message length is capped at [`protocol::MAX_MESSAGE_BYTES`], and the
+//!   server can interleave [`protocol::Message::Heartbeat`] probes to
+//!   detect silent clients between frames.
+//! * **Panel states, `Live → Degraded → Live`.** When a client misses its
+//!   frame deadline, disconnects, or answers garbage, the server marks that
+//!   panel [`server::PanelState::Degraded`] and substitutes its own low-res
+//!   mirror render of the same cell, so the wall keeps animating (at worse
+//!   quality on one panel) instead of freezing. Degraded panels are retried
+//!   with capped exponential backoff: the server polls its listener each
+//!   frame, re-runs the `Hello → AssignWorkflow → Ready` handshake, replays
+//!   the interaction-op log the client missed, and promotes the panel back
+//!   to `Live`.
+//! * **Reproducible failure.** [`fault::FaultPlan`] injects failures
+//!   deterministically (drop at frame N, delayed replies, corrupt bytes,
+//!   refused reconnects), so every degradation/recovery path has an exact,
+//!   seedable test.
+//!
+//! Degradation is accounted for in [`cluster::WallRunReport`]:
+//! `degraded_frames`, `reconnects` and `deadline_misses` quantify how much
+//! of a run the audience saw at mirror quality.
 
 pub mod client;
 pub mod cluster;
+pub mod fault;
 pub mod layout;
 pub mod protocol;
 pub mod server;
 pub mod workflow;
 
 /// Errors raised by hyperwall operations.
+///
+/// Marked `#[non_exhaustive]`: fault-tolerance work grows this enum (e.g.
+/// [`WallError::Timeout`]) without that being a breaking change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum WallError {
     Io(std::io::Error),
     Protocol(String),
     Workflow(vistrails::WfError),
     Render(String),
+    /// A protocol exchange missed its deadline.
+    Timeout(String),
+    /// An operation addressed a panel that is currently degraded.
+    Degraded { panel: usize, reason: String },
 }
 
 impl std::fmt::Display for WallError {
@@ -43,11 +82,23 @@ impl std::fmt::Display for WallError {
             WallError::Protocol(m) => write!(f, "protocol: {m}"),
             WallError::Workflow(e) => write!(f, "workflow: {e}"),
             WallError::Render(m) => write!(f, "render: {m}"),
+            WallError::Timeout(m) => write!(f, "timeout: {m}"),
+            WallError::Degraded { panel, reason } => {
+                write!(f, "panel {panel} degraded: {reason}")
+            }
         }
     }
 }
 
-impl std::error::Error for WallError {}
+impl std::error::Error for WallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WallError::Io(e) => Some(e),
+            WallError::Workflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for WallError {
     fn from(e: std::io::Error) -> Self {
@@ -69,3 +120,30 @@ impl From<dv3d::Dv3dError> for WallError {
 
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, WallError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_source_forwards_inner_errors() {
+        use std::error::Error;
+        let io: WallError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer gone").into();
+        assert!(io.source().is_some());
+        let wf: WallError = vistrails::WfError::NotFound("module".into()).into();
+        assert!(wf.source().is_some());
+        let proto = WallError::Protocol("bad".into());
+        assert!(proto.source().is_none());
+        let timeout = WallError::Timeout("FrameDone".into());
+        assert!(timeout.source().is_none());
+    }
+
+    #[test]
+    fn error_display_covers_new_variants() {
+        let t = WallError::Timeout("read".into());
+        assert!(t.to_string().contains("timeout"));
+        let d = WallError::Degraded { panel: 4, reason: "disconnect".into() };
+        assert!(d.to_string().contains("panel 4"));
+    }
+}

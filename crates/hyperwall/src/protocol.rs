@@ -1,15 +1,25 @@
 //! The wire protocol between the server node and the display clients:
-//! length-prefixed JSON messages over TCP.
+//! length-prefixed JSON messages over TCP, with bounded message sizes and
+//! deadline-aware variants of every exchange.
 
 use crate::{Result, WallError};
 use dv3d::interaction::ConfigOp;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on one message body. The largest legitimate message is an
+/// `AssignWorkflow` pipeline JSON (a few KiB); anything near this cap is a
+/// corrupt or hostile length prefix, and rejecting it keeps a bad client
+/// from making the server allocate gigabytes.
+pub const MAX_MESSAGE_BYTES: usize = 8 << 20;
 
 /// Messages exchanged between server and clients.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
-    /// Client → server: identify after connecting.
+    /// Client → server: identify after connecting (also used when a
+    /// recovering client re-handshakes after a disconnect).
     Hello { client_id: usize },
     /// Server → client: the 1-cell sub-workflow to own.
     AssignWorkflow {
@@ -37,6 +47,10 @@ pub enum Message {
         /// Render wall time in milliseconds.
         render_ms: f64,
     },
+    /// Server → client: liveness probe between frames.
+    Heartbeat { seq: u64 },
+    /// Client → server: heartbeat echo.
+    HeartbeatAck { client_id: usize, seq: u64 },
     /// Server → client: shut down cleanly.
     Shutdown,
 }
@@ -44,23 +58,81 @@ pub enum Message {
 /// Writes one message (u32-LE length prefix + JSON body).
 pub fn write_message(stream: &mut impl Write, msg: &Message) -> Result<()> {
     let body = serde_json::to_vec(msg).map_err(|e| WallError::Protocol(e.to_string()))?;
+    if body.len() > MAX_MESSAGE_BYTES {
+        return Err(WallError::Protocol(format!(
+            "refusing to send {} byte message (cap {MAX_MESSAGE_BYTES})",
+            body.len()
+        )));
+    }
     stream.write_all(&(body.len() as u32).to_le_bytes())?;
     stream.write_all(&body)?;
     stream.flush()?;
     Ok(())
 }
 
-/// Reads one message; blocks until a full frame arrives.
+/// Reads one message; blocks until a full frame arrives. Length prefixes
+/// above [`MAX_MESSAGE_BYTES`] are rejected as protocol errors before any
+/// allocation happens.
 pub fn read_message(stream: &mut impl Read) -> Result<Message> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len > 256 << 20 {
-        return Err(WallError::Protocol(format!("implausible message length {len}")));
+    if len > MAX_MESSAGE_BYTES {
+        return Err(WallError::Protocol(format!(
+            "implausible message length {len} (cap {MAX_MESSAGE_BYTES})"
+        )));
     }
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
     serde_json::from_slice(&body).map_err(|e| WallError::Protocol(e.to_string()))
+}
+
+/// True when an I/O error is a deadline expiry rather than a dead peer.
+/// (`read` under `set_read_timeout` reports `WouldBlock` on some platforms
+/// and `TimedOut` on others.)
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one message with a deadline. Expiry maps to [`WallError::Timeout`]
+/// (`what` names the exchange for diagnostics); any other failure keeps its
+/// I/O or protocol classification. The socket's timeout is cleared again
+/// before returning so later blocking reads behave normally.
+pub fn read_message_deadline(
+    stream: &mut TcpStream,
+    deadline: Duration,
+    what: &str,
+) -> Result<Message> {
+    stream.set_read_timeout(Some(deadline))?;
+    let out = read_message(stream);
+    stream.set_read_timeout(None).ok();
+    out.map_err(|e| match e {
+        WallError::Io(io) if is_timeout(&io) => {
+            WallError::Timeout(format!("{what} not received within {deadline:?}"))
+        }
+        other => other,
+    })
+}
+
+/// Writes one message with a deadline; expiry maps to [`WallError::Timeout`].
+pub fn write_message_deadline(
+    stream: &mut TcpStream,
+    msg: &Message,
+    deadline: Duration,
+    what: &str,
+) -> Result<()> {
+    stream.set_write_timeout(Some(deadline))?;
+    let out = write_message(stream, msg);
+    stream.set_write_timeout(None).ok();
+    out.map_err(|e| match e {
+        WallError::Io(io) if is_timeout(&io) => {
+            WallError::Timeout(format!("{what} not sent within {deadline:?}"))
+        }
+        other => other,
+    })
 }
 
 #[cfg(test)]
@@ -68,8 +140,10 @@ mod tests {
     use super::*;
     use dv3d::interaction::{Axis3, CameraOp};
 
-    #[test]
-    fn roundtrip_through_a_buffer() {
+    /// One of every message variant — kept in sync with `Message` by the
+    /// match below, which fails to compile when a variant is added here
+    /// without a sample.
+    fn all_variants() -> Vec<Message> {
         let msgs = vec![
             Message::Hello { client_id: 3 },
             Message::AssignWorkflow {
@@ -83,8 +157,29 @@ mod tests {
             Message::Op(ConfigOp::Camera(CameraOp::Azimuth(15.0))),
             Message::Execute { frame: 7 },
             Message::FrameDone { client_id: 3, frame: 7, coverage: 0.42, render_ms: 12.5 },
+            Message::Heartbeat { seq: 11 },
+            Message::HeartbeatAck { client_id: 3, seq: 11 },
             Message::Shutdown,
         ];
+        for m in &msgs {
+            match m {
+                Message::Hello { .. }
+                | Message::AssignWorkflow { .. }
+                | Message::Ready { .. }
+                | Message::Op(_)
+                | Message::Execute { .. }
+                | Message::FrameDone { .. }
+                | Message::Heartbeat { .. }
+                | Message::HeartbeatAck { .. }
+                | Message::Shutdown => {}
+            }
+        }
+        msgs
+    }
+
+    #[test]
+    fn roundtrip_through_a_buffer() {
+        let msgs = all_variants();
         let mut buf: Vec<u8> = Vec::new();
         for m in &msgs {
             write_message(&mut buf, m).unwrap();
@@ -107,10 +202,20 @@ mod tests {
 
     #[test]
     fn oversized_length_rejected() {
-        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        // just above the cap, and the pathological u32::MAX
+        for len in [(MAX_MESSAGE_BYTES + 1) as u32, u32::MAX] {
+            let mut buf = len.to_le_bytes().to_vec();
+            buf.extend_from_slice(b"xx");
+            let mut cursor = std::io::Cursor::new(buf);
+            let err = read_message(&mut cursor).unwrap_err();
+            assert!(matches!(err, WallError::Protocol(_)), "{err}");
+        }
+        // exactly at the cap the length itself is legal (the read then
+        // fails on the missing body, an Io error, not a Protocol one)
+        let mut buf = (MAX_MESSAGE_BYTES as u32).to_le_bytes().to_vec();
         buf.extend_from_slice(b"xx");
         let mut cursor = std::io::Cursor::new(buf);
-        assert!(matches!(read_message(&mut cursor), Err(WallError::Protocol(_))));
+        assert!(matches!(read_message(&mut cursor), Err(WallError::Io(_))));
     }
 
     #[test]
@@ -128,5 +233,52 @@ mod tests {
         let back = read_message(&mut stream).unwrap();
         assert_eq!(back, msg);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn read_deadline_trips_on_silent_peer() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let (_held, _) = listener.accept().unwrap(); // peer connects, never writes
+        let start = std::time::Instant::now();
+        let err =
+            read_message_deadline(&mut stream, Duration::from_millis(50), "FrameDone")
+                .unwrap_err();
+        assert!(matches!(err, WallError::Timeout(_)), "{err}");
+        assert!(err.to_string().contains("FrameDone"));
+        assert!(start.elapsed() < Duration::from_secs(2));
+        // deadline must be cleared afterwards: a normal exchange still works
+        let msg = Message::Heartbeat { seq: 1 };
+        let mut held = _held;
+        write_message(&mut held, &msg).unwrap();
+        assert_eq!(read_message(&mut stream).unwrap(), msg);
+    }
+
+    #[test]
+    fn heartbeat_roundtrip_over_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            match read_message(&mut s).unwrap() {
+                Message::Heartbeat { seq } => {
+                    write_message(&mut s, &Message::HeartbeatAck { client_id: 0, seq }).unwrap()
+                }
+                other => panic!("{other:?}"),
+            }
+        });
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write_message_deadline(
+            &mut stream,
+            &Message::Heartbeat { seq: 42 },
+            Duration::from_secs(1),
+            "Heartbeat",
+        )
+        .unwrap();
+        let ack = read_message_deadline(&mut stream, Duration::from_secs(1), "HeartbeatAck")
+            .unwrap();
+        assert_eq!(ack, Message::HeartbeatAck { client_id: 0, seq: 42 });
+        echo.join().unwrap();
     }
 }

@@ -1,36 +1,101 @@
 //! The server (control) node: owns the full workflow, ships sub-workflows
 //! to clients, mirrors everything at reduced resolution, and propagates
 //! the user's interaction ops to the wall.
+//!
+//! The server is the fault-tolerance anchor (see the crate docs): every
+//! client exchange runs under a deadline, a failing client degrades its
+//! panel instead of stopping the wall, degraded panels are served from the
+//! server's own low-res mirror, and reconnecting clients are re-handshaken
+//! with capped exponential backoff and promoted back to live.
 
-use crate::protocol::{read_message, write_message, Message};
+use crate::protocol::{read_message_deadline, write_message_deadline, Message};
 use crate::workflow::{split_per_client, wall_registry, CellChain, WallWorkflowConfig};
 use crate::{Result, WallError};
 use dv3d::cell::Dv3dCell;
 use dv3d::interaction::ConfigOp;
 use dv3d::plots::PlotSpec;
 use std::net::{TcpListener, TcpStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vistrails::executor::Executor;
 use vistrails::pipeline::Pipeline;
+
+/// Health of one wall panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanelState {
+    /// The display client renders this panel at full resolution.
+    Live,
+    /// The client is gone or misbehaving; the server substitutes its own
+    /// low-res mirror render so the wall keeps animating.
+    Degraded,
+}
+
+/// Deadlines and retry policy for the wall.
+#[derive(Debug, Clone)]
+pub struct WallTuning {
+    /// Deadline for handshake exchanges and message sends.
+    pub io_deadline: Duration,
+    /// Deadline for a client's `FrameDone` after `Execute`.
+    pub frame_deadline: Duration,
+    /// Base of the reconnect backoff, in frames: a degraded panel is
+    /// retried after `base << attempt` frames (capped at 32).
+    pub backoff_base_frames: u64,
+    /// Reconnect attempts before a panel is left permanently degraded.
+    pub max_reconnect_attempts: u32,
+    /// How long one reconnect poll keeps the door open for a returning
+    /// client before the wall moves on to the next frame.
+    pub reconnect_poll: Duration,
+    /// Probe live clients with a `Heartbeat` every this many frames
+    /// (0 disables; [`crate::cluster::run_wall_with_faults`] honours it).
+    pub heartbeat_every_frames: u64,
+}
+
+impl Default for WallTuning {
+    fn default() -> WallTuning {
+        WallTuning {
+            io_deadline: Duration::from_secs(2),
+            frame_deadline: Duration::from_secs(5),
+            backoff_base_frames: 1,
+            max_reconnect_attempts: 5,
+            reconnect_poll: Duration::from_millis(100),
+            heartbeat_every_frames: 0,
+        }
+    }
+}
+
+/// One display connection and its health bookkeeping.
+struct Panel {
+    stream: Option<TcpStream>,
+    state: PanelState,
+    reconnect_attempts: u32,
+    next_retry_frame: u64,
+}
+
+impl Panel {
+    fn live(stream: TcpStream) -> Panel {
+        Panel { stream: Some(stream), state: PanelState::Live, reconnect_attempts: 0, next_retry_frame: 0 }
+    }
+}
 
 /// Timing record of one distributed frame.
 #[derive(Debug, Clone)]
 pub struct FrameReport {
     pub frame: u64,
-    /// Per-client render times, ms (client-measured).
+    /// Per-client render times, ms (client-measured; 0 for degraded panels).
     pub client_render_ms: Vec<f64>,
     /// Wall time from Execute broadcast to the last FrameDone, ms.
     pub round_trip_ms: f64,
     /// Server's low-res mirror render time for all cells, ms.
     pub mirror_ms: f64,
-    /// Per-client coverage fractions.
+    /// Per-client coverage fractions (mirror-derived for degraded panels).
     pub coverage: Vec<f64>,
+    /// Which panels were served from the server mirror this frame.
+    pub degraded: Vec<bool>,
 }
 
 /// The hyperwall server.
 pub struct HyperwallServer {
     listener: TcpListener,
-    clients: Vec<TcpStream>,
+    panels: Vec<Panel>,
     /// The full wall pipeline.
     pub pipeline: Pipeline,
     /// One chain per cell.
@@ -39,22 +104,55 @@ pub struct HyperwallServer {
     mirror: Vec<Dv3dCell>,
     /// Mirror resolution per cell.
     pub mirror_px: (usize, usize),
+    /// Deadlines / retry policy.
+    pub tuning: WallTuning,
+    /// Saved `AssignWorkflow` messages, replayed at reconnect.
+    assignments: Vec<Option<Message>>,
+    /// Interaction ops broadcast so far, replayed at reconnect so a
+    /// recovered panel matches the rest of the wall.
+    op_log: Vec<ConfigOp>,
+    heartbeat_seq: u64,
+    current_frame: u64,
+    degraded_frames_total: u64,
+    reconnects_total: u64,
+    deadline_misses_total: u64,
+    /// Human-readable fault timeline ("frame 2: panel 1 degraded: …").
+    pub incidents: Vec<String>,
 }
 
 impl HyperwallServer {
-    /// Binds a listener and prepares the wall workflow + local mirror.
+    /// Binds a listener and prepares the wall workflow + local mirror,
+    /// with default [`WallTuning`].
     pub fn bind(cfg: &WallWorkflowConfig, mirror_downsample: usize) -> Result<HyperwallServer> {
+        HyperwallServer::bind_tuned(cfg, mirror_downsample, WallTuning::default())
+    }
+
+    /// Binds with explicit deadlines / retry policy.
+    pub fn bind_tuned(
+        cfg: &WallWorkflowConfig,
+        mirror_downsample: usize,
+        tuning: WallTuning,
+    ) -> Result<HyperwallServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let (pipeline, chains) = crate::workflow::build_wall_pipeline(cfg)?;
         let d = mirror_downsample.max(1);
         let mirror_px = (cfg.cell_px.0 / d, cfg.cell_px.1 / d);
         Ok(HyperwallServer {
             listener,
-            clients: Vec::new(),
+            panels: Vec::new(),
             pipeline,
             chains,
             mirror: Vec::new(),
             mirror_px,
+            tuning,
+            assignments: Vec::new(),
+            op_log: Vec::new(),
+            heartbeat_seq: 0,
+            current_frame: 0,
+            degraded_frames_total: 0,
+            reconnects_total: 0,
+            deadline_misses_total: 0,
+            incidents: Vec::new(),
         })
     }
 
@@ -69,7 +167,7 @@ impl HyperwallServer {
         for _ in 0..n {
             let (mut stream, _) = self.listener.accept()?;
             stream.set_nodelay(true).ok();
-            match read_message(&mut stream)? {
+            match read_message_deadline(&mut stream, self.tuning.io_deadline, "Hello")? {
                 Message::Hello { client_id } if client_id < n => {
                     slots[client_id] = Some(stream);
                 }
@@ -78,34 +176,59 @@ impl HyperwallServer {
                 }
             }
         }
-        self.clients = slots
+        self.panels = slots
             .into_iter()
-            .map(|s| s.ok_or_else(|| WallError::Protocol("missing client".into())))
+            .map(|s| {
+                s.map(Panel::live)
+                    .ok_or_else(|| WallError::Protocol("missing client".into()))
+            })
             .collect::<Result<_>>()?;
         Ok(())
     }
 
     /// Ships each client its sub-workflow and waits for all Ready replies.
     /// Also instantiates the server's local low-res mirror of every cell.
+    ///
+    /// A client that fails its assignment degrades its panel instead of
+    /// failing the wall: the mirror covers it from frame 0 onward.
     pub fn assign_workflows(&mut self, cfg: &WallWorkflowConfig) -> Result<()> {
         let subs = split_per_client(&self.pipeline, &self.chains)?;
-        for (i, stream) in self.clients.iter_mut().enumerate() {
-            write_message(
-                stream,
-                &Message::AssignWorkflow {
+        self.assignments = (0..self.panels.len())
+            .map(|i| {
+                Ok(Some(Message::AssignWorkflow {
                     pipeline_json: subs[i].to_json()?,
                     cell_module: self.chains[i].cell,
                     width: cfg.cell_px.0,
                     height: cfg.cell_px.1,
-                },
-            )?;
+                }))
+            })
+            .collect::<Result<_>>()?;
+        for i in 0..self.panels.len() {
+            let msg = self.assignments[i].clone().expect("assignment built above");
+            let deadline = self.tuning.io_deadline;
+            let send = match self.panels[i].stream.as_mut() {
+                Some(stream) => write_message_deadline(stream, &msg, deadline, "AssignWorkflow"),
+                None => Err(WallError::Degraded { panel: i, reason: "no connection".into() }),
+            };
+            if let Err(e) = send {
+                self.degrade(i, &format!("AssignWorkflow send failed: {e}"));
+            }
         }
-        for stream in self.clients.iter_mut() {
-            match read_message(stream)? {
-                Message::Ready { .. } => {}
-                other => {
-                    return Err(WallError::Protocol(format!("expected Ready, got {other:?}")))
-                }
+        for i in 0..self.panels.len() {
+            if self.panels[i].state != PanelState::Live {
+                continue;
+            }
+            let deadline = self.tuning.io_deadline;
+            let reply = self
+                .panels[i]
+                .stream
+                .as_mut()
+                .map(|s| read_message_deadline(s, deadline, "Ready"))
+                .unwrap_or_else(|| Err(WallError::Protocol("no connection".into())));
+            match reply {
+                Ok(Message::Ready { .. }) => {}
+                Ok(other) => self.degrade(i, &format!("expected Ready, got {other:?}")),
+                Err(e) => self.degrade(i, &format!("Ready read failed: {e}")),
             }
         }
         // Build the local mirror by executing each plot stage once.
@@ -124,12 +247,26 @@ impl HyperwallServer {
         Ok(())
     }
 
-    /// Broadcasts an interaction op to every client and applies it to the
-    /// local mirror. Returns the broadcast wall time in ms.
+    /// Broadcasts an interaction op to every live client and applies it to
+    /// the local mirror; the op is also logged for replay to reconnecting
+    /// clients. Returns the broadcast wall time in ms.
     pub fn broadcast_op(&mut self, op: &ConfigOp) -> Result<f64> {
         let start = Instant::now();
-        for stream in self.clients.iter_mut() {
-            write_message(stream, &Message::Op(op.clone()))?;
+        self.op_log.push(op.clone());
+        let deadline = self.tuning.io_deadline;
+        for i in 0..self.panels.len() {
+            if self.panels[i].state != PanelState::Live {
+                continue;
+            }
+            let send = self
+                .panels[i]
+                .stream
+                .as_mut()
+                .map(|s| write_message_deadline(s, &Message::Op(op.clone()), deadline, "Op"))
+                .unwrap_or(Ok(()));
+            if let Err(e) = send {
+                self.degrade(i, &format!("Op send failed: {e}"));
+            }
         }
         for cell in &mut self.mirror {
             let _ = cell.configure(op);
@@ -137,47 +274,248 @@ impl HyperwallServer {
         Ok(start.elapsed().as_secs_f64() * 1000.0)
     }
 
-    /// Executes one distributed frame: broadcast Execute, render the local
-    /// mirror while clients render full-res, then collect all FrameDone.
-    pub fn execute_frame(&mut self, frame: u64) -> Result<FrameReport> {
-        let start = Instant::now();
-        for stream in self.clients.iter_mut() {
-            write_message(stream, &Message::Execute { frame })?;
+    /// Probes every live client with a `Heartbeat` and degrades the silent
+    /// ones. Returns the number of panels still live afterwards.
+    pub fn heartbeat(&mut self) -> Result<usize> {
+        self.heartbeat_seq += 1;
+        let seq = self.heartbeat_seq;
+        let deadline = self.tuning.io_deadline;
+        for i in 0..self.panels.len() {
+            if self.panels[i].state != PanelState::Live {
+                continue;
+            }
+            let probe = (|| -> Result<()> {
+                let stream = self.panels[i]
+                    .stream
+                    .as_mut()
+                    .ok_or_else(|| WallError::Protocol("no connection".into()))?;
+                write_message_deadline(stream, &Message::Heartbeat { seq }, deadline, "Heartbeat")?;
+                match read_message_deadline(stream, deadline, "HeartbeatAck")? {
+                    Message::HeartbeatAck { client_id, seq: s } if client_id == i && s == seq => {
+                        Ok(())
+                    }
+                    other => Err(WallError::Protocol(format!(
+                        "expected HeartbeatAck({seq}), got {other:?}"
+                    ))),
+                }
+            })();
+            if let Err(e) = probe {
+                self.degrade(i, &format!("heartbeat failed: {e}"));
+            }
         }
+        Ok(self.panels.iter().filter(|p| p.state == PanelState::Live).count())
+    }
+
+    /// Executes one distributed frame: reconnect any panels whose backoff
+    /// is due, broadcast Execute to live panels, render the local mirror
+    /// while clients render full-res, collect FrameDone, and substitute the
+    /// mirror for every panel that is (or just became) degraded.
+    ///
+    /// Client failures never fail the frame — only server-local errors
+    /// (e.g. the mirror render itself) do.
+    pub fn execute_frame(&mut self, frame: u64) -> Result<FrameReport> {
+        self.current_frame = frame;
+        self.try_reconnects(frame);
+
+        let n = self.panels.len();
+        let start = Instant::now();
+        let mut sent = vec![false; n];
+        let deadline = self.tuning.io_deadline;
+        for (i, was_sent) in sent.iter_mut().enumerate() {
+            if self.panels[i].state != PanelState::Live {
+                continue;
+            }
+            let send = self
+                .panels[i]
+                .stream
+                .as_mut()
+                .map(|s| write_message_deadline(s, &Message::Execute { frame }, deadline, "Execute"))
+                .unwrap_or_else(|| Err(WallError::Protocol("no connection".into())));
+            match send {
+                Ok(()) => *was_sent = true,
+                Err(e) => self.degrade(i, &format!("Execute send failed: {e}")),
+            }
+        }
+
         // server-side reduced-resolution mirror of the full spreadsheet
+        let (mw, mh) = (self.mirror_px.0.max(16), self.mirror_px.1.max(16));
         let mirror_start = Instant::now();
-        for cell in &mut self.mirror {
-            cell.render(self.mirror_px.0.max(16), self.mirror_px.1.max(16))?;
+        let mut mirror_coverage = vec![0.0f64; n];
+        for (i, cell) in self.mirror.iter_mut().enumerate() {
+            let fb = cell.render(mw, mh)?;
+            mirror_coverage[i] =
+                fb.covered_pixels(rvtk::Color::BLACK) as f64 / (mw * mh) as f64;
         }
         let mirror_ms = mirror_start.elapsed().as_secs_f64() * 1000.0;
 
-        let mut client_render_ms = vec![0.0; self.clients.len()];
-        let mut coverage = vec![0.0; self.clients.len()];
-        for stream in self.clients.iter_mut() {
-            match read_message(stream)? {
-                Message::FrameDone { client_id, frame: f, coverage: c, render_ms } => {
-                    if f != frame {
-                        return Err(WallError::Protocol(format!(
-                            "client {client_id} answered frame {f}, expected {frame}"
-                        )));
-                    }
-                    client_render_ms[client_id] = render_ms;
-                    coverage[client_id] = c;
+        let mut client_render_ms = vec![0.0; n];
+        let mut coverage = vec![0.0; n];
+        let frame_deadline = self.tuning.frame_deadline;
+        for i in 0..n {
+            if !sent[i] {
+                continue;
+            }
+            let reply = self
+                .panels[i]
+                .stream
+                .as_mut()
+                .map(|s| read_message_deadline(s, frame_deadline, "FrameDone"))
+                .unwrap_or_else(|| Err(WallError::Protocol("no connection".into())));
+            match reply {
+                Ok(Message::FrameDone { client_id, frame: f, coverage: c, render_ms })
+                    if client_id == i && f == frame =>
+                {
+                    client_render_ms[i] = render_ms;
+                    coverage[i] = c;
                 }
-                other => {
-                    return Err(WallError::Protocol(format!(
-                        "expected FrameDone, got {other:?}"
-                    )))
+                Ok(Message::FrameDone { client_id, frame: f, .. }) => {
+                    self.degrade(
+                        i,
+                        &format!("client {client_id} answered frame {f}, expected {frame}"),
+                    );
+                }
+                Ok(other) => self.degrade(i, &format!("expected FrameDone, got {other:?}")),
+                Err(e) => {
+                    if matches!(e, WallError::Timeout(_)) {
+                        self.deadline_misses_total += 1;
+                    }
+                    self.degrade(i, &format!("FrameDone failed: {e}"));
                 }
             }
         }
+
+        // graceful degradation: degraded panels show the server mirror
+        let mut degraded = vec![false; n];
+        for i in 0..n {
+            if self.panels[i].state == PanelState::Degraded {
+                degraded[i] = true;
+                coverage[i] = mirror_coverage[i];
+                self.degraded_frames_total += 1;
+            }
+        }
+
         Ok(FrameReport {
             frame,
             client_render_ms,
             round_trip_ms: start.elapsed().as_secs_f64() * 1000.0,
             mirror_ms,
             coverage,
+            degraded,
         })
+    }
+
+    /// Marks a panel degraded, drops its connection, and schedules the
+    /// first reconnect attempt.
+    fn degrade(&mut self, i: usize, reason: &str) {
+        if self.panels[i].state == PanelState::Degraded {
+            return;
+        }
+        self.incidents
+            .push(format!("frame {}: panel {i} degraded: {reason}", self.current_frame));
+        let p = &mut self.panels[i];
+        p.state = PanelState::Degraded;
+        p.stream = None;
+        p.reconnect_attempts = 0;
+        p.next_retry_frame = self.current_frame + self.tuning.backoff_base_frames.max(1);
+    }
+
+    /// True when some degraded panel is due a reconnect attempt at `frame`.
+    fn reconnect_due(&self, frame: u64) -> bool {
+        self.panels.iter().any(|p| {
+            p.state == PanelState::Degraded
+                && p.reconnect_attempts < self.tuning.max_reconnect_attempts
+                && frame >= p.next_retry_frame
+        })
+    }
+
+    /// Polls the listener for returning clients and re-handshakes them:
+    /// `Hello → AssignWorkflow → Ready`, then replays the op log so the
+    /// recovered panel matches the rest of the wall. Panels that do not
+    /// return get their backoff doubled (capped); after
+    /// `max_reconnect_attempts` they are left permanently degraded.
+    fn try_reconnects(&mut self, frame: u64) {
+        if !self.reconnect_due(frame) {
+            return;
+        }
+        let poll_deadline = Instant::now() + self.tuning.reconnect_poll;
+        self.listener.set_nonblocking(true).ok();
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nonblocking(false).ok();
+                    stream.set_nodelay(true).ok();
+                    match self.rehandshake(&mut stream) {
+                        Ok(i) => {
+                            self.incidents.push(format!(
+                                "frame {frame}: panel {i} reconnected, restored to live"
+                            ));
+                            self.panels[i] = Panel::live(stream);
+                            self.reconnects_total += 1;
+                        }
+                        Err(e) => {
+                            self.incidents
+                                .push(format!("frame {frame}: rejected reconnect: {e}"));
+                        }
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if !self.reconnect_due(frame) || Instant::now() >= poll_deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+            if !self.reconnect_due(frame) {
+                break;
+            }
+        }
+        self.listener.set_nonblocking(false).ok();
+        // panels still down: consume this attempt and back off exponentially
+        for i in 0..self.panels.len() {
+            let max = self.tuning.max_reconnect_attempts;
+            let base = self.tuning.backoff_base_frames.max(1);
+            let p = &mut self.panels[i];
+            if p.state == PanelState::Degraded
+                && p.reconnect_attempts < max
+                && frame >= p.next_retry_frame
+            {
+                p.reconnect_attempts += 1;
+                let backoff = base.saturating_shl(p.reconnect_attempts.min(5)).min(32);
+                p.next_retry_frame = frame + backoff;
+            }
+        }
+    }
+
+    /// Runs the full recovery handshake on a fresh connection; returns the
+    /// recovered panel index.
+    fn rehandshake(&mut self, stream: &mut TcpStream) -> Result<usize> {
+        let deadline = self.tuning.io_deadline;
+        let i = match read_message_deadline(stream, deadline, "Hello")? {
+            Message::Hello { client_id } if client_id < self.panels.len() => client_id,
+            other => {
+                return Err(WallError::Protocol(format!("expected Hello, got {other:?}")))
+            }
+        };
+        if self.panels[i].state != PanelState::Degraded {
+            return Err(WallError::Protocol(format!(
+                "client {i} reconnected but its panel is live"
+            )));
+        }
+        let assignment = self.assignments.get(i).cloned().flatten().ok_or_else(|| {
+            WallError::Protocol(format!("no stored assignment for panel {i}"))
+        })?;
+        write_message_deadline(stream, &assignment, deadline, "AssignWorkflow")?;
+        match read_message_deadline(stream, deadline, "Ready")? {
+            Message::Ready { .. } => {}
+            other => {
+                return Err(WallError::Protocol(format!("expected Ready, got {other:?}")))
+            }
+        }
+        for op in self.op_log.clone() {
+            write_message_deadline(stream, &Message::Op(op), deadline, "Op replay")?;
+        }
+        Ok(i)
     }
 
     /// Assembles the server's low-resolution mirror cells into one mosaic
@@ -196,17 +534,52 @@ impl HyperwallServer {
         Ok(mosaic)
     }
 
-    /// Shuts the wall down.
+    /// Shuts the wall down (best effort: degraded panels have no client to
+    /// notify).
     pub fn shutdown(&mut self) -> Result<()> {
-        for stream in self.clients.iter_mut() {
-            write_message(stream, &Message::Shutdown)?;
+        let deadline = self.tuning.io_deadline;
+        for panel in self.panels.iter_mut() {
+            if let Some(stream) = panel.stream.as_mut() {
+                write_message_deadline(stream, &Message::Shutdown, deadline, "Shutdown").ok();
+            }
         }
         Ok(())
     }
 
-    /// Number of connected clients.
+    /// Number of connected clients (live or degraded panels).
     pub fn n_clients(&self) -> usize {
-        self.clients.len()
+        self.panels.len()
+    }
+
+    /// Current health of every panel.
+    pub fn panel_states(&self) -> Vec<PanelState> {
+        self.panels.iter().map(|p| p.state).collect()
+    }
+
+    /// Panel-frames served from the server mirror instead of a live client.
+    pub fn degraded_frames_total(&self) -> u64 {
+        self.degraded_frames_total
+    }
+
+    /// Successful panel recoveries.
+    pub fn reconnects_total(&self) -> u64 {
+        self.reconnects_total
+    }
+
+    /// FrameDone waits that expired at the deadline.
+    pub fn deadline_misses_total(&self) -> u64 {
+        self.deadline_misses_total
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping (backoff helper).
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
     }
 }
 
@@ -218,6 +591,17 @@ mod tests {
 
     fn cfg() -> WallWorkflowConfig {
         WallWorkflowConfig { n_cells: 2, synth: (1, 2, 8, 16), cell_px: (32, 24) }
+    }
+
+    fn fast_tuning() -> WallTuning {
+        WallTuning {
+            io_deadline: Duration::from_millis(500),
+            frame_deadline: Duration::from_millis(500),
+            backoff_base_frames: 1,
+            max_reconnect_attempts: 3,
+            reconnect_poll: Duration::from_millis(50),
+            heartbeat_every_frames: 0,
+        }
     }
 
     #[test]
@@ -247,10 +631,10 @@ mod tests {
     }
 
     #[test]
-    fn client_disconnect_surfaces_as_error() {
-        let mut server = HyperwallServer::bind(&cfg(), 4).unwrap();
+    fn client_disconnect_degrades_panels_but_wall_survives() {
+        let mut server = HyperwallServer::bind_tuned(&cfg(), 4, fast_tuning()).unwrap();
         let addr = server.addr().unwrap();
-        // a client that hangs up right after Hello
+        // clients that hang up right after Hello
         let quitter = std::thread::spawn(move || {
             for id in 0..2 {
                 let mut s = std::net::TcpStream::connect(addr).unwrap();
@@ -260,17 +644,22 @@ mod tests {
         });
         server.accept_clients(2).unwrap();
         quitter.join().unwrap();
-        // assignment hits the closed sockets somewhere: send may buffer,
-        // but the Ready read must fail
-        let err = server.assign_workflows(&cfg()).unwrap_err();
-        assert!(matches!(err, WallError::Io(_) | WallError::Protocol(_)), "{err}");
+        // assignment hits the closed sockets: panels degrade, wall survives
+        server.assign_workflows(&cfg()).unwrap();
+        assert_eq!(server.panel_states(), vec![PanelState::Degraded; 2]);
+        // the frame still completes, fully served by the mirror
+        let report = server.execute_frame(0).unwrap();
+        assert_eq!(report.degraded, vec![true, true]);
+        assert!(report.coverage.iter().all(|&c| c > 0.0), "{report:?}");
+        assert_eq!(server.degraded_frames_total(), 2);
+        assert!(!server.incidents.is_empty());
     }
 
     #[test]
-    fn frame_mismatch_detected() {
-        let mut server = HyperwallServer::bind(&cfg(), 4).unwrap();
+    fn frame_mismatch_degrades_the_lying_panel() {
+        let mut server = HyperwallServer::bind_tuned(&cfg(), 4, fast_tuning()).unwrap();
         let addr = server.addr().unwrap();
-        // two concurrent fake clients that answer the wrong frame number
+        // two concurrent fake clients; client 1 answers the wrong frame
         let fakes: Vec<_> = (0..2usize)
             .map(|id| {
                 std::thread::spawn(move || {
@@ -282,30 +671,84 @@ mod tests {
                     }
                     write_message(&mut s, &Message::Ready { client_id: id }).unwrap();
                     match read_message(&mut s).unwrap() {
-                        Message::Execute { .. } => {}
+                        Message::Execute { frame } => {
+                            let lie = if id == 1 { 999 } else { frame };
+                            write_message(
+                                &mut s,
+                                &Message::FrameDone {
+                                    client_id: id,
+                                    frame: lie,
+                                    coverage: 0.5,
+                                    render_ms: 1.0,
+                                },
+                            )
+                            .unwrap();
+                        }
                         other => panic!("{other:?}"),
                     }
-                    write_message(
-                        &mut s,
-                        &Message::FrameDone {
-                            client_id: id,
-                            frame: 999,
-                            coverage: 0.5,
-                            render_ms: 1.0,
-                        },
-                    )
-                    .unwrap();
-                    // hold the socket open until the server errors out
-                    std::thread::sleep(std::time::Duration::from_millis(200));
+                    // hold the socket open until the server reacts
+                    std::thread::sleep(Duration::from_millis(200));
                 })
             })
             .collect();
         server.accept_clients(2).unwrap();
         server.assign_workflows(&cfg()).unwrap();
-        let err = server.execute_frame(0).unwrap_err();
-        assert!(matches!(err, WallError::Protocol(_)), "{err}");
+        let report = server.execute_frame(0).unwrap();
+        assert_eq!(report.degraded, vec![false, true]);
+        assert_eq!(
+            server.panel_states(),
+            vec![PanelState::Live, PanelState::Degraded]
+        );
+        // the honest client's numbers came through
+        assert_eq!(report.client_render_ms[0], 1.0);
+        assert_eq!(report.coverage[0], 0.5);
+        // the liar's coverage was substituted from the mirror
+        assert!(report.coverage[1] > 0.0);
         for f in fakes {
             f.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn heartbeat_degrades_silent_clients() {
+        let mut server = HyperwallServer::bind_tuned(&cfg(), 4, fast_tuning()).unwrap();
+        let addr = server.addr().unwrap();
+        let clients: Vec<_> = (0..2usize)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    let mut s = std::net::TcpStream::connect(addr).unwrap();
+                    write_message(&mut s, &Message::Hello { client_id: id }).unwrap();
+                    match read_message(&mut s).unwrap() {
+                        Message::AssignWorkflow { .. } => {}
+                        other => panic!("{other:?}"),
+                    }
+                    write_message(&mut s, &Message::Ready { client_id: id }).unwrap();
+                    // client 0 answers heartbeats; client 1 goes silent
+                    if id == 0 {
+                        match read_message(&mut s).unwrap() {
+                            Message::Heartbeat { seq } => write_message(
+                                &mut s,
+                                &Message::HeartbeatAck { client_id: id, seq },
+                            )
+                            .unwrap(),
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(700));
+                })
+            })
+            .collect();
+        server.accept_clients(2).unwrap();
+        server.assign_workflows(&cfg()).unwrap();
+        let live = server.heartbeat().unwrap();
+        assert_eq!(live, 1);
+        assert_eq!(
+            server.panel_states(),
+            vec![PanelState::Live, PanelState::Degraded]
+        );
+        assert_eq!(server.deadline_misses_total(), 0);
+        for c in clients {
+            c.join().unwrap();
         }
     }
 }

@@ -544,12 +544,14 @@ mod tests {
 
     #[test]
     fn parallel_projection_renders() {
-        let mut cam = Camera::default();
-        cam.position = Vec3::new(0.0, 0.0, 5.0);
-        cam.focal_point = Vec3::ZERO;
-        cam.parallel_projection = true;
-        cam.parallel_scale = 2.0;
-        cam.clipping_range = (0.1, 100.0);
+        let cam = Camera {
+            position: Vec3::new(0.0, 0.0, 5.0),
+            focal_point: Vec3::ZERO,
+            parallel_projection: true,
+            parallel_scale: 2.0,
+            clipping_range: (0.1, 100.0),
+            ..Camera::default()
+        };
         let vp = cam.projection_matrix(1.0).mul_mat(&cam.view_matrix());
         let mut fb = Framebuffer::new(64, 64);
         draw_actors(&[screen_tri()], &vp, &[], &mut fb);

@@ -55,10 +55,74 @@ impl ExecResults {
 pub struct ExecLogEntry {
     pub module: ModuleId,
     pub type_name: String,
+    /// Total wall time across all attempts (ZERO for cache hits).
     pub duration: Duration,
     pub cache_hit: bool,
     /// Signature used as the cache key.
     pub signature: u64,
+    /// Attempts actually run (0 for cache hits, 1 for a clean first run,
+    /// more when the retry policy re-ran a failing module).
+    pub attempts: u32,
+    /// Wall time of each individual attempt, in order.
+    pub attempt_durations: Vec<Duration>,
+}
+
+/// How execution reacts to a failing module: how many times to try, and
+/// how long to back off between tries (doubling each retry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles on every further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Fail fast: one attempt, no backoff.
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast (the default).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    /// Up to `retries` re-runs after the first failure, with `backoff`
+    /// (doubling) between attempts.
+    pub fn retries(retries: u32, backoff: Duration) -> RetryPolicy {
+        RetryPolicy { max_attempts: retries.saturating_add(1), backoff }
+    }
+
+    /// Runs `f` under the policy. Returns the per-attempt wall times
+    /// alongside the final outcome (the last error when all attempts fail).
+    pub fn run<T, E>(
+        &self,
+        mut f: impl FnMut() -> std::result::Result<T, E>,
+    ) -> (Vec<Duration>, std::result::Result<T, E>) {
+        let max = self.max_attempts.max(1);
+        let mut timings = Vec::new();
+        let mut backoff = self.backoff;
+        loop {
+            let start = Instant::now();
+            let out = f();
+            timings.push(start.elapsed());
+            match out {
+                Ok(v) => return (timings, Ok(v)),
+                Err(e) => {
+                    if timings.len() as u32 >= max {
+                        return (timings, Err(e));
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The executor: registry + cross-run result cache.
@@ -68,12 +132,21 @@ pub struct Executor {
     cache: HashMap<u64, BTreeMap<String, WfData>>,
     /// Disable to measure uncached performance (ablation).
     pub caching_enabled: bool,
+    /// Per-module retry policy (default: fail fast). Transient module
+    /// failures — a file briefly locked, a flaky remote — are retried with
+    /// exponential backoff before the run is declared failed.
+    pub retry: RetryPolicy,
 }
 
 impl Executor {
     /// Creates an executor over a registry.
     pub fn new(registry: ModuleRegistry) -> Executor {
-        Executor { registry, cache: HashMap::new(), caching_enabled: true }
+        Executor {
+            registry,
+            cache: HashMap::new(),
+            caching_enabled: true,
+            retry: RetryPolicy::none(),
+        }
     }
 
     /// The registry.
@@ -145,6 +218,8 @@ impl Executor {
                             duration: Duration::ZERO,
                             cache_hit: true,
                             signature: sig,
+                            attempts: 0,
+                            attempt_durations: Vec::new(),
                         });
                         continue;
                     }
@@ -160,32 +235,33 @@ impl Executor {
                 jobs.push((id, sig, node.type_name.clone(), node.params.clone(), inputs, module));
             }
 
-            // Run the wavefront in parallel.
-            type JobOutput = (ModuleId, u64, String, Duration, Result<BTreeMap<String, WfData>>);
+            // Run the wavefront in parallel; each job runs under the retry
+            // policy and reports its per-attempt timings.
+            type JobOutput =
+                (ModuleId, u64, String, Vec<Duration>, Result<BTreeMap<String, WfData>>);
+            let retry = self.retry.clone();
             let outcomes: Mutex<Vec<JobOutput>> = Mutex::new(Vec::with_capacity(jobs.len()));
             if jobs.len() <= 1 {
                 for (id, sig, tn, params, inputs, module) in jobs {
-                    let start = Instant::now();
-                    let out = module
-                        .execute(&inputs, &params)
-                        .map_err(|e| wrap_exec_err(id, e));
-                    outcomes.lock().push((id, sig, tn, start.elapsed(), out));
+                    let (timings, out) = retry
+                        .run(|| module.execute(&inputs, &params).map_err(|e| wrap_exec_err(id, e)));
+                    outcomes.lock().push((id, sig, tn, timings, out));
                 }
             } else {
                 std::thread::scope(|scope| {
                     for (id, sig, tn, params, inputs, module) in jobs {
                         let outcomes = &outcomes;
+                        let retry = &retry;
                         scope.spawn(move || {
-                            let start = Instant::now();
-                            let out = module
-                                .execute(&inputs, &params)
-                                .map_err(|e| wrap_exec_err(id, e));
-                            outcomes.lock().push((id, sig, tn, start.elapsed(), out));
+                            let (timings, out) = retry.run(|| {
+                                module.execute(&inputs, &params).map_err(|e| wrap_exec_err(id, e))
+                            });
+                            outcomes.lock().push((id, sig, tn, timings, out));
                         });
                     }
                 });
             }
-            for (id, sig, type_name, duration, out) in outcomes.into_inner() {
+            for (id, sig, type_name, attempt_durations, out) in outcomes.into_inner() {
                 let out = out?;
                 if self.caching_enabled {
                     self.cache.insert(sig, out.clone());
@@ -194,9 +270,11 @@ impl Executor {
                 results.log.push(ExecLogEntry {
                     module: id,
                     type_name,
-                    duration,
+                    duration: attempt_durations.iter().sum(),
                     cache_hit: false,
                     signature: sig,
+                    attempts: attempt_durations.len() as u32,
+                    attempt_durations,
                 });
             }
         }
@@ -243,11 +321,20 @@ mod tests {
         r.register_fn("m", "fail", &[], &[("out", PortType::Float)], |_, _| {
             Err(WfError::Execution { module: 0, message: "boom".into() })
         });
-        let c3 = counter;
+        let c3 = counter.clone();
         r.register_fn("m", "slow", &[], &[("out", PortType::Float)], move |_, _| {
             c3.fetch_add(1, Ordering::SeqCst);
             std::thread::sleep(std::time::Duration::from_millis(40));
             Ok(single("out", WfData::Float(1.0)))
+        });
+        // fails on its first two calls, succeeds from the third on
+        let c4 = counter;
+        r.register_fn("m", "flaky", &[], &[("out", PortType::Float)], move |_, _| {
+            if c4.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(WfError::Execution { module: 0, message: "transient".into() })
+            } else {
+                Ok(single("out", WfData::Float(7.0)))
+            }
         });
         r
     }
@@ -336,6 +423,67 @@ mod tests {
             }
             other => panic!("expected failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_failures() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        exec.retry = RetryPolicy::retries(2, Duration::from_millis(1));
+        let mut p = Pipeline::new();
+        p.add_module(1, "m.flaky").unwrap();
+        let results = exec.execute(&p).unwrap();
+        assert_eq!(results.output(1, "out").and_then(WfData::as_float), Some(7.0));
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        // provenance shows all three attempts with their timings
+        let entry = &results.log[0];
+        assert_eq!(entry.attempts, 3);
+        assert_eq!(entry.attempt_durations.len(), 3);
+        assert!(entry.duration >= entry.attempt_durations[0]);
+    }
+
+    #[test]
+    fn default_policy_fails_fast_on_flaky_module() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        let mut p = Pipeline::new();
+        p.add_module(1, "m.flaky").unwrap();
+        match exec.execute(&p) {
+            Err(WfError::Execution { module, message }) => {
+                assert_eq!(module, 1);
+                assert_eq!(message, "transient");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn retries_exhausted_reports_last_error() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter));
+        exec.retry = RetryPolicy::retries(3, Duration::ZERO);
+        let mut p = Pipeline::new();
+        p.add_module(9, "m.fail").unwrap();
+        match exec.execute(&p) {
+            Err(WfError::Execution { module, message }) => {
+                assert_eq!(module, 9);
+                assert_eq!(message, "boom");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_runs_log_single_attempts() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter));
+        exec.retry = RetryPolicy::retries(2, Duration::ZERO);
+        let first = exec.execute(&diamond()).unwrap();
+        assert!(first.log.iter().all(|e| e.attempts == 1));
+        // cache hits record zero attempts
+        let second = exec.execute(&diamond()).unwrap();
+        assert!(second.log.iter().all(|e| e.cache_hit && e.attempts == 0));
     }
 
     #[test]

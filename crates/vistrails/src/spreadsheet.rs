@@ -32,30 +32,9 @@ pub struct Spreadsheet {
     pub name: String,
     rows: usize,
     cols: usize,
-    #[serde(with = "cells_as_pairs")]
+    // JSON maps need string keys; addresses serialize as "row,col".
     cells: BTreeMap<CellAddress, CellBinding>,
     active: BTreeSet<CellAddress>,
-}
-
-/// JSON maps need string keys; serialize the cell map as an array of
-/// `(address, binding)` pairs instead.
-mod cells_as_pairs {
-    use super::*;
-    use serde::{Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<CellAddress, CellBinding>,
-        s: S,
-    ) -> std::result::Result<S::Ok, S::Error> {
-        serde::Serialize::serialize(&map.iter().collect::<Vec<_>>(), s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> std::result::Result<BTreeMap<CellAddress, CellBinding>, D::Error> {
-        let pairs: Vec<(CellAddress, CellBinding)> = serde::Deserialize::deserialize(d)?;
-        Ok(pairs.into_iter().collect())
-    }
 }
 
 impl Spreadsheet {
@@ -185,12 +164,12 @@ impl Spreadsheet {
     /// and reloaded with provenance intact.
     pub fn save_with_provenance(&self, vistrail: &Vistrail) -> Result<String> {
         #[derive(Serialize)]
-        struct Saved<'a> {
-            sheet: &'a Spreadsheet,
-            vistrail: &'a Vistrail,
+        struct Saved {
+            sheet: Spreadsheet,
+            vistrail: Vistrail,
         }
-        serde_json::to_string(&Saved { sheet: self, vistrail })
-            .map_err(|e| WfError::Serde(e.to_string()))
+        let saved = Saved { sheet: self.clone(), vistrail: vistrail.clone() };
+        serde_json::to_string(&saved).map_err(|e| WfError::Serde(e.to_string()))
     }
 
     /// Reloads a sheet + vistrail pair.

@@ -1,0 +1,169 @@
+//! Offline stand-in for `criterion`: the benchmark-group surface this
+//! workspace uses (`benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros). No statistics engine:
+//! each benchmark runs `sample_size` timed iterations after one warm-up
+//! and reports the median to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle; groups hang off it.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), sample_size: 10 }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        run_one("", id, 10, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in prints raw medians
+    /// and does not normalise by throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut BenchmarkGroup {
+        self
+    }
+
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup {
+        run_one(&self.name, &id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup {
+        let sample_size = self.sample_size;
+        run_one(&self.name, &id.label, sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { sample_size, samples: Vec::new() };
+    f(&mut b);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    match b.median() {
+        Some(m) => println!("bench {label}: median {:.3} ms ({} samples)", m.as_secs_f64() * 1e3, b.samples.len()),
+        None => println!("bench {label}: no samples"),
+    }
+}
+
+/// Handed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        black_box(payload()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(payload());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        Some(s[s.len() / 2])
+    }
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Units-processed annotation (ignored by the stand-in's reporting).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for `rand`: the `SeedableRng::seed_from_u64` +
+//! `Rng::gen_range` surface this workspace uses, backed by xoshiro256**
+//! seeded through SplitMix64. Deterministic for a given seed (the stream
+//! differs from upstream `StdRng`, which is fine — callers only rely on
+//! determinism, not the exact stream).
+
+/// Seedable generator constructors.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `gen_range` can produce. A single blanket `SampleRange` impl per
+/// range shape hangs off this (as upstream); that is what lets inference
+/// unify the range's element type with `gen_range`'s return type.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+/// Ranges (and other distributions) samplable by an RNG.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// The raw generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → [0, 1)
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "empty range");
+                } else {
+                    assert!(lo < hi, "empty range");
+                }
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "empty range");
+                } else {
+                    assert!(lo < hi, "empty range");
+                }
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64 — the stand-in's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, as the xoshiro authors recommend
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(
+            StdRng::seed_from_u64(7).gen_range(0.0..1.0),
+            c.gen_range(0.0..1.0)
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            sum += v;
+            let n = rng.gen_range(3i64..9);
+            assert!((3..9).contains(&n));
+            let m = rng.gen_range(0usize..=4);
+            assert!(m <= 4);
+        }
+        // crude uniformity check: mean of U(-1,1) near 0
+        assert!((sum / 2000.0).abs() < 0.05, "{sum}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for `rayon` covering the workspace's call surface:
+//! `par_iter` / `par_iter_mut` / `par_chunks_mut` with `zip` / `enumerate` /
+//! `map` / `for_each` chains, plus `current_num_threads`.
+//!
+//! Work really runs in parallel: items are collected and dispatched to
+//! `std::thread::scope` workers in contiguous batches (one per hardware
+//! thread). There is no work-stealing pool — fine for the coarse band/slab
+//! decompositions this workspace uses.
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A "parallel" iterator: a thin wrapper that defers to real threads only
+/// at the terminal `for_each`/`collect` call.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Send + Sync,
+    {
+        let mut items: Vec<I::Item> = self.0.collect();
+        let workers = current_num_threads().min(items.len().max(1));
+        if workers <= 1 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        let chunk = items.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            while !items.is_empty() {
+                let take = items.len().min(chunk);
+                let batch: Vec<I::Item> = items.drain(..take).collect();
+                scope.spawn(move || batch.into_iter().for_each(f));
+            }
+        });
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// `par_iter` / `par_iter_mut` on slices.
+pub trait ParallelIterExt<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+}
+
+impl<T> ParallelIterExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{ParIter, ParallelIterExt, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_iter_mut_touches_everything() {
+        let mut v: Vec<usize> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn chunk_zip_enumerate_chain() {
+        let mut a = [0u32; 12];
+        let mut b = [0u32; 12];
+        a.par_chunks_mut(4)
+            .zip(b.par_chunks_mut(4))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                for x in ca.iter_mut() {
+                    *x = i as u32;
+                }
+                cb[0] = 10 + i as u32;
+            });
+        assert_eq!(a[0], 0);
+        assert_eq!(a[5], 1);
+        assert_eq!(a[11], 2);
+        assert_eq!(b[8], 12);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let touched = AtomicUsize::new(0);
+        let mut v = [0u8; 64];
+        v.par_iter_mut().for_each(|_| {
+            touched.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(touched.load(Ordering::SeqCst), 64);
+    }
+}

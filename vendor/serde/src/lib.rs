@@ -1,0 +1,516 @@
+//! Offline stand-in for `serde`, providing the subset of the API this
+//! workspace uses: `Serialize`/`Deserialize` traits (plus the derive macros
+//! re-exported under the same names) over a JSON-shaped value tree.
+//!
+//! The real serde is a zero-copy visitor framework; this stand-in trades
+//! that generality for a tiny self-contained implementation: serializing
+//! builds a [`Value`] tree and deserializing walks one. `serde_json` in
+//! `vendor/serde_json` renders and parses the tree. Wire shapes follow
+//! serde_json's conventions (externally tagged enums, stringified integer
+//! map keys) so anything that round-tripped before still does.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A JSON-shaped value tree — the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integers (covers every integer the workspace serializes).
+    Int(i64),
+    /// Unsigned integers too large for `i64`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object entries.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> DeError {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(DeError::msg(format!(
+                        "expected integer, got {}", other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Int(n) => u64::try_from(*n).map_err(|_| DeError::msg("negative u64")),
+            Value::UInt(n) => Ok(*n),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as u64),
+            other => Err(DeError::msg(format!("expected integer, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {}", other.type_name()))),
+        }
+    }
+}
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN), // serde_json writes non-finite floats as null
+                    other => Err(DeError::msg(format!(
+                        "expected number, got {}", other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::msg(format!("expected char, got {}", other.type_name()))),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {}", other.type_name()))),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($( ($($n:tt $t:ident),+) )*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let expect = [$($n,)+].len();
+                        if items.len() != expect {
+                            return Err(DeError::msg(format!(
+                                "expected {expect}-tuple, got {} elements", items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::msg(format!(
+                        "expected array, got {}", other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Map keys serialize as JSON object keys (strings); integer keys are
+/// stringified exactly like serde_json does.
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_key_impl {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::msg(format!("bad integer map key '{s}'")))
+            }
+        }
+    )*};
+}
+
+int_key_impl!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+// Grid addresses like `(row, col)` are common map keys in this workspace;
+// encode them as "row,col" strings.
+impl MapKey for (usize, usize) {
+    fn to_key(&self) -> String {
+        format!("{},{}", self.0, self.1)
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        let (a, b) = s
+            .split_once(',')
+            .ok_or_else(|| DeError::msg(format!("bad pair map key '{s}'")))?;
+        let parse = |t: &str| {
+            t.parse::<usize>()
+                .map_err(|_| DeError::msg(format!("bad pair map key '{s}'")))
+        };
+        Ok((parse(a)?, parse(b)?))
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected object, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected object, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// --------------------------------------------------- derive support helpers
+
+/// Helpers the derive macros expand to. Not part of the public contract.
+pub mod __private {
+    use super::{DeError, Value};
+
+    static NULL: Value = Value::Null;
+
+    /// Fetches a struct field; a missing key reads as `Null` so `Option`
+    /// fields tolerate omission, like serde's `default` on options.
+    pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, DeError> {
+        match v {
+            Value::Object(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(DeError::msg(format!(
+                "expected object with field '{name}', got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Splits an externally tagged enum value into (variant, payload).
+    pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(DeError::msg(format!(
+                "expected enum (string or single-key object), got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// The payload of a multi-field tuple variant, as exactly `n` elements.
+    pub fn elements(v: &Value, n: usize) -> Result<&[Value], DeError> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(DeError::msg(format!(
+                "expected {n} tuple elements, got {}",
+                items.len()
+            ))),
+            other => Err(DeError::msg(format!("expected array, got {}", other.type_name()))),
+        }
+    }
+
+    /// Error for a payload-less variant that required one.
+    pub fn missing_payload(variant: &str) -> DeError {
+        DeError::msg(format!("variant '{variant}' is missing its payload"))
+    }
+
+    /// Error for an unknown variant name.
+    pub fn unknown_variant(ty: &str, variant: &str) -> DeError {
+        DeError::msg(format!("unknown {ty} variant '{variant}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Option::<i64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1usize, "a".to_string()), (2, "b".to_string())];
+        let round: Vec<(usize, String)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+
+        let mut m = BTreeMap::new();
+        m.insert(10u64, vec![1.0f64, 2.0]);
+        let round: BTreeMap<u64, Vec<f64>> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(round, m);
+        // integer keys become strings on the wire
+        assert!(matches!(&m.to_value(), Value::Object(e) if e[0].0 == "10"));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(Vec::<i64>::from_value(&Value::Str("no".into())).is_err());
+        assert!(<(i64, i64)>::from_value(&Value::Array(vec![Value::Int(1)])).is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in. Parses the item with hand-rolled `proc_macro` token walking
+//! (no syn/quote on this image) and emits impls against serde's value-tree
+//! model. Supports non-generic structs (named/tuple/unit) and enums with
+//! unit, tuple, and struct variants — exactly the shapes this workspace
+//! derives.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Skips attribute tokens (`#` + bracket group) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token list on top-level commas, tracking `<…>` nesting so
+/// commas inside generic arguments don't split fields.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field body (`{ a: T, pub b: U }`).
+fn parse_named(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    split_commas(&tokens)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let i = skip_vis(&seg, skip_attrs(&seg, 0));
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Field count of a tuple body (`(T, U)`).
+fn count_tuple(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    split_commas(&tokens).into_iter().filter(|seg| !seg.is_empty()).count()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the offline stand-in");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple(&g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+            let variants = split_commas(&body_tokens)
+                .into_iter()
+                .filter(|seg| !seg.is_empty())
+                .map(|seg| {
+                    let j = skip_attrs(&seg, 0);
+                    let vname = match seg.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive: expected variant name, found {other:?}"),
+                    };
+                    let fields = match seg.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Fields::Named(parse_named(&g.stream()))
+                        }
+                        Some(TokenTree::Group(g))
+                            if g.delimiter() == Delimiter::Parenthesis =>
+                        {
+                            Fields::Tuple(count_tuple(&g.stream()))
+                        }
+                        _ => Fields::Unit,
+                    };
+                    (vname, fields)
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for '{other}' items"),
+    }
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn ser_named_object(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", entries.join(""))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fs) => ser_named_object(fs, |f| format!("&self.{f}")),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(""))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![\
+                           (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![\
+                               (::std::string::String::from(\"{v}\"), \
+                                ::serde::Value::Array(::std::vec![{}]))]),",
+                            binders.join(","),
+                            items.join("")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binders = fs.join(",");
+                        let inner = ser_named_object(fs, |f| f.to_string());
+                        format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                               (::std::string::String::from(\"{v}\"), {inner})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     match self {{ {} }}\
+                   }}\
+                 }}",
+                arms.join("")
+            )
+        }
+    }
+}
+
+fn de_named_fields(payload: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                   ::serde::__private::field({payload}, \"{f}\")?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fs) => format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    de_named_fields("__v", fs)
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__els[{i}])?,"))
+                        .collect();
+                    format!(
+                        "{{ let __els = ::serde::__private::elements(__v, {n})?;\
+                           ::std::result::Result::Ok({name}({})) }}",
+                        items.join("")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "\"{v}\" => {{\
+                           let __p = __payload.ok_or_else(|| \
+                             ::serde::__private::missing_payload(\"{v}\"))?;\
+                           ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(__p)?))\
+                         }},"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__els[{i}])?,"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{\
+                               let __p = __payload.ok_or_else(|| \
+                                 ::serde::__private::missing_payload(\"{v}\"))?;\
+                               let __els = ::serde::__private::elements(__p, {n})?;\
+                               ::std::result::Result::Ok({name}::{v}({}))\
+                             }},",
+                            items.join("")
+                        )
+                    }
+                    Fields::Named(fs) => format!(
+                        "\"{v}\" => {{\
+                           let __p = __payload.ok_or_else(|| \
+                             ::serde::__private::missing_payload(\"{v}\"))?;\
+                           ::std::result::Result::Ok({name}::{v} {{ {} }})\
+                         }},",
+                        de_named_fields("__p", fs)
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     let (__tag, __payload) = ::serde::__private::variant(__v)?;\
+                     match __tag {{\
+                       {}\
+                       __other => ::std::result::Result::Err(\
+                         ::serde::__private::unknown_variant(\"{name}\", __other)),\
+                     }}\
+                   }}\
+                 }}",
+                arms.join("")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
