@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared fixtures for the benchmark harness.
 //!
 //! Each bench target regenerates one experiment from DESIGN.md's

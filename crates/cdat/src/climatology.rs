@@ -79,8 +79,10 @@ pub fn mean_over_months(var: &Variable, pred: impl Fn(u32) -> bool) -> Result<Va
             }
         }
     }
-    let mut a = acc.unwrap();
-    let c = counts.unwrap();
+    // `selected` is non-empty, so the loop above ran and filled both
+    let (Some(mut a), Some(c)) = (acc, counts) else {
+        return Err(CdmsError::EmptySelection("no timesteps selected".into()));
+    };
     for i in 0..a.len() {
         if c[i] > 0 {
             a.data_mut()[i] /= c[i] as f32;

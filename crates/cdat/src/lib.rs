@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 // Index-form loops over several parallel arrays are clearer here than
 // iterator chains; silence the style lint crate-wide.
 #![allow(clippy::needless_range_loop)]

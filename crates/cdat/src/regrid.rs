@@ -138,12 +138,10 @@ pub fn conservative(var: &Variable, target: &RectGrid) -> Result<Variable> {
     let (lat_i, lon_i) = horizontal_axes(var)?;
     let mut src_lat = var.axes[lat_i].clone();
     let mut src_lon = var.axes[lon_i].clone();
-    src_lat.gen_bounds();
-    src_lon.gen_bounds();
-    let slat_b = src_lat.bounds.clone().unwrap();
-    let slon_b = src_lon.bounds.clone().unwrap();
-    let tlat_b = target.lat.bounds.clone().unwrap();
-    let tlon_b = target.lon.bounds.clone().unwrap();
+    let slat_b = src_lat.bounds_or_gen();
+    let slon_b = src_lon.bounds_or_gen();
+    let tlat_b = target.lat.clone().bounds_or_gen();
+    let tlon_b = target.lon.clone().bounds_or_gen();
     let (ny_s, nx_s) = (src_lat.len(), src_lon.len());
     let (ny_t, nx_t) = target.shape();
 

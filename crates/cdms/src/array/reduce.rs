@@ -62,7 +62,8 @@ impl Acc {
             Reduction::Max => self.max,
             Reduction::Var => ((self.sum_sq / n) - (self.sum / n).powi(2)).max(0.0) as f32,
             Reduction::Std => (((self.sum_sq / n) - (self.sum / n).powi(2)).max(0.0)).sqrt() as f32,
-            Reduction::Count => unreachable!(),
+            // handled by the early return above; kept correct regardless
+            Reduction::Count => self.n as f32,
         })
     }
 }

@@ -144,9 +144,13 @@ impl Axis {
         }
     }
 
-    /// First and last coordinate values.
+    /// First and last coordinate values. (`Axis::new` rejects empty value
+    /// lists, so the NaN fallback is unreachable through the public API.)
     pub fn range(&self) -> (f64, f64) {
-        (self.values[0], *self.values.last().unwrap())
+        (
+            self.values.first().copied().unwrap_or(f64::NAN),
+            self.values.last().copied().unwrap_or(f64::NAN),
+        )
     }
 
     /// True for a longitude axis spanning the full circle (cells wrap).
@@ -197,11 +201,18 @@ impl Axis {
         self.bounds = Some(bounds);
     }
 
+    /// The bounds, generating midpoint cells first when absent. The empty
+    /// fallback is unreachable (`gen_bounds` always fills `bounds`), but
+    /// spelling it out keeps this path panic-free.
+    pub fn bounds_or_gen(&mut self) -> Vec<(f64, f64)> {
+        self.gen_bounds();
+        self.bounds.clone().unwrap_or_default()
+    }
+
     /// Cell widths from bounds (generating bounds if needed).
     pub fn cell_widths(&self) -> Vec<f64> {
         let mut ax = self.clone();
-        ax.gen_bounds();
-        ax.bounds.as_ref().unwrap().iter().map(|(lo, hi)| (hi - lo).abs()).collect()
+        ax.bounds_or_gen().iter().map(|(lo, hi)| (hi - lo).abs()).collect()
     }
 
     /// Area weights for averaging along this axis: proportional to
@@ -210,10 +221,7 @@ impl Axis {
     pub fn weights(&self) -> Vec<f64> {
         if self.kind == AxisKind::Latitude {
             let mut ax = self.clone();
-            ax.gen_bounds();
-            ax.bounds
-                .as_ref()
-                .unwrap()
+            ax.bounds_or_gen()
                 .iter()
                 .map(|(lo, hi)| {
                     (hi.to_radians().sin() - lo.to_radians().sin()).abs()

@@ -7,6 +7,7 @@ pub type Result<T> = std::result::Result<T, CdmsError>;
 
 /// Errors raised by data-management operations.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CdmsError {
     /// Shapes of operands are incompatible (and not broadcastable).
     ShapeMismatch { expected: Vec<usize>, got: Vec<usize> },
@@ -45,7 +46,13 @@ impl fmt::Display for CdmsError {
     }
 }
 
-impl std::error::Error for CdmsError {}
+impl std::error::Error for CdmsError {
+    /// All variants are leaves: causes are captured as strings so the error
+    /// stays `Clone`, so there is no deeper error to expose.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        None
+    }
+}
 
 impl From<std::io::Error> for CdmsError {
     fn from(e: std::io::Error) -> Self {

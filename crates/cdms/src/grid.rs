@@ -67,7 +67,8 @@ impl RectGrid {
 
     /// Cell areas on the unit sphere, row-major `(lat, lon)`, in steradians.
     pub fn cell_areas(&self) -> Vec<f64> {
-        let latb = self.lat.bounds.as_ref().expect("bounds generated in new()");
+        let mut lat = self.lat.clone();
+        let latb = lat.bounds_or_gen();
         let lonw = self.lon.cell_widths();
         let mut areas = Vec::with_capacity(self.lat.len() * self.lon.len());
         for (lo, hi) in latb {

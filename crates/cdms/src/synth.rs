@@ -25,9 +25,28 @@ use crate::array::MaskedArray;
 use crate::axis::Axis;
 use crate::calendar::Calendar;
 use crate::dataset::Dataset;
+use crate::error::Result;
 use crate::variable::Variable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Finalises a synthesis-internal construction. Every call site feeds data
+/// this module just built — buffers filled by loops over exactly the shape
+/// they are paired with, axis values generated monotonic — so an `Err` here
+/// is a bug in `synth` itself, never a runtime input condition. Panicking
+/// loudly (and in tests) is the right response to that bug.
+fn built<T>(what: &str, r: Result<T>) -> T {
+    match r {
+        Ok(v) => v,
+        // dv3dlint: allow(no_panic) -- shapes and axes are correct by construction in this module; see doc comment
+        Err(e) => panic!("synth invariant broken building {what}: {e}"),
+    }
+}
+
+/// Builds a variable around freshly synthesised data (see [`built`]).
+fn synth_var(name: &str, arr: Result<MaskedArray>, axes: Vec<Axis>) -> Variable {
+    built(name, arr.and_then(|a| Variable::new(name, a, axes)))
+}
 
 /// Standard pressure levels (hPa), top-down subset selected by `nlev`.
 const STANDARD_PLEVS: [f64; 17] = [
@@ -92,31 +111,34 @@ impl SynthesisSpec {
 
     /// The time axis (daily, noleap calendar, from 2000-01-01).
     pub fn time_axis(&self) -> Axis {
-        Axis::time(
-            (0..self.nt).map(|t| t as f64).collect(),
-            "days since 2000-01-01",
-            Calendar::NoLeap365,
+        built(
+            "time axis",
+            Axis::time(
+                (0..self.nt).map(|t| t as f64).collect(),
+                "days since 2000-01-01",
+                Calendar::NoLeap365,
+            ),
         )
-        .expect("valid time axis")
     }
 
     /// The pressure-level axis (hPa, descending pressure = ascending height).
     pub fn level_axis(&self) -> Axis {
-        Axis::pressure_levels(STANDARD_PLEVS[..self.nlev].to_vec()).expect("valid level axis")
+        built("level axis", Axis::pressure_levels(STANDARD_PLEVS[..self.nlev].to_vec()))
     }
 
     /// The latitude axis (uniform cell centres, pole-inset).
     pub fn lat_axis(&self) -> Axis {
         let dlat = 180.0 / self.nlat as f64;
-        Axis::latitude((0..self.nlat).map(|i| -90.0 + dlat / 2.0 + dlat * i as f64).collect())
-            .expect("valid latitude axis")
+        built(
+            "latitude axis",
+            Axis::latitude((0..self.nlat).map(|i| -90.0 + dlat / 2.0 + dlat * i as f64).collect()),
+        )
     }
 
     /// The longitude axis (uniform, global, starting at 0°E).
     pub fn lon_axis(&self) -> Axis {
         let dlon = 360.0 / self.nlon as f64;
-        Axis::longitude((0..self.nlon).map(|i| dlon * i as f64).collect())
-            .expect("valid longitude axis")
+        built("longitude axis", Axis::longitude((0..self.nlon).map(|i| dlon * i as f64).collect()))
     }
 
     /// Generates the full synthetic dataset.
@@ -192,32 +214,27 @@ impl SynthesisSpec {
 
         let axes4 = vec![time.clone(), lev.clone(), lat.clone(), lon.clone()];
         ds.add_variable(
-            Variable::new("ta", MaskedArray::from_vec(ta, &shape4).unwrap(), axes4.clone())
-                .unwrap()
+            synth_var("ta", MaskedArray::from_vec(ta, &shape4), axes4.clone())
                 .with_attr("units", "K")
                 .with_attr("long_name", "air temperature"),
         );
         ds.add_variable(
-            Variable::new("zg", MaskedArray::from_vec(zg, &shape4).unwrap(), axes4.clone())
-                .unwrap()
+            synth_var("zg", MaskedArray::from_vec(zg, &shape4), axes4.clone())
                 .with_attr("units", "m")
                 .with_attr("long_name", "geopotential height"),
         );
         ds.add_variable(
-            Variable::new("hus", MaskedArray::from_vec(hus, &shape4).unwrap(), axes4.clone())
-                .unwrap()
+            synth_var("hus", MaskedArray::from_vec(hus, &shape4), axes4.clone())
                 .with_attr("units", "1")
                 .with_attr("long_name", "specific humidity"),
         );
         ds.add_variable(
-            Variable::new("ua", MaskedArray::from_vec(ua, &shape4).unwrap(), axes4.clone())
-                .unwrap()
+            synth_var("ua", MaskedArray::from_vec(ua, &shape4), axes4.clone())
                 .with_attr("units", "m s-1")
                 .with_attr("long_name", "eastward wind"),
         );
         ds.add_variable(
-            Variable::new("va", MaskedArray::from_vec(va, &shape4).unwrap(), axes4)
-                .unwrap()
+            synth_var("va", MaskedArray::from_vec(va, &shape4), axes4)
                 .with_attr("units", "m s-1")
                 .with_attr("long_name", "northward wind"),
         );
@@ -254,41 +271,29 @@ impl SynthesisSpec {
         }
         let axes3 = vec![time.clone(), lat.clone(), lon.clone()];
         ds.add_variable(
-            Variable::new("wave", MaskedArray::from_vec(wave, &shape3).unwrap(), axes3.clone())
-                .unwrap()
+            synth_var("wave", MaskedArray::from_vec(wave, &shape3), axes3.clone())
                 .with_attr("units", "1")
                 .with_attr("long_name", "propagating wave amplitude")
                 .with_attr("phase_speed_deg_per_day", c)
                 .with_attr("zonal_wavenumber", k),
         );
         ds.add_variable(
-            Variable::new("pr", MaskedArray::from_vec(pr, &shape3).unwrap(), axes3.clone())
-                .unwrap()
+            synth_var("pr", MaskedArray::from_vec(pr, &shape3), axes3.clone())
                 .with_attr("units", "mm day-1")
                 .with_attr("long_name", "precipitation"),
         );
         ds.add_variable(
-            Variable::new(
-                "tos",
-                MaskedArray::with_mask(tos, tos_mask, &shape3).unwrap(),
-                axes3,
-            )
-            .unwrap()
-            .with_attr("units", "K")
-            .with_attr("long_name", "sea surface temperature"),
+            synth_var("tos", MaskedArray::with_mask(tos, tos_mask, &shape3), axes3)
+                .with_attr("units", "K")
+                .with_attr("long_name", "sea surface temperature"),
         );
 
         // ---- 2D land fraction ----
         let land_f32: Vec<f32> = land.iter().map(|&v| v as f32).collect();
         ds.add_variable(
-            Variable::new(
-                "sftlf",
-                MaskedArray::from_vec(land_f32, &[ny, nx]).unwrap(),
-                vec![lat, lon],
-            )
-            .unwrap()
-            .with_attr("units", "1")
-            .with_attr("long_name", "land area fraction"),
+            synth_var("sftlf", MaskedArray::from_vec(land_f32, &[ny, nx]), vec![lat, lon])
+                .with_attr("units", "1")
+                .with_attr("long_name", "land area fraction"),
         );
 
         ds

@@ -175,7 +175,7 @@ impl<'a> Parser<'a> {
         t
     }
 
-    fn expect(&mut self, t: Tok) -> Result<()> {
+    fn expect_tok(&mut self, t: Tok) -> Result<()> {
         match self.next() {
             Some(got) if got == t => Ok(()),
             got => Err(Dv3dError::Config(format!("expected {t:?}, got {got:?}"))),
@@ -231,7 +231,7 @@ impl<'a> Parser<'a> {
             Some(Tok::Number(n)) => Ok(CalcValue::Scalar(n)),
             Some(Tok::LParen) => {
                 let v = self.expr()?;
-                self.expect(Tok::RParen)?;
+                self.expect_tok(Tok::RParen)?;
                 Ok(v)
             }
             Some(Tok::Ident(name)) => {
@@ -269,7 +269,7 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        self.expect(Tok::RParen)?;
+        self.expect_tok(Tok::RParen)?;
         apply_function(name, args, strings)
     }
 }
@@ -354,21 +354,21 @@ fn binary(left: &CalcValue, right: &CalcValue, op: &Tok) -> Result<CalcValue> {
             Tok::Minus => a - b,
             Tok::Star => a * b,
             Tok::Slash => a / b,
-            _ => unreachable!(),
+            _ => return Err(Dv3dError::Config(format!("'{op:?}' is not a binary operator"))),
         }),
         (Variable(a), Variable(b)) => Variable(match op {
             Tok::Plus => ops::add(a, b)?,
             Tok::Minus => ops::sub(a, b)?,
             Tok::Star => ops::mul(a, b)?,
             Tok::Slash => ops::div(a, b)?,
-            _ => unreachable!(),
+            _ => return Err(Dv3dError::Config(format!("'{op:?}' is not a binary operator"))),
         }),
         (Variable(a), Scalar(s)) => Variable(match op {
             Tok::Plus => ops::add_scalar(a, *s as f32)?,
             Tok::Minus => ops::add_scalar(a, -*s as f32)?,
             Tok::Star => ops::mul_scalar(a, *s as f32)?,
             Tok::Slash => ops::mul_scalar(a, 1.0 / *s as f32)?,
-            _ => unreachable!(),
+            _ => return Err(Dv3dError::Config(format!("'{op:?}' is not a binary operator"))),
         }),
         (Scalar(s), Variable(b)) => Variable(match op {
             Tok::Plus => ops::add_scalar(b, *s as f32)?,
@@ -378,7 +378,7 @@ fn binary(left: &CalcValue, right: &CalcValue, op: &Tok) -> Result<CalcValue> {
                 let inv = ops::apply(b, &b.id, |x| 1.0 / x)?;
                 ops::mul_scalar(&inv, *s as f32)?
             }
-            _ => unreachable!(),
+            _ => return Err(Dv3dError::Config(format!("'{op:?}' is not a binary operator"))),
         }),
     })
 }

@@ -56,6 +56,7 @@ impl std::fmt::Debug for Dv3dCell {
 impl Dv3dCell {
     /// Builds a cell around a plot spec.
     pub fn new(name: &str, spec: PlotSpec) -> Dv3dCell {
+        // dv3dlint: allow(no_panic) -- infallible convenience constructor; callers that can handle failure use try_new
         let plot = spec.build().expect("plot construction");
         Dv3dCell {
             name: name.to_string(),

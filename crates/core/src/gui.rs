@@ -59,12 +59,14 @@ impl ProjectView {
 
     /// Serializes the project tree (saved alongside spreadsheets).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| Dv3dError::Workflow(e.to_string()))
+        serde_json::to_string(self)
+            .map_err(|e| Dv3dError::Workflow(vistrails::WfError::Serde(e.to_string())))
     }
 
     /// Reloads a project tree.
     pub fn from_json(s: &str) -> Result<ProjectView> {
-        serde_json::from_str(s).map_err(|e| Dv3dError::Workflow(e.to_string()))
+        serde_json::from_str(s)
+            .map_err(|e| Dv3dError::Workflow(vistrails::WfError::Serde(e.to_string())))
     }
 }
 
@@ -124,7 +126,11 @@ impl<'a> VariableView<'a> {
             .selected
             .clone()
             .ok_or_else(|| Dv3dError::Config("no variable selected".into()))?;
-        let mut var = self.dataset.variable(&id).expect("selected exists").clone();
+        let mut var = self
+            .dataset
+            .variable(&id)
+            .ok_or_else(|| Dv3dError::Config(format!("selected variable '{id}' no longer exists")))?
+            .clone();
         var.attributes.insert(name.to_string(), value.into());
         self.dataset.add_variable(var);
         Ok(())

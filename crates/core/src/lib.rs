@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # dv3d — exploratory 3D climate visualization (the paper's contribution)
 //!
 //! DV3D is "a package of high-level modules … providing user-friendly
@@ -58,14 +60,18 @@ pub mod transfer;
 pub mod translation;
 
 /// Errors raised by DV3D operations.
+///
+/// Substrate failures are wrapped as their typed errors (not stringified),
+/// so `source()` walks the real cause chain.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Dv3dError {
     /// Underlying data-management failure.
-    Cdms(String),
+    Cdms(cdms::CdmsError),
     /// Underlying visualization failure.
-    Vtk(String),
+    Vtk(rvtk::VtkError),
     /// Underlying workflow failure.
-    Workflow(String),
+    Workflow(vistrails::WfError),
     /// Bad plot configuration.
     Config(String),
 }
@@ -73,31 +79,40 @@ pub enum Dv3dError {
 impl std::fmt::Display for Dv3dError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Dv3dError::Cdms(m) => write!(f, "cdms: {m}"),
-            Dv3dError::Vtk(m) => write!(f, "vtk: {m}"),
-            Dv3dError::Workflow(m) => write!(f, "workflow: {m}"),
+            Dv3dError::Cdms(e) => write!(f, "cdms: {e}"),
+            Dv3dError::Vtk(e) => write!(f, "vtk: {e}"),
+            Dv3dError::Workflow(e) => write!(f, "workflow: {e}"),
             Dv3dError::Config(m) => write!(f, "config: {m}"),
         }
     }
 }
 
-impl std::error::Error for Dv3dError {}
+impl std::error::Error for Dv3dError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Dv3dError::Cdms(e) => Some(e),
+            Dv3dError::Vtk(e) => Some(e),
+            Dv3dError::Workflow(e) => Some(e),
+            Dv3dError::Config(_) => None,
+        }
+    }
+}
 
 impl From<cdms::CdmsError> for Dv3dError {
     fn from(e: cdms::CdmsError) -> Self {
-        Dv3dError::Cdms(e.to_string())
+        Dv3dError::Cdms(e)
     }
 }
 
 impl From<rvtk::VtkError> for Dv3dError {
     fn from(e: rvtk::VtkError) -> Self {
-        Dv3dError::Vtk(e.to_string())
+        Dv3dError::Vtk(e)
     }
 }
 
 impl From<vistrails::WfError> for Dv3dError {
     fn from(e: vistrails::WfError) -> Self {
-        Dv3dError::Workflow(e.to_string())
+        Dv3dError::Workflow(e)
     }
 }
 

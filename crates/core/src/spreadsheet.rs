@@ -145,11 +145,10 @@ impl Dv3dSpreadsheet {
         let mut frames = BTreeMap::new();
         let keys: Vec<(usize, usize)> = self.cells.keys().copied().collect();
         for at in keys {
-            let frame = self
-                .cells
-                .get_mut(&at)
-                .expect("key enumerated above")
-                .render(cell_width, cell_height)?;
+            // keys were enumerated from the same map; a miss means a
+            // concurrent removal, and skipping the cell is the safe answer
+            let Some(cell) = self.cells.get_mut(&at) else { continue };
+            let frame = cell.render(cell_width, cell_height)?;
             frames.insert(at, frame);
         }
         Ok(frames)

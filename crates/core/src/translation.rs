@@ -90,7 +90,8 @@ pub fn translate_scalar(var: &Variable, opts: &TranslationOptions) -> Result<Ima
     // Horizontal spacing from the (assumed uniform) axes.
     let dx = if nx > 1 { (lon.values[1] - lon.values[0]).abs() } else { 1.0 };
     let dy = if ny > 1 { (lat.values[1] - lat.values[0]).abs() } else { 1.0 };
-    let origin = [lon.values[0].min(*lon.values.last().unwrap()), lat.range().0.min(lat.range().1), 0.0];
+    let (lon_a, lon_b) = lon.range();
+    let origin = [lon_a.min(lon_b), lat.range().0.min(lat.range().1), 0.0];
 
     // y must ascend with latitude; flip rows if the axis descends.
     let lat_ascending = lat.direction() >= 0;

@@ -1,0 +1,85 @@
+//! The rule engine: runs every enabled rule over every crate, folds in
+//! malformed-directive findings, and produces the per-rule tallies the
+//! JSON report and the CLI summary share.
+
+use crate::config::Config;
+use crate::diag::{sort, Diagnostic};
+use crate::rules;
+use crate::workspace::Workspace;
+
+/// Rule id used for malformed `dv3dlint:` directives — these are always
+/// hard errors (a broken escape hatch must not silently suppress).
+pub const ALLOW_SYNTAX: &str = "allow_syntax";
+
+/// Per-rule tally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleCount {
+    pub rule: &'static str,
+    /// Unsuppressed findings (fail the run).
+    pub violations: usize,
+    /// Findings suppressed by a reasoned allow directive.
+    pub allowed: usize,
+}
+
+/// Outcome of one engine run.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// All findings, suppressed included, sorted by file/line/rule.
+    pub diagnostics: Vec<Diagnostic>,
+    pub per_rule: Vec<RuleCount>,
+    pub files_scanned: usize,
+}
+
+impl RunSummary {
+    pub fn total_violations(&self) -> usize {
+        self.per_rule.iter().map(|c| c.violations).sum()
+    }
+
+    pub fn total_allowed(&self) -> usize {
+        self.per_rule.iter().map(|c| c.allowed).sum()
+    }
+
+    pub fn clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+}
+
+/// Runs all rules over `ws`.
+pub fn run(ws: &Workspace, cfg: &Config) -> RunSummary {
+    let rules = rules::all();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for rule in &rules {
+        for krate in &ws.crates {
+            rule.check_crate(krate, ws, cfg, &mut diagnostics);
+        }
+    }
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for (line, problem) in &file.bad_allows {
+                diagnostics.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: *line,
+                    rule: ALLOW_SYNTAX,
+                    message: problem.clone(),
+                    suppressed: false,
+                });
+            }
+        }
+    }
+    sort(&mut diagnostics);
+    let mut per_rule: Vec<RuleCount> = rules
+        .iter()
+        .map(|r| RuleCount { rule: r.id(), violations: 0, allowed: 0 })
+        .collect();
+    per_rule.push(RuleCount { rule: ALLOW_SYNTAX, violations: 0, allowed: 0 });
+    for d in &diagnostics {
+        if let Some(c) = per_rule.iter_mut().find(|c| c.rule == d.rule) {
+            if d.suppressed {
+                c.allowed += 1;
+            } else {
+                c.violations += 1;
+            }
+        }
+    }
+    RunSummary { diagnostics, per_rule, files_scanned: ws.files_scanned }
+}

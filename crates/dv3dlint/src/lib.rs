@@ -1,0 +1,45 @@
+//! # dv3dlint — workspace invariants, machine-checked
+//!
+//! A self-contained static-analysis pass for this DV3D/UV-CDAT
+//! reproduction. The system's correctness rests on invariants no compiler
+//! checks: masked values must propagate through every CDAT kernel,
+//! hyperwall protocol exchanges must be deadline-aware, and hot
+//! render/regrid paths must not panic mid-frame. `dv3dlint` enforces them
+//! with file:line diagnostics and a nonzero exit, so they are invariants
+//! of the build rather than of code review.
+//!
+//! Shipped rules (each a module under [`rules`], with fixture tests):
+//!
+//! | id                 | invariant |
+//! |--------------------|-----------|
+//! | `no_panic`         | no unwrap/expect/panic-family macros (or hot-path indexing) in library code |
+//! | `mask_propagation` | CDAT kernels reading raw `.data()` must consult the mask |
+//! | `deadline_io`      | hyperwall exchanges outside `protocol.rs` use `_deadline` variants |
+//! | `error_hygiene`    | public `*Error` enums are `#[non_exhaustive]` + implement `source()` |
+//! | `lint_attrs`       | crate roots `#![forbid(unsafe_code)]` + opt into workspace `[lints]` |
+//!
+//! Escape hatch (reason mandatory, malformed directives are themselves
+//! errors):
+//!
+//! ```text
+//! // dv3dlint: allow(no_panic) -- index built from the same shape two lines up
+//! ```
+//!
+//! Run `cargo run -p dv3dlint -- --workspace` from anywhere in the repo;
+//! configuration lives in `dv3dlint.toml` at the workspace root, and every
+//! workspace run refreshes `out/dv3dlint_report.json`.
+//!
+//! The crate is dependency-free by design — it lexes Rust, scans items,
+//! and reads the TOML subset it needs with its own ~zero-cost machinery,
+//! so it builds before (and regardless of) the rest of the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+pub mod workspace;

@@ -1,0 +1,162 @@
+//! The `dv3dlint` CLI.
+//!
+//! ```text
+//! dv3dlint --workspace                 # lint every configured crate
+//! dv3dlint path/to/file.rs dir/       # lint explicit paths (all rules, ad hoc)
+//! dv3dlint --list-rules
+//!
+//! Flags:
+//!   --config <path>   explicit dv3dlint.toml (default: search upward from cwd)
+//!   --json <path>     write the JSON report here (default on --workspace:
+//!                     <root>/out/dv3dlint_report.json)
+//!   --no-report       skip the JSON report
+//!   --quiet           suppress per-finding output, keep the summary
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+
+#![forbid(unsafe_code)]
+
+use dv3dlint::config::Config;
+use dv3dlint::{engine, report, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    no_report: bool,
+    quiet: bool,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        config: None,
+        json: None,
+        no_report: false,
+        quiet: false,
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--config" => {
+                args.config =
+                    Some(PathBuf::from(it.next().ok_or("--config needs a path")?));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--no-report" => args.no_report = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: dv3dlint --workspace | <paths…> \
+                            [--config <toml>] [--json <path>] [--no-report] [--quiet]"
+                    .into());
+            }
+            p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Finds the workspace root: the directory holding `dv3dlint.toml`,
+/// searching upward from the current directory.
+fn find_root(explicit_config: Option<&PathBuf>) -> PathBuf {
+    if let Some(cfg_path) = explicit_config {
+        if let Some(parent) = cfg_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                return parent.to_path_buf();
+            }
+        }
+        return PathBuf::from(".");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("dv3dlint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn real_main() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for rule in dv3dlint::rules::all() {
+            println!("{:<18} {}", rule.id(), rule.describe());
+        }
+        return Ok(true);
+    }
+    let root = find_root(args.config.as_ref());
+    let cfg = Config::load(root.clone()).map_err(|e| e.to_string())?;
+
+    let ws = if args.workspace {
+        workspace::load_workspace(&cfg).map_err(|e| e.to_string())?
+    } else if !args.paths.is_empty() {
+        workspace::load_paths(&args.paths).map_err(|e| e.to_string())?
+    } else {
+        return Err("nothing to lint: pass --workspace or explicit paths (try --help)".into());
+    };
+
+    let summary = engine::run(&ws, &cfg);
+
+    if !args.quiet {
+        for d in summary.diagnostics.iter().filter(|d| !d.suppressed) {
+            eprintln!("{}", d.render());
+        }
+    }
+    let counts: Vec<String> = summary
+        .per_rule
+        .iter()
+        .filter(|c| c.violations + c.allowed > 0)
+        .map(|c| format!("{}: {} ({} allowed)", c.rule, c.violations, c.allowed))
+        .collect();
+    eprintln!(
+        "dv3dlint: {} file(s), {} violation(s), {} allowed{}{}",
+        summary.files_scanned,
+        summary.total_violations(),
+        summary.total_allowed(),
+        if counts.is_empty() { "" } else { " — " },
+        counts.join(", ")
+    );
+
+    let report_path = if args.no_report {
+        None
+    } else if let Some(p) = args.json {
+        Some(p)
+    } else if args.workspace {
+        Some(root.join("out/dv3dlint_report.json"))
+    } else {
+        None
+    };
+    if let Some(path) = report_path {
+        report::write(&summary, &path)
+            .map_err(|e| format!("cannot write report {}: {e}", path.display()))?;
+        if !args.quiet {
+            eprintln!("dv3dlint: report written to {}", path.display());
+        }
+    }
+    Ok(summary.clean())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("dv3dlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

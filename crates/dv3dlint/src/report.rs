@@ -1,0 +1,77 @@
+//! Machine-readable report: `out/dv3dlint_report.json`, rule → violation /
+//! allowed counts. Future PRs assert the counts are monotonically
+//! non-increasing, so the shape is deliberately flat and stable. The JSON
+//! is hand-emitted (fixed shape, no string content needs escaping beyond
+//! the basics).
+
+use crate::engine::RunSummary;
+use std::path::Path;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report JSON.
+pub fn render(summary: &RunSummary) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"tool\": \"dv3dlint\",\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", summary.files_scanned));
+    s.push_str(&format!("  \"total_violations\": {},\n", summary.total_violations()));
+    s.push_str(&format!("  \"total_allowed\": {},\n", summary.total_allowed()));
+    s.push_str("  \"rules\": {\n");
+    let n = summary.per_rule.len();
+    for (i, c) in summary.per_rule.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{ \"violations\": {}, \"allowed\": {} }}{}\n",
+            esc(c.rule),
+            c.violations,
+            c.allowed,
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Writes the report, creating the parent directory when needed.
+pub fn write(summary: &RunSummary, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RuleCount;
+
+    #[test]
+    fn report_shape_is_stable() {
+        let summary = RunSummary {
+            diagnostics: Vec::new(),
+            per_rule: vec![
+                RuleCount { rule: "no_panic", violations: 2, allowed: 7 },
+                RuleCount { rule: "deadline_io", violations: 0, allowed: 1 },
+            ],
+            files_scanned: 42,
+        };
+        let json = render(&summary);
+        assert!(json.contains("\"files_scanned\": 42"));
+        assert!(json.contains("\"total_violations\": 2"));
+        assert!(json.contains("\"total_allowed\": 8"));
+        assert!(json.contains("\"no_panic\": { \"violations\": 2, \"allowed\": 7 },"));
+        assert!(json.contains("\"deadline_io\": { \"violations\": 0, \"allowed\": 1 }\n"));
+    }
+}

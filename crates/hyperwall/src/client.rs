@@ -10,7 +10,7 @@
 
 use crate::fault::ClientFaults;
 use crate::protocol::{
-    read_message, read_message_deadline, write_message, Message,
+    read_message_deadline, read_message_idle, write_message_deadline, Message,
 };
 use crate::workflow::wall_registry;
 use crate::{Result, WallError};
@@ -22,7 +22,15 @@ use std::time::{Duration, Instant};
 use vistrails::executor::Executor;
 use vistrails::pipeline::Pipeline;
 
+/// One slice of an idle command wait. Waiting for the next command may
+/// legitimately take forever, but never in one unbounded block.
+const IDLE_SLICE: Duration = Duration::from_millis(250);
+
+/// Deadline for any single message exchange once bytes are in flight.
+const IO_DEADLINE: Duration = Duration::from_secs(5);
+
 /// A display client, driven entirely by server messages.
+#[derive(Debug)]
 pub struct ClientNode {
     id: usize,
     addr: std::net::SocketAddr,
@@ -37,7 +45,7 @@ impl ClientNode {
     pub fn connect(addr: std::net::SocketAddr, id: usize) -> Result<ClientNode> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        write_message(&mut stream, &Message::Hello { client_id: id })?;
+        write_message_deadline(&mut stream, &Message::Hello { client_id: id }, IO_DEADLINE, "Hello")?;
         Ok(ClientNode { id, addr, stream, cell: None, size: (64, 64), frames_rendered: 0 })
     }
 
@@ -46,12 +54,17 @@ impl ClientNode {
     /// error.
     pub fn run(mut self) -> Result<u64> {
         loop {
-            match read_message(&mut self.stream)? {
+            match read_message_idle(&mut self.stream, IDLE_SLICE, IO_DEADLINE, "command")? {
                 Message::AssignWorkflow { pipeline_json, cell_module, width, height } => {
                     self.size = (width, height);
                     let pipeline = Pipeline::from_json(&pipeline_json)?;
                     self.cell = Some(self.instantiate(&pipeline, cell_module)?);
-                    write_message(&mut self.stream, &Message::Ready { client_id: self.id })?;
+                    write_message_deadline(
+                        &mut self.stream,
+                        &Message::Ready { client_id: self.id },
+                        IO_DEADLINE,
+                        "Ready",
+                    )?;
                 }
                 Message::Op(op) => {
                     if let Some(cell) = &mut self.cell {
@@ -61,12 +74,14 @@ impl ClientNode {
                 }
                 Message::Execute { frame } => {
                     let done = self.render_frame(frame)?;
-                    write_message(&mut self.stream, &done)?;
+                    write_message_deadline(&mut self.stream, &done, IO_DEADLINE, "FrameDone")?;
                 }
                 Message::Heartbeat { seq } => {
-                    write_message(
+                    write_message_deadline(
                         &mut self.stream,
                         &Message::HeartbeatAck { client_id: self.id, seq },
+                        IO_DEADLINE,
+                        "HeartbeatAck",
                     )?;
                 }
                 Message::Shutdown => return Ok(self.frames_rendered),
@@ -110,7 +125,7 @@ impl ClientNode {
                     Err(_) => return Ok(self.frames_rendered),
                 }
             } else {
-                match read_message(&mut self.stream) {
+                match read_message_idle(&mut self.stream, IDLE_SLICE, IO_DEADLINE, "command") {
                     Ok(m) => m,
                     Err(_) => return Ok(self.frames_rendered),
                 }
@@ -122,8 +137,13 @@ impl ClientNode {
                     let pipeline = Pipeline::from_json(&pipeline_json)?;
                     self.cell = Some(self.instantiate(&pipeline, cell_module)?);
                     std::thread::sleep(delay);
-                    if write_message(&mut self.stream, &Message::Ready { client_id: self.id })
-                        .is_err()
+                    if write_message_deadline(
+                        &mut self.stream,
+                        &Message::Ready { client_id: self.id },
+                        IO_DEADLINE,
+                        "Ready",
+                    )
+                    .is_err()
                     {
                         return Ok(self.frames_rendered);
                     }
@@ -161,15 +181,19 @@ impl ClientNode {
                     }
                     let done = self.render_frame(frame)?;
                     std::thread::sleep(delay);
-                    if write_message(&mut self.stream, &done).is_err() {
+                    if write_message_deadline(&mut self.stream, &done, IO_DEADLINE, "FrameDone")
+                        .is_err()
+                    {
                         return Ok(self.frames_rendered);
                     }
                 }
                 Message::Heartbeat { seq } => {
                     std::thread::sleep(delay);
-                    if write_message(
+                    if write_message_deadline(
                         &mut self.stream,
                         &Message::HeartbeatAck { client_id: self.id, seq },
+                        IO_DEADLINE,
+                        "HeartbeatAck",
                     )
                     .is_err()
                     {
@@ -214,7 +238,9 @@ impl ClientNode {
             }
             let Ok(mut s) = TcpStream::connect(self.addr) else { continue };
             s.set_nodelay(true).ok();
-            if write_message(&mut s, &Message::Hello { client_id: self.id }).is_err() {
+            if write_message_deadline(&mut s, &Message::Hello { client_id: self.id }, IO_DEADLINE, "Hello")
+                .is_err()
+            {
                 continue;
             }
             self.stream = s;
@@ -253,6 +279,7 @@ impl ClientNode {
 mod tests {
     use super::*;
     use crate::fault::{Fault, FaultPlan};
+    use crate::protocol::{read_message, write_message};
     use crate::workflow::{build_wall_pipeline, split_per_client, WallWorkflowConfig};
     use std::net::TcpListener;
 

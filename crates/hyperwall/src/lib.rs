@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # hyperwall — distributed visualization framework (§III.H, Fig 5)
 //!
 //! Reproduces the NCCS hyperwall deployment: a server node holding the full

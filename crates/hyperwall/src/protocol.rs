@@ -117,6 +117,32 @@ pub fn read_message_deadline(
     })
 }
 
+/// Waits indefinitely for the next message, in bounded slices. Unlike
+/// [`read_message_deadline`], a silent peer is not an error here — an idle
+/// command loop is a legitimate state — but the wait never blocks longer
+/// than `slice` at a time, and once bytes start arriving the whole frame
+/// must complete within `deadline`. Peeking (not reading) during the idle
+/// wait means a slice expiry can never desynchronise a half-received frame.
+pub fn read_message_idle(
+    stream: &mut TcpStream,
+    slice: Duration,
+    deadline: Duration,
+    what: &str,
+) -> Result<Message> {
+    let mut probe = [0u8; 1];
+    loop {
+        stream.set_read_timeout(Some(slice))?;
+        let peeked = stream.peek(&mut probe);
+        stream.set_read_timeout(None).ok();
+        match peeked {
+            // data (or EOF) ready: read_message_deadline reports either
+            Ok(_) => return read_message_deadline(stream, deadline, what),
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
 /// Writes one message with a deadline; expiry maps to [`WallError::Timeout`].
 pub fn write_message_deadline(
     stream: &mut TcpStream,

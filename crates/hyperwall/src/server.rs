@@ -63,6 +63,7 @@ impl Default for WallTuning {
 }
 
 /// One display connection and its health bookkeeping.
+#[derive(Debug)]
 struct Panel {
     stream: Option<TcpStream>,
     state: PanelState,
@@ -93,6 +94,7 @@ pub struct FrameReport {
 }
 
 /// The hyperwall server.
+#[derive(Debug)]
 pub struct HyperwallServer {
     listener: TcpListener,
     panels: Vec<Panel>,
@@ -204,7 +206,8 @@ impl HyperwallServer {
             })
             .collect::<Result<_>>()?;
         for i in 0..self.panels.len() {
-            let msg = self.assignments[i].clone().expect("assignment built above");
+            // every slot was filled Some(..) by the collect above
+            let Some(msg) = self.assignments[i].clone() else { continue };
             let deadline = self.tuning.io_deadline;
             let send = match self.panels[i].stream.as_mut() {
                 Some(stream) => write_message_deadline(stream, &msg, deadline, "AssignWorkflow"),

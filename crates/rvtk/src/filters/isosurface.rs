@@ -179,7 +179,8 @@ fn march_tet(
             out.triangles.push([p0, p1, p2]);
         }
         3 => {
-            let a = (0..4).find(|&c| mask & (1 << c) == 0).unwrap();
+            // three corners inside means exactly one bit is clear
+            let Some(a) = (0..4).find(|&c| mask & (1 << c) == 0) else { return };
             let others: Vec<usize> = (0..4).filter(|&c| c != a).collect();
             let p0 = edge_vertex(others[0], a);
             let p1 = edge_vertex(others[1], a);
@@ -198,7 +199,9 @@ fn march_tet(
             out.triangles.push([p0, p1, p2]);
             out.triangles.push([p0, p2, p3]);
         }
-        _ => unreachable!(),
+        // 0 or 4 corners inside: the isosurface does not cross this
+        // tetrahedron, so there is nothing to emit
+        _ => {}
     }
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # rvtk — a VTK-like visualization substrate in pure Rust
 //!
 //! DV3D builds on VTK: structured image data flows through filters
@@ -57,6 +59,7 @@ pub use poly_data::PolyData;
 
 /// Errors raised by visualization operations.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum VtkError {
     /// Input data is missing a required attribute (scalars, vectors…).
     MissingData(String),
@@ -73,7 +76,12 @@ impl std::fmt::Display for VtkError {
     }
 }
 
-impl std::error::Error for VtkError {}
+impl std::error::Error for VtkError {
+    /// Both variants are leaves with string payloads; no deeper cause.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        None
+    }
+}
 
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, VtkError>;

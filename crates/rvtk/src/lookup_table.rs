@@ -162,8 +162,9 @@ impl Default for LookupTable {
 
 fn sample_control_points(pts: &[(f32, Color)], t: f32) -> Color {
     let t = t.clamp(0.0, 1.0);
-    if t <= pts[0].0 {
-        return pts[0].1;
+    let Some(&(first_t, first_c)) = pts.first() else { return Color::BLACK };
+    if t <= first_t {
+        return first_c;
     }
     for w in pts.windows(2) {
         let (t0, c0) = w[0];
@@ -173,7 +174,7 @@ fn sample_control_points(pts: &[(f32, Color)], t: f32) -> Color {
             return c0.lerp(c1, f);
         }
     }
-    pts.last().unwrap().1
+    pts.last().map_or(Color::BLACK, |&(_, c)| c)
 }
 
 /// A piecewise-linear scalar→color transfer function (volume rendering).
@@ -216,7 +217,7 @@ impl ColorTransferFunction {
                 return c0.lerp(c1, f);
             }
         }
-        self.nodes.last().unwrap().1
+        self.nodes.last().map_or(Color::WHITE, |&(_, c)| c)
     }
 }
 
@@ -267,7 +268,7 @@ impl OpacityTransferFunction {
                 return a0 + (a1 - a0) * f;
             }
         }
-        self.nodes.last().unwrap().1
+        self.nodes.last().map_or(1.0, |&(_, a)| a)
     }
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # vistrails — workflow + provenance engine
 //!
 //! A Rust reproduction of the VisTrails infrastructure UV-CDAT is built on
@@ -70,6 +72,7 @@ pub mod value;
 
 /// Errors raised by workflow operations.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum WfError {
     /// Unknown module type, port, version, …
     NotFound(String),
@@ -102,7 +105,13 @@ impl std::fmt::Display for WfError {
     }
 }
 
-impl std::error::Error for WfError {}
+impl std::error::Error for WfError {
+    /// All variants carry their cause as data (strings, module ids); there
+    /// is no deeper error object to expose.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        None
+    }
+}
 
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, WfError>;

@@ -153,7 +153,9 @@ impl Pipeline {
         while let Some(id) = queue.pop_front() {
             order.push(id);
             for c in self.connections.iter().filter(|c| c.from_module == id) {
-                let d = in_deg.get_mut(&c.to_module).unwrap();
+                // a connection to an unknown module is skipped; the length
+                // check below then reports the pipeline as cyclic/invalid
+                let Some(d) = in_deg.get_mut(&c.to_module) else { continue };
                 *d -= 1;
                 if *d == 0 {
                     queue.push_back(c.to_module);

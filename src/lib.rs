@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # uvcdat — the end-to-end application crate
 //!
 //! Re-exports the full stack of this DV3D/UV-CDAT reproduction so examples
