@@ -43,7 +43,9 @@ pub mod conditioned;
 pub mod eof;
 pub mod hovmoller;
 pub mod ops;
+pub mod plan_cache;
 pub mod regrid;
+pub mod regrid_plan;
 pub mod statistics;
 pub mod taskgraph;
 

@@ -1,0 +1,237 @@
+//! Workspace-wide cache of [`RegridPlan`]s: a bounded LRU keyed by the
+//! `(source grid, target grid, method)` fingerprint from
+//! [`crate::regrid_plan::plan_key`], with hit/miss/eviction counters so
+//! benches and diagnostics can verify reuse. The `regrid::{bilinear,
+//! conservative}` wrappers route through the process-global instance, so
+//! every animation frame, spreadsheet cell or hyperwall panel that repeats
+//! a grid pair pays the planning cost once.
+//!
+//! On the dv3dlint `indexing_hot_paths` list: lookups run inside the
+//! interactive render loop and must not panic.
+
+use crate::regrid_plan::RegridPlan;
+use cdms::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Default capacity of the process-global cache: a hyperwall's worth of
+/// distinct grid pairs, small enough that eviction scans stay trivial.
+pub const DEFAULT_GLOBAL_CAPACITY: usize = 32;
+
+/// Cumulative cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Plans dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<RegridPlan>,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of regrid plans.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+    entries: HashMap<u64, Entry>,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The cached plan for `key`, bumping its recency. Counts a hit or a
+    /// miss.
+    pub fn get(&mut self, key: u64) -> Option<Arc<RegridPlan>> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.plan))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The plan for `key`, building (and caching) it on a miss. A failed
+    /// build caches nothing and surfaces the error.
+    pub fn get_or_build(
+        &mut self,
+        key: u64,
+        build: impl FnOnce() -> Result<RegridPlan>,
+    ) -> Result<Arc<RegridPlan>> {
+        if let Some(plan) = self.get(key) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(build()?);
+        self.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Inserts a plan, evicting least-recently-used entries to stay within
+    /// capacity.
+    pub fn insert(&mut self, key: u64, plan: Arc<RegridPlan>) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(key, Entry { plan, last_used: tick });
+        self.enforce_capacity();
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            // O(n) scan; n is bounded by the (small) capacity. Tie-break on
+            // key so eviction order is deterministic.
+            let victim = self
+                .entries
+                .iter()
+                .map(|(&k, e)| (e.last_used, k))
+                .min()
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the capacity, evicting LRU entries if it shrank.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.enforce_capacity();
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+static GLOBAL: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+
+/// The process-global plan cache the `regrid` wrappers share.
+pub fn global() -> &'static Mutex<PlanCache> {
+    GLOBAL.get_or_init(|| Mutex::new(PlanCache::new(DEFAULT_GLOBAL_CAPACITY)))
+}
+
+/// Counters of the global cache.
+pub fn global_stats() -> CacheStats {
+    global().lock().stats()
+}
+
+/// Empties the global cache (counters are kept).
+pub fn clear_global() {
+    global().lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdms::RectGrid;
+
+    fn plan_for(n: usize) -> RegridPlan {
+        let src = RectGrid::uniform(n, 2 * n).unwrap();
+        let dst = RectGrid::uniform(n + 1, 2 * n + 1).unwrap();
+        RegridPlan::bilinear(&src.lat, &src.lon, &dst).unwrap()
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert(1, Arc::new(plan_for(2)));
+        c.insert(2, Arc::new(plan_for(3)));
+        assert!(c.get(1).is_some()); // 1 is now more recent than 2
+        c.insert(3, Arc::new(plan_for(4)));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "LRU entry 2 should have been evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn get_or_build_builds_once() {
+        let mut c = PlanCache::new(4);
+        let mut builds = 0;
+        for _ in 0..3 {
+            let p = c
+                .get_or_build(7, || {
+                    builds += 1;
+                    Ok(plan_for(2))
+                })
+                .unwrap();
+            assert_eq!(p.dst_shape(), (3, 5));
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn failed_builds_cache_nothing() {
+        let mut c = PlanCache::new(4);
+        let r = c.get_or_build(9, || Err(cdms::CdmsError::Invalid("nope".into())));
+        assert!(r.is_err());
+        assert!(c.is_empty());
+        // a later successful build still works
+        assert!(c.get_or_build(9, || Ok(plan_for(2))).is_ok());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let mut c = PlanCache::new(4);
+        for k in 0..4 {
+            c.insert(k, Arc::new(plan_for(2)));
+        }
+        c.set_capacity(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 3);
+        assert!(c.get(3).is_some(), "most recent entry survives");
+    }
+}

@@ -1,28 +1,31 @@
 //! Regridding: horizontal bilinear and conservative remapping between
 //! rectilinear grids, plus vertical interpolation to new pressure levels —
 //! the `regrid2` / `vertical` equivalents.
+//!
+//! The horizontal paths are thin wrappers over the plan/apply engine in
+//! [`crate::regrid_plan`]: the sparse weight matrix for a `(source grid,
+//! target grid, method)` triple is planned once, cached in the
+//! process-global [`crate::plan_cache`], and re-applied as a parallel
+//! sparse mat-vec — so animations and spreadsheet cells that regrid the
+//! same grid pair every timestep only pay the apply cost.
 
+use crate::plan_cache;
+use crate::regrid_plan::{horizontal_axes, plan_key, RegridMethod, RegridPlan};
+use cdms::grid::{axes_fingerprint, RectGrid};
 use cdms::axis::AxisKind;
-use cdms::grid::RectGrid;
-use rayon::prelude::*;
 use cdms::{CdmsError, MaskedArray, Result, Variable};
 
-/// Validates the variable ends with (…, lat, lon) axes and returns their
-/// indices.
-fn horizontal_axes(var: &Variable) -> Result<(usize, usize)> {
-    let lat = var
-        .axis_index(AxisKind::Latitude)
-        .ok_or_else(|| CdmsError::NotFound(format!("latitude axis on '{}'", var.id)))?;
-    let lon = var
-        .axis_index(AxisKind::Longitude)
-        .ok_or_else(|| CdmsError::NotFound(format!("longitude axis on '{}'", var.id)))?;
-    if lon != var.rank() - 1 || lat != var.rank() - 2 {
-        return Err(CdmsError::Invalid(format!(
-            "'{}' must end with (lat, lon) axes; use to_canonical_order() first",
-            var.id
-        )));
-    }
-    Ok((lat, lon))
+/// Regrids `var` onto `target` with `method`, planning through the global
+/// plan cache.
+pub fn regrid(var: &Variable, target: &RectGrid, method: RegridMethod) -> Result<Variable> {
+    let (lat_i, lon_i) = horizontal_axes(var)?;
+    let src_lat = &var.axes[lat_i];
+    let src_lon = &var.axes[lon_i];
+    let key = plan_key(axes_fingerprint(src_lat, src_lon), target.fingerprint(), method);
+    let plan = plan_cache::global()
+        .lock()
+        .get_or_build(key, || RegridPlan::build(method, src_lat, src_lon, target))?;
+    plan.apply(var)
 }
 
 /// Bilinear regridding onto `target`. Longitude wraps for circular source
@@ -30,205 +33,14 @@ fn horizontal_axes(var: &Variable) -> Result<(usize, usize)> {
 /// conservative mask-propagation choice). Leading (time/level) axes are
 /// preserved.
 pub fn bilinear(var: &Variable, target: &RectGrid) -> Result<Variable> {
-    let (lat_i, lon_i) = horizontal_axes(var)?;
-    let src_lat = &var.axes[lat_i];
-    let src_lon = &var.axes[lon_i];
-    let (ny_s, nx_s) = (src_lat.len(), src_lon.len());
-    let (ny_t, nx_t) = target.shape();
-    let wrap = src_lon.is_circular();
-
-    // Precompute interpolation stencils per target row/col.
-    let lat_stencil: Vec<(usize, f64)> = target
-        .lat
-        .values
-        .iter()
-        .map(|&phi| src_lat.fractional_index(phi))
-        .collect();
-    let lon_stencil: Vec<(usize, usize, f64)> = target
-        .lon
-        .values
-        .iter()
-        .map(|&lam| {
-            if wrap {
-                // wrap-aware fractional index
-                let lam_n = normalize_lon(lam, src_lon.values[0]);
-                let span = 360.0 / nx_s as f64;
-                // find bracketing cell allowing wraparound
-                let mut i0 = 0usize;
-                let mut frac = 0.0f64;
-                let mut found = false;
-                for i in 0..nx_s {
-                    let a = src_lon.values[i];
-                    let b = if i + 1 < nx_s { src_lon.values[i + 1] } else { src_lon.values[0] + 360.0 };
-                    if lam_n >= a - 1e-9 && lam_n <= b + 1e-9 && (b - a).abs() < 2.0 * span {
-                        i0 = i;
-                        frac = ((lam_n - a) / (b - a)).clamp(0.0, 1.0);
-                        found = true;
-                        break;
-                    }
-                }
-                if !found {
-                    let (i, f) = src_lon.fractional_index(lam_n);
-                    (i, (i + 1).min(nx_s - 1), f)
-                } else {
-                    (i0, (i0 + 1) % nx_s, frac)
-                }
-            } else {
-                let (i, f) = src_lon.fractional_index(lam);
-                (i, (i + 1).min(nx_s - 1), f)
-            }
-        })
-        .collect();
-
-    let leading: usize = var.shape()[..lat_i].iter().product();
-    let src_plane = ny_s * nx_s;
-    let dst_plane = ny_t * nx_t;
-    let mut data = vec![0.0f32; leading * dst_plane];
-    let mut mask = vec![false; leading * dst_plane];
-
-    // Each leading slab (time x level plane) is independent: regrid them in
-    // parallel with rayon.
-    data.par_chunks_mut(dst_plane)
-        .zip(mask.par_chunks_mut(dst_plane))
-        .enumerate()
-        .for_each(|(l, (data_sl, mask_sl))| {
-            let src_off = l * src_plane;
-            for (jt, &(j0, fy)) in lat_stencil.iter().enumerate() {
-                let j1 = (j0 + 1).min(ny_s - 1);
-                for (it, &(i0, i1, fx)) in lon_stencil.iter().enumerate() {
-                    let idx = |j: usize, i: usize| src_off + j * nx_s + i;
-                    let corners = [idx(j0, i0), idx(j0, i1), idx(j1, i0), idx(j1, i1)];
-                    let dst = jt * nx_t + it;
-                    if corners.iter().any(|&c| var.array.mask()[c]) {
-                        mask_sl[dst] = true;
-                        continue;
-                    }
-                    let d = var.array.data();
-                    let v0 = d[corners[0]] as f64 * (1.0 - fx) + d[corners[1]] as f64 * fx;
-                    let v1 = d[corners[2]] as f64 * (1.0 - fx) + d[corners[3]] as f64 * fx;
-                    data_sl[dst] = (v0 * (1.0 - fy) + v1 * fy) as f32;
-                }
-            }
-        });
-
-    let mut out_shape = var.shape()[..lat_i].to_vec();
-    out_shape.push(ny_t);
-    out_shape.push(nx_t);
-    let array = MaskedArray::with_mask(data, mask, &out_shape)?;
-    let mut axes = var.axes[..lat_i].to_vec();
-    axes.push(target.lat.clone());
-    axes.push(target.lon.clone());
-    let mut v = Variable::new(&var.id, array, axes)?;
-    v.attributes = var.attributes.clone();
-    Ok(v)
-}
-
-fn normalize_lon(lam: f64, base: f64) -> f64 {
-    let mut l = (lam - base).rem_euclid(360.0) + base;
-    if l < base {
-        l += 360.0;
-    }
-    l
+    regrid(var, target, RegridMethod::Bilinear)
 }
 
 /// First-order conservative remapping: each target cell's value is the
 /// area-weighted mean of the overlapping source cells. Conserves the
 /// area-weighted integral of valid data (the property test checks this).
 pub fn conservative(var: &Variable, target: &RectGrid) -> Result<Variable> {
-    let (lat_i, lon_i) = horizontal_axes(var)?;
-    let mut src_lat = var.axes[lat_i].clone();
-    let mut src_lon = var.axes[lon_i].clone();
-    let slat_b = src_lat.bounds_or_gen();
-    let slon_b = src_lon.bounds_or_gen();
-    let tlat_b = target.lat.clone().bounds_or_gen();
-    let tlon_b = target.lon.clone().bounds_or_gen();
-    let (ny_s, nx_s) = (src_lat.len(), src_lon.len());
-    let (ny_t, nx_t) = target.shape();
-
-    // Latitude overlaps in sin-lat (exact sphere areas).
-    let overlap_lat: Vec<Vec<(usize, f64)>> = tlat_b
-        .iter()
-        .map(|&(lo_t, hi_t)| {
-            let (lo_t, hi_t) = order(lo_t, hi_t);
-            let mut v = Vec::new();
-            for (j, &(lo_s, hi_s)) in slat_b.iter().enumerate() {
-                let (lo_s, hi_s) = order(lo_s, hi_s);
-                let lo = lo_t.max(lo_s);
-                let hi = hi_t.min(hi_s);
-                if hi > lo {
-                    let w = hi.to_radians().sin() - lo.to_radians().sin();
-                    if w > 0.0 {
-                        v.push((j, w));
-                    }
-                }
-            }
-            v
-        })
-        .collect();
-    // Longitude overlaps modulo 360.
-    let overlap_lon: Vec<Vec<(usize, f64)>> = tlon_b
-        .iter()
-        .map(|&(lo_t, hi_t)| {
-            let (lo_t, hi_t) = order(lo_t, hi_t);
-            let mut v = Vec::new();
-            for (i, &(lo_s, hi_s)) in slon_b.iter().enumerate() {
-                let (lo_s, hi_s) = order(lo_s, hi_s);
-                // try the source cell shifted by -360, 0, +360
-                for shift in [-360.0, 0.0, 360.0] {
-                    let lo = lo_t.max(lo_s + shift);
-                    let hi = hi_t.min(hi_s + shift);
-                    if hi > lo {
-                        v.push((i, hi - lo));
-                    }
-                }
-            }
-            v
-        })
-        .collect();
-
-    let leading: usize = var.shape()[..lat_i].iter().product();
-    let src_plane = ny_s * nx_s;
-    let dst_plane = ny_t * nx_t;
-    let mut data = vec![0.0f32; leading * dst_plane];
-    let mut mask = vec![false; leading * dst_plane];
-
-    for l in 0..leading {
-        let src_off = l * src_plane;
-        let dst_off = l * dst_plane;
-        for jt in 0..ny_t {
-            for it in 0..nx_t {
-                let mut wsum = 0.0f64;
-                let mut vsum = 0.0f64;
-                for &(js, wy) in &overlap_lat[jt] {
-                    for &(is, wx) in &overlap_lon[it] {
-                        let src = src_off + js * nx_s + is;
-                        if !var.array.mask()[src] {
-                            let w = wy * wx;
-                            wsum += w;
-                            vsum += w * var.array.data()[src] as f64;
-                        }
-                    }
-                }
-                let dst = dst_off + jt * nx_t + it;
-                if wsum > 0.0 {
-                    data[dst] = (vsum / wsum) as f32;
-                } else {
-                    mask[dst] = true;
-                }
-            }
-        }
-    }
-
-    let mut out_shape = var.shape()[..lat_i].to_vec();
-    out_shape.push(ny_t);
-    out_shape.push(nx_t);
-    let array = MaskedArray::with_mask(data, mask, &out_shape)?;
-    let mut axes = var.axes[..lat_i].to_vec();
-    axes.push(target.lat.clone());
-    axes.push(target.lon.clone());
-    let mut v = Variable::new(&var.id, array, axes)?;
-    v.attributes = var.attributes.clone();
-    Ok(v)
+    regrid(var, target, RegridMethod::Conservative)
 }
 
 fn order(a: f64, b: f64) -> (f64, f64) {

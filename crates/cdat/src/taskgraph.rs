@@ -126,6 +126,26 @@ impl TaskGraph {
         self.add_task(name, &[], move |_| Ok((*var).clone()))
     }
 
+    /// Adds a task that regrids the output of `input` onto `target` with
+    /// `method`, planning through the global regrid plan cache — graphs
+    /// that regrid many timesteps (or many variables) over the same grid
+    /// pair share one sparse weight matrix.
+    pub fn add_regrid_task(
+        &mut self,
+        name: &str,
+        input: &str,
+        target: cdms::RectGrid,
+        method: crate::regrid_plan::RegridMethod,
+    ) -> Result<()> {
+        let dep = input.to_string();
+        self.add_task(name, &[input], move |deps| {
+            let var = deps
+                .get(&dep)
+                .ok_or_else(|| CdmsError::NotFound(format!("dependency '{dep}'")))?;
+            crate::regrid::regrid(var, &target, method)
+        })
+    }
+
     /// Number of tasks.
     pub fn len(&self) -> usize {
         self.tasks.len()
@@ -262,6 +282,29 @@ mod tests {
         g.add_task("series", &["anom"], |deps| averager::spatial_mean(&deps["anom"]))
             .unwrap();
         g
+    }
+
+    #[test]
+    fn regrid_tasks_share_a_cached_plan() {
+        use crate::regrid_plan::RegridMethod;
+        let ds = SynthesisSpec::new(4, 2, 8, 16).build();
+        let mut g = TaskGraph::new();
+        g.add_source("ta", ds.variable("ta").unwrap().clone()).unwrap();
+        g.add_source("ua", ds.variable("ua").unwrap().clone()).unwrap();
+        // both tasks regrid onto the same target grid → one shared plan
+        let dst = cdms::RectGrid::uniform(5, 9).unwrap();
+        g.add_regrid_task("ta_lo", "ta", dst.clone(), RegridMethod::Bilinear).unwrap();
+        g.add_regrid_task("ua_lo", "ua", dst, RegridMethod::Bilinear).unwrap();
+        let before = crate::plan_cache::global_stats();
+        let report = g.run_parallel().unwrap();
+        assert_eq!(report.outputs["ta_lo"].shape(), &[4, 2, 5, 9]);
+        assert_eq!(report.outputs["ua_lo"].shape(), &[4, 2, 5, 9]);
+        let after = crate::plan_cache::global_stats();
+        assert!(
+            after.hits + after.misses >= before.hits + before.misses + 2,
+            "both regrid tasks should consult the plan cache"
+        );
+        assert!(after.hits > before.hits, "second task should reuse the cached plan");
     }
 
     #[test]

@@ -92,6 +92,65 @@ impl RectGrid {
         }
         close(&self.lat.values, &other.lat.values) && close(&self.lon.values, &other.lon.values)
     }
+
+    /// Stable 64-bit fingerprint of the grid geometry. Equal fingerprints
+    /// mean the grids produce identical regrid weights: the hash covers
+    /// axis kind, length, the exact `f64` bit patterns of the centre values
+    /// and — because conservative overlaps depend on them — the cell bounds
+    /// when present. Regrid plan caches key on this.
+    pub fn fingerprint(&self) -> u64 {
+        axes_fingerprint(&self.lat, &self.lon)
+    }
+}
+
+/// Fingerprint of an arbitrary (lat, lon) axis pair — the source-grid side
+/// of [`RectGrid::fingerprint`], usable directly on a variable's axes
+/// without constructing a grid. Each axis stream is prefixed with its kind
+/// and length so values cannot slide between the latitude and longitude
+/// arrays (or between values and bounds) without changing the hash.
+pub fn axes_fingerprint(lat: &Axis, lon: &Axis) -> u64 {
+    let mut h = Fnv::new();
+    hash_axis(&mut h, lat);
+    hash_axis(&mut h, lon);
+    h.finish()
+}
+
+/// FNV-1a over little-endian u64 words; tiny, dependency-free and stable
+/// across runs (unlike `DefaultHasher`, whose keys are randomized).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_axis(h: &mut Fnv, a: &Axis) {
+    h.word(a.kind as u64);
+    h.word(a.values.len() as u64);
+    for v in &a.values {
+        h.word(v.to_bits());
+    }
+    match &a.bounds {
+        None => h.word(0),
+        Some(b) => {
+            h.word(1 + b.len() as u64);
+            for (lo, hi) in b {
+                h.word(lo.to_bits());
+                h.word(hi.to_bits());
+            }
+        }
+    }
 }
 
 /// Nodes and weights of `n`-point Gauss–Legendre quadrature on `[-1, 1]`,
@@ -226,6 +285,57 @@ mod tests {
         assert!(RectGrid::new(lat.clone(), lat.clone()).is_err());
         assert!(RectGrid::new(lat, lon).is_ok());
         assert!(RectGrid::uniform(0, 8).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_value_sensitive() {
+        let a = RectGrid::uniform(4, 8).unwrap();
+        let b = RectGrid::uniform(4, 8).unwrap();
+        let c = RectGrid::uniform(8, 16).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), RectGrid::gaussian(4, 8).unwrap().fingerprint());
+        // matches the free-function form used for variable axes
+        assert_eq!(a.fingerprint(), axes_fingerprint(&a.lat, &a.lon));
+    }
+
+    #[test]
+    fn fingerprint_collisions_by_construction_are_avoided() {
+        // Same flattened value stream [0, 10, 20, 30] split differently
+        // between lat and lon: length prefixes must keep these distinct.
+        let g1 = RectGrid::new(
+            Axis::latitude(vec![0.0, 10.0]).unwrap(),
+            Axis::longitude(vec![20.0, 30.0]).unwrap(),
+        )
+        .unwrap();
+        let g2 = RectGrid::new(
+            Axis::latitude(vec![0.0]).unwrap(),
+            Axis::longitude(vec![10.0, 20.0, 30.0]).unwrap(),
+        )
+        .unwrap();
+        assert_ne!(g1.fingerprint(), g2.fingerprint());
+
+        // Same centres, different explicit bounds: conservative weights
+        // differ, so the fingerprint must too.
+        let mut lat = Axis::latitude(vec![-30.0, 30.0]).unwrap();
+        let lon = Axis::longitude(vec![0.0, 180.0]).unwrap();
+        lat.bounds = Some(vec![(-60.0, 0.0), (0.0, 60.0)]);
+        let narrow = {
+            let mut l = lat.clone();
+            l.bounds = Some(vec![(-40.0, -20.0), (20.0, 40.0)]);
+            RectGrid { lat: l, lon: lon.clone() }
+        };
+        let wide = RectGrid { lat, lon };
+        assert_eq!(wide.lat.values, narrow.lat.values);
+        assert_ne!(wide.fingerprint(), narrow.fingerprint());
+
+        // Bounds present vs absent on otherwise identical axes.
+        let with = RectGrid::uniform(3, 6).unwrap(); // new() generates bounds
+        let without = RectGrid {
+            lat: Axis::latitude(with.lat.values.clone()).unwrap(),
+            lon: Axis::longitude(with.lon.values.clone()).unwrap(),
+        };
+        assert_ne!(with.fingerprint(), without.fingerprint());
     }
 
     #[test]

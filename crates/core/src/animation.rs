@@ -37,6 +37,21 @@ impl AnimationController {
         Ok(AnimationController { frames, current: 0, looping: true })
     }
 
+    /// Builds a controller like [`AnimationController::from_variable`],
+    /// first regridding the whole variable onto `target`. The regrid plan
+    /// is cached workspace-wide and applied to every timestep plane in one
+    /// parallel pass, so re-animating (or animating a second variable on
+    /// the same grid pair) skips the planning cost entirely.
+    pub fn from_variable_regridded(
+        var: &Variable,
+        target: &cdms::RectGrid,
+        method: cdat::regrid_plan::RegridMethod,
+        opts: &TranslationOptions,
+    ) -> Result<AnimationController> {
+        let regridded = cdat::regrid::regrid(var, target, method).map_err(Dv3dError::from)?;
+        AnimationController::from_variable(&regridded, opts)
+    }
+
     /// Builds a controller from pre-made frames.
     pub fn from_frames(frames: Vec<ImageData>) -> Result<AnimationController> {
         if frames.is_empty() {
@@ -125,6 +140,26 @@ mod tests {
         let (anim, _) = controller_and_cell();
         assert_eq!(anim.len(), 4);
         assert_eq!(anim.current(), 0);
+    }
+
+    #[test]
+    fn regridded_animation_reuses_one_plan_across_frames() {
+        use cdat::regrid_plan::RegridMethod;
+        let ds = SynthesisSpec::new(6, 1, 8, 16).build();
+        let pr = ds.variable("pr").unwrap();
+        // deliberately odd target shape so the cache key is unique to this test
+        let target = cdms::RectGrid::uniform(7, 13).unwrap();
+        let opts = TranslationOptions::default();
+        let before = cdat::plan_cache::global_stats();
+        let a = AnimationController::from_variable_regridded(pr, &target, RegridMethod::Bilinear, &opts)
+            .unwrap();
+        let b = AnimationController::from_variable_regridded(pr, &target, RegridMethod::Bilinear, &opts)
+            .unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 6);
+        assert_eq!(a.frames[0].dims, b.frames[0].dims);
+        let after = cdat::plan_cache::global_stats();
+        assert!(after.hits > before.hits, "second animation must hit the cached plan");
     }
 
     #[test]

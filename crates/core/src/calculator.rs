@@ -12,6 +12,7 @@
 //! gm      = avg(ta, 'lat', 'lon')
 //! speed   = sqrt(ua*ua + va*va)
 //! lo      = regrid(ta, 16, 32)
+//! cons    = regrid(ta, 16, 32, 'conservative')
 //! ```
 
 use crate::{Dv3dError, Result};
@@ -331,7 +332,16 @@ fn apply_function(name: &str, args: Vec<CalcValue>, strings: Vec<String>) -> Res
                 return Err(Dv3dError::Config("regrid(x, nlat, nlon)".into()));
             }
             let grid = RectGrid::uniform(dims[0], dims[1])?;
-            Ok(CalcValue::Variable(regrid::bilinear(&v, &grid)?))
+            // optional method string: regrid(x, nlat, nlon, 'conservative')
+            let method = match strings.first() {
+                None => cdat::regrid_plan::RegridMethod::Bilinear,
+                Some(s) => cdat::regrid_plan::RegridMethod::parse(s).ok_or_else(|| {
+                    Dv3dError::Config(format!(
+                        "regrid(): unknown method '{s}' (try 'bilinear' or 'conservative')"
+                    ))
+                })?,
+            };
+            Ok(CalcValue::Variable(regrid::regrid(&v, &grid, method)?))
         }
         "corr" => {
             let (a, b) = match (args.first(), args.get(1)) {
@@ -467,6 +477,9 @@ mod tests {
         assert_eq!(gm.as_variable().unwrap().shape(), &[4, 2]);
         let lo = evaluate(&mut d, "regrid(ta, 4, 8)").unwrap();
         assert_eq!(&lo.as_variable().unwrap().shape()[2..], &[4, 8]);
+        let cons = evaluate(&mut d, "regrid(ta, 4, 8, 'conservative')").unwrap();
+        assert_eq!(&cons.as_variable().unwrap().shape()[2..], &[4, 8]);
+        assert!(evaluate(&mut d, "regrid(ta, 4, 8, 'cubic')").is_err());
         let r = evaluate(&mut d, "corr(ta, ta)").unwrap();
         assert!((r.as_scalar().unwrap() - 1.0).abs() < 1e-9);
     }

@@ -148,9 +148,17 @@ fn register_cdat(reg: &mut ModuleRegistry) {
             param_i64(params, "nlon", 32) as usize,
         )
         .map_err(exec_err)?;
-        let out = cdat::regrid::bilinear(&v, &grid).map_err(exec_err)?;
+        let method = match params.get("method").and_then(ParamValue::as_str) {
+            None => cdat::regrid_plan::RegridMethod::Bilinear,
+            Some(name) => cdat::regrid_plan::RegridMethod::parse(name)
+                .ok_or_else(|| exec_err(format!("unknown regrid method '{name}'")))?,
+        };
+        let out = cdat::regrid::regrid(&v, &grid, method).map_err(exec_err)?;
         Ok(single("variable", WfData::opaque(tags::VARIABLE, out)))
     });
+    // Pipeline caches must not outlive the regrid engine that filled them:
+    // key cached outputs on the plan engine's version.
+    reg.set_cache_salt("cdat.Regrid", cdat::regrid_plan::ENGINE_VERSION);
     reg.register_fn(
         "cdat",
         "HovmollerVolume",

@@ -11,6 +11,7 @@ use crate::image_data::ImageData;
 use crate::math::Vec3;
 use crate::poly_data::PolyData;
 use crate::{Result, VtkError};
+use rayon::prelude::*;
 
 /// Cube-corner offsets, VTK ordering.
 const CORNERS: [[usize; 3]; 8] = [
@@ -61,6 +62,16 @@ pub fn isosurface_colored(
     isosurface_impl(img, value, Some(color_field))
 }
 
+/// Triangles, points and per-vertex attributes emitted by one k-slab of
+/// cells. Triangle indices are slab-local; the stitch pass offsets them.
+#[derive(Debug, Default)]
+struct SlabMesh {
+    points: Vec<Vec3>,
+    triangles: Vec<[u32; 3]>,
+    scalars: Vec<f32>,
+    normals: Vec<Vec3>,
+}
+
 fn isosurface_impl(
     img: &ImageData,
     value: f32,
@@ -70,49 +81,29 @@ fn isosurface_impl(
     if nx < 2 || ny < 2 || nz < 2 {
         return Err(VtkError::Invalid("isosurface needs at least 2 points per axis".into()));
     }
+
+    // The cell loop is embarrassingly parallel across k-slabs: each slab
+    // emits into its own mesh (disjoint writes), then slabs are stitched in
+    // ascending k with offset indices — the concatenation reproduces the
+    // serial single-loop emission order exactly, so the output is
+    // bit-identical to the serial path regardless of thread schedule (the
+    // test below checks this against a serial reference).
+    let mut slabs: Vec<SlabMesh> = (0..nz - 1).map(|_| SlabMesh::default()).collect();
+    slabs
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(k, slab)| march_slab(img, value, k, color_field, slab));
+
     let mut out = PolyData::new();
     let mut scalars: Vec<f32> = Vec::new();
     let mut normals: Vec<Vec3> = Vec::new();
-
-    let mut corner_val = [0.0f32; 8];
-    let mut corner_idx = [[0usize; 3]; 8];
-    for k in 0..nz - 1 {
-        for j in 0..ny - 1 {
-            for i in 0..nx - 1 {
-                let mut has_nan = false;
-                for (c, off) in CORNERS.iter().enumerate() {
-                    let (ci, cj, ck) = (i + off[0], j + off[1], k + off[2]);
-                    let v = img.scalar(ci, cj, ck);
-                    if v.is_nan() {
-                        has_nan = true;
-                        break;
-                    }
-                    corner_val[c] = v;
-                    corner_idx[c] = [ci, cj, ck];
-                }
-                if has_nan {
-                    continue;
-                }
-                // quick reject: all corners same side
-                let any_below = corner_val.iter().any(|&v| v < value);
-                let any_above = corner_val.iter().any(|&v| v >= value);
-                if !(any_below && any_above) {
-                    continue;
-                }
-                for tet in &TETS {
-                    march_tet(
-                        img,
-                        value,
-                        tet.map(|c| corner_idx[c]),
-                        tet.map(|c| corner_val[c]),
-                        color_field,
-                        &mut out,
-                        &mut scalars,
-                        &mut normals,
-                    );
-                }
-            }
-        }
+    for slab in slabs {
+        let offset = out.points.len() as u32;
+        out.points.extend(slab.points);
+        out.triangles
+            .extend(slab.triangles.into_iter().map(|[a, b, c]| [a + offset, b + offset, c + offset]));
+        scalars.extend(slab.scalars);
+        normals.extend(slab.normals);
     }
     out.scalars = Some(scalars);
     out.normals = Some(normals);
@@ -120,17 +111,62 @@ fn isosurface_impl(
     Ok(out)
 }
 
-/// Emits 0–2 triangles for one tetrahedron.
-#[allow(clippy::too_many_arguments)]
+/// Runs marching tetrahedra over every cell of one k-slab, in the same
+/// j/i order the serial triple loop used.
+fn march_slab(
+    img: &ImageData,
+    value: f32,
+    k: usize,
+    color_field: Option<&ImageData>,
+    slab: &mut SlabMesh,
+) {
+    let [nx, ny, _] = img.dims;
+    let mut corner_val = [0.0f32; 8];
+    let mut corner_idx = [[0usize; 3]; 8];
+    for j in 0..ny - 1 {
+        for i in 0..nx - 1 {
+            let mut has_nan = false;
+            for (c, off) in CORNERS.iter().enumerate() {
+                let (ci, cj, ck) = (i + off[0], j + off[1], k + off[2]);
+                let v = img.scalar(ci, cj, ck);
+                if v.is_nan() {
+                    has_nan = true;
+                    break;
+                }
+                corner_val[c] = v;
+                corner_idx[c] = [ci, cj, ck];
+            }
+            if has_nan {
+                continue;
+            }
+            // quick reject: all corners same side
+            let any_below = corner_val.iter().any(|&v| v < value);
+            let any_above = corner_val.iter().any(|&v| v >= value);
+            if !(any_below && any_above) {
+                continue;
+            }
+            for tet in &TETS {
+                march_tet(
+                    img,
+                    value,
+                    tet.map(|c| corner_idx[c]),
+                    tet.map(|c| corner_val[c]),
+                    color_field,
+                    slab,
+                );
+            }
+        }
+    }
+}
+
+/// Emits 0–2 triangles for one tetrahedron into the slab mesh.
 fn march_tet(
     img: &ImageData,
     value: f32,
     idx: [[usize; 3]; 4],
     val: [f32; 4],
     color_field: Option<&ImageData>,
-    out: &mut PolyData,
-    scalars: &mut Vec<f32>,
-    normals: &mut Vec<Vec3>,
+    out: &mut SlabMesh,
 ) {
     // classify: bit c set when corner c is "inside" (>= value)
     let mut mask = 0u8;
@@ -160,10 +196,10 @@ fn march_tet(
                 .unwrap_or(f32::NAN),
             None => value,
         };
-        let id = out.add_point(p);
-        scalars.push(s);
-        normals.push(n);
-        id
+        out.points.push(p);
+        out.scalars.push(s);
+        out.normals.push(n);
+        (out.points.len() - 1) as u32
     };
 
     // Inside-corner sets for each case. Orientation: wind triangles so the
@@ -257,6 +293,55 @@ mod tests {
             }
         }
         assert!(agree as f64 > 0.95 * surf.points.len() as f64);
+    }
+
+    #[test]
+    fn parallel_slab_output_is_bit_identical_to_serial() {
+        // Serial reference: run the slab kernel k-by-k into ONE accumulating
+        // mesh — exactly what the pre-parallel triple loop emitted — and
+        // compare bitwise against the parallel+stitch path.
+        fn serial_reference(img: &ImageData, value: f32) -> PolyData {
+            let [_, _, nz] = img.dims;
+            let mut acc = SlabMesh::default();
+            for k in 0..nz - 1 {
+                march_slab(img, value, k, None, &mut acc);
+            }
+            let mut out = PolyData::new();
+            out.points = acc.points;
+            out.triangles = acc.triangles;
+            out.scalars = Some(acc.scalars);
+            out.normals = Some(acc.normals);
+            out.merge_points(1e-7 * (1.0 + img.bounds().diagonal()));
+            out
+        }
+
+        let (mut img, r) = sphere_field(20, 6.0);
+        // include a NaN hole so the skip path is exercised too
+        let idx = img.index(2, 3, 4);
+        img.scalars[idx] = f32::NAN;
+        for value in [r as f32, 2.0, 8.5] {
+            let par = isosurface(&img, value).unwrap();
+            let ser = serial_reference(&img, value);
+            assert_eq!(par.points.len(), ser.points.len(), "value {value}");
+            assert!(
+                par.points.iter().zip(&ser.points).all(|(a, b)| {
+                    a.x.to_bits() == b.x.to_bits()
+                        && a.y.to_bits() == b.y.to_bits()
+                        && a.z.to_bits() == b.z.to_bits()
+                }),
+                "points differ at value {value}"
+            );
+            assert_eq!(par.triangles, ser.triangles, "value {value}");
+            let (ps, ss) = (par.scalars.as_ref().unwrap(), ser.scalars.as_ref().unwrap());
+            assert_eq!(ps.len(), ss.len());
+            assert!(ps.iter().zip(ss).all(|(a, b)| a.to_bits() == b.to_bits()));
+            let (pn, sn) = (par.normals.as_ref().unwrap(), ser.normals.as_ref().unwrap());
+            assert!(pn.iter().zip(sn).all(|(a, b)| {
+                a.x.to_bits() == b.x.to_bits()
+                    && a.y.to_bits() == b.y.to_bits()
+                    && a.z.to_bits() == b.z.to_bits()
+            }));
+        }
     }
 
     #[test]

@@ -196,10 +196,12 @@ impl Executor {
         let max_depth = depth.values().copied().max().unwrap_or(0);
 
         let mut results = ExecResults::default();
-        // Precompute signatures once.
+        // Precompute signatures once, mixing in registry cache salts so an
+        // engine-version bump behind a module type invalidates cached
+        // outputs of it and of everything downstream.
         let signatures: BTreeMap<ModuleId, u64> = order
             .iter()
-            .map(|&id| (id, target.module_signature(id)))
+            .map(|&id| (id, target.module_signature_salted(id, self.registry.cache_salts())))
             .collect();
 
         for level in 0..=max_depth {
@@ -397,6 +399,30 @@ mod tests {
         exec.execute(&diamond()).unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 6);
         assert_eq!(exec.cache_len(), 0);
+    }
+
+    #[test]
+    fn cache_salt_change_invalidates_downstream() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut exec = Executor::new(registry(counter.clone()));
+        exec.execute(&diamond()).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        // same engine version → everything served from cache
+        exec.execute(&diamond()).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        // bump the engine version behind `m.src`: both sources AND the
+        // downstream add must recompute (salts flow through the recursive
+        // signature walk)
+        exec.registry.set_cache_salt("m.src", 2);
+        exec.execute(&diamond()).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+        // stable again under the new salt
+        exec.execute(&diamond()).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+        // clearing the salt restores the original signatures → cache hits
+        exec.registry.set_cache_salt("m.src", 0);
+        exec.execute(&diamond()).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
     }
 
     #[test]

@@ -136,6 +136,7 @@ impl WfModule for FnModule {
 #[derive(Clone, Default)]
 pub struct ModuleRegistry {
     modules: BTreeMap<String, Arc<dyn WfModule>>,
+    cache_salts: BTreeMap<String, u64>,
 }
 
 impl ModuleRegistry {
@@ -147,6 +148,30 @@ impl ModuleRegistry {
     /// Registers a module implementation under `package.type`.
     pub fn register(&mut self, module: Arc<dyn WfModule>) {
         self.modules.insert(module.descriptor().type_name.clone(), module);
+    }
+
+    /// Declares a cache salt for a module type: a version of the engine
+    /// behind the module that is mixed into pipeline cache signatures
+    /// (recursively, so downstream modules are invalidated too). A salt of
+    /// 0 is the default and leaves signatures untouched — e.g.
+    /// `cdat.Regrid` registers its regrid-engine version here so cached
+    /// pipeline outputs can never survive a weight-math change.
+    pub fn set_cache_salt(&mut self, type_name: &str, salt: u64) {
+        if salt == 0 {
+            self.cache_salts.remove(type_name);
+        } else {
+            self.cache_salts.insert(type_name.to_string(), salt);
+        }
+    }
+
+    /// The cache salt for `type_name` (0 when none is registered).
+    pub fn cache_salt(&self, type_name: &str) -> u64 {
+        self.cache_salts.get(type_name).copied().unwrap_or(0)
+    }
+
+    /// All registered cache salts, for signature computation.
+    pub fn cache_salts(&self) -> &BTreeMap<String, u64> {
+        &self.cache_salts
     }
 
     /// Registers a closure-backed module with the given ports.

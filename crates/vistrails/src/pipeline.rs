@@ -245,13 +245,29 @@ impl Pipeline {
     /// A stable signature of one module's identity for caching: its type,
     /// parameters, and (recursively) the signatures of its inputs.
     pub fn module_signature(&self, id: ModuleId) -> u64 {
-        fn walk(p: &Pipeline, id: ModuleId, depth: usize) -> u64 {
+        static NO_SALTS: BTreeMap<String, u64> = BTreeMap::new();
+        self.module_signature_salted(id, &NO_SALTS)
+    }
+
+    /// [`Pipeline::module_signature`] with per-module-type cache salts
+    /// mixed in: a nonzero salt for a type changes the signature of every
+    /// module of that type *and*, through the recursive walk, of every
+    /// module downstream of one — so bumping an engine version (e.g. the
+    /// regrid weight math behind `cdat.Regrid`) invalidates all cached
+    /// pipeline outputs that depend on it. An empty map (or all-zero
+    /// salts) reproduces the unsalted signature exactly.
+    pub fn module_signature_salted(&self, id: ModuleId, salts: &BTreeMap<String, u64>) -> u64 {
+        fn walk(p: &Pipeline, id: ModuleId, salts: &BTreeMap<String, u64>, depth: usize) -> u64 {
             let mut h = Fnv::new();
             if depth > 10_000 {
                 return h.finish(); // cycle guard; validate() rejects cycles anyway
             }
             if let Some(node) = p.modules.get(&id) {
                 h.write(node.type_name.as_bytes());
+                match salts.get(&node.type_name) {
+                    Some(&salt) if salt != 0 => h.write(&salt.to_le_bytes()),
+                    _ => {}
+                }
                 for (k, v) in &node.params {
                     h.write(k.as_bytes());
                     v.signature(&mut h);
@@ -262,12 +278,12 @@ impl Pipeline {
                 for c in ins {
                     h.write(c.to_port.as_bytes());
                     h.write(c.from_port.as_bytes());
-                    h.write(&walk(p, c.from_module, depth + 1).to_le_bytes());
+                    h.write(&walk(p, c.from_module, salts, depth + 1).to_le_bytes());
                 }
             }
             h.finish()
         }
-        walk(self, id, 0)
+        walk(self, id, salts, 0)
     }
 
     /// Serializes to JSON (the `.vt` file stand-in).

@@ -9,6 +9,15 @@
 
 /// Number of worker threads parallel operations will use.
 pub fn current_num_threads() -> usize {
+    // Honour RAYON_NUM_THREADS like the real rayon's default pool does —
+    // benches use it to measure thread scaling without a ThreadPoolBuilder.
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
