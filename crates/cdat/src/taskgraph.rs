@@ -7,6 +7,7 @@
 use cdms::{CdmsError, Result, Variable};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -124,6 +125,48 @@ impl TaskGraph {
     pub fn add_source(&mut self, name: &str, var: Variable) -> Result<()> {
         let var = Arc::new(var);
         self.add_task(name, &[], move |_| Ok((*var).clone()))
+    }
+
+    /// Adds a source task that reads `variable` from an `.ncr` file at run
+    /// time, degrading gracefully on damage:
+    ///
+    /// * transient storage errors (EINTR-style, injected flakiness)
+    ///   propagate as-is so the graph's [`RetryPolicy`] re-runs the read;
+    /// * a file that fails strict checksum verification is re-read with
+    ///   salvage semantics — the task still succeeds as long as the
+    ///   requested variable's sections are intact.
+    pub fn add_dataset_source(&mut self, name: &str, path: &Path, variable: &str) -> Result<()> {
+        self.add_dataset_source_with(Arc::new(cdms::storage::LocalDisk), name, path, variable)
+    }
+
+    /// [`TaskGraph::add_dataset_source`] through an explicit storage
+    /// backend (fault injection, tests).
+    pub fn add_dataset_source_with(
+        &mut self,
+        storage: Arc<dyn cdms::Storage>,
+        name: &str,
+        path: &Path,
+        variable: &str,
+    ) -> Result<()> {
+        let path = path.to_path_buf();
+        let variable = variable.to_string();
+        self.add_task(name, &[], move |_| {
+            match cdms::format::read_dataset_with(storage.as_ref(), &path) {
+                Ok(ds) => Ok(ds.require(&variable)?.clone()),
+                Err(e) if e.is_transient() => Err(e),
+                Err(_) => {
+                    // Strictly unreadable: salvage what the checksums vouch for.
+                    let (ds, report) =
+                        cdms::format::read_dataset_salvage_with(storage.as_ref(), &path)?;
+                    ds.variable(&variable).cloned().ok_or_else(|| {
+                        CdmsError::Format(format!(
+                            "variable '{variable}' not salvageable from '{}': {report}",
+                            path.display()
+                        ))
+                    })
+                }
+            }
+        })
     }
 
     /// Adds a task that regrids the output of `input` onto `target` with
@@ -422,6 +465,82 @@ mod tests {
         g.retry = RetryPolicy::retries(2, Duration::ZERO);
         let err = g.run_parallel().unwrap_err();
         assert!(err.to_string().contains("transient"), "{err}");
+    }
+
+    fn saved_dataset(tag: &str) -> (std::path::PathBuf, cdms::Dataset) {
+        let dir = std::env::temp_dir()
+            .join(format!("cdat_taskgraph_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = SynthesisSpec::new(2, 2, 8, 16).build();
+        let path = dir.join("src.ncr");
+        ds.save(&path).unwrap();
+        (path, ds)
+    }
+
+    #[test]
+    fn dataset_source_reads_variable_from_disk() {
+        let (path, ds) = saved_dataset("read");
+        let mut g = TaskGraph::new();
+        g.add_dataset_source("ta", &path, "ta").unwrap();
+        let report = g.run_serial().unwrap();
+        assert_eq!(report.outputs["ta"].array, ds.variable("ta").unwrap().array);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn dataset_source_retries_transient_storage_faults() {
+        use cdms::storage::{FaultyStorage, StorageFault, StorageFaultPlan};
+        let (path, ds) = saved_dataset("transient");
+        // The read is storage op 0; make it (and the next one) fail
+        // EINTR-style so a single RetryPolicy retry clears it.
+        let plan = StorageFaultPlan::none().inject(0, StorageFault::Transient { times: 2 });
+        let storage = Arc::new(FaultyStorage::new(plan));
+        let mut g = TaskGraph::new();
+        g.add_dataset_source_with(storage.clone(), "ta", &path, "ta").unwrap();
+
+        // fail-fast policy: the transient error surfaces
+        let err = g.run_serial().unwrap_err();
+        assert!(err.to_string().contains("transient"), "{err}");
+
+        // with retries the same graph succeeds (fresh storage, same plan)
+        let plan = StorageFaultPlan::none().inject(0, StorageFault::Transient { times: 2 });
+        let mut g = TaskGraph::new();
+        g.add_dataset_source_with(Arc::new(FaultyStorage::new(plan)), "ta", &path, "ta")
+            .unwrap();
+        g.retry = RetryPolicy::retries(3, Duration::ZERO);
+        let report = g.run_serial().unwrap();
+        assert_eq!(report.outputs["ta"].array, ds.variable("ta").unwrap().array);
+        assert!(report.attempt_timings["ta"].len() > 1, "should have retried");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn dataset_source_degrades_to_salvage_on_corruption() {
+        let (path, ds) = saved_dataset("salvage");
+        // Corrupt a variable other than "ta": strict read fails, salvage
+        // still recovers "ta", so the graph keeps running.
+        let (bytes, layout) = cdms::format::to_bytes_v2_with_layout(&ds);
+        let mut bytes = bytes.to_vec();
+        let victim = layout
+            .sections
+            .iter()
+            .find(|s| matches!(&s.variable, Some((id, _)) if id != "ta"))
+            .expect("synth dataset has a second variable");
+        bytes[victim.payload.start] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut g = TaskGraph::new();
+        g.add_dataset_source("ta", &path, "ta").unwrap();
+        let report = g.run_serial().unwrap();
+        assert_eq!(report.outputs["ta"].array, ds.variable("ta").unwrap().array);
+
+        // asking for the corrupted variable itself fails with a reason
+        let (_, corrupt_id) = victim.variable.clone().map(|(id, _)| ((), id)).unwrap();
+        let mut g = TaskGraph::new();
+        g.add_dataset_source("broken", &path, &corrupt_id).unwrap();
+        let err = g.run_serial().unwrap_err();
+        assert!(err.to_string().contains("not salvageable"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 
     #[test]

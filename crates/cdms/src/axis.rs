@@ -87,6 +87,23 @@ impl Axis {
         Ok(ax)
     }
 
+    /// A zero-length axis — the in-memory image of a NetCDF "unlimited"
+    /// dimension with no records yet. [`Axis::new`] rejects empty value
+    /// lists so analysis code never builds one by accident; `.ncr` files
+    /// may legitimately contain them, so the format decoder (and the
+    /// edge-case round-trip tests) construct them through here.
+    pub fn empty(id: &str, units: &str, kind: AxisKind) -> Axis {
+        Axis {
+            id: id.to_string(),
+            values: Vec::new(),
+            bounds: None,
+            units: units.to_string(),
+            kind,
+            calendar: Calendar::default(),
+            attributes: Attributes::new(),
+        }
+    }
+
     /// A latitude axis in degrees north.
     pub fn latitude(values: Vec<f64>) -> Result<Axis> {
         Axis::new("lat", values, "degrees_north", AxisKind::Latitude)
@@ -128,7 +145,8 @@ impl Axis {
         self.values.len()
     }
 
-    /// True if there are no points (never constructible via `new`).
+    /// True if there are no points (constructible via [`Axis::empty`],
+    /// never via [`Axis::new`]).
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }

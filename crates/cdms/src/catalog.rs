@@ -6,9 +6,16 @@
 //! (model/experiment/variable), with an `open` that "transfers" the data —
 //! optionally with a simulated per-megabyte latency so transfer-bound
 //! workflows can be studied.
+//!
+//! The scan is corruption-aware: a damaged `.ncr` file no longer silently
+//! disappears from the catalog. Files that salvage partially are indexed
+//! with [`EntryStatus::Salvaged`] (only the recovered variables listed);
+//! files with nothing recoverable are kept as [`EntryStatus::Quarantined`]
+//! entries whose `open` fails with the recorded reason.
 
 use crate::dataset::Dataset;
 use crate::error::{CdmsError, Result};
+use crate::format;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -26,6 +33,26 @@ pub enum DataSource {
     ParaViewServer { host: String, path: PathBuf },
 }
 
+/// Health of a catalog entry's backing file, decided at scan/publish time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum EntryStatus {
+    /// The file parsed cleanly under strict checksum verification.
+    #[default]
+    Healthy,
+    /// The file is damaged but some variables were recovered; `open`
+    /// serves the salvaged subset.
+    Salvaged {
+        /// What the salvage pass found (from [`crate::SalvageReport`]).
+        reason: String,
+    },
+    /// Nothing recoverable; `open` fails with this reason instead of
+    /// surfacing a raw parse error.
+    Quarantined {
+        /// Why the file was quarantined.
+        reason: String,
+    },
+}
+
 /// One published dataset's catalog record.
 #[derive(Debug, Clone)]
 pub struct CatalogEntry {
@@ -39,6 +66,18 @@ pub struct CatalogEntry {
     pub source: DataSource,
     /// Payload size in bytes (drives the simulated transfer time).
     pub size_bytes: u64,
+    /// Why the size could not be read, when it couldn't (`size_bytes` is 0
+    /// then) — an unreadable file must not masquerade as an empty one.
+    pub size_error: Option<String>,
+    /// File health as of the last scan/publish.
+    pub status: EntryStatus,
+}
+
+impl CatalogEntry {
+    /// True when the backing file verified cleanly.
+    pub fn is_healthy(&self) -> bool {
+        self.status == EntryStatus::Healthy
+    }
 }
 
 /// A facet query: every `(facet, value)` pair must match.
@@ -106,14 +145,62 @@ impl EsgCatalog {
             .collect();
         paths.sort();
         for path in paths {
-            if let Ok(ds) = Dataset::open(&path) {
-                catalog.index_dataset(&ds, DataSource::LocalFile(path.clone()), file_size(&path));
-            }
+            catalog.scan_file(&path);
         }
         Ok(catalog)
     }
 
-    fn index_dataset(&mut self, ds: &Dataset, source: DataSource, size_bytes: u64) {
+    /// Indexes one on-disk `.ncr` file, degrading gracefully on corruption:
+    /// strict open → `Healthy`; partial salvage → `Salvaged`; otherwise a
+    /// `Quarantined` entry recording why the file is unusable.
+    fn scan_file(&mut self, path: &Path) {
+        let source = DataSource::LocalFile(path.to_path_buf());
+        match Dataset::open(path) {
+            Ok(ds) => self.index_dataset(&ds, source, EntryStatus::Healthy),
+            Err(open_err) => match format::read_dataset_salvage(path) {
+                Ok((ds, report)) if !report.recovered_variables.is_empty() => {
+                    self.index_dataset(
+                        &ds,
+                        source,
+                        EntryStatus::Salvaged { reason: report.summary() },
+                    );
+                }
+                Ok((ds, report)) => {
+                    self.quarantine(&ds.id, path, source, report.summary());
+                }
+                Err(_) => {
+                    let stem = path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    self.quarantine(&stem, path, source, open_err.to_string());
+                }
+            },
+        }
+    }
+
+    /// Records an unusable file so it stays visible (and explainable)
+    /// instead of silently vanishing from the catalog.
+    fn quarantine(&mut self, id: &str, path: &Path, source: DataSource, reason: String) {
+        let (size_bytes, size_error) = file_size(path);
+        self.entries.retain(|e| e.id != id);
+        self.entries.push(CatalogEntry {
+            id: id.to_string(),
+            facets: BTreeMap::new(),
+            variables: Vec::new(),
+            source,
+            size_bytes,
+            size_error,
+            status: EntryStatus::Quarantined { reason },
+        });
+    }
+
+    fn index_dataset(&mut self, ds: &Dataset, source: DataSource, status: EntryStatus) {
+        let (size_bytes, size_error) = match &source {
+            DataSource::LocalFile(p)
+            | DataSource::EsgNode { path: p, .. }
+            | DataSource::ParaViewServer { path: p, .. } => file_size(p),
+        };
         let facets = ds
             .attributes
             .iter()
@@ -126,6 +213,8 @@ impl EsgCatalog {
             variables: ds.variable_ids(),
             source,
             size_bytes,
+            size_error,
+            status,
         });
     }
 
@@ -135,12 +224,11 @@ impl EsgCatalog {
     pub fn publish(&mut self, ds: &Dataset, node: Option<&str>) -> Result<()> {
         let path = self.root.join(format!("{}.ncr", ds.id));
         ds.save(&path)?;
-        let size = file_size(&path);
         let source = match node {
             None => DataSource::LocalFile(path),
             Some(n) => DataSource::EsgNode { node: n.to_string(), path },
         };
-        self.index_dataset(ds, source, size);
+        self.index_dataset(ds, source, EntryStatus::Healthy);
         Ok(())
     }
 
@@ -149,11 +237,10 @@ impl EsgCatalog {
     pub fn publish_paraview(&mut self, ds: &Dataset, host: &str) -> Result<()> {
         let path = self.root.join(format!("{}.ncr", ds.id));
         ds.save(&path)?;
-        let size = file_size(&path);
         self.index_dataset(
             ds,
             DataSource::ParaViewServer { host: host.to_string(), path },
-            size,
+            EntryStatus::Healthy,
         );
         Ok(())
     }
@@ -169,13 +256,20 @@ impl EsgCatalog {
     }
 
     /// Opens a dataset by id, "transferring" it (with simulated latency for
-    /// remote entries when `simulated_bandwidth` is set).
+    /// remote entries when `simulated_bandwidth` is set). Quarantined
+    /// entries fail with the recorded reason; salvaged entries serve the
+    /// recovered variables.
     pub fn open(&self, id: &str) -> Result<Dataset> {
         let entry = self
             .entries
             .iter()
             .find(|e| e.id == id)
             .ok_or_else(|| CdmsError::NotFound(format!("catalog entry '{id}'")))?;
+        if let EntryStatus::Quarantined { reason } = &entry.status {
+            return Err(CdmsError::Format(format!(
+                "catalog entry '{id}' is quarantined: {reason}"
+            )));
+        }
         let path = match &entry.source {
             DataSource::LocalFile(p) => p,
             DataSource::EsgNode { path, .. } | DataSource::ParaViewServer { path, .. } => {
@@ -186,7 +280,13 @@ impl EsgCatalog {
                 path
             }
         };
-        Dataset::open(path)
+        match &entry.status {
+            EntryStatus::Salvaged { .. } => {
+                let (ds, _report) = format::read_dataset_salvage(path)?;
+                Ok(ds)
+            }
+            _ => Dataset::open(path),
+        }
     }
 
     /// Opens one variable of a dataset with *server-side* subsetting — the
@@ -223,8 +323,13 @@ impl EsgCatalog {
     }
 }
 
-fn file_size(path: &Path) -> u64 {
-    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+/// Reads the on-disk size, surfacing the error instead of reporting an
+/// unreadable file as zero-size (which hid permission/race problems).
+fn file_size(path: &Path) -> (u64, Option<String>) {
+    match std::fs::metadata(path) {
+        Ok(m) => (m.len(), None),
+        Err(e) => (0, Some(e.to_string())),
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +431,73 @@ mod tests {
         assert!(cat
             .open_variable_subset("missing", "ta", (-20.0, 20.0), (0.0, 360.0))
             .is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_quarantined_with_reason() {
+        let root = temp_root("quar");
+        {
+            let mut cat = EsgCatalog::new(&root).unwrap();
+            let mut ds = SynthesisSpec::new(1, 1, 4, 8).build();
+            ds.id = "broken".to_string();
+            cat.publish(&ds, None).unwrap();
+        }
+        // Destroy the file beyond salvage: truncate to garbage.
+        let path = root.join("broken.ncr");
+        std::fs::write(&path, b"NCRS\x63\x00\x00\x00").unwrap(); // version 99
+        let cat = EsgCatalog::new(&root).unwrap();
+        assert_eq!(cat.entries().len(), 1, "quarantined file must stay visible");
+        let entry = &cat.entries()[0];
+        assert_eq!(entry.id, "broken");
+        assert!(!entry.is_healthy());
+        assert!(matches!(entry.status, EntryStatus::Quarantined { .. }));
+        let err = cat.open("broken").unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn partially_corrupt_file_is_salvaged() {
+        let root = temp_root("salv");
+        let mut ds = SynthesisSpec::new(1, 1, 4, 8).build();
+        ds.id = "partial".to_string();
+        {
+            let mut cat = EsgCatalog::new(&root).unwrap();
+            cat.publish(&ds, None).unwrap();
+        }
+        // Corrupt one variable's section payload; the rest must survive.
+        let path = root.join("partial.ncr");
+        let (bytes, layout) = crate::format::to_bytes_v2_with_layout(&ds);
+        let mut bytes = bytes.to_vec();
+        let victim = layout
+            .sections
+            .iter()
+            .find(|s| s.variable.is_some())
+            .unwrap();
+        bytes[victim.payload.start + victim.payload.len() / 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let cat = EsgCatalog::new(&root).unwrap();
+        let entry = &cat.entries()[0];
+        assert!(matches!(entry.status, EntryStatus::Salvaged { .. }), "{:?}", entry.status);
+        assert_eq!(entry.variables.len(), ds.len() - 1);
+        let opened = cat.open("partial").unwrap();
+        assert_eq!(opened.len(), ds.len() - 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn healthy_entries_report_size_without_error() {
+        let root = temp_root("size");
+        let mut cat = EsgCatalog::new(&root).unwrap();
+        let mut ds = SynthesisSpec::new(1, 1, 4, 8).build();
+        ds.id = "sized".to_string();
+        cat.publish(&ds, None).unwrap();
+        let entry = &cat.entries()[0];
+        assert!(entry.size_bytes > 0);
+        assert!(entry.size_error.is_none());
+        assert!(entry.is_healthy());
         std::fs::remove_dir_all(&root).ok();
     }
 

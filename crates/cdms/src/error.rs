@@ -23,8 +23,20 @@ pub enum CdmsError {
     Format(String),
     /// Underlying I/O failure (message-only so the error stays `Clone`).
     Io(String),
+    /// A *transient* I/O failure (EINTR-style interruption, timeout,
+    /// injected flakiness): retrying the same operation may succeed.
+    /// [`crate::storage::write_atomic`] retries these internally and
+    /// `cdat` task graphs re-run dataset sources that surface them.
+    TransientIo(String),
     /// A calendar/time conversion failed.
     Time(String),
+}
+
+impl CdmsError {
+    /// True for errors a retry may clear ([`CdmsError::TransientIo`]).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CdmsError::TransientIo(_))
+    }
 }
 
 impl fmt::Display for CdmsError {
@@ -41,6 +53,7 @@ impl fmt::Display for CdmsError {
             CdmsError::Invalid(msg) => write!(f, "invalid: {msg}"),
             CdmsError::Format(msg) => write!(f, "format error: {msg}"),
             CdmsError::Io(msg) => write!(f, "io error: {msg}"),
+            CdmsError::TransientIo(msg) => write!(f, "transient io error: {msg}"),
             CdmsError::Time(msg) => write!(f, "time error: {msg}"),
         }
     }
@@ -56,7 +69,13 @@ impl std::error::Error for CdmsError {
 
 impl From<std::io::Error> for CdmsError {
     fn from(e: std::io::Error) -> Self {
-        CdmsError::Io(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                CdmsError::TransientIo(e.to_string())
+            }
+            _ => CdmsError::Io(e.to_string()),
+        }
     }
 }
 
@@ -78,5 +97,15 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e: CdmsError = io.into();
         assert!(matches!(e, CdmsError::Io(_)));
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn interrupted_io_is_transient() {
+        let io = std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR");
+        let e: CdmsError = io.into();
+        assert!(matches!(e, CdmsError::TransientIo(_)));
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("transient"));
     }
 }

@@ -1,42 +1,196 @@
 //! The `.ncr` self-describing binary container — this repo's NetCDF stand-in.
 //!
-//! Layout (little-endian throughout):
+//! Two on-disk versions exist, both little-endian, both starting with
+//! `magic "NCRS" | version u32`. The reader dispatches on the version, so
+//! v1 files written by earlier releases keep opening unchanged.
+//!
+//! **v1** (legacy, still readable; [`to_bytes_v1`] still writes it):
 //!
 //! ```text
-//! magic "NCRS" | version u32
+//! magic "NCRS" | version u32 = 1
 //! dataset id: string
 //! global attributes
 //! variable count u32, then per variable:
 //!   id: string
-//!   axes: count u32, each fully self-describing
+//!   axes: count u32, each fully self-describing (duplicated per variable)
 //!   attributes
 //!   shape: rank u32, dims u64...
 //!   data:  f32 × n
 //!   mask:  bit-packed, ⌈n/8⌉ bytes
 //! ```
 //!
-//! Strings are `u32 length + UTF-8 bytes`. The format is versioned and the
-//! reader validates magic, version, counts and lengths so corrupt files fail
-//! with [`CdmsError::Format`] rather than panicking.
+//! **v2** (current; checksummed sections, written crash-safely through
+//! [`crate::storage::write_atomic`]):
+//!
+//! ```text
+//! magic "NCRS" | version u32 = 2
+//! section*            frame = kind u8 | payload_len u64 | payload | crc32c u32
+//!   Header   (kind 1) dataset id, global attrs, axis count, variable count
+//!   Axis     (kind 2) one deduplicated axis per section
+//!   Variable (kind 3) id, axis indices, attrs, shape, data, mask
+//!   Trailer  (kind 4) section directory: (kind, offset, len, crc)*
+//!                     + file CRC over all section CRCs
+//! footer              trailer offset u64 | crc32c(offset bytes) u32
+//! ```
+//!
+//! Every section payload is CRC32C-guarded; the strict reader
+//! ([`from_bytes`]) verifies all of them plus the trailer directory and
+//! footer, and bounds every allocation against the bytes actually present
+//! so hostile length fields fail cleanly instead of exhausting memory.
+//! [`from_bytes_salvage`] instead skips sections whose checksums fail —
+//! locating them through the trailer directory when it survives, or by a
+//! sequential walk when it doesn't — and returns the intact variables plus
+//! a [`SalvageReport`] saying exactly what was lost and why.
+//!
+//! Strings are `u32 length + UTF-8 bytes`. Corrupt input of either version
+//! fails with [`CdmsError::Format`] rather than panicking.
 
 use crate::attr::{AttValue, Attributes};
 use crate::axis::{Axis, AxisKind};
 use crate::calendar::Calendar;
 use crate::dataset::Dataset;
 use crate::error::{CdmsError, Result};
+use crate::storage::{crc32c, LocalDisk, Storage};
 use crate::{MaskedArray, Variable};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::fs;
+use std::ops::Range;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"NCRS";
-const VERSION: u32 = 1;
+/// Legacy unsectioned format.
+pub const VERSION_V1: u32 = 1;
+/// Current checksummed-section format.
+pub const VERSION_V2: u32 = 2;
 
-/// Serializes a dataset to bytes.
+/// Bytes of a section frame besides the payload: kind u8 + len u64 + crc u32.
+const FRAME_OVERHEAD: usize = 13;
+/// Bytes of the end-of-file footer: trailer offset u64 + crc u32.
+const FOOTER_LEN: usize = 12;
+
+const MAX_AXES: usize = 1 << 20;
+const MAX_VARS: usize = 1_000_000;
+
+/// The kind tag of a v2 section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    Header,
+    Axis,
+    Variable,
+    Trailer,
+}
+
+impl SectionKind {
+    fn as_u8(self) -> u8 {
+        match self {
+            SectionKind::Header => 1,
+            SectionKind::Axis => 2,
+            SectionKind::Variable => 3,
+            SectionKind::Trailer => 4,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<SectionKind> {
+        match b {
+            1 => Some(SectionKind::Header),
+            2 => Some(SectionKind::Axis),
+            3 => Some(SectionKind::Variable),
+            4 => Some(SectionKind::Trailer),
+            _ => None,
+        }
+    }
+}
+
+/// Byte extents of one encoded v2 section — the corruption fuzzer's oracle
+/// for "which variables must survive a given mutation".
+#[derive(Debug, Clone)]
+pub struct SectionSpan {
+    pub kind: SectionKind,
+    /// The whole frame: kind byte through trailing CRC.
+    pub frame: Range<usize>,
+    /// The payload bytes within the file.
+    pub payload: Range<usize>,
+    /// For variable sections: the variable id and the ordinals (among axis
+    /// sections) of the axes it references.
+    pub variable: Option<(String, Vec<usize>)>,
+}
+
+/// Full byte map of an encoded v2 file.
+#[derive(Debug, Clone)]
+pub struct V2Layout {
+    /// All sections in file order (header, axes, variables, trailer).
+    pub sections: Vec<SectionSpan>,
+    /// The 12-byte end-of-file footer.
+    pub footer: Range<usize>,
+}
+
+/// One variable `read_dataset_salvage` could not recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LostVariable {
+    /// The id, when the variable's own section was intact enough to name it.
+    pub id: Option<String>,
+    /// Ordinal of the variable section among recovered+lost variables.
+    pub section: usize,
+    /// Why it was dropped.
+    pub reason: String,
+}
+
+/// What a salvage pass found: which sections survived checksum
+/// verification, which variables were recovered, and why the rest were not.
+#[derive(Debug, Clone, Default)]
+pub struct SalvageReport {
+    /// Sections located (via directory or sequential walk).
+    pub sections_total: usize,
+    /// Sections whose checksum (or payload decode) failed.
+    pub sections_corrupt: usize,
+    /// The header section survived (dataset id and global attrs are real).
+    pub header_intact: bool,
+    /// Sections were located through the trailer directory (robust to
+    /// corrupt framing); false means the sequential-walk fallback ran.
+    pub directory_intact: bool,
+    /// Ids of the variables recovered into the returned dataset.
+    pub recovered_variables: Vec<String>,
+    /// Variables dropped, with reasons.
+    pub lost_variables: Vec<LostVariable>,
+}
+
+impl SalvageReport {
+    /// True when nothing at all was lost.
+    pub fn is_clean(&self) -> bool {
+        self.sections_corrupt == 0 && self.lost_variables.is_empty() && self.header_intact
+    }
+
+    /// One-line human summary (used by catalog quarantine reasons).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} of {} sections corrupt; recovered {} variable(s), lost {}{}",
+            self.sections_corrupt,
+            self.sections_total,
+            self.recovered_variables.len(),
+            self.lost_variables.len(),
+            if self.header_intact { "" } else { "; header lost" }
+        )
+    }
+}
+
+impl std::fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+// ---- encoding ----
+
+/// Serializes a dataset to bytes in the current (v2) format.
 pub fn to_bytes(ds: &Dataset) -> Bytes {
+    to_bytes_v2_with_layout(ds).0
+}
+
+/// Serializes a dataset in the legacy v1 format (no checksums). Kept for
+/// compatibility testing and the v1-vs-v2 overhead benchmark.
+pub fn to_bytes_v1(ds: &Dataset) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(VERSION_V1);
     put_string(&mut buf, &ds.id);
     put_attrs(&mut buf, &ds.attributes);
     buf.put_u32_le(ds.variables().len() as u32);
@@ -59,35 +213,177 @@ pub fn to_bytes(ds: &Dataset) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a dataset from bytes.
-pub fn from_bytes(mut buf: &[u8]) -> Result<Dataset> {
-    let magic = take_bytes(&mut buf, 4)?;
-    if magic != MAGIC {
+/// Serializes in v2 and returns the byte map alongside — the corruption
+/// fuzzer and storage tooling use the layout to reason about which bytes
+/// belong to which section.
+pub fn to_bytes_v2_with_layout(ds: &Dataset) -> (Bytes, V2Layout) {
+    // Deduplicate axes across variables: each distinct axis is written once
+    // and referenced by index.
+    let mut axes: Vec<&Axis> = Vec::new();
+    let mut refs_per_var: Vec<Vec<usize>> = Vec::with_capacity(ds.variables().len());
+    for var in ds.variables() {
+        let refs = var
+            .axes
+            .iter()
+            .map(|ax| match axes.iter().position(|a| *a == ax) {
+                Some(i) => i,
+                None => {
+                    axes.push(ax);
+                    axes.len() - 1
+                }
+            })
+            .collect();
+        refs_per_var.push(refs);
+    }
+
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_V2);
+    let mut sections: Vec<SectionSpan> = Vec::new();
+    // directory entries: (kind, frame offset, payload len, crc)
+    let mut dir: Vec<(u8, u64, u64, u32)> = Vec::new();
+
+    // header
+    let mut p = BytesMut::new();
+    put_string(&mut p, &ds.id);
+    put_attrs(&mut p, &ds.attributes);
+    p.put_u32_le(axes.len() as u32);
+    p.put_u32_le(ds.variables().len() as u32);
+    put_section(&mut buf, &mut sections, &mut dir, SectionKind::Header, &p, None);
+
+    // axes
+    for ax in &axes {
+        let mut p = BytesMut::new();
+        put_axis(&mut p, ax);
+        put_section(&mut buf, &mut sections, &mut dir, SectionKind::Axis, &p, None);
+    }
+
+    // variables
+    for (var, refs) in ds.variables().iter().zip(&refs_per_var) {
+        let mut p = BytesMut::new();
+        put_string(&mut p, &var.id);
+        p.put_u32_le(refs.len() as u32);
+        for &r in refs {
+            p.put_u32_le(r as u32);
+        }
+        put_attrs(&mut p, &var.attributes);
+        p.put_u32_le(var.array.rank() as u32);
+        for &d in var.array.shape() {
+            p.put_u64_le(d as u64);
+        }
+        for &v in var.array.data() {
+            p.put_f32_le(v);
+        }
+        put_mask(&mut p, var.array.mask());
+        put_section(
+            &mut buf,
+            &mut sections,
+            &mut dir,
+            SectionKind::Variable,
+            &p,
+            Some((var.id.clone(), refs.clone())),
+        );
+    }
+
+    // trailer: directory of everything written so far, plus a file-level
+    // CRC chained over the per-section CRCs.
+    let trailer_offset = buf.len();
+    let mut p = BytesMut::new();
+    p.put_u32_le(dir.len() as u32);
+    let mut crc_bytes = Vec::with_capacity(dir.len() * 4);
+    for &(kind, off, len, crc) in &dir {
+        p.put_u8(kind);
+        p.put_u64_le(off);
+        p.put_u64_le(len);
+        p.put_u32_le(crc);
+        crc_bytes.extend_from_slice(&crc.to_le_bytes());
+    }
+    p.put_u32_le(crc32c(&crc_bytes));
+    put_section(&mut buf, &mut sections, &mut dir, SectionKind::Trailer, &p, None);
+
+    // footer: where the trailer starts, checksummed, so salvage can find
+    // the directory from EOF even when mid-file framing is destroyed.
+    let footer_start = buf.len();
+    buf.put_u64_le(trailer_offset as u64);
+    buf.put_u32_le(crc32c(&(trailer_offset as u64).to_le_bytes()));
+
+    let layout = V2Layout { sections, footer: footer_start..buf.len() };
+    (buf.freeze(), layout)
+}
+
+/// Appends one framed section to `buf`, recording its span and directory
+/// entry.
+fn put_section(
+    buf: &mut BytesMut,
+    sections: &mut Vec<SectionSpan>,
+    dir: &mut Vec<(u8, u64, u64, u32)>,
+    kind: SectionKind,
+    payload: &[u8],
+    variable: Option<(String, Vec<usize>)>,
+) {
+    let frame_start = buf.len();
+    buf.put_u8(kind.as_u8());
+    buf.put_u64_le(payload.len() as u64);
+    let payload_start = buf.len();
+    buf.put_slice(payload);
+    let crc = crc32c(payload);
+    buf.put_u32_le(crc);
+    sections.push(SectionSpan {
+        kind,
+        frame: frame_start..buf.len(),
+        payload: payload_start..payload_start + payload.len(),
+        variable,
+    });
+    dir.push((kind.as_u8(), frame_start as u64, payload.len() as u64, crc));
+}
+
+// ---- decoding (strict) ----
+
+/// Deserializes a dataset from bytes, dispatching on the format version.
+/// Verifies every v2 checksum; any mismatch is a [`CdmsError::Format`].
+pub fn from_bytes(buf: &[u8]) -> Result<Dataset> {
+    match parse_magic_version(buf)? {
+        VERSION_V1 => from_bytes_v1(&buf[8..]),
+        VERSION_V2 => from_bytes_v2(buf),
+        v => Err(CdmsError::Format(format!("unsupported version {v}"))),
+    }
+}
+
+fn parse_magic_version(buf: &[u8]) -> Result<u32> {
+    if buf.len() < 8 {
+        return Err(CdmsError::Format(format!(
+            "truncated: {} bytes is too short for magic + version",
+            buf.len()
+        )));
+    }
+    if &buf[..4] != MAGIC {
         return Err(CdmsError::Format("bad magic (not an .ncr file)".into()));
     }
-    let version = get_u32(&mut buf)?;
-    if version != VERSION {
-        return Err(CdmsError::Format(format!("unsupported version {version}")));
-    }
-    let id = get_string(&mut buf)?;
+    Ok(u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]))
+}
+
+/// Legacy v1 body decoder (`buf` starts after magic + version).
+fn from_bytes_v1(mut buf: &[u8]) -> Result<Dataset> {
+    let buf = &mut buf;
+    let id = get_string(buf)?;
     let mut ds = Dataset::new(&id);
-    ds.attributes = get_attrs(&mut buf)?;
-    let nvars = get_u32(&mut buf)? as usize;
-    if nvars > 1_000_000 {
+    ds.attributes = get_attrs(buf)?;
+    let nvars = get_u32(buf)? as usize;
+    if nvars > MAX_VARS {
         return Err(CdmsError::Format(format!("implausible variable count {nvars}")));
     }
     for _ in 0..nvars {
-        let vid = get_string(&mut buf)?;
-        let naxes = get_u32(&mut buf)? as usize;
+        let vid = get_string(buf)?;
+        let naxes = get_u32(buf)? as usize;
         if naxes > 64 {
             return Err(CdmsError::Format(format!("implausible rank {naxes}")));
         }
         let mut axes = Vec::with_capacity(naxes);
         for _ in 0..naxes {
-            axes.push(get_axis(&mut buf)?);
+            axes.push(get_axis(buf)?);
         }
-        let attributes = get_attrs(&mut buf)?;
-        let rank = get_u32(&mut buf)? as usize;
+        let attributes = get_attrs(buf)?;
+        let rank = get_u32(buf)? as usize;
         if rank != naxes {
             return Err(CdmsError::Format(format!(
                 "variable '{vid}': rank {rank} != axis count {naxes}"
@@ -95,9 +391,10 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Dataset> {
         }
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
-            shape.push(get_u64(&mut buf)? as usize);
+            shape.push(get_u64(buf)? as usize);
         }
-        let n: usize = shape.iter().product();
+        let n = checked_volume(&shape)
+            .ok_or_else(|| CdmsError::Format(format!("variable '{vid}': shape overflows")))?;
         if n > buf.len() / 4 + 8 {
             return Err(CdmsError::Format(format!(
                 "variable '{vid}': declared {n} elements exceeds remaining bytes"
@@ -105,9 +402,9 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Dataset> {
         }
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
-            data.push(get_f32(&mut buf)?);
+            data.push(get_f32(buf)?);
         }
-        let mask = get_mask(&mut buf, n)?;
+        let mask = get_mask(buf, n)?;
         let array = MaskedArray::with_mask(data, mask, &shape)?;
         let mut var = Variable::new(&vid, array, axes)?;
         var.attributes = attributes;
@@ -116,16 +413,581 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Dataset> {
     Ok(ds)
 }
 
-/// Writes a dataset to a file.
-pub fn write_dataset(ds: &Dataset, path: &Path) -> Result<()> {
-    fs::write(path, to_bytes(ds))?;
+/// One parsed v2 section frame.
+struct Frame<'a> {
+    kind: SectionKind,
+    offset: usize,
+    payload: &'a [u8],
+    crc: u32,
+}
+
+/// Parses and CRC-verifies the frame at `*pos`, advancing past it.
+/// `limit` is the end of the section region (start of the footer).
+fn read_frame<'a>(full: &'a [u8], pos: &mut usize, limit: usize) -> Result<Frame<'a>> {
+    let start = *pos;
+    if limit < start + FRAME_OVERHEAD {
+        return Err(CdmsError::Format(format!("truncated section frame at byte {start}")));
+    }
+    let kind = SectionKind::from_u8(full[start])
+        .ok_or_else(|| CdmsError::Format(format!("unknown section kind at byte {start}")))?;
+    let len_bytes: [u8; 8] = full[start + 1..start + 9]
+        .try_into()
+        .map_err(|_| CdmsError::Format("unreachable: 8-byte slice".into()))?;
+    let len = u64::from_le_bytes(len_bytes) as usize;
+    if len > limit - start - FRAME_OVERHEAD {
+        return Err(CdmsError::Format(format!(
+            "section at byte {start} claims {len} payload bytes, only {} remain",
+            limit - start - FRAME_OVERHEAD
+        )));
+    }
+    let payload = &full[start + 9..start + 9 + len];
+    let crc_at = start + 9 + len;
+    let stored = u32::from_le_bytes([
+        full[crc_at],
+        full[crc_at + 1],
+        full[crc_at + 2],
+        full[crc_at + 3],
+    ]);
+    if crc32c(payload) != stored {
+        return Err(CdmsError::Format(format!(
+            "{kind:?} section at byte {start}: checksum mismatch"
+        )));
+    }
+    *pos = crc_at + 4;
+    Ok(Frame { kind, offset: start, payload, crc: stored })
+}
+
+fn expect_kind(frame: &Frame<'_>, want: SectionKind) -> Result<()> {
+    if frame.kind != want {
+        return Err(CdmsError::Format(format!(
+            "expected {want:?} section at byte {}, found {:?}",
+            frame.offset, frame.kind
+        )));
+    }
     Ok(())
 }
 
-/// Reads a dataset from a file.
+/// Strict v2 decoder: verifies every section checksum, the trailer
+/// directory, and the footer.
+fn from_bytes_v2(full: &[u8]) -> Result<Dataset> {
+    if full.len() < 8 + FRAME_OVERHEAD + FOOTER_LEN {
+        return Err(CdmsError::Format(format!("truncated v2 file ({} bytes)", full.len())));
+    }
+    let footer_at = full.len() - FOOTER_LEN;
+    let declared_trailer = verify_footer(full, footer_at)?;
+
+    let mut pos = 8usize;
+    let mut observed: Vec<(u8, u64, u64, u32)> = Vec::new();
+    let note = |f: &Frame<'_>| (f.kind.as_u8(), f.offset as u64, f.payload.len() as u64, f.crc);
+
+    let header = read_frame(full, &mut pos, footer_at)?;
+    expect_kind(&header, SectionKind::Header)?;
+    observed.push(note(&header));
+    let (id, attributes, n_axes, n_vars) = decode_header(header.payload)?;
+
+    let mut axes = Vec::new();
+    for _ in 0..n_axes {
+        let frame = read_frame(full, &mut pos, footer_at)?;
+        expect_kind(&frame, SectionKind::Axis)?;
+        observed.push(note(&frame));
+        axes.push(decode_axis_payload(frame.payload)?);
+    }
+
+    let mut ds = Dataset::new(&id);
+    ds.attributes = attributes;
+    for _ in 0..n_vars {
+        let frame = read_frame(full, &mut pos, footer_at)?;
+        expect_kind(&frame, SectionKind::Variable)?;
+        observed.push(note(&frame));
+        ds.add_variable(decode_variable_payload(frame.payload, &axes)?);
+    }
+
+    let trailer_at = pos;
+    let trailer = read_frame(full, &mut pos, footer_at)?;
+    expect_kind(&trailer, SectionKind::Trailer)?;
+    if pos != footer_at {
+        return Err(CdmsError::Format(format!(
+            "{} unexpected bytes between trailer and footer",
+            footer_at - pos
+        )));
+    }
+    if declared_trailer != trailer_at as u64 {
+        return Err(CdmsError::Format(format!(
+            "footer points at byte {declared_trailer}, trailer found at {trailer_at}"
+        )));
+    }
+    verify_trailer(trailer.payload, &observed)?;
+    Ok(ds)
+}
+
+/// Checks the footer checksum and returns the declared trailer offset.
+fn verify_footer(full: &[u8], footer_at: usize) -> Result<u64> {
+    let off_bytes: [u8; 8] = full[footer_at..footer_at + 8]
+        .try_into()
+        .map_err(|_| CdmsError::Format("unreachable: 8-byte slice".into()))?;
+    let stored = u32::from_le_bytes([
+        full[footer_at + 8],
+        full[footer_at + 9],
+        full[footer_at + 10],
+        full[footer_at + 11],
+    ]);
+    if crc32c(&off_bytes) != stored {
+        return Err(CdmsError::Format("footer checksum mismatch".into()));
+    }
+    Ok(u64::from_le_bytes(off_bytes))
+}
+
+/// Checks the trailer directory against the sections actually observed,
+/// plus the file-level CRC chained over section CRCs.
+fn verify_trailer(payload: &[u8], observed: &[(u8, u64, u64, u32)]) -> Result<()> {
+    let mut cur = payload;
+    let buf = &mut cur;
+    let n = get_u32(buf)? as usize;
+    if n != observed.len() {
+        return Err(CdmsError::Format(format!(
+            "trailer lists {n} sections, file has {}",
+            observed.len()
+        )));
+    }
+    if buf.len() < n * 21 {
+        return Err(CdmsError::Format("trailer directory truncated".into()));
+    }
+    let mut crc_bytes = Vec::with_capacity(n * 4);
+    for &(kind, off, len, crc) in observed {
+        let entry =
+            (get_u8(buf)?, get_u64(buf)?, get_u64(buf)?, get_u32(buf)?);
+        if entry != (kind, off, len, crc) {
+            return Err(CdmsError::Format(format!(
+                "trailer directory disagrees with section at byte {off}"
+            )));
+        }
+        crc_bytes.extend_from_slice(&crc.to_le_bytes());
+    }
+    let file_crc = get_u32(buf)?;
+    if file_crc != crc32c(&crc_bytes) {
+        return Err(CdmsError::Format("file-level checksum mismatch".into()));
+    }
+    if !buf.is_empty() {
+        return Err(CdmsError::Format("trailer payload has trailing bytes".into()));
+    }
+    Ok(())
+}
+
+fn decode_header(payload: &[u8]) -> Result<(String, Attributes, usize, usize)> {
+    let mut cur = payload;
+    let buf = &mut cur;
+    let id = get_string(buf)?;
+    let attributes = get_attrs(buf)?;
+    let n_axes = get_u32(buf)? as usize;
+    let n_vars = get_u32(buf)? as usize;
+    if n_axes > MAX_AXES {
+        return Err(CdmsError::Format(format!("implausible axis count {n_axes}")));
+    }
+    if n_vars > MAX_VARS {
+        return Err(CdmsError::Format(format!("implausible variable count {n_vars}")));
+    }
+    if !buf.is_empty() {
+        return Err(CdmsError::Format("header payload has trailing bytes".into()));
+    }
+    Ok((id, attributes, n_axes, n_vars))
+}
+
+fn decode_axis_payload(payload: &[u8]) -> Result<Axis> {
+    let mut cur = payload;
+    let buf = &mut cur;
+    let ax = get_axis(buf)?;
+    if !buf.is_empty() {
+        return Err(CdmsError::Format(format!("axis '{}' payload has trailing bytes", ax.id)));
+    }
+    Ok(ax)
+}
+
+fn decode_variable_payload(payload: &[u8], axes: &[Axis]) -> Result<Variable> {
+    let mut cur = payload;
+    let buf = &mut cur;
+    let vid = get_string(buf)?;
+    let naxes = get_u32(buf)? as usize;
+    if naxes > 64 {
+        return Err(CdmsError::Format(format!("implausible rank {naxes}")));
+    }
+    let mut var_axes = Vec::with_capacity(naxes);
+    for _ in 0..naxes {
+        let r = get_u32(buf)? as usize;
+        let ax = axes.get(r).ok_or_else(|| {
+            CdmsError::Format(format!(
+                "variable '{vid}' references axis section {r}, only {} exist",
+                axes.len()
+            ))
+        })?;
+        var_axes.push(ax.clone());
+    }
+    let attributes = get_attrs(buf)?;
+    let rank = get_u32(buf)? as usize;
+    if rank != naxes {
+        return Err(CdmsError::Format(format!(
+            "variable '{vid}': rank {rank} != axis count {naxes}"
+        )));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(get_u64(buf)? as usize);
+    }
+    let n = checked_volume(&shape)
+        .ok_or_else(|| CdmsError::Format(format!("variable '{vid}': shape overflows")))?;
+    if n > buf.len() / 4 {
+        return Err(CdmsError::Format(format!(
+            "variable '{vid}': declared {n} elements exceeds section bytes"
+        )));
+    }
+    // Bulk conversion: the guard above proved 4*n bytes are present, so
+    // the data block can be split off and converted chunk-wise (which the
+    // compiler vectorizes) instead of element-wise through `get_f32`.
+    let (raw, rest) = buf.split_at(4 * n);
+    *buf = rest;
+    let mut data = Vec::with_capacity(n);
+    data.extend(raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+    let mask = get_mask(buf, n)?;
+    if !buf.is_empty() {
+        return Err(CdmsError::Format(format!(
+            "variable '{vid}' payload has trailing bytes"
+        )));
+    }
+    let array = MaskedArray::with_mask(data, mask, &shape)?;
+    let mut var = Variable::new(&vid, array, var_axes)?;
+    var.attributes = attributes;
+    Ok(var)
+}
+
+/// Product of `shape` without overflow (empty shape = scalar = 1 element).
+fn checked_volume(shape: &[usize]) -> Option<usize> {
+    shape.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))
+}
+
+// ---- decoding (salvage) ----
+
+/// Best-effort decode: recovers every variable whose own section and
+/// referenced axis sections pass checksum verification, skipping the rest.
+/// Returns the (possibly partial, possibly empty) dataset plus a
+/// [`SalvageReport`]. Errors only when the input is not a v2 `.ncr` file
+/// at all — v1 files carry no checksums to salvage by, so a corrupt v1
+/// file is unrecoverable.
+pub fn from_bytes_salvage(buf: &[u8]) -> Result<(Dataset, SalvageReport)> {
+    match parse_magic_version(buf)? {
+        VERSION_V1 => match from_bytes_v1(&buf[8..]) {
+            Ok(ds) => {
+                let report = SalvageReport {
+                    sections_total: 1,
+                    header_intact: true,
+                    directory_intact: true,
+                    recovered_variables: ds.variable_ids(),
+                    ..SalvageReport::default()
+                };
+                Ok((ds, report))
+            }
+            Err(e) => Err(CdmsError::Format(format!(
+                "corrupt v1 file cannot be salvaged (v1 has no section checksums): {e}"
+            ))),
+        },
+        VERSION_V2 => Ok(salvage_v2(buf)),
+        v => Err(CdmsError::Format(format!("unsupported version {v}"))),
+    }
+}
+
+/// A located (not yet verified) v2 section.
+struct RawSection {
+    kind: SectionKind,
+    offset: usize,
+    len: usize,
+    crc: u32,
+}
+
+fn salvage_v2(full: &[u8]) -> (Dataset, SalvageReport) {
+    let (raw, directory_intact) = locate_sections(full);
+    let mut report = SalvageReport {
+        sections_total: raw.len(),
+        directory_intact,
+        ..SalvageReport::default()
+    };
+
+    // First pass: verify checksums, decode header and axes. Axis sections
+    // keep their file order so variable references resolve by ordinal.
+    let mut header: Option<(String, Attributes)> = None;
+    let mut axes: Vec<Option<Axis>> = Vec::new();
+    let mut var_payloads: Vec<Option<&[u8]>> = Vec::new();
+    for s in &raw {
+        let Some(payload) = verified_payload(full, s) else {
+            report.sections_corrupt += 1;
+            match s.kind {
+                SectionKind::Axis => axes.push(None),
+                SectionKind::Variable => var_payloads.push(None),
+                _ => {}
+            }
+            continue;
+        };
+        match s.kind {
+            SectionKind::Header => {
+                if let Ok((id, attrs, _, _)) = decode_header(payload) {
+                    header = Some((id, attrs));
+                } else {
+                    report.sections_corrupt += 1;
+                }
+            }
+            SectionKind::Axis => match decode_axis_payload(payload) {
+                Ok(ax) => axes.push(Some(ax)),
+                Err(_) => {
+                    report.sections_corrupt += 1;
+                    axes.push(None);
+                }
+            },
+            SectionKind::Variable => var_payloads.push(Some(payload)),
+            SectionKind::Trailer => {}
+        }
+    }
+    report.header_intact = header.is_some();
+    let (id, attributes) = header.unwrap_or_else(|| (String::new(), Attributes::new()));
+    let mut ds = Dataset::new(&id);
+    ds.attributes = attributes;
+
+    // Second pass: rebuild variables whose payload and axis references are
+    // all intact.
+    let resolved: Vec<Axis> = axes.iter().flatten().cloned().collect();
+    let intact_index: Vec<Option<usize>> = {
+        // ordinal in `axes` → index in `resolved` (None when corrupt)
+        let mut next = 0usize;
+        axes.iter()
+            .map(|a| {
+                a.as_ref().map(|_| {
+                    next += 1;
+                    next - 1
+                })
+            })
+            .collect()
+    };
+    for (ordinal, payload) in var_payloads.iter().enumerate() {
+        let Some(payload) = payload else {
+            // already counted corrupt in the first pass
+            report.lost_variables.push(LostVariable {
+                id: None,
+                section: ordinal,
+                reason: "variable section checksum mismatch".into(),
+            });
+            continue;
+        };
+        match salvage_variable(payload, &intact_index, &resolved) {
+            Ok(var) => {
+                report.recovered_variables.push(var.id.clone());
+                ds.add_variable(var);
+            }
+            Err((vid, reason)) => {
+                report.lost_variables.push(LostVariable { id: vid, section: ordinal, reason });
+            }
+        }
+    }
+    (ds, report)
+}
+
+/// Decodes one variable payload against possibly-holey axes. Errors carry
+/// the id (when readable) and a reason.
+fn salvage_variable(
+    payload: &[u8],
+    intact_index: &[Option<usize>],
+    resolved: &[Axis],
+) -> std::result::Result<Variable, (Option<String>, String)> {
+    // Peek the id + axis references first so a missing axis produces a
+    // named reason instead of a generic decode failure.
+    let mut cur = payload;
+    let buf = &mut cur;
+    let vid = get_string(buf).map_err(|e| (None, format!("unreadable id: {e}")))?;
+    let naxes = get_u32(buf).map_err(|e| (Some(vid.clone()), e.to_string()))? as usize;
+    if naxes > 64 {
+        return Err((Some(vid), format!("implausible rank {naxes}")));
+    }
+    for _ in 0..naxes {
+        let r = get_u32(buf).map_err(|e| (Some(vid.clone()), e.to_string()))? as usize;
+        match intact_index.get(r) {
+            Some(Some(_)) => {}
+            Some(None) => {
+                return Err((Some(vid), format!("axis section {r} corrupt")));
+            }
+            None => {
+                return Err((Some(vid), format!("axis section {r} missing")));
+            }
+        }
+    }
+    // Full decode against the compacted intact-axis list, with references
+    // remapped through `intact_index`.
+    let remapped = remap_axis_refs(payload, intact_index)
+        .map_err(|e| (Some(vid.clone()), e.to_string()))?;
+    decode_variable_payload(&remapped, resolved)
+        .map_err(|e| (Some(vid), format!("payload decode failed: {e}")))
+}
+
+/// Rewrites a variable payload's axis ordinals from "all sections" space
+/// into "intact sections" space so `decode_variable_payload` can resolve
+/// them against the compacted axis list.
+fn remap_axis_refs(payload: &[u8], intact_index: &[Option<usize>]) -> Result<Vec<u8>> {
+    let mut cur = payload;
+    let buf = &mut cur;
+    let id_start_len = payload.len() - {
+        get_string(buf)?;
+        buf.len()
+    };
+    let naxes = get_u32(buf)? as usize;
+    let refs_at = id_start_len + 4;
+    let mut out = payload.to_vec();
+    for i in 0..naxes {
+        let at = refs_at + i * 4;
+        let r = u32::from_le_bytes([
+            payload[at],
+            payload[at + 1],
+            payload[at + 2],
+            payload[at + 3],
+        ]) as usize;
+        let mapped = intact_index
+            .get(r)
+            .copied()
+            .flatten()
+            .ok_or_else(|| CdmsError::Format(format!("axis section {r} not intact")))?;
+        out[at..at + 4].copy_from_slice(&(mapped as u32).to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Slices and checksum-verifies one raw section's payload.
+fn verified_payload<'a>(full: &'a [u8], s: &RawSection) -> Option<&'a [u8]> {
+    let payload_at = s.offset.checked_add(9)?;
+    let crc_at = payload_at.checked_add(s.len)?;
+    if crc_at.checked_add(4)? > full.len() {
+        return None;
+    }
+    let payload = &full[payload_at..crc_at];
+    (crc32c(payload) == s.crc).then_some(payload)
+}
+
+/// Locates sections via the trailer directory (preferred — robust to
+/// corrupt mid-file framing) or a sequential walk.
+fn locate_sections(full: &[u8]) -> (Vec<RawSection>, bool) {
+    if let Some(sections) = sections_from_directory(full) {
+        return (sections, true);
+    }
+    (sections_by_walk(full), false)
+}
+
+fn sections_from_directory(full: &[u8]) -> Option<Vec<RawSection>> {
+    if full.len() < 8 + FRAME_OVERHEAD + FOOTER_LEN {
+        return None;
+    }
+    let footer_at = full.len() - FOOTER_LEN;
+    let trailer_at = verify_footer(full, footer_at).ok()? as usize;
+    if trailer_at < 8 || trailer_at + FRAME_OVERHEAD > footer_at {
+        return None;
+    }
+    let mut pos = trailer_at;
+    let frame = read_frame(full, &mut pos, footer_at).ok()?;
+    if frame.kind != SectionKind::Trailer {
+        return None;
+    }
+    let mut cur = frame.payload;
+    let buf = &mut cur;
+    let n = get_u32(buf).ok()? as usize;
+    if n > buf.len() / 21 {
+        return None; // each entry is 21 bytes; a bigger claim is hostile
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = SectionKind::from_u8(get_u8(buf).ok()?)?;
+        let offset = get_u64(buf).ok()? as usize;
+        let len = get_u64(buf).ok()? as usize;
+        let crc = get_u32(buf).ok()?;
+        // entries must fit inside the section region
+        if offset < 8 || offset.checked_add(FRAME_OVERHEAD + len)? > footer_at {
+            return None;
+        }
+        out.push(RawSection { kind, offset, len, crc });
+    }
+    Some(out)
+}
+
+fn sections_by_walk(full: &[u8]) -> Vec<RawSection> {
+    let mut out = Vec::new();
+    let mut pos = 8usize;
+    while pos + FRAME_OVERHEAD <= full.len() {
+        let Some(kind) = SectionKind::from_u8(full[pos]) else {
+            break; // framing destroyed; cannot resync without the directory
+        };
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&full[pos + 1..pos + 9]);
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        let Some(end) = pos.checked_add(FRAME_OVERHEAD + len) else { break };
+        if end > full.len() {
+            break;
+        }
+        if kind == SectionKind::Trailer {
+            break;
+        }
+        let crc_at = pos + 9 + len;
+        let crc = u32::from_le_bytes([
+            full[crc_at],
+            full[crc_at + 1],
+            full[crc_at + 2],
+            full[crc_at + 3],
+        ]);
+        out.push(RawSection { kind, offset: pos, len, crc });
+        pos = end;
+    }
+    out
+}
+
+// ---- file I/O ----
+
+/// Writes a dataset to a `.ncr` file crash-safely (v2, atomic
+/// temp-file + fsync + rename via [`crate::storage::write_atomic`]).
+pub fn write_dataset(ds: &Dataset, path: &Path) -> Result<()> {
+    write_dataset_with(&LocalDisk, ds, path)
+}
+
+/// Writes through an explicit storage backend (fault injection, tests).
+pub fn write_dataset_with(storage: &dyn Storage, ds: &Dataset, path: &Path) -> Result<()> {
+    crate::storage::write_atomic(storage, path, &to_bytes(ds))
+}
+
+/// Writes in the legacy v1 format, still atomically — kept so the
+/// v1-vs-v2 overhead benchmark and compatibility tests exercise identical
+/// write paths.
+pub fn write_dataset_v1(ds: &Dataset, path: &Path) -> Result<()> {
+    crate::storage::write_atomic(&LocalDisk, path, &to_bytes_v1(ds))
+}
+
+/// Reads a dataset from a `.ncr` file (strict: any checksum failure errors).
 pub fn read_dataset(path: &Path) -> Result<Dataset> {
-    let bytes = fs::read(path)?;
-    from_bytes(&bytes)
+    read_dataset_with(&LocalDisk, path)
+}
+
+/// Reads through an explicit storage backend (fault injection, tests).
+pub fn read_dataset_with(storage: &dyn Storage, path: &Path) -> Result<Dataset> {
+    from_bytes(&storage.read(path)?)
+}
+
+/// Reads with salvage semantics: recovers the variables whose sections are
+/// intact and reports what was lost. When the header section is gone the
+/// dataset id falls back to the file stem.
+pub fn read_dataset_salvage(path: &Path) -> Result<(Dataset, SalvageReport)> {
+    read_dataset_salvage_with(&LocalDisk, path)
+}
+
+/// Salvage-reads through an explicit storage backend.
+pub fn read_dataset_salvage_with(
+    storage: &dyn Storage,
+    path: &Path,
+) -> Result<(Dataset, SalvageReport)> {
+    let bytes = storage.read(path)?;
+    let (mut ds, report) = from_bytes_salvage(&bytes)?;
+    if ds.id.is_empty() {
+        if let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) {
+            ds.id = stem;
+        }
+    }
+    Ok((ds, report))
 }
 
 // ---- encoding helpers ----
@@ -269,7 +1131,8 @@ fn get_attrs(buf: &mut &[u8]) -> Result<Attributes> {
             2 => AttValue::Int(get_i64(buf)?),
             3 => {
                 let len = get_u32(buf)? as usize;
-                if len > 1 << 24 {
+                // bound allocation against the bytes actually present
+                if len > buf.len() / 8 {
                     return Err(CdmsError::Format("implausible vector length".into()));
                 }
                 let mut v = Vec::with_capacity(len);
@@ -304,7 +1167,9 @@ fn get_axis(buf: &mut &[u8]) -> Result<Axis> {
         t => return Err(CdmsError::Format(format!("unknown calendar {t}"))),
     };
     let n = get_u64(buf)? as usize;
-    if n > 1 << 30 {
+    // bound allocation against the bytes actually present, not a fixed cap:
+    // a hostile length field must fail before Vec::with_capacity
+    if n > buf.len() / 8 {
         return Err(CdmsError::Format(format!("implausible axis length {n}")));
     }
     let mut values = Vec::with_capacity(n);
@@ -312,6 +1177,9 @@ fn get_axis(buf: &mut &[u8]) -> Result<Axis> {
         values.push(get_f64(buf)?);
     }
     let bounds = if get_u8(buf)? == 1 {
+        if n > buf.len() / 16 {
+            return Err(CdmsError::Format("axis bounds exceed remaining bytes".into()));
+        }
         let mut b = Vec::with_capacity(n);
         for _ in 0..n {
             b.push((get_f64(buf)?, get_f64(buf)?));
@@ -321,7 +1189,11 @@ fn get_axis(buf: &mut &[u8]) -> Result<Axis> {
         None
     };
     let attributes = get_attrs(buf)?;
-    let mut ax = Axis::new(&id, values, &units, kind)?;
+    let mut ax = if values.is_empty() {
+        Axis::empty(&id, &units, kind)
+    } else {
+        Axis::new(&id, values, &units, kind)?
+    };
     ax.calendar = calendar;
     ax.bounds = bounds;
     ax.attributes = attributes;
@@ -357,6 +1229,17 @@ mod tests {
         ds
     }
 
+    /// A dataset with two variables sharing axes, for salvage tests.
+    fn two_var_dataset() -> Dataset {
+        let mut ds = sample_dataset();
+        let ta = ds.variable("ta").unwrap().clone();
+        let mut ua = ta.clone();
+        ua.id = "ua".into();
+        ua.array = MaskedArray::filled(7.0, &[2, 3, 3]);
+        ds.add_variable(ua);
+        ds
+    }
+
     #[test]
     fn roundtrip_through_bytes() {
         let ds = sample_dataset();
@@ -369,6 +1252,33 @@ mod tests {
         assert_eq!(v1.array, v0.array);
         assert_eq!(v1.axes, v0.axes);
         assert_eq!(v1.attributes, v0.attributes);
+    }
+
+    #[test]
+    fn v1_roundtrip_still_works() {
+        let ds = sample_dataset();
+        let bytes = to_bytes_v1(&ds);
+        assert_eq!(u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]), VERSION_V1);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.variable("ta").unwrap().array, ds.variable("ta").unwrap().array);
+        assert_eq!(back.variable("ta").unwrap().axes, ds.variable("ta").unwrap().axes);
+        assert_eq!(back.attributes, ds.attributes);
+    }
+
+    #[test]
+    fn v2_deduplicates_shared_axes() {
+        let ds = two_var_dataset();
+        let (_, layout) = to_bytes_v2_with_layout(&ds);
+        let n_axis_sections =
+            layout.sections.iter().filter(|s| s.kind == SectionKind::Axis).count();
+        assert_eq!(n_axis_sections, 3, "two variables share one time/lat/lon trio");
+        // both variables reference the same three axis ordinals
+        let refs: Vec<_> = layout
+            .sections
+            .iter()
+            .filter_map(|s| s.variable.as_ref().map(|(_, r)| r.clone()))
+            .collect();
+        assert_eq!(refs, vec![vec![0, 1, 2], vec![0, 1, 2]]);
     }
 
     #[test]
@@ -420,6 +1330,18 @@ mod tests {
     }
 
     #[test]
+    fn any_single_byte_flip_fails_strict_decode() {
+        // v2's whole point: silent corruption cannot pass the strict reader.
+        let ds = sample_dataset();
+        let bytes = to_bytes(&ds).to_vec();
+        for i in 8..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(from_bytes(&corrupt).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
     fn empty_dataset_roundtrips() {
         let ds = Dataset::new("empty");
         let back = from_bytes(&to_bytes(&ds)).unwrap();
@@ -442,4 +1364,132 @@ mod tests {
             assert_eq!(back.variable("v").unwrap().array.mask(), arr.mask(), "n={n}");
         }
     }
+
+    #[test]
+    fn salvage_of_clean_file_is_clean() {
+        let ds = two_var_dataset();
+        let (ds2, report) = from_bytes_salvage(&to_bytes(&ds)).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.directory_intact);
+        assert_eq!(report.recovered_variables, vec!["ta", "ua"]);
+        assert_eq!(ds2.variable("ua").unwrap().array, ds.variable("ua").unwrap().array);
+    }
+
+    #[test]
+    fn salvage_recovers_intact_variable_when_other_corrupts() {
+        let ds = two_var_dataset();
+        let (bytes, layout) = to_bytes_v2_with_layout(&ds);
+        let mut bytes = bytes.to_vec();
+        // corrupt a payload byte of the "ta" variable section
+        let ta = layout
+            .sections
+            .iter()
+            .find(|s| matches!(&s.variable, Some((id, _)) if id == "ta"))
+            .unwrap();
+        bytes[ta.payload.start + ta.payload.len() / 2] ^= 0xFF;
+        assert!(from_bytes(&bytes).is_err(), "strict reader must refuse");
+        let (salvaged, report) = from_bytes_salvage(&bytes).unwrap();
+        assert_eq!(report.recovered_variables, vec!["ua"]);
+        assert_eq!(report.lost_variables.len(), 1);
+        assert_eq!(report.sections_corrupt, 1);
+        assert!(report.header_intact);
+        assert_eq!(salvaged.variable("ua").unwrap().array, ds.variable("ua").unwrap().array);
+        assert!(salvaged.variable("ta").is_none());
+    }
+
+    #[test]
+    fn salvage_drops_variables_of_corrupt_axis() {
+        let ds = two_var_dataset();
+        let (bytes, layout) = to_bytes_v2_with_layout(&ds);
+        let mut bytes = bytes.to_vec();
+        // corrupt the first axis section: both variables reference it
+        let ax = layout.sections.iter().find(|s| s.kind == SectionKind::Axis).unwrap();
+        bytes[ax.payload.start] ^= 0xFF;
+        let (salvaged, report) = from_bytes_salvage(&bytes).unwrap();
+        assert!(salvaged.is_empty());
+        assert_eq!(report.lost_variables.len(), 2);
+        assert!(report.lost_variables[0].reason.contains("axis section"), "{report:?}");
+        assert_eq!(report.lost_variables[0].id.as_deref(), Some("ta"));
+    }
+
+    #[test]
+    fn salvage_survives_destroyed_framing_via_directory() {
+        let ds = two_var_dataset();
+        let (bytes, layout) = to_bytes_v2_with_layout(&ds);
+        let mut bytes = bytes.to_vec();
+        // destroy the length field of the header frame: a sequential walk
+        // is now lost immediately, but the trailer directory still locates
+        // every section
+        let header = &layout.sections[0];
+        bytes[header.frame.start + 3] ^= 0xFF;
+        let (salvaged, report) = from_bytes_salvage(&bytes).unwrap();
+        assert!(report.directory_intact);
+        assert_eq!(report.recovered_variables, vec!["ta", "ua"]);
+        // header *payload* is untouched, so id and attrs survive too
+        assert!(report.header_intact);
+        assert_eq!(salvaged.id, "cmip_sample");
+    }
+
+    #[test]
+    fn salvage_falls_back_to_walk_when_footer_dies() {
+        let ds = two_var_dataset();
+        let (bytes, layout) = to_bytes_v2_with_layout(&ds);
+        let mut bytes = bytes.to_vec();
+        bytes[layout.footer.start] ^= 0xFF; // footer checksum now fails
+        let (salvaged, report) = from_bytes_salvage(&bytes).unwrap();
+        assert!(!report.directory_intact);
+        assert_eq!(report.recovered_variables, vec!["ta", "ua"]);
+        assert_eq!(salvaged.len(), 2);
+    }
+
+    #[test]
+    fn salvage_of_corrupt_v1_errors() {
+        let ds = sample_dataset();
+        let mut bytes = to_bytes_v1(&ds).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        // a corrupt v1 file either fails decode (usually) or decodes to
+        // something — when it fails, salvage must refuse with a clear reason
+        if from_bytes(&bytes).is_err() {
+            let err = from_bytes_salvage(&bytes).unwrap_err();
+            assert!(err.to_string().contains("v1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_fields_fail_before_allocating() {
+        // axis claiming 2^60 values inside a 60-byte section must error
+        let mut p = BytesMut::new();
+        put_string(&mut p, "x");
+        put_string(&mut p, "m");
+        p.put_u8(4); // Generic
+        p.put_u8(0); // Gregorian
+        p.put_u64_le(1 << 60); // hostile value count
+        let mut cur = &p[..];
+        let err = get_axis(&mut cur).unwrap_err();
+        assert!(err.to_string().contains("implausible axis length"), "{err}");
+
+        // attribute float-vec claiming 2^24 entries in a tiny buffer
+        let mut p = BytesMut::new();
+        p.put_u32_le(1); // one attribute
+        put_string(&mut p, "k");
+        p.put_u8(3); // FloatVec
+        p.put_u32_le(1 << 24);
+        let mut cur = &p[..];
+        let err = get_attrs(&mut cur).unwrap_err();
+        assert!(err.to_string().contains("implausible vector length"), "{err}");
+    }
+
+    #[test]
+    fn scalar_variable_roundtrips() {
+        // rank-0: no axes, one element
+        let arr = MaskedArray::filled(3.25, &[]);
+        let mut ds = Dataset::new("scalar");
+        ds.add_variable(Variable::new("t0", arr, vec![]).unwrap());
+        for bytes in [to_bytes(&ds), to_bytes_v1(&ds)] {
+            let back = from_bytes(&bytes).unwrap();
+            assert_eq!(back.variable("t0").unwrap().array.data(), &[3.25]);
+        }
+    }
 }
+

@@ -25,9 +25,20 @@
 //!   attributes; supports coordinate-range subsetting like CDMS `var(...)`
 //!   calls.
 //! * [`Dataset`] + [`mod@format`] — a self-describing binary container (`.ncr`)
-//!   with full write/read round-tripping, standing in for NetCDF.
+//!   with full write/read round-tripping, standing in for NetCDF. Format v2
+//!   splits the file into CRC32C-checksummed sections so corruption is
+//!   detected per-section; [`format::read_dataset_salvage`] recovers the
+//!   intact variables from a damaged file and reports what was lost.
+//! * [`storage`] — the hardened I/O layer beneath the format: a [`Storage`]
+//!   trait with a [`storage::LocalDisk`] backend, crash-safe atomic writes
+//!   (temp file + fsync + verify + rename), bounded retries of transient
+//!   errors, and a deterministic [`storage::FaultyStorage`] for injecting
+//!   short writes, torn writes, bit flips, ENOSPC and EINTR-style faults in
+//!   tests.
 //! * [`catalog`] — a directory-backed stand-in for Earth System Grid (ESG)
-//!   federated data access: search by attribute, open remote variables.
+//!   federated data access: search by attribute, open remote variables;
+//!   corrupt files are quarantined or salvaged with a recorded reason
+//!   instead of poisoning the scan.
 //! * [`synth`] — deterministic synthetic climate fields (temperature,
 //!   geopotential, humidity, divergence-free winds, propagating equatorial
 //!   waves, land/sea mask) substituting for NASA model output.
@@ -55,6 +66,7 @@ pub mod dataset;
 pub mod error;
 pub mod format;
 pub mod grid;
+pub mod storage;
 pub mod synth;
 pub mod variable;
 
@@ -64,5 +76,7 @@ pub use axis::{Axis, AxisKind};
 pub use calendar::{Calendar, CompTime, RelTime, TimeUnits};
 pub use dataset::Dataset;
 pub use error::{CdmsError, Result};
+pub use format::{LostVariable, SalvageReport};
 pub use grid::RectGrid;
+pub use storage::Storage;
 pub use variable::Variable;

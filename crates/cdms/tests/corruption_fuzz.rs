@@ -1,0 +1,228 @@
+//! Corruption fuzzer for `.ncr` format v2 (ISSUE 4 acceptance criterion).
+//!
+//! Thousands of random single- and multi-byte mutations of an encoded v2
+//! file are driven through the strict decoder and the salvage path,
+//! asserting three properties:
+//!
+//! 1. **No panic** — every mutation yields an `Err` or a dataset, never an
+//!    abort.
+//! 2. **No unbounded allocation** — the decoders bound every allocation
+//!    against the bytes actually present (the workspace forbids unsafe
+//!    code, so there is no custom allocator to meter with; instead the
+//!    guard paths are unit-tested in `format.rs`
+//!    (`hostile_length_fields_fail_before_allocating`) and this fuzzer
+//!    checks the observable consequences: decoded output never exceeds the
+//!    input's own element count, and each decode finishes inside a strict
+//!    wall-clock budget that materializing a hostile multi-gigabyte length
+//!    field could never meet).
+//! 3. **No silently-wrong data, full recovery of intact sections** — using
+//!    the encoder's [`V2Layout`] byte map as the oracle: every variable
+//!    whose payload bytes (and referenced axis payloads) are untouched
+//!    must be recovered bit-exact, and every recovered variable must equal
+//!    its original.
+//!
+//! Iteration count defaults to 1500 and is overridable via
+//! `CDMS_FUZZ_ITERS` (CI smoke runs use a reduced count).
+
+use cdms::format::{self, SectionKind, V2Layout};
+use cdms::synth::SynthesisSpec;
+use cdms::Dataset;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::time::{Duration, Instant};
+
+/// Wall-clock ceiling for decoding one ~50 KB mutated file. An honest
+/// decode is microseconds; zero-filling even one hostile gigabyte-sized
+/// length field would blow far past this.
+const DECODE_BUDGET: Duration = Duration::from_secs(5);
+
+fn fuzz_iters() -> usize {
+    std::env::var("CDMS_FUZZ_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500)
+}
+
+/// A representative multi-variable dataset with shared axes.
+fn sample() -> Dataset {
+    SynthesisSpec::new(3, 2, 12, 24).seed(42).build()
+}
+
+/// Total elements across all variables — the output-size bound.
+fn element_count(ds: &Dataset) -> usize {
+    ds.variables().iter().map(|v| v.array.len()).sum()
+}
+
+/// Applies `count` random single-byte XOR mutations in `lo..hi`.
+fn mutate(bytes: &mut [u8], rng: &mut TestRng, count: usize, lo: usize, hi: usize) {
+    for _ in 0..count {
+        let i = lo + (rng.next_u64() as usize) % (hi - lo);
+        let x = (rng.next_u64() % 255 + 1) as u8; // never a zero XOR
+        bytes[i] ^= x;
+    }
+}
+
+/// The oracle: which original variables MUST survive salvage, given the
+/// bytes that actually differ from the original encoding.
+///
+/// With the trailer directory intact (mutations below never touch the
+/// trailer or footer), a variable is recoverable iff its own payload and
+/// the payloads of every axis section it references are byte-identical to
+/// the original — frame bytes outside payloads don't matter because the
+/// directory carries the authoritative (offset, len, crc) triples.
+fn must_survive(layout: &V2Layout, original: &[u8], mutated: &[u8]) -> Vec<String> {
+    let axis_payloads: Vec<&std::ops::Range<usize>> = layout
+        .sections
+        .iter()
+        .filter(|s| s.kind == SectionKind::Axis)
+        .map(|s| &s.payload)
+        .collect();
+    let untouched = |r: &std::ops::Range<usize>| original[r.clone()] == mutated[r.clone()];
+    layout
+        .sections
+        .iter()
+        .filter_map(|s| s.variable.as_ref().map(|v| (s, v)))
+        .filter(|(s, (_, axis_refs))| {
+            untouched(&s.payload) && axis_refs.iter().all(|&a| untouched(axis_payloads[a]))
+        })
+        .map(|(_, (id, _))| id.clone())
+        .collect()
+}
+
+#[test]
+fn corruption_fuzz_mutations_never_panic_and_salvage_is_exact() {
+    let ds = sample();
+    let max_elements = element_count(&ds);
+    let (bytes, layout) = format::to_bytes_v2_with_layout(&ds);
+    let original = bytes.to_vec();
+    // Mutations stay clear of the trailer frame and footer so the section
+    // directory survives and the oracle below is exact.
+    let trailer_start = layout
+        .sections
+        .iter()
+        .find(|s| s.kind == SectionKind::Trailer)
+        .expect("v2 always has a trailer")
+        .frame
+        .start;
+
+    let mut rng = TestRng::from_name("corruption_fuzz_v2");
+    let iters = fuzz_iters();
+    let mut survived_total = 0usize;
+    for iter in 0..iters {
+        let mut mutated = original.clone();
+        let n_mut = 1 + (rng.next_u64() as usize) % 8;
+        mutate(&mut mutated, &mut rng, n_mut, 8, trailer_start);
+
+        let t0 = Instant::now();
+
+        // 1. strict decode: must not panic; any Ok must be bit-honest
+        let strict = format::from_bytes(&mutated);
+        if let Ok(got) = &strict {
+            // only possible when every mutation XOR-cancelled
+            assert_eq!(mutated, original, "iter {iter}: strict decode accepted altered bytes");
+            assert_eq!(got.variable_ids(), ds.variable_ids());
+        }
+
+        // 2. salvage: magic/version untouched → always Ok
+        let (salvaged, report) =
+            format::from_bytes_salvage(&mutated).expect("salvage of v2 bytes");
+        assert!(report.directory_intact, "iter {iter}: trailer untouched yet directory lost");
+
+        // allocation/size bounds: output can never outgrow the input, and
+        // the decode can't have materialized a hostile length field
+        assert!(
+            element_count(&salvaged) <= max_elements,
+            "iter {iter}: salvage produced more data than was ever written"
+        );
+        assert!(
+            t0.elapsed() < DECODE_BUDGET,
+            "iter {iter}: decode took {:?} for a {}-byte file",
+            t0.elapsed(),
+            mutated.len()
+        );
+
+        // 3. the oracle: intact variables recovered, bit-exact
+        let expected = must_survive(&layout, &original, &mutated);
+        for id in &expected {
+            let got = salvaged
+                .variable(id)
+                .unwrap_or_else(|| panic!("iter {iter}: intact variable '{id}' not recovered"));
+            let want = ds.variable(id).expect("oracle ids come from the dataset");
+            assert_eq!(got.array, want.array, "iter {iter}: '{id}' data differs");
+            assert_eq!(got.axes, want.axes, "iter {iter}: '{id}' axes differ");
+            assert_eq!(got.attributes, want.attributes, "iter {iter}: '{id}' attrs differ");
+        }
+        survived_total += expected.len();
+
+        // no silently-wrong data: anything recovered must equal its original
+        for id in &report.recovered_variables {
+            if let (Some(got), Some(want)) = (salvaged.variable(id), ds.variable(id)) {
+                assert_eq!(got.array, want.array, "iter {iter}: recovered '{id}' is wrong");
+            }
+        }
+    }
+    // sanity on the fuzzer itself: mutations must both hit and miss variables
+    assert!(survived_total > 0, "oracle never expected a survivor — fuzzer is mis-aimed");
+    assert!(
+        survived_total < iters * ds.len(),
+        "every variable always survived — mutations never landed"
+    );
+}
+
+#[test]
+fn corruption_fuzz_truncations_never_panic() {
+    let ds = sample();
+    let max_elements = element_count(&ds);
+    let (bytes, _) = format::to_bytes_v2_with_layout(&ds);
+    let original = bytes.to_vec();
+    let mut rng = TestRng::from_name("truncation_fuzz_v2");
+    let iters = (fuzz_iters() / 4).max(100);
+    for iter in 0..iters {
+        // random truncation, sometimes with extra byte mutations on top
+        let keep = (rng.next_u64() as usize) % original.len();
+        let mut mutated = original[..keep].to_vec();
+        if keep > 16 && rng.next_u64().is_multiple_of(2) {
+            let n = 1 + (rng.next_u64() as usize) % 4;
+            mutate(&mut mutated, &mut rng, n, 8, keep);
+        }
+        let t0 = Instant::now();
+        let _ = format::from_bytes(&mutated); // must not panic
+        if let Ok((salvaged, _report)) = format::from_bytes_salvage(&mutated) {
+            assert!(element_count(&salvaged) <= max_elements, "iter {iter}");
+            // anything recovered from a truncated file must still be honest
+            for id in salvaged.variable_ids() {
+                if let (Some(got), Some(want)) = (salvaged.variable(&id), ds.variable(&id)) {
+                    assert_eq!(got.array, want.array, "iter {iter}: truncated '{id}' is wrong");
+                }
+            }
+        }
+        assert!(
+            t0.elapsed() < DECODE_BUDGET,
+            "iter {iter}: truncated decode took {:?}",
+            t0.elapsed()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure garbage (random bytes, with or without a valid preamble) never
+    /// panics either decoder and never stalls on a hostile length field.
+    #[test]
+    fn garbage_bytes_never_panic(
+        body in proptest::collection::vec(0u8..=255, 0..512),
+        with_preamble in any::<bool>(),
+    ) {
+        let mut bytes = Vec::new();
+        if with_preamble {
+            bytes.extend_from_slice(b"NCRS");
+            bytes.extend_from_slice(&2u32.to_le_bytes());
+        }
+        bytes.extend_from_slice(&body);
+        let t0 = Instant::now();
+        let _ = format::from_bytes(&bytes);
+        let _ = format::from_bytes_salvage(&bytes);
+        prop_assert!(t0.elapsed() < DECODE_BUDGET, "garbage input stalled the decoder");
+    }
+}

@@ -210,6 +210,13 @@ pub struct Config {
     /// The one module allowed to use raw `read_message`/`write_message`.
     pub protocol_module: String,
     pub banned_calls: Vec<String>,
+    pub atomic_writes_enabled: bool,
+    /// Crates whose file writes must go through the atomic storage layer.
+    pub atomic_writes_crates: Vec<String>,
+    /// The one module allowed to call the raw filesystem write primitives.
+    pub storage_module: String,
+    /// Qualified call names (`qualifier::method`) that bypass atomicity.
+    pub raw_write_calls: Vec<String>,
     pub error_hygiene_enabled: bool,
     pub error_hygiene_crates: Vec<String>,
     pub lint_attrs_enabled: bool,
@@ -261,6 +268,10 @@ impl Config {
             deadline_crate: "hyperwall".into(),
             protocol_module: "crates/hyperwall/src/protocol.rs".into(),
             banned_calls: svec(&["read_message", "write_message"]),
+            atomic_writes_enabled: true,
+            atomic_writes_crates: svec(&["cdms"]),
+            storage_module: "crates/cdms/src/storage.rs".into(),
+            raw_write_calls: svec(&["fs::write", "File::create", "OpenOptions::new"]),
             error_hygiene_enabled: true,
             error_hygiene_crates: svec(&[
                 "cdms", "cdat", "rvtk", "vistrails", "dv3d", "hyperwall", "uvcdat", "dv3dlint",
@@ -328,6 +339,18 @@ impl Config {
         }
         if let Some(v) = t.str_list("rules.deadline_io", "banned_calls") {
             cfg.banned_calls = v;
+        }
+        if let Some(b) = enabled("rules.atomic_writes") {
+            cfg.atomic_writes_enabled = b;
+        }
+        if let Some(v) = t.str_list("rules.atomic_writes", "crates") {
+            cfg.atomic_writes_crates = v;
+        }
+        if let Some(s) = t.string("rules.atomic_writes", "storage_module") {
+            cfg.storage_module = s;
+        }
+        if let Some(v) = t.str_list("rules.atomic_writes", "raw_write_calls") {
+            cfg.raw_write_calls = v;
         }
         if let Some(b) = enabled("rules.error_hygiene") {
             cfg.error_hygiene_enabled = b;

@@ -5,6 +5,7 @@
 //! add it to [`all`], give it a config section in `dv3dlint.toml`, and
 //! register its allow-name (the `id()`) in the README table.
 
+pub mod atomic_writes;
 pub mod deadline_io;
 pub mod error_hygiene;
 pub mod lint_attrs;
@@ -38,6 +39,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(no_panic::NoPanic),
         Box::new(mask_propagation::MaskPropagation),
         Box::new(deadline_io::DeadlineIo),
+        Box::new(atomic_writes::AtomicWrites),
         Box::new(error_hygiene::ErrorHygiene),
         Box::new(lint_attrs::LintAttrs),
     ]
