@@ -1,0 +1,170 @@
+//! Fused analysis-pipeline bench: the canonical paper chain
+//! anomaly → standardize → spatial_mean on a CMIP-shaped monthly field,
+//! fused through `cdat::pipeline` versus the frozen pre-fusion eager
+//! reference (`cdat::eager_ref`). Emits `BENCH_analysis.json`.
+//!
+//! The design claim under test: compiling the chain into a virtual-field
+//! pass (one elementwise sweep feeding deterministic blocked reductions,
+//! ~3 full-array passes instead of ~10 with intermediate materialization)
+//! makes the end-to-end chain at least 2× faster single-threaded. The CI
+//! assertion uses a 1.5× floor so shared-box jitter can't flake the run.
+//!
+//! Also reports serial-vs-parallel scaling of the fused pipeline with the
+//! *effective* rayon pool size per row — single-core CI boxes resolve
+//! every request to a pool of 1, and the artifact should say so rather
+//! than look like a scaling failure. RAYON_NUM_THREADS is honoured: an
+//! externally pinned value wins over hardware detection for the wide row.
+//!
+//! `ANALYSIS_BENCH_SMOKE=1` shrinks reps and the field for CI smoke runs.
+
+use cdat::pipeline::{run, AnalysisStep};
+use cdat::{averager, climatology, eager_ref, statistics};
+use cdms::synth::SynthesisSpec;
+use cdms::Variable;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("ANALYSIS_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+fn best(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+const CHAIN: [AnalysisStep; 3] =
+    [AnalysisStep::Anomaly, AnalysisStep::Standardize, AnalysisStep::SpatialMean];
+
+/// Frozen pre-fusion reference: every step materializes its output.
+fn eager_chain(var: &Variable) -> Variable {
+    let anom = eager_ref::anomaly(var).expect("eager anomaly");
+    let std = eager_ref::standardize(&anom).expect("eager standardize");
+    eager_ref::spatial_mean(&std).expect("eager spatial mean")
+}
+
+/// Fused stepwise path: each step uses the expression/reduction engine but
+/// still materializes between steps. Separates fusion-within-a-step gains
+/// from cross-step virtual-field gains in the artifact.
+fn stepwise_fused(var: &Variable) -> Variable {
+    let anom = climatology::anomaly(var).expect("fused anomaly");
+    let std = statistics::standardize(&anom).expect("fused standardize");
+    averager::spatial_mean(&std).expect("fused spatial mean")
+}
+
+/// Best-of-`reps` for one timed closure, ms. Interleaving happens at the
+/// call site so drift on a shared box hits all contenders equally.
+fn once_ms<T>(mut f: impl FnMut() -> T) -> f64 {
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Times the fused pipeline under a requested worker count, returning the
+/// best-of-reps ms and the pool size the dispatcher actually resolved.
+/// Any externally-set RAYON_NUM_THREADS is restored afterwards.
+fn fused_ms_at(var: &Variable, threads: usize, reps: usize) -> (f64, usize) {
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let effective = rayon::current_num_threads();
+    let mut runs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        runs.push(once_ms(|| run(var, &CHAIN).expect("fused pipeline")));
+    }
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    (best(runs), effective)
+}
+
+fn main() {
+    // 12 months x 17 levels x 73 lat x 144 lon: the 2.5-degree reanalysis
+    // shape the paper's exploratory sessions page through.
+    let (reps, spec) = if smoke() {
+        (5, SynthesisSpec::new(12, 3, 24, 48).seed(41))
+    } else {
+        (12, SynthesisSpec::new(12, 17, 73, 144).seed(41))
+    };
+    let ds = spec.build();
+    let ta = ds.variable("ta").expect("ta");
+
+    // Sanity: the three paths agree on the headline scalar before timing.
+    let fused_out = run(ta, &CHAIN).expect("fused pipeline");
+    let eager_out = eager_chain(ta);
+    for (f, e) in fused_out.array.data().iter().zip(eager_out.array.data()) {
+        assert!((f - e).abs() <= 1e-4 * e.abs().max(1.0), "fused {f} vs eager {e}");
+    }
+
+    // Single-threaded contest: eager reference vs stepwise fused vs the
+    // cross-step fused pipeline, interleaved rep-by-rep.
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let (mut eager, mut stepwise, mut fused) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        eager = eager.min(once_ms(|| eager_chain(ta)));
+        stepwise = stepwise.min(once_ms(|| stepwise_fused(ta)));
+        fused = fused.min(once_ms(|| run(ta, &CHAIN).expect("fused pipeline")));
+    }
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+
+    // Scaling rows: serial vs whatever the box (or RAYON_NUM_THREADS) offers.
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let wide = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw);
+    let (serial_ms, pool1) = fused_ms_at(ta, 1, reps);
+    let (wide_ms, pool_n) = fused_ms_at(ta, wide, reps);
+
+    let speedup = eager / fused;
+    let stepwise_speedup = eager / stepwise;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"analysis\",\n",
+            "  \"reps\": {},\n",
+            "  \"shape\": \"{}\",\n",
+            "  \"eager_chain_ms\": {:.4},\n",
+            "  \"stepwise_fused_ms\": {:.4},\n",
+            "  \"fused_pipeline_ms\": {:.4},\n",
+            "  \"stepwise_over_eager_speedup\": {:.2},\n",
+            "  \"fused_over_eager_speedup\": {:.2},\n",
+            "  \"fused_serial_ms\": {:.4},\n",
+            "  \"fused_parallel_ms\": {:.4},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"effective_pool_one_thread\": {},\n",
+            "  \"effective_pool_all_threads\": {},\n",
+            "  \"requested_threads\": {}\n",
+            "}}\n"
+        ),
+        reps,
+        if smoke() { "12x3x24x48" } else { "12x17x73x144" },
+        eager,
+        stepwise,
+        fused,
+        stepwise_speedup,
+        speedup,
+        serial_ms,
+        wide_ms,
+        hw,
+        pool1,
+        pool_n,
+        wide,
+    );
+    // workspace root, independent of the bench binary's cwd
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");
+    std::fs::write(path, &json).expect("write artifact");
+    println!("{json}");
+    println!(
+        "bench analysis: fused pipeline {speedup:.1}x faster than eager chain \
+         single-threaded (stepwise fused {stepwise_speedup:.1}x)"
+    );
+    assert!(
+        speedup >= 1.5,
+        "fused pipeline must be >= 1.5x faster than the eager chain \
+         single-threaded, got {speedup:.2}x (eager {eager:.4} ms, fused {fused:.4} ms)"
+    );
+}

@@ -66,19 +66,27 @@ fn warm_ms_per_step(var: &Variable, target: &RectGrid, method: RegridMethod, rep
 
 /// Whole-variable apply (all timesteps in one parallel pass) under a given
 /// worker count, ms. Uses RAYON_NUM_THREADS, which the vendored rayon
-/// honours at dispatch time.
-fn scaling_ms(var: &Variable, target: &RectGrid, threads: usize, reps: usize) -> f64 {
+/// honours at dispatch time; also returns the pool size the dispatcher
+/// actually resolved, so single-core boxes (effective pool of 1 regardless
+/// of the request) are visible in the artifact instead of looking like a
+/// scaling failure. Any externally-set RAYON_NUM_THREADS is restored.
+fn scaling_ms(var: &Variable, target: &RectGrid, threads: usize, reps: usize) -> (f64, usize) {
     let (lat, lon) = (&var.axes[var.rank() - 2], &var.axes[var.rank() - 1]);
     let plan = RegridPlan::build(RegridMethod::Conservative, lat, lon, target).expect("plan");
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
     std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let effective = rayon::current_num_threads();
     let mut runs = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t0 = Instant::now();
         std::hint::black_box(plan.apply(var).expect("apply"));
         runs.push(t0.elapsed().as_secs_f64() * 1e3);
     }
-    std::env::remove_var("RAYON_NUM_THREADS");
-    best(runs)
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    (best(runs), effective)
 }
 
 fn main() {
@@ -95,9 +103,16 @@ fn main() {
     let co_warm = warm_ms_per_step(tos, &target, RegridMethod::Conservative, reps);
 
     // Thread scaling of one whole-variable parallel apply (time*lev planes).
-    let t1 = scaling_ms(ta, &target, 1, reps);
+    // An externally-set RAYON_NUM_THREADS wins over hardware detection, so
+    // CI can pin the wide row; `scaling_ms` reports what the pool resolved.
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let tn = scaling_ms(ta, &target, hw, reps);
+    let wide = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw);
+    let (t1, pool1) = scaling_ms(ta, &target, 1, reps);
+    let (tn, pool_n) = scaling_ms(ta, &target, wide, reps);
 
     // Cache counters over a realistic reuse pattern: two variables, same
     // grid pair, through the public wrapper API.
@@ -127,6 +142,9 @@ fn main() {
             "  \"apply_one_thread_ms\": {:.4},\n",
             "  \"apply_all_threads_ms\": {:.4},\n",
             "  \"hardware_threads\": {},\n",
+            "  \"effective_pool_one_thread\": {},\n",
+            "  \"effective_pool_all_threads\": {},\n",
+            "  \"requested_threads\": {},\n",
             "  \"cache_hits\": {},\n",
             "  \"cache_misses\": {}\n",
             "}}\n"
@@ -143,6 +161,9 @@ fn main() {
         t1,
         tn,
         hw,
+        pool1,
+        pool_n,
+        wide,
         stats.hits,
         stats.misses
     );

@@ -1,9 +1,18 @@
 //! Weighted averagers: reduce variables over named axes with the correct
 //! weights (sphere-area weights for latitude, cell widths elsewhere) —
 //! CDAT's `averager` / `cdutil` functionality.
+//!
+//! Axis means route through [`crate::reduce::weighted_mean_axis`]: output
+//! cells are distributed over the rayon pool while each cell accumulates
+//! serially in ascending axis order, so results are bit-identical to the
+//! eager serial kernel and invariant under `RAYON_NUM_THREADS`. The
+//! running mean uses masked-count-aware prefix sums — O(n) total instead
+//! of the old O(n·window) sliding recompute (see
+//! [`crate::eager_ref::running_mean_time`]).
 
 use cdms::axis::AxisKind;
 use cdms::{CdmsError, Result, Variable};
+use rayon::prelude::*;
 
 /// Averages over the first axis of the given kind, weighting by the axis's
 /// natural weights ([`cdms::Axis::weights`]). The axis is removed.
@@ -12,7 +21,7 @@ pub fn average_over(var: &Variable, kind: AxisKind) -> Result<Variable> {
         .axis_index(kind)
         .ok_or_else(|| CdmsError::NotFound(format!("{kind:?} axis on '{}'", var.id)))?;
     let weights = var.axes[idx].weights();
-    let array = var.array.weighted_mean_axis(idx, &weights)?;
+    let array = crate::reduce::weighted_mean_axis(&var.array, idx, &weights)?;
     let mut axes = var.axes.clone();
     axes.remove(idx);
     if axes.is_empty() {
@@ -64,30 +73,65 @@ pub fn running_mean_time(var: &Variable, window: usize) -> Result<Variable> {
         .ok_or_else(|| CdmsError::NotFound(format!("time axis on '{}'", var.id)))?;
     let nt = var.axes[t_idx].len();
     let half = window / 2;
-    let mut out = var.array.clone();
-    let strides = var.array.strides();
-    let t_stride = strides[t_idx] as i64;
-    for flat in 0..var.array.len() {
-        // time index of this element
-        let t = (flat / strides[t_idx]) % nt;
-        let lo = t.saturating_sub(half);
-        let hi = (t + half).min(nt - 1);
-        let mut sum = 0.0f64;
-        let mut cnt = 0usize;
-        for tt in lo..=hi {
-            let src = (flat as i64 + (tt as i64 - t as i64) * t_stride) as usize;
-            if !var.array.mask()[src] {
-                sum += var.array.data()[src] as f64;
-                cnt += 1;
+    let shape = var.shape();
+    let outer: usize = shape.iter().take(t_idx).product();
+    let inner: usize = shape.iter().skip(t_idx + 1).product::<usize>().max(1);
+
+    // Masked-count-aware prefix sums along time: psum[o][t'][i] holds the
+    // running Σ of valid values (and pcnt the valid count) over t < t', so
+    // any window reduces to two lookups. One O(n) build pass replaces the
+    // old O(n·window) per-element window recompute.
+    let (src_d, src_m) = (var.array.data(), var.array.mask());
+    let plane = (nt + 1) * inner;
+    let mut psum = vec![0.0f64; outer * plane];
+    let mut pcnt = vec![0u32; outer * plane];
+    for o in 0..outer {
+        for t in 0..nt {
+            let src = (o * nt + t) * inner;
+            let dst = o * plane + (t + 1) * inner;
+            let drow = src_d.get(src..src + inner).unwrap_or_default();
+            let mrow = src_m.get(src..src + inner).unwrap_or_default();
+            for i in 0..inner {
+                let prev_s = psum[dst - inner + i];
+                let prev_c = pcnt[dst - inner + i];
+                if mrow[i] {
+                    psum[dst + i] = prev_s;
+                    pcnt[dst + i] = prev_c;
+                } else {
+                    psum[dst + i] = prev_s + drow[i] as f64;
+                    pcnt[dst + i] = prev_c + 1;
+                }
             }
         }
-        if cnt > 0 {
-            out.data_mut()[flat] = (sum / cnt as f64) as f32;
-            out.mask_mut()[flat] = false;
-        } else {
-            out.mask_mut()[flat] = true;
-        }
     }
+
+    // Each output row (o, t) reads two prefix rows — independent, so the
+    // rows distribute over the pool; results don't depend on the split.
+    let mut out = var.array.clone();
+    let (out_d, out_m) = out.parts_mut();
+    out_d
+        .par_chunks_mut(inner)
+        .zip(out_m.par_chunks_mut(inner))
+        .enumerate()
+        .for_each(|(row, (dd, mm))| {
+            let (o, t) = (row / nt, row % nt);
+            let lo = t.saturating_sub(half);
+            let hi = (t + half).min(nt - 1);
+            let base = o * plane;
+            let s_lo = &psum[base + lo * inner..base + (lo + 1) * inner];
+            let s_hi = &psum[base + (hi + 1) * inner..base + (hi + 2) * inner];
+            let c_lo = &pcnt[base + lo * inner..base + (lo + 1) * inner];
+            let c_hi = &pcnt[base + (hi + 1) * inner..base + (hi + 2) * inner];
+            for i in 0..inner {
+                let cnt = c_hi[i] - c_lo[i];
+                if cnt > 0 {
+                    dd[i] = ((s_hi[i] - s_lo[i]) / cnt as f64) as f32;
+                    mm[i] = false;
+                } else {
+                    mm[i] = true;
+                }
+            }
+        });
     let mut v = Variable::new(&var.id, out, var.axes.clone())?;
     v.attributes = var.attributes.clone();
     Ok(v)

@@ -1,10 +1,17 @@
 //! Climatologies, anomalies and seasonal means — `cdutil.times`
 //! equivalents built on the calendar-aware time axis.
+//!
+//! The month-subset means route through
+//! [`crate::reduce::selected_mean_axis`] and the anomaly through
+//! [`crate::reduce::mean_axis`] plus a fused parallel subtract pass — both
+//! deterministic under any `RAYON_NUM_THREADS` and bit-identical to the
+//! pre-fusion serial kernels (see [`crate::eager_ref`]).
 
 use cdms::array::MaskedArray;
 use cdms::axis::AxisKind;
 use cdms::calendar::RelTime;
 use cdms::{CdmsError, Result, Variable};
+use rayon::prelude::*;
 
 /// Months of each standard season.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,45 +58,9 @@ pub fn mean_over_months(var: &Variable, pred: impl Fn(u32) -> bool) -> Result<Va
     if selected.is_empty() {
         return Err(CdmsError::EmptySelection("no timesteps match".into()));
     }
-    // gather the selected slabs and average them
-    let mut acc: Option<MaskedArray> = None;
-    let mut counts: Option<Vec<u32>> = None;
-    for &t in &selected {
-        let slab = var.array.take(t_idx, t)?;
-        match (&mut acc, &mut counts) {
-            (Some(a), Some(c)) => {
-                for i in 0..a.len() {
-                    if !slab.mask()[i] {
-                        a.data_mut()[i] += slab.data()[i];
-                        c[i] += 1;
-                    }
-                }
-            }
-            _ => {
-                let mut a = MaskedArray::zeros(slab.shape());
-                let mut c = vec![0u32; slab.len()];
-                for i in 0..a.len() {
-                    if !slab.mask()[i] {
-                        a.data_mut()[i] = slab.data()[i];
-                        c[i] = 1;
-                    }
-                }
-                acc = Some(a);
-                counts = Some(c);
-            }
-        }
-    }
-    // `selected` is non-empty, so the loop above ran and filled both
-    let (Some(mut a), Some(c)) = (acc, counts) else {
-        return Err(CdmsError::EmptySelection("no timesteps selected".into()));
-    };
-    for i in 0..a.len() {
-        if c[i] > 0 {
-            a.data_mut()[i] /= c[i] as f32;
-        } else {
-            a.mask_mut()[i] = true;
-        }
-    }
+    // average the selected slabs: one parallel pass over output cells,
+    // bit-identical to the old gather-and-accumulate loop
+    let a = crate::reduce::selected_mean_axis(&var.array, t_idx, &selected)?;
     let mut axes = var.axes.clone();
     axes.remove(t_idx);
     if axes.is_empty() {
@@ -158,23 +129,33 @@ pub fn anomaly(var: &Variable) -> Result<Variable> {
     let t_idx = var
         .axis_index(AxisKind::Time)
         .ok_or_else(|| CdmsError::NotFound(format!("time axis on '{}'", var.id)))?;
-    let mean = var.array.reduce_axis(t_idx, cdms::array::Reduction::Mean)?;
+    let mean = crate::reduce::mean_axis(&var.array, t_idx)?;
     let nt = var.shape()[t_idx];
-    let inner: usize = var.shape()[t_idx + 1..].iter().product();
+    let inner: usize = var.shape()[t_idx + 1..].iter().product::<usize>().max(1);
     let mut out = var.array.clone();
-    // subtract the mean slab from each time slab
-    for t in 0..nt {
-        for slab_i in 0..mean.len() {
-            let o = slab_i / inner;
-            let i = slab_i % inner;
-            let flat = o * (nt * inner) + t * inner + i;
-            if mean.mask()[slab_i] || out.mask()[flat] {
-                out.mask_mut()[flat] = true;
-            } else {
-                out.data_mut()[flat] -= mean.data()[slab_i];
+    let (mean_d, mean_m) = (mean.data(), mean.mask());
+    let (out_d, out_m) = out.parts_mut();
+    // subtract the mean slab from each (outer, t) row; rows are independent,
+    // so distribute them over the pool — each row's work is elementwise,
+    // hence deterministic and bit-identical to the old serial loop
+    out_d
+        .par_chunks_mut(inner)
+        .zip(out_m.par_chunks_mut(inner))
+        .enumerate()
+        .for_each(|(row, (dd, mm))| {
+            let o = row / nt;
+            let mrow_d = mean_d.get(o * inner..(o + 1) * inner).unwrap_or_default();
+            let mrow_m = mean_m.get(o * inner..(o + 1) * inner).unwrap_or_default();
+            for (((d, mk), &mv), &mmk) in
+                dd.iter_mut().zip(mm.iter_mut()).zip(mrow_d).zip(mrow_m)
+            {
+                if mmk || *mk {
+                    *mk = true;
+                } else {
+                    *d -= mv;
+                }
             }
-        }
-    }
+        });
     let mut v = Variable::new(&format!("{}_anom", var.id), out, var.axes.clone())?;
     v.attributes = var.attributes.clone();
     Ok(v)

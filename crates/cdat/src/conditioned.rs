@@ -1,34 +1,48 @@
 //! Conditioned comparisons: masking by predicate, comparison against other
 //! variables, and compression to valid values — `MV2.masked_where` and
 //! friends.
+//!
+//! The threshold helpers (`masked_greater` & co.) route through the fused
+//! expression engine with typed predicates, so the mask test runs inside
+//! the parallel chunked kernel; the general closures (`masked_where`,
+//! `masked_where_other`) accept plain `Fn` and use the serial fused pass.
 
+use crate::expr::{Expr, PredFn};
 use cdms::{Result, Variable};
 
 /// Masks elements where `pred(value)` holds.
 pub fn masked_where(var: &Variable, pred: impl Fn(f32) -> bool) -> Result<Variable> {
-    let mut v = Variable::new(&var.id, var.array.mask_where(pred), var.axes.clone())?;
+    let arr = crate::expr::mask_where_local(&var.array, pred)?;
+    let mut v = Variable::new(&var.id, arr, var.axes.clone())?;
+    v.attributes = var.attributes.clone();
+    Ok(v)
+}
+
+fn masked_pred(var: &Variable, pred: PredFn<'_>) -> Result<Variable> {
+    let arr = Expr::leaf(&var.array).mask_where(pred).eval()?;
+    let mut v = Variable::new(&var.id, arr, var.axes.clone())?;
     v.attributes = var.attributes.clone();
     Ok(v)
 }
 
 /// Masks elements greater than `threshold`.
 pub fn masked_greater(var: &Variable, threshold: f32) -> Result<Variable> {
-    masked_where(var, move |v| v > threshold)
+    masked_pred(var, PredFn::Greater(threshold))
 }
 
 /// Masks elements less than `threshold`.
 pub fn masked_less(var: &Variable, threshold: f32) -> Result<Variable> {
-    masked_where(var, move |v| v < threshold)
+    masked_pred(var, PredFn::Less(threshold))
 }
 
 /// Masks elements inside `[lo, hi]`.
 pub fn masked_inside(var: &Variable, lo: f32, hi: f32) -> Result<Variable> {
-    masked_where(var, move |v| (lo..=hi).contains(&v))
+    masked_pred(var, PredFn::Inside(lo, hi))
 }
 
 /// Masks elements outside `[lo, hi]`.
 pub fn masked_outside(var: &Variable, lo: f32, hi: f32) -> Result<Variable> {
-    masked_where(var, move |v| !(lo..=hi).contains(&v))
+    masked_pred(var, PredFn::Outside(lo, hi))
 }
 
 /// Masks `a` wherever `cond`'s value satisfies `pred` (conditioned
@@ -40,13 +54,7 @@ pub fn masked_where_other(
     pred: impl Fn(f32) -> bool,
 ) -> Result<Variable> {
     crate::ops::check_domains(a, cond)?;
-    let mut arr = a.array.clone();
-    for i in 0..arr.len() {
-        let masked = cond.array.mask()[i] || pred(cond.array.data()[i]);
-        if masked {
-            arr.mask_mut()[i] = true;
-        }
-    }
+    let arr = crate::expr::mask_where_other_local(&a.array, &cond.array, pred)?;
     let mut v = Variable::new(&a.id, arr, a.axes.clone())?;
     v.attributes = a.attributes.clone();
     Ok(v)

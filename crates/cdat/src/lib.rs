@@ -40,10 +40,14 @@
 pub mod averager;
 pub mod climatology;
 pub mod conditioned;
+pub mod eager_ref;
 pub mod eof;
+pub mod expr;
 pub mod hovmoller;
 pub mod ops;
+pub mod pipeline;
 pub mod plan_cache;
+pub mod reduce;
 pub mod regrid;
 pub mod regrid_plan;
 pub mod statistics;

@@ -1,6 +1,13 @@
 //! Variable-level arithmetic: binary ops that check domains and propagate
 //! masks, and unary transforms that keep metadata intact.
+//!
+//! These public functions are thin eager wrappers over the fused
+//! expression engine ([`crate::expr`]): each call compiles its op chain
+//! (a single op here, but `magnitude` fuses four) into one chunked pass
+//! with bit-packed mask words, evaluated in parallel. Results are
+//! bit-identical to the pre-fusion `cdms` eager ops.
 
+use crate::expr::Expr;
 use cdms::array::BinOp;
 use cdms::{CdmsError, Result, Variable};
 
@@ -33,7 +40,7 @@ pub fn check_domains(a: &Variable, b: &Variable) -> Result<()> {
 
 fn binary(a: &Variable, b: &Variable, op: BinOp, id: &str) -> Result<Variable> {
     check_domains(a, b)?;
-    let array = a.array.binop(&b.array, op)?;
+    let array = Expr::leaf(&a.array).binop(op, Expr::leaf(&b.array)).eval()?;
     let mut v = Variable::new(id, array, a.axes.clone())?;
     v.attributes = a.attributes.clone();
     Ok(v)
@@ -61,32 +68,52 @@ pub fn div(a: &Variable, b: &Variable) -> Result<Variable> {
 
 /// Adds a scalar.
 pub fn add_scalar(a: &Variable, s: f32) -> Result<Variable> {
-    let mut v = Variable::new(&a.id, a.array.add_scalar(s), a.axes.clone())?;
+    let array = Expr::leaf(&a.array).add_scalar(s).eval()?;
+    let mut v = Variable::new(&a.id, array, a.axes.clone())?;
     v.attributes = a.attributes.clone();
     Ok(v)
 }
 
 /// Multiplies by a scalar.
 pub fn mul_scalar(a: &Variable, s: f32) -> Result<Variable> {
-    let mut v = Variable::new(&a.id, a.array.mul_scalar(s), a.axes.clone())?;
+    let array = Expr::leaf(&a.array).mul_scalar(s).eval()?;
+    let mut v = Variable::new(&a.id, array, a.axes.clone())?;
     v.attributes = a.attributes.clone();
     Ok(v)
 }
 
 /// Applies a unary function element-wise (non-finite results mask).
+///
+/// The closure is not required to be `Send + Sync`, so this runs the fused
+/// single-pass kernel serially; use [`apply_sync`] for a parallel map.
 pub fn apply(a: &Variable, id: &str, f: impl Fn(f32) -> f32) -> Result<Variable> {
-    let mut v = Variable::new(id, a.array.map(f), a.axes.clone())?;
+    let mut v = Variable::new(id, crate::expr::map_local(&a.array, f)?, a.axes.clone())?;
     v.attributes = a.attributes.clone();
     Ok(v)
 }
 
-/// Wind speed `sqrt(u² + v²)` from two components.
+/// [`apply`] for thread-safe closures: the fused map runs chunked in
+/// parallel. Same semantics (non-finite results mask).
+pub fn apply_sync(
+    a: &Variable,
+    id: &str,
+    f: impl Fn(f32) -> f32 + Send + Sync,
+) -> Result<Variable> {
+    let array = Expr::leaf(&a.array).apply(f).eval()?;
+    let mut v = Variable::new(id, array, a.axes.clone())?;
+    v.attributes = a.attributes.clone();
+    Ok(v)
+}
+
+/// Wind speed `sqrt(u² + v²)` from two components — one fused pass, no
+/// materialized `u²`/`v²`/`u²+v²` intermediates.
 pub fn magnitude(u: &Variable, v: &Variable) -> Result<Variable> {
     check_domains(u, v)?;
-    let uu = u.array.mul(&u.array)?;
-    let vv = v.array.mul(&v.array)?;
-    let sum = uu.add(&vv)?;
-    let mut out = Variable::new("speed", sum.map(|x| x.sqrt()), u.axes.clone())?;
+    let speed = (Expr::leaf(&u.array) * Expr::leaf(&u.array)
+        + Expr::leaf(&v.array) * Expr::leaf(&v.array))
+    .sqrt()
+    .eval()?;
+    let mut out = Variable::new("speed", speed, u.axes.clone())?;
     out.attributes = u.attributes.clone();
     out.attributes.insert("long_name".into(), "wind speed".into());
     Ok(out)

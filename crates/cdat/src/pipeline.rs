@@ -1,0 +1,449 @@
+//! Cross-step pipeline fusion: run a whole analysis recipe
+//! (e.g. anomaly → standardize → spatial mean) in a handful of streaming
+//! passes instead of materializing every intermediate variable.
+//!
+//! The single-step fused functions (`climatology::anomaly`,
+//! `statistics::standardize`, `averager::spatial_mean`) each make at least
+//! one full-size allocation and one or two full-size read passes; chaining
+//! them touches the big array ~10 times. This module keeps the field
+//! *virtual* — the base data plus a chain of per-lane transforms
+//! (`LaneOp`) — and only touches the full array when a reduction needs
+//! its values:
+//!
+//! * elementwise steps (`AddScalar`, the anomaly subtract, the standardize
+//!   transform, threshold masks) just extend the chain — zero passes;
+//! * `Anomaly` reads the field once for the time mean (a small slab);
+//! * `Standardize` reads it once through the chain for the global moments;
+//! * `SpatialMean` reads it once through the chain while reducing over
+//!   latitude (the longitude reduction then runs on the tiny remainder).
+//!
+//! Every reduction uses the deterministic kernels of [`crate::reduce`]
+//! (fixed blocks / per-cell eager order), and each lane op applies the
+//! exact `f32` arithmetic of its single-step counterpart, so a pipeline's
+//! output is **bit-identical** to running the fused steps one at a time —
+//! just with ~3 full-size passes instead of ~10.
+
+use crate::reduce::{self, MomentSums};
+use cdms::axis::AxisKind;
+use cdms::{CdmsError, MaskedArray, Result, Variable};
+use rayon::prelude::*;
+
+/// One step of an analysis recipe.
+#[derive(Debug, Clone)]
+pub enum AnalysisStep {
+    /// Departure from the time mean — `climatology::anomaly`.
+    Anomaly,
+    /// `(x - mean) / std` over valid lanes — `statistics::standardize`.
+    Standardize,
+    /// Area-weighted mean over latitude then longitude —
+    /// `averager::spatial_mean`.
+    SpatialMean,
+    /// `x + s` — `ops::add_scalar`.
+    AddScalar(f32),
+    /// `x * s` — `ops::mul_scalar`.
+    MulScalar(f32),
+    /// Mask lanes where `x > s` — `conditioned::masked_greater`.
+    MaskGreater(f32),
+    /// Mask lanes where `x < s` — `conditioned::masked_less`.
+    MaskLess(f32),
+}
+
+/// A deferred per-lane transform. Each variant reproduces the lane
+/// arithmetic of its eager counterpart exactly (`f32` rounding at every
+/// step), so deferring is invisible in the result bits.
+enum LaneOp {
+    /// `v + s`; non-finite result masks and keeps the pre-op value.
+    AddScalar(f32),
+    /// `v * s`; same masking rule.
+    MulScalar(f32),
+    /// `(v - sub) / div`; same masking rule (the standardize transform).
+    SubDiv { sub: f32, div: f32 },
+    /// Subtract a broadcast time-mean slab (the anomaly transform): lane
+    /// `(o, t, i)` reads slab cell `(o, i)`. Masked slab cells mask the
+    /// lane and leave its value untouched.
+    SubSlab { slab_d: Vec<f32>, slab_m: Vec<bool>, nt: usize, inner: usize },
+    /// Mask lanes whose value exceeds the threshold; data untouched.
+    MaskGreater(f32),
+    /// Mask lanes below the threshold; data untouched.
+    MaskLess(f32),
+}
+
+/// Working-buffer size for streaming the chain: matches the fused
+/// expression engine's chunk so both stay L1/L2-resident.
+const CHUNK: usize = 4096;
+
+impl LaneOp {
+    /// Applies the op to a contiguous run of lanes starting at flat index
+    /// `start`. For `SubSlab` the caller guarantees the run stays inside
+    /// one slab row (see [`apply_chain_run`]), so the referenced slab
+    /// cells are contiguous and the op is a straight slice loop — no
+    /// per-lane index arithmetic anywhere on the hot path.
+    fn apply_run(&self, start: usize, d: &mut [f32], m: &mut [bool]) {
+        match self {
+            LaneOp::AddScalar(s) => {
+                for (v, m) in d.iter_mut().zip(m.iter_mut()) {
+                    map_lane(v, m, *v + s);
+                }
+            }
+            LaneOp::MulScalar(s) => {
+                for (v, m) in d.iter_mut().zip(m.iter_mut()) {
+                    map_lane(v, m, *v * s);
+                }
+            }
+            LaneOp::SubDiv { sub, div } => {
+                for (v, m) in d.iter_mut().zip(m.iter_mut()) {
+                    map_lane(v, m, (*v - sub) / div);
+                }
+            }
+            LaneOp::SubSlab { slab_d, slab_m, nt, inner } => {
+                let c0 = (start / (nt * inner)) * inner + start % inner;
+                let sd = slab_d.get(c0..c0 + d.len()).unwrap_or_default();
+                let sm = slab_m.get(c0..c0 + d.len()).unwrap_or_default();
+                for (((v, m), &sv), &s_m) in
+                    d.iter_mut().zip(m.iter_mut()).zip(sd).zip(sm)
+                {
+                    if s_m || *m {
+                        *m = true;
+                    } else {
+                        *v -= sv;
+                    }
+                }
+            }
+            LaneOp::MaskGreater(s) => {
+                for (v, m) in d.iter().zip(m.iter_mut()) {
+                    if !*m && *v > *s {
+                        *m = true;
+                    }
+                }
+            }
+            LaneOp::MaskLess(s) => {
+                for (v, m) in d.iter().zip(m.iter_mut()) {
+                    if !*m && *v < *s {
+                        *m = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streams the whole chain, op-major, over a contiguous span of lanes
+/// starting at flat index `start`. The span is cut so each piece stays
+/// inside a single slab row of every `SubSlab` (lane
+/// `flat = (o*nt + t)*inner + i` reads slab cell `o*inner + i`, contiguous
+/// only while `i` doesn't wrap), paying the div/mod once per piece instead
+/// of once per lane.
+fn apply_chain_run(chain: &[LaneOp], start: usize, d: &mut [f32], m: &mut [bool]) {
+    let total = d.len().min(m.len());
+    let (mut off, mut flat) = (0, start);
+    while off < total {
+        let mut len = total - off;
+        for op in chain {
+            if let LaneOp::SubSlab { inner, .. } = op {
+                len = len.min(inner - flat % inner);
+            }
+        }
+        let dd = d.get_mut(off..off + len).unwrap_or_default();
+        let mm = m.get_mut(off..off + len).unwrap_or_default();
+        for op in chain {
+            op.apply_run(flat, dd, mm);
+        }
+        off += len;
+        flat += len;
+    }
+}
+
+/// The `MaskedArray::map` lane contract: masked lanes pass through, a
+/// non-finite result masks and keeps the pre-op value.
+#[inline]
+fn map_lane(v: &mut f32, m: &mut bool, r: f32) {
+    if !*m {
+        if r.is_nan() || r.is_infinite() {
+            *m = true;
+        } else {
+            *v = r;
+        }
+    }
+}
+
+/// Global moments of the virtual field — `reduce::moments` arithmetic
+/// (same blocks, same merge tree) over chained lanes.
+fn virtual_moments(base: &MaskedArray, chain: &[LaneOp]) -> MomentSums {
+    let (data, mask) = (base.data(), base.mask());
+    reduce::blocked(
+        base.len(),
+        |r| {
+            let mut p = MomentSums::default();
+            let mut vb = [0.0f32; CHUNK];
+            let mut mb = [false; CHUNK];
+            let mut flat = r.start;
+            let d = data.get(r.clone()).unwrap_or_default();
+            let mk = mask.get(r).unwrap_or_default();
+            for (dc, mc) in d.chunks(CHUNK).zip(mk.chunks(CHUNK)) {
+                let vb = vb.get_mut(..dc.len()).unwrap_or_default();
+                let mb = mb.get_mut(..mc.len()).unwrap_or_default();
+                vb.copy_from_slice(dc);
+                mb.copy_from_slice(mc);
+                apply_chain_run(chain, flat, vb, mb);
+                for (&v, &m) in vb.iter().zip(mb.iter()) {
+                    if !m {
+                        p.push(v as f64);
+                    }
+                }
+                flat += dc.len();
+            }
+            p
+        },
+        MomentSums::merged,
+    )
+    .unwrap_or_default()
+}
+
+/// Weighted mean of the virtual field along `axis` —
+/// `reduce::weighted_mean_axis` arithmetic (per-cell ascending order, outer
+/// slabs in parallel) over chained lanes. Consumes the chain: the result is
+/// materialized.
+fn virtual_weighted_mean_axis(
+    base: &MaskedArray,
+    chain: &[LaneOp],
+    axis: usize,
+    weights: &[f64],
+) -> Result<MaskedArray> {
+    let shape = base.shape();
+    if axis >= shape.len() {
+        return Err(CdmsError::AxisOutOfRange { axis, rank: shape.len() });
+    }
+    let k = shape.get(axis).copied().unwrap_or(1);
+    if weights.len() != k {
+        return Err(CdmsError::ShapeMismatch { expected: vec![k], got: vec![weights.len()] });
+    }
+    let inner: usize = shape.iter().skip(axis + 1).product();
+    let (src_d, src_m) = (base.data(), base.mask());
+    let mut out_shape: Vec<usize> = shape.to_vec();
+    out_shape.remove(axis);
+    if out_shape.is_empty() {
+        out_shape.push(1);
+    }
+    let cells: usize = out_shape.iter().product();
+    let mut data = vec![0.0f32; cells];
+    let mut mask = vec![false; cells];
+    data.par_chunks_mut(inner.max(1))
+        .zip(mask.par_chunks_mut(inner.max(1)))
+        .enumerate()
+        .for_each(|(o, (dd, mm))| {
+            let mut wsum = vec![0.0f64; dd.len()];
+            let mut vsum = vec![0.0f64; dd.len()];
+            let mut vb = [0.0f32; CHUNK];
+            let mut mb = [false; CHUNK];
+            for (j, &w) in weights.iter().enumerate() {
+                let base_flat = (o * k + j) * inner;
+                let drow = src_d.get(base_flat..base_flat + inner).unwrap_or_default();
+                let mrow = src_m.get(base_flat..base_flat + inner).unwrap_or_default();
+                let mut flat = base_flat;
+                let mut col = 0;
+                for (dc, mc) in drow.chunks(CHUNK).zip(mrow.chunks(CHUNK)) {
+                    let vb = vb.get_mut(..dc.len()).unwrap_or_default();
+                    let mb = mb.get_mut(..mc.len()).unwrap_or_default();
+                    vb.copy_from_slice(dc);
+                    mb.copy_from_slice(mc);
+                    apply_chain_run(chain, flat, vb, mb);
+                    for (((ws, vs), &v), &m) in wsum
+                        .iter_mut()
+                        .skip(col)
+                        .zip(vsum.iter_mut().skip(col))
+                        .zip(vb.iter())
+                        .zip(mb.iter())
+                    {
+                        if !m {
+                            *ws += w;
+                            *vs += w * v as f64;
+                        }
+                    }
+                    flat += dc.len();
+                    col += dc.len();
+                }
+            }
+            for (((d, mk), &ws), &vs) in dd.iter_mut().zip(mm.iter_mut()).zip(&wsum).zip(&vsum)
+            {
+                if ws > 0.0 {
+                    *d = (vs / ws) as f32;
+                } else {
+                    *mk = true;
+                }
+            }
+        });
+    MaskedArray::with_mask(data, mask, &out_shape)
+}
+
+/// Materializes the virtual field: one parallel pass applying the whole
+/// chain to every lane.
+fn materialize(base: &MaskedArray, chain: &[LaneOp]) -> MaskedArray {
+    let mut out = base.clone();
+    if chain.is_empty() {
+        return out;
+    }
+    let (out_d, out_m) = out.parts_mut();
+    const ROW: usize = 4096;
+    out_d
+        .par_chunks_mut(ROW)
+        .zip(out_m.par_chunks_mut(ROW))
+        .enumerate()
+        .for_each(|(c, (dd, mm))| {
+            apply_chain_run(chain, c * ROW, dd, mm);
+        });
+    out
+}
+
+/// Runs `steps` over `var` with cross-step fusion. Output (data, mask and
+/// axes) is bit-identical to applying the corresponding single-step fused
+/// functions in sequence — see the module docs for the pass-count argument.
+pub fn run(var: &Variable, steps: &[AnalysisStep]) -> Result<Variable> {
+    let mut cur = var.clone();
+    let mut chain: Vec<LaneOp> = Vec::new();
+    for step in steps {
+        match step {
+            AnalysisStep::AddScalar(s) => chain.push(LaneOp::AddScalar(*s)),
+            AnalysisStep::MulScalar(s) => chain.push(LaneOp::MulScalar(*s)),
+            AnalysisStep::MaskGreater(s) => chain.push(LaneOp::MaskGreater(*s)),
+            AnalysisStep::MaskLess(s) => chain.push(LaneOp::MaskLess(*s)),
+            AnalysisStep::Anomaly => {
+                let t_idx = cur.axis_index(AxisKind::Time).ok_or_else(|| {
+                    CdmsError::NotFound(format!("time axis on '{}'", cur.id))
+                })?;
+                // the time mean wants concrete lanes: flush pending ops
+                // (one fused pass), then read the slab
+                if !chain.is_empty() {
+                    cur.array = materialize(&cur.array, &chain);
+                    chain.clear();
+                }
+                let mean = reduce::mean_axis(&cur.array, t_idx)?;
+                let nt = cur.shape().get(t_idx).copied().unwrap_or(1);
+                let inner: usize =
+                    cur.shape().iter().skip(t_idx + 1).product::<usize>().max(1);
+                let (slab_d, slab_m) = (mean.data().to_vec(), mean.mask().to_vec());
+                chain.push(LaneOp::SubSlab { slab_d, slab_m, nt, inner });
+                cur.id = format!("{}_anom", cur.id);
+            }
+            AnalysisStep::Standardize => {
+                let m = virtual_moments(&cur.array, &chain);
+                let mean = m
+                    .mean()
+                    .ok_or_else(|| CdmsError::EmptySelection("all masked".into()))?
+                    as f32;
+                let std = m.std().unwrap_or(0.0) as f32;
+                if std <= 0.0 {
+                    return Err(CdmsError::Invalid("zero variance".into()));
+                }
+                chain.push(LaneOp::SubDiv { sub: mean, div: std });
+                cur.id = format!("{}_std", cur.id);
+            }
+            AnalysisStep::SpatialMean => {
+                // latitude reduction streams through the chain; what's
+                // left is small, so the longitude step runs materialized
+                let lat_idx = cur.axis_index(AxisKind::Latitude).ok_or_else(|| {
+                    CdmsError::NotFound(format!("Latitude axis on '{}'", cur.id))
+                })?;
+                let weights = cur.axes[lat_idx].weights();
+                cur.array =
+                    virtual_weighted_mean_axis(&cur.array, &chain, lat_idx, &weights)?;
+                chain.clear();
+                cur.axes.remove(lat_idx);
+                if cur.axes.is_empty() {
+                    cur.axes.push(cdms::Axis::new("scalar", vec![0.0], "", AxisKind::Generic)?);
+                }
+                cur = crate::averager::average_over(&cur, AxisKind::Longitude)?;
+            }
+        }
+    }
+    if !chain.is_empty() {
+        cur.array = materialize(&cur.array, &chain);
+    }
+    Variable::new(&cur.id, cur.array, cur.axes).map(|mut v| {
+        v.attributes = var.attributes.clone();
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{averager, climatology, conditioned, ops, statistics};
+    use cdms::synth::SynthesisSpec;
+
+    fn bits(a: &MaskedArray) -> (Vec<u32>, Vec<bool>) {
+        (a.data().iter().map(|v| v.to_bits()).collect(), a.mask().to_vec())
+    }
+
+    #[test]
+    fn canonical_chain_matches_stepwise_bits() {
+        let ds = SynthesisSpec::new(12, 3, 16, 32).build();
+        let ta = ds.variable("ta").unwrap();
+        let fused = run(
+            ta,
+            &[AnalysisStep::Anomaly, AnalysisStep::Standardize, AnalysisStep::SpatialMean],
+        )
+        .unwrap();
+        let step = climatology::anomaly(ta).unwrap();
+        let step = statistics::standardize(&step).unwrap();
+        let step = averager::spatial_mean(&step).unwrap();
+        assert_eq!(fused.shape(), step.shape());
+        assert_eq!(bits(&fused.array), bits(&step.array));
+    }
+
+    #[test]
+    fn elementwise_steps_match_stepwise_bits() {
+        let ds = SynthesisSpec::new(4, 2, 8, 16).build();
+        let tos = ds.variable("tos").unwrap(); // masked over land
+        let fused = run(
+            tos,
+            &[
+                AnalysisStep::AddScalar(-273.15),
+                AnalysisStep::MaskLess(-5.0),
+                AnalysisStep::MulScalar(1.8),
+                AnalysisStep::AddScalar(32.0),
+                AnalysisStep::MaskGreater(100.0),
+            ],
+        )
+        .unwrap();
+        let step = ops::add_scalar(tos, -273.15).unwrap();
+        let step = conditioned::masked_less(&step, -5.0).unwrap();
+        let step = ops::mul_scalar(&step, 1.8).unwrap();
+        let step = ops::add_scalar(&step, 32.0).unwrap();
+        let step = conditioned::masked_greater(&step, 100.0).unwrap();
+        assert_eq!(bits(&fused.array), bits(&step.array));
+    }
+
+    #[test]
+    fn scalar_then_anomaly_flushes_correctly() {
+        let ds = SynthesisSpec::new(8, 2, 8, 16).build();
+        let ta = ds.variable("ta").unwrap();
+        let fused =
+            run(ta, &[AnalysisStep::AddScalar(-273.15), AnalysisStep::Anomaly]).unwrap();
+        let step = ops::add_scalar(ta, -273.15).unwrap();
+        let step = climatology::anomaly(&step).unwrap();
+        assert_eq!(bits(&fused.array), bits(&step.array));
+    }
+
+    #[test]
+    fn spatial_mean_alone_matches_averager() {
+        let ds = SynthesisSpec::new(3, 2, 8, 16).build();
+        let ta = ds.variable("ta").unwrap();
+        let fused = run(ta, &[AnalysisStep::SpatialMean]).unwrap();
+        let step = averager::spatial_mean(ta).unwrap();
+        assert_eq!(fused.shape(), step.shape());
+        assert_eq!(bits(&fused.array), bits(&step.array));
+    }
+
+    #[test]
+    fn pipeline_errors_propagate() {
+        let ds = SynthesisSpec::new(2, 1, 4, 8).build();
+        let lf = ds.variable("sftlf").unwrap(); // no time axis
+        assert!(run(lf, &[AnalysisStep::Anomaly]).is_err());
+        // masking everything then standardizing reports the empty selection
+        let all_masked = run(
+            ds.variable("ta").unwrap(),
+            &[AnalysisStep::MaskGreater(f32::NEG_INFINITY), AnalysisStep::Standardize],
+        );
+        assert!(all_masked.is_err());
+    }
+}

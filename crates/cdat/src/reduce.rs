@@ -1,0 +1,513 @@
+//! Deterministic parallel reductions shared by averager / statistics /
+//! climatology.
+//!
+//! Floating-point addition is not associative, so a naive parallel sum
+//! changes value with the worker count — poison for regression tests, for
+//! cached pipeline results, and for the hyperwall protocol where every
+//! panel must derive the same color scale. Every reduction here is instead
+//! computed as **fixed-size block partials merged in a fixed pairwise tree
+//! order**: block boundaries are a function of the array length only
+//! ([`BLOCK`] lanes), each block's partial is accumulated serially with
+//! Neumaier-compensated summation ([`Neumaier`]), and the merge tree
+//! depends only on the block count. Threads race to *fill* slots of a
+//! pre-sized partial vector, never to accumulate into shared state, so the
+//! result is bit-identical for any `RAYON_NUM_THREADS` — proven across
+//! {1, 2, 8}-thread pools in `crates/cdat/tests/expr_fusion.rs`.
+//!
+//! Axis reductions ([`weighted_mean_axis`], [`mean_axis`],
+//! [`selected_mean_axis`]) take the other route to the same guarantee:
+//! each output cell's accumulation runs serially in ascending axis order —
+//! the exact order (and precision) the pre-fusion eager code used, so
+//! results are additionally *bit-identical to the seed implementation* —
+//! and parallelism comes from distributing independent output cells.
+
+use cdms::{CdmsError, MaskedArray, Result};
+use rayon::prelude::*;
+
+/// Lanes per partial-sum block. Fixed — never derived from the worker
+/// count — so the partial layout (and thus the merged result) is a
+/// function of the data alone.
+pub const BLOCK: usize = 4096;
+
+/// Neumaier-compensated accumulator: tracks a running compensation term so
+/// adding many small values to a large sum does not lose them. Unlike
+/// plain Kahan, the compensation also survives when the addend exceeds the
+/// running sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Neumaier {
+    sum: f64,
+    comp: f64,
+}
+
+impl Neumaier {
+    /// Adds one value.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Merges another accumulator into this one. Always called in the same
+    /// tree order by `blocked`, so the operation need not be associative.
+    #[inline]
+    pub fn merge(&mut self, o: &Neumaier) {
+        self.add(o.sum);
+        self.comp += o.comp;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// Count + compensated Σv + Σv² over valid lanes: everything a mean /
+/// population-variance / standardize needs from one pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MomentSums {
+    /// Number of valid lanes.
+    pub n: u64,
+    sum: Neumaier,
+    sum_sq: Neumaier,
+}
+
+impl MomentSums {
+    #[inline]
+    pub(crate) fn push(&mut self, v: f64) {
+        self.n += 1;
+        self.sum.add(v);
+        self.sum_sq.add(v * v);
+    }
+
+    pub(crate) fn merged(mut self, o: MomentSums) -> MomentSums {
+        self.n += o.n;
+        self.sum.merge(&o.sum);
+        self.sum_sq.merge(&o.sum_sq);
+        self
+    }
+
+    /// Mean of valid lanes, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        Some(self.sum.value() / self.n as f64)
+    }
+
+    /// Population variance of valid lanes (clamped at 0), `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        let n = self.n as f64;
+        let mean = self.mean()?;
+        Some((self.sum_sq.value() / n - mean * mean).max(0.0))
+    }
+
+    /// Population standard deviation, `None` when empty.
+    pub fn std(&self) -> Option<f64> {
+        Some(self.variance()?.sqrt())
+    }
+}
+
+/// All the pairwise sums correlation and RMSE need, gathered over mutually
+/// valid lanes in one shared pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairSums {
+    /// Number of mutually valid pairs.
+    pub n: u64,
+    sx: Neumaier,
+    sy: Neumaier,
+    sxx: Neumaier,
+    syy: Neumaier,
+    sxy: Neumaier,
+    /// Σ(x−y)² — the RMSE numerator.
+    sdd: Neumaier,
+}
+
+impl PairSums {
+    #[inline]
+    fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx.add(x);
+        self.sy.add(y);
+        self.sxx.add(x * x);
+        self.syy.add(y * y);
+        self.sxy.add(x * y);
+        let d = x - y;
+        self.sdd.add(d * d);
+    }
+
+    fn merged(mut self, o: PairSums) -> PairSums {
+        self.n += o.n;
+        self.sx.merge(&o.sx);
+        self.sy.merge(&o.sy);
+        self.sxx.merge(&o.sxx);
+        self.syy.merge(&o.syy);
+        self.sxy.merge(&o.sxy);
+        self.sdd.merge(&o.sdd);
+        self
+    }
+
+    /// Pearson correlation over the pairs; `None` when `n < 2` or either
+    /// variance is zero.
+    pub fn correlation(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let nf = self.n as f64;
+        let (sx, sy) = (self.sx.value(), self.sy.value());
+        let cov = self.sxy.value() / nf - (sx / nf) * (sy / nf);
+        let vx = (self.sxx.value() / nf - (sx / nf).powi(2)).max(0.0);
+        let vy = (self.syy.value() / nf - (sy / nf).powi(2)).max(0.0);
+        if vx <= 0.0 || vy <= 0.0 {
+            return None;
+        }
+        Some(cov / (vx.sqrt() * vy.sqrt()))
+    }
+
+    /// Root-mean-square difference over the pairs; `None` when empty.
+    pub fn rmse(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        Some((self.sdd.value() / self.n as f64).sqrt())
+    }
+}
+
+/// The lane range of block `b` over `n` lanes.
+#[inline]
+fn block_range(b: usize, n: usize) -> std::ops::Range<usize> {
+    let lo = b * BLOCK;
+    lo..(lo + BLOCK).min(n)
+}
+
+/// Blocked deterministic reduction driver: computes one partial per fixed
+/// [`BLOCK`]-lane range (in parallel when the pool allows), then folds the
+/// partials in a fixed pairwise tree. Returns `None` for zero lanes.
+pub(crate) fn blocked<P: Send + Default>(
+    n: usize,
+    per_block: impl Fn(std::ops::Range<usize>) -> P + Sync,
+    merge: impl Fn(P, P) -> P,
+) -> Option<P> {
+    let nb = n.div_ceil(BLOCK);
+    if nb == 0 {
+        return None;
+    }
+    let mut parts: Vec<P> = Vec::with_capacity(nb);
+    parts.resize_with(nb, P::default);
+    if nb > 1 && rayon::current_num_threads() > 1 {
+        // Slots are pre-sized and disjoint: threads fill, never accumulate.
+        parts
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(b, slot)| *slot = per_block(block_range(b, n)));
+    } else {
+        for (b, slot) in parts.iter_mut().enumerate() {
+            *slot = per_block(block_range(b, n));
+        }
+    }
+    // Pairwise merge in fixed order: (0,1)(2,3)… then again, until one.
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge(a, b)),
+                None => next.push(a),
+            }
+        }
+        parts = next;
+    }
+    parts.pop()
+}
+
+/// Global moment sums (n, Σv, Σv²) over valid lanes — one deterministic
+/// pass serving mean, variance and standardize.
+pub fn moments(arr: &MaskedArray) -> MomentSums {
+    let (data, mask) = (arr.data(), arr.mask());
+    blocked(
+        arr.len(),
+        |r| {
+            let mut p = MomentSums::default();
+            let d = data.get(r.clone()).unwrap_or_default();
+            let m = mask.get(r).unwrap_or_default();
+            for (&v, &mk) in d.iter().zip(m) {
+                if !mk {
+                    p.push(v as f64);
+                }
+            }
+            p
+        },
+        MomentSums::merged,
+    )
+    .unwrap_or_default()
+}
+
+/// Global pair sums over mutually valid lanes of two equal-shape arrays —
+/// the shared kernel behind correlation and RMSE.
+pub fn pair_sums(a: &MaskedArray, b: &MaskedArray) -> PairSums {
+    let n = a.len().min(b.len());
+    let (ad, am) = (a.data(), a.mask());
+    let (bd, bm) = (b.data(), b.mask());
+    blocked(
+        n,
+        |r| {
+            let mut p = PairSums::default();
+            let xd = ad.get(r.clone()).unwrap_or_default();
+            let xm = am.get(r.clone()).unwrap_or_default();
+            let yd = bd.get(r.clone()).unwrap_or_default();
+            let ym = bm.get(r).unwrap_or_default();
+            for (((&x, &mx), &y), &my) in xd.iter().zip(xm).zip(yd).zip(ym) {
+                if !mx && !my {
+                    p.push(x as f64, y as f64);
+                }
+            }
+            p
+        },
+        PairSums::merged,
+    )
+    .unwrap_or_default()
+}
+
+/// Splits `shape` at `axis` into `(outer, k, inner)` and the reduced output
+/// shape, validating the axis.
+fn axis_split(arr: &MaskedArray, axis: usize) -> Result<(usize, usize, usize, Vec<usize>)> {
+    let shape = arr.shape();
+    if axis >= shape.len() {
+        return Err(CdmsError::AxisOutOfRange { axis, rank: shape.len() });
+    }
+    let outer: usize = shape.iter().take(axis).product();
+    let k = shape.get(axis).copied().unwrap_or(1);
+    let inner: usize = shape.iter().skip(axis + 1).product();
+    let mut out_shape: Vec<usize> = shape.to_vec();
+    out_shape.remove(axis);
+    if out_shape.is_empty() {
+        out_shape.push(1);
+    }
+    Ok((outer, k, inner, out_shape))
+}
+
+/// Weighted mean along `axis` (one weight per axis index), masked lanes
+/// excluded from the normalization — `cdms`'s `weighted_mean_axis`, but
+/// parallel over the outer slabs. Each output cell accumulates serially in
+/// ascending axis order with plain `f64` sums: the identical order and
+/// precision of the eager kernel, so results are bit-identical to it *and*
+/// invariant under thread count.
+pub fn weighted_mean_axis(arr: &MaskedArray, axis: usize, weights: &[f64]) -> Result<MaskedArray> {
+    let (outer, k, inner, out_shape) = axis_split(arr, axis)?;
+    if weights.len() != k {
+        return Err(CdmsError::ShapeMismatch { expected: vec![k], got: vec![weights.len()] });
+    }
+    let (src_d, src_m) = (arr.data(), arr.mask());
+    let mut data = vec![0.0f32; outer * inner];
+    let mut mask = vec![false; outer * inner];
+    data.par_chunks_mut(inner.max(1))
+        .zip(mask.par_chunks_mut(inner.max(1)))
+        .enumerate()
+        .for_each(|(o, (dd, mm))| {
+            let mut wsum = vec![0.0f64; dd.len()];
+            let mut vsum = vec![0.0f64; dd.len()];
+            for (j, &w) in weights.iter().enumerate() {
+                let base = (o * k + j) * inner;
+                let drow = src_d.get(base..base + inner).unwrap_or_default();
+                let mrow = src_m.get(base..base + inner).unwrap_or_default();
+                for (((ws, vs), &v), &m) in
+                    wsum.iter_mut().zip(vsum.iter_mut()).zip(drow).zip(mrow)
+                {
+                    if !m {
+                        *ws += w;
+                        *vs += w * v as f64;
+                    }
+                }
+            }
+            for (((d, mk), &ws), &vs) in
+                dd.iter_mut().zip(mm.iter_mut()).zip(&wsum).zip(&vsum)
+            {
+                if ws > 0.0 {
+                    *d = (vs / ws) as f32;
+                } else {
+                    *mk = true;
+                }
+            }
+        });
+    MaskedArray::with_mask(data, mask, &out_shape)
+}
+
+/// Unweighted mean along `axis` — the `reduce_axis(Mean)` replacement used
+/// by `climatology::anomaly`. Same per-cell ascending-order `f64` sums as
+/// the eager kernel (bit-identical), outer slabs in parallel.
+pub fn mean_axis(arr: &MaskedArray, axis: usize) -> Result<MaskedArray> {
+    let (outer, k, inner, out_shape) = axis_split(arr, axis)?;
+    let (src_d, src_m) = (arr.data(), arr.mask());
+    let mut data = vec![0.0f32; outer * inner];
+    let mut mask = vec![false; outer * inner];
+    data.par_chunks_mut(inner.max(1))
+        .zip(mask.par_chunks_mut(inner.max(1)))
+        .enumerate()
+        .for_each(|(o, (dd, mm))| {
+            let mut sum = vec![0.0f64; dd.len()];
+            let mut cnt = vec![0u32; dd.len()];
+            for j in 0..k {
+                let base = (o * k + j) * inner;
+                let drow = src_d.get(base..base + inner).unwrap_or_default();
+                let mrow = src_m.get(base..base + inner).unwrap_or_default();
+                for (((s, c), &v), &m) in sum.iter_mut().zip(cnt.iter_mut()).zip(drow).zip(mrow)
+                {
+                    if !m {
+                        *s += v as f64;
+                        *c += 1;
+                    }
+                }
+            }
+            for (((d, mk), &s), &c) in dd.iter_mut().zip(mm.iter_mut()).zip(&sum).zip(&cnt) {
+                if c > 0 {
+                    *d = (s / c as f64) as f32;
+                } else {
+                    *mk = true;
+                }
+            }
+        });
+    MaskedArray::with_mask(data, mask, &out_shape)
+}
+
+/// Mean over a *subset* of indices along `axis` (e.g. the timesteps of one
+/// calendar month), the kernel behind `climatology::mean_over_months`.
+///
+/// Accumulation is `f32` in the given `selected` order — the exact
+/// arithmetic of the pre-fusion eager loop (first contribution assigns,
+/// later ones add), so results are bit-identical to it — with output cells
+/// distributed over the pool.
+pub fn selected_mean_axis(
+    arr: &MaskedArray,
+    axis: usize,
+    selected: &[usize],
+) -> Result<MaskedArray> {
+    let (outer, k, inner, out_shape) = axis_split(arr, axis)?;
+    if selected.is_empty() {
+        return Err(CdmsError::EmptySelection("no indices selected".into()));
+    }
+    if let Some(&bad) = selected.iter().find(|&&j| j >= k) {
+        return Err(CdmsError::AxisOutOfRange { axis: bad, rank: k });
+    }
+    let (src_d, src_m) = (arr.data(), arr.mask());
+    let mut data = vec![0.0f32; outer * inner];
+    let mut mask = vec![false; outer * inner];
+    data.par_chunks_mut(inner.max(1))
+        .zip(mask.par_chunks_mut(inner.max(1)))
+        .enumerate()
+        .for_each(|(o, (dd, mm))| {
+            let mut cnt = vec![0u32; dd.len()];
+            for &j in selected {
+                let base = (o * k + j) * inner;
+                let drow = src_d.get(base..base + inner).unwrap_or_default();
+                let mrow = src_m.get(base..base + inner).unwrap_or_default();
+                for (((d, c), &v), &m) in dd.iter_mut().zip(cnt.iter_mut()).zip(drow).zip(mrow)
+                {
+                    if !m {
+                        // first valid contribution assigns (not adds):
+                        // preserves the eager loop's bit pattern for -0.0
+                        if *c == 0 {
+                            *d = v;
+                        } else {
+                            *d += v;
+                        }
+                        *c += 1;
+                    }
+                }
+            }
+            for ((d, mk), &c) in dd.iter_mut().zip(mm.iter_mut()).zip(&cnt) {
+                if c > 0 {
+                    *d /= c as f32;
+                } else {
+                    *d = 0.0;
+                    *mk = true;
+                }
+            }
+        });
+    MaskedArray::with_mask(data, mask, &out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neumaier_recovers_lost_low_bits() {
+        // 1.0 + 1e16 + (-1e16) == 0 in plain f64 summation order 1e16 first
+        let mut acc = Neumaier::default();
+        for v in [1.0, 1e16, -1e16] {
+            acc.add(v);
+        }
+        assert_eq!(acc.value(), 1.0);
+    }
+
+    #[test]
+    fn moments_match_naive_on_small_input() {
+        let a = MaskedArray::with_mask(
+            vec![1.0, 2.0, 3.0, 100.0],
+            vec![false, false, false, true],
+            &[4],
+        )
+        .unwrap();
+        let m = moments(&a);
+        assert_eq!(m.n, 3);
+        assert!((m.mean().unwrap() - 2.0).abs() < 1e-12);
+        assert!((m.variance().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_sums_correlation_and_rmse() {
+        let x = MaskedArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let y = MaskedArray::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[4]).unwrap();
+        let p = pair_sums(&x, &y);
+        assert_eq!(p.n, 4);
+        assert!((p.correlation().unwrap() - 1.0).abs() < 1e-12);
+        // rmse of (1,2,3,4) vs itself is 0
+        assert!(pair_sums(&x, &x).rmse().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_axis_matches_eager_bits() {
+        let n = BLOCK + 77;
+        let data: Vec<f32> = (0..n * 3).map(|i| ((i * 37) % 101) as f32 - 50.0).collect();
+        let mask: Vec<bool> = (0..n * 3).map(|i| i % 11 == 0).collect();
+        let a = MaskedArray::with_mask(data, mask, &[n, 3]).unwrap();
+        let w = [0.2f64, 0.5, 0.3];
+        let ours = weighted_mean_axis(&a, 1, &w).unwrap();
+        let eager = a.weighted_mean_axis(1, &w).unwrap();
+        assert_eq!(ours.mask(), eager.mask());
+        let ob: Vec<u32> = ours.data().iter().map(|v| v.to_bits()).collect();
+        let eb: Vec<u32> = eager.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ob, eb);
+    }
+
+    #[test]
+    fn mean_axis_matches_eager_bits() {
+        let data: Vec<f32> = (0..120).map(|i| (i as f32).sin() * 10.0).collect();
+        let mask: Vec<bool> = (0..120).map(|i| i % 7 == 3).collect();
+        let a = MaskedArray::with_mask(data, mask, &[5, 4, 6]).unwrap();
+        for axis in 0..3 {
+            let ours = mean_axis(&a, axis).unwrap();
+            let eager = a.reduce_axis(axis, cdms::array::Reduction::Mean).unwrap();
+            assert_eq!(ours.shape(), eager.shape());
+            assert_eq!(ours.mask(), eager.mask(), "axis {axis}");
+            let ob: Vec<u32> = ours.data().iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u32> = eager.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ob, eb, "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn selected_mean_validates() {
+        let a = MaskedArray::zeros(&[4, 2]);
+        assert!(selected_mean_axis(&a, 0, &[]).is_err());
+        assert!(selected_mean_axis(&a, 0, &[4]).is_err());
+        assert!(selected_mean_axis(&a, 5, &[0]).is_err());
+        let m = selected_mean_axis(&a, 0, &[1, 3]).unwrap();
+        assert_eq!(m.shape(), &[2]);
+    }
+}

@@ -1,58 +1,35 @@
 //! Statistical operations: variance, correlation, trends, RMSE —
 //! `genutil.statistics` equivalents, mask-aware throughout.
+//!
+//! Global reductions (correlation, RMSE, the standardize moments) run on
+//! the deterministic blocked kernel in [`crate::reduce`]: parallel over
+//! fixed-size blocks, Neumaier-compensated partials merged in a fixed tree
+//! order — bit-identical results for any `RAYON_NUM_THREADS`. Per-gridpoint
+//! reductions (the trend) parallelize over output cells while keeping each
+//! cell's accumulation in eager order, so they are additionally
+//! bit-identical to the pre-fusion serial code (see [`crate::eager_ref`]).
 
+use crate::reduce;
 use cdms::axis::AxisKind;
 use cdms::{CdmsError, Result, Variable};
+use rayon::prelude::*;
 
 /// Pearson correlation between two variables over all mutually valid
 /// elements (pattern correlation when fed spatial fields).
 pub fn correlation(a: &Variable, b: &Variable) -> Result<f64> {
     crate::ops::check_domains(a, b)?;
-    let mut n = 0usize;
-    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
-    for i in 0..a.array.len() {
-        if a.array.mask()[i] || b.array.mask()[i] {
-            continue;
-        }
-        let x = a.array.data()[i] as f64;
-        let y = b.array.data()[i] as f64;
-        n += 1;
-        sx += x;
-        sy += y;
-        sxx += x * x;
-        syy += y * y;
-        sxy += x * y;
-    }
-    if n < 2 {
+    let p = reduce::pair_sums(&a.array, &b.array);
+    if p.n < 2 {
         return Err(CdmsError::EmptySelection("fewer than 2 valid pairs".into()));
     }
-    let nf = n as f64;
-    let cov = sxy / nf - (sx / nf) * (sy / nf);
-    let vx = (sxx / nf - (sx / nf).powi(2)).max(0.0);
-    let vy = (syy / nf - (sy / nf).powi(2)).max(0.0);
-    if vx <= 0.0 || vy <= 0.0 {
-        return Err(CdmsError::Invalid("zero variance".into()));
-    }
-    Ok(cov / (vx.sqrt() * vy.sqrt()))
+    p.correlation().ok_or_else(|| CdmsError::Invalid("zero variance".into()))
 }
 
 /// Root-mean-square error between two variables over valid pairs.
 pub fn rmse(a: &Variable, b: &Variable) -> Result<f64> {
     crate::ops::check_domains(a, b)?;
-    let mut n = 0usize;
-    let mut acc = 0.0f64;
-    for i in 0..a.array.len() {
-        if a.array.mask()[i] || b.array.mask()[i] {
-            continue;
-        }
-        let d = (a.array.data()[i] - b.array.data()[i]) as f64;
-        acc += d * d;
-        n += 1;
-    }
-    if n == 0 {
-        return Err(CdmsError::EmptySelection("no valid pairs".into()));
-    }
-    Ok((acc / n as f64).sqrt())
+    let p = reduce::pair_sums(&a.array, &b.array);
+    p.rmse().ok_or_else(|| CdmsError::EmptySelection("no valid pairs".into()))
 }
 
 /// Least-squares linear trend along the time axis, per grid point:
@@ -75,37 +52,47 @@ pub fn linear_trend(var: &Variable) -> Result<Variable> {
     let outer: usize = var.shape()[..t_idx].iter().product();
     let inner: usize = var.shape()[t_idx + 1..].iter().product();
 
-    let mut data = Vec::with_capacity(outer * inner);
-    let mut mask = Vec::with_capacity(outer * inner);
-    for o in 0..outer {
-        for i in 0..inner {
-            let base = o * t_stride * nt + i;
-            let (mut n, mut st, mut sv, mut stt, mut stv) = (0usize, 0.0f64, 0.0, 0.0, 0.0);
-            for (t, &tv) in times.iter().enumerate() {
-                let idx = base + t * t_stride;
-                if var.array.mask()[idx] {
-                    continue;
+    // Output cells are independent: distribute the outer slabs over the
+    // pool, keep each cell's time accumulation serial in ascending order —
+    // the eager order, so slopes are bit-identical to the serial reference
+    // and invariant under thread count.
+    let src_mask = var.array.mask();
+    let src_data = var.array.data();
+    let mut data = vec![0.0f32; outer * inner];
+    let mut mask = vec![false; outer * inner];
+    data.par_chunks_mut(inner.max(1))
+        .zip(mask.par_chunks_mut(inner.max(1)))
+        .enumerate()
+        .for_each(|(o, (dd, mm))| {
+            for (i, (d, mk)) in dd.iter_mut().zip(mm.iter_mut()).enumerate() {
+                let base = o * t_stride * nt + i;
+                let (mut n, mut st, mut sv, mut stt, mut stv) = (0usize, 0.0f64, 0.0, 0.0, 0.0);
+                for (t, &tv) in times.iter().enumerate() {
+                    let idx = base + t * t_stride;
+                    if src_mask.get(idx).copied().unwrap_or(true) {
+                        continue;
+                    }
+                    let v = src_data.get(idx).copied().unwrap_or_default() as f64;
+                    n += 1;
+                    st += tv;
+                    sv += v;
+                    stt += tv * tv;
+                    stv += tv * v;
                 }
-                let v = var.array.data()[idx] as f64;
-                n += 1;
-                st += tv;
-                sv += v;
-                stt += tv * tv;
-                stv += tv * v;
-            }
-            if n >= 3 {
-                let nf = n as f64;
-                let denom = stt - st * st / nf;
-                if denom.abs() > 1e-12 {
-                    data.push(((stv - st * sv / nf) / denom) as f32);
-                    mask.push(false);
-                    continue;
+                let mut fitted = false;
+                if n >= 3 {
+                    let nf = n as f64;
+                    let denom = stt - st * st / nf;
+                    if denom.abs() > 1e-12 {
+                        *d = ((stv - st * sv / nf) / denom) as f32;
+                        fitted = true;
+                    }
+                }
+                if !fitted {
+                    *mk = true;
                 }
             }
-            data.push(0.0);
-            mask.push(true);
-        }
-    }
+        });
     let array = cdms::MaskedArray::with_mask(data, mask, &out_shape)?;
     let mut axes = var.axes.clone();
     axes.remove(t_idx);
@@ -118,16 +105,18 @@ pub fn linear_trend(var: &Variable) -> Result<Variable> {
 }
 
 /// Standardizes a variable: `(x - mean) / std` over valid elements.
+///
+/// One deterministic blocked pass gathers mean and std together (the eager
+/// path reduced twice), then a fused parallel map applies the transform.
 pub fn standardize(var: &Variable) -> Result<Variable> {
-    let mean = var
-        .array
-        .mean()
-        .ok_or_else(|| CdmsError::EmptySelection("all masked".into()))?;
-    let std = var.array.std().unwrap_or(0.0);
+    let m = reduce::moments(&var.array);
+    let mean =
+        m.mean().ok_or_else(|| CdmsError::EmptySelection("all masked".into()))? as f32;
+    let std = m.std().unwrap_or(0.0) as f32;
     if std <= 0.0 {
         return Err(CdmsError::Invalid("zero variance".into()));
     }
-    let arr = var.array.map(|x| (x - mean) / std);
+    let arr = crate::expr::Expr::leaf(&var.array).sub_div(mean, std).eval()?;
     let mut v = Variable::new(&format!("{}_std", var.id), arr, var.axes.clone())?;
     v.attributes = var.attributes.clone();
     Ok(v)

@@ -189,6 +189,25 @@ impl TaskGraph {
         })
     }
 
+    /// Adds a task that runs a fused analysis pipeline
+    /// ([`crate::pipeline::run`]) over the output of `input`: the steps
+    /// execute with cross-step fusion (a few streaming passes) instead of
+    /// materializing every intermediate variable.
+    pub fn add_pipeline_task(
+        &mut self,
+        name: &str,
+        input: &str,
+        steps: Vec<crate::pipeline::AnalysisStep>,
+    ) -> Result<()> {
+        let dep = input.to_string();
+        self.add_task(name, &[input], move |deps| {
+            let var = deps
+                .get(&dep)
+                .ok_or_else(|| CdmsError::NotFound(format!("dependency '{dep}'")))?;
+            crate::pipeline::run(var, &steps)
+        })
+    }
+
     /// Number of tasks.
     pub fn len(&self) -> usize {
         self.tasks.len()
@@ -348,6 +367,32 @@ mod tests {
             "both regrid tasks should consult the plan cache"
         );
         assert!(after.hits > before.hits, "second task should reuse the cached plan");
+    }
+
+    #[test]
+    fn pipeline_task_matches_stepwise_tasks() {
+        use crate::pipeline::AnalysisStep;
+        let ds = SynthesisSpec::new(12, 2, 8, 16).build();
+        let ta = ds.variable("ta").unwrap().clone();
+        let mut g = TaskGraph::new();
+        g.add_source("ta", ta).unwrap();
+        g.add_pipeline_task(
+            "series",
+            "ta",
+            vec![AnalysisStep::Anomaly, AnalysisStep::Standardize, AnalysisStep::SpatialMean],
+        )
+        .unwrap();
+        g.add_task("anom", &["ta"], |deps| climatology::anomaly(&deps["ta"])).unwrap();
+        g.add_task("stdz", &["anom"], |deps| {
+            crate::statistics::standardize(&deps["anom"])
+        })
+        .unwrap();
+        g.add_task("series_stepwise", &["stdz"], |deps| {
+            averager::spatial_mean(&deps["stdz"])
+        })
+        .unwrap();
+        let report = g.run_parallel().unwrap();
+        assert_eq!(report.outputs["series"].array, report.outputs["series_stepwise"].array);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! mask (`true` = *masked out*, i.e. missing, matching `numpy.ma` semantics).
 //! All arithmetic propagates masks; reductions skip masked elements.
 
+pub mod mask;
 mod ops;
 mod reduce;
 mod slice;
 
+pub use mask::MaskWords;
 pub use ops::BinOp;
 pub use reduce::Reduction;
 pub use slice::SliceSpec;
@@ -145,6 +147,29 @@ impl MaskedArray {
     /// Mutable mask slice.
     pub fn mask_mut(&mut self) -> &mut [bool] {
         &mut self.mask
+    }
+
+    /// Mutable data and mask slices together — the borrow splitter the
+    /// in-place parallel kernels need (`data_mut`/`mask_mut` can't be held
+    /// at once).
+    pub fn parts_mut(&mut self) -> (&mut [f32], &mut [bool]) {
+        (&mut self.data, &mut self.mask)
+    }
+
+    /// The mask bit-packed into `u64` words (bit set = masked) — the
+    /// representation the fused kernels in `cdat::expr` consume. Packing is
+    /// one linear pass; see `array::mask` for why the `Vec<bool>` stays the
+    /// canonical storage behind the public API.
+    pub fn mask_words(&self) -> MaskWords {
+        MaskWords::from_bools(&self.mask)
+    }
+
+    /// Builds an array from data plus a bit-packed mask.
+    pub fn with_mask_words(data: Vec<f32>, words: &MaskWords, shape: &[usize]) -> Result<Self> {
+        if data.len() != words.len() {
+            return Err(CdmsError::Invalid("data/mask length mismatch".into()));
+        }
+        Self::with_mask(data, words.to_bools(), shape)
     }
 
     /// Flat offset of a multi-index.

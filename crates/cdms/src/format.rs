@@ -216,6 +216,14 @@ pub fn to_bytes_v1(ds: &Dataset) -> Bytes {
 /// Serializes in v2 and returns the byte map alongside — the corruption
 /// fuzzer and storage tooling use the layout to reason about which bytes
 /// belong to which section.
+///
+/// Sections are framed **in place**: the length field is written as a
+/// placeholder, the payload streams directly into the output buffer, and
+/// `end_section` patches the length and appends the CRC — no per-section
+/// temporary buffers, no payload copy. Combined with an exact up-front
+/// capacity reservation (the encoder never reallocates) and bulk `f32`
+/// writes, this removes the v2 encode overhead the `ncr_io` bench used to
+/// report against v1. The byte layout is unchanged.
 pub fn to_bytes_v2_with_layout(ds: &Dataset) -> (Bytes, V2Layout) {
     // Deduplicate axes across variables: each distinct axis is written once
     // and referenced by index.
@@ -236,7 +244,22 @@ pub fn to_bytes_v2_with_layout(ds: &Dataset) -> (Bytes, V2Layout) {
         refs_per_var.push(refs);
     }
 
+    // Exact total size, so one allocation serves the whole encode.
+    let n_dir = 1 + axes.len() + ds.variables().len();
+    let trailer_payload = 4 + 21 * n_dir + 4;
+    let mut total = 8 // magic + version
+        + FRAME_OVERHEAD + header_size(ds)
+        + FRAME_OVERHEAD + trailer_payload
+        + FOOTER_LEN;
+    for ax in &axes {
+        total += FRAME_OVERHEAD + axis_size(ax);
+    }
+    for (var, refs) in ds.variables().iter().zip(&refs_per_var) {
+        total += FRAME_OVERHEAD + variable_size(var, refs);
+    }
+
     let mut buf = BytesMut::new();
+    buf.reserve(total);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION_V2);
     let mut sections: Vec<SectionSpan> = Vec::new();
@@ -244,43 +267,41 @@ pub fn to_bytes_v2_with_layout(ds: &Dataset) -> (Bytes, V2Layout) {
     let mut dir: Vec<(u8, u64, u64, u32)> = Vec::new();
 
     // header
-    let mut p = BytesMut::new();
-    put_string(&mut p, &ds.id);
-    put_attrs(&mut p, &ds.attributes);
-    p.put_u32_le(axes.len() as u32);
-    p.put_u32_le(ds.variables().len() as u32);
-    put_section(&mut buf, &mut sections, &mut dir, SectionKind::Header, &p, None);
+    let p = begin_section(&mut buf, SectionKind::Header);
+    put_string(&mut buf, &ds.id);
+    put_attrs(&mut buf, &ds.attributes);
+    buf.put_u32_le(axes.len() as u32);
+    buf.put_u32_le(ds.variables().len() as u32);
+    end_section(&mut buf, p, &mut sections, &mut dir, SectionKind::Header, None);
 
     // axes
     for ax in &axes {
-        let mut p = BytesMut::new();
-        put_axis(&mut p, ax);
-        put_section(&mut buf, &mut sections, &mut dir, SectionKind::Axis, &p, None);
+        let p = begin_section(&mut buf, SectionKind::Axis);
+        put_axis(&mut buf, ax);
+        end_section(&mut buf, p, &mut sections, &mut dir, SectionKind::Axis, None);
     }
 
     // variables
     for (var, refs) in ds.variables().iter().zip(&refs_per_var) {
-        let mut p = BytesMut::new();
-        put_string(&mut p, &var.id);
-        p.put_u32_le(refs.len() as u32);
+        let p = begin_section(&mut buf, SectionKind::Variable);
+        put_string(&mut buf, &var.id);
+        buf.put_u32_le(refs.len() as u32);
         for &r in refs {
-            p.put_u32_le(r as u32);
+            buf.put_u32_le(r as u32);
         }
-        put_attrs(&mut p, &var.attributes);
-        p.put_u32_le(var.array.rank() as u32);
+        put_attrs(&mut buf, &var.attributes);
+        buf.put_u32_le(var.array.rank() as u32);
         for &d in var.array.shape() {
-            p.put_u64_le(d as u64);
+            buf.put_u64_le(d as u64);
         }
-        for &v in var.array.data() {
-            p.put_f32_le(v);
-        }
-        put_mask(&mut p, var.array.mask());
-        put_section(
+        put_f32_bulk(&mut buf, var.array.data());
+        put_mask(&mut buf, var.array.mask());
+        end_section(
             &mut buf,
+            p,
             &mut sections,
             &mut dir,
             SectionKind::Variable,
-            &p,
             Some((var.id.clone(), refs.clone())),
         );
     }
@@ -288,18 +309,18 @@ pub fn to_bytes_v2_with_layout(ds: &Dataset) -> (Bytes, V2Layout) {
     // trailer: directory of everything written so far, plus a file-level
     // CRC chained over the per-section CRCs.
     let trailer_offset = buf.len();
-    let mut p = BytesMut::new();
-    p.put_u32_le(dir.len() as u32);
+    let p = begin_section(&mut buf, SectionKind::Trailer);
+    buf.put_u32_le(dir.len() as u32);
     let mut crc_bytes = Vec::with_capacity(dir.len() * 4);
     for &(kind, off, len, crc) in &dir {
-        p.put_u8(kind);
-        p.put_u64_le(off);
-        p.put_u64_le(len);
-        p.put_u32_le(crc);
+        buf.put_u8(kind);
+        buf.put_u64_le(off);
+        buf.put_u64_le(len);
+        buf.put_u32_le(crc);
         crc_bytes.extend_from_slice(&crc.to_le_bytes());
     }
-    p.put_u32_le(crc32c(&crc_bytes));
-    put_section(&mut buf, &mut sections, &mut dir, SectionKind::Trailer, &p, None);
+    buf.put_u32_le(crc32c(&crc_bytes));
+    end_section(&mut buf, p, &mut sections, &mut dir, SectionKind::Trailer, None);
 
     // footer: where the trailer starts, checksummed, so salvage can find
     // the directory from EOF even when mid-file framing is destroyed.
@@ -307,34 +328,87 @@ pub fn to_bytes_v2_with_layout(ds: &Dataset) -> (Bytes, V2Layout) {
     buf.put_u64_le(trailer_offset as u64);
     buf.put_u32_le(crc32c(&(trailer_offset as u64).to_le_bytes()));
 
+    debug_assert_eq!(buf.len(), total, "size precomputation must be exact");
     let layout = V2Layout { sections, footer: footer_start..buf.len() };
     (buf.freeze(), layout)
 }
 
-/// Appends one framed section to `buf`, recording its span and directory
-/// entry.
-fn put_section(
+/// Opens a section frame in place: writes the kind byte and a zero length
+/// placeholder, returning the payload start offset for `end_section`.
+fn begin_section(buf: &mut BytesMut, kind: SectionKind) -> usize {
+    buf.put_u8(kind.as_u8());
+    buf.put_u64_le(0); // patched by end_section
+    buf.len()
+}
+
+/// Closes an in-place section frame: patches the length placeholder,
+/// appends the payload CRC, and records the span and directory entry.
+fn end_section(
     buf: &mut BytesMut,
+    payload_start: usize,
     sections: &mut Vec<SectionSpan>,
     dir: &mut Vec<(u8, u64, u64, u32)>,
     kind: SectionKind,
-    payload: &[u8],
     variable: Option<(String, Vec<usize>)>,
 ) {
-    let frame_start = buf.len();
-    buf.put_u8(kind.as_u8());
-    buf.put_u64_le(payload.len() as u64);
-    let payload_start = buf.len();
-    buf.put_slice(payload);
-    let crc = crc32c(payload);
+    let len = buf.len() - payload_start;
+    let crc = crc32c(&buf[payload_start..]);
+    buf[payload_start - 8..payload_start].copy_from_slice(&(len as u64).to_le_bytes());
     buf.put_u32_le(crc);
+    let frame_start = payload_start - 9;
     sections.push(SectionSpan {
         kind,
         frame: frame_start..buf.len(),
-        payload: payload_start..payload_start + payload.len(),
+        payload: payload_start..payload_start + len,
         variable,
     });
-    dir.push((kind.as_u8(), frame_start as u64, payload.len() as u64, crc));
+    dir.push((kind.as_u8(), frame_start as u64, len as u64, crc));
+}
+
+// ---- encoded-size precomputation (exact, mirrors the put_* writers) ----
+
+fn string_size(s: &str) -> usize {
+    4 + s.len()
+}
+
+fn attrs_size(attrs: &Attributes) -> usize {
+    let mut n = 4;
+    for (k, v) in attrs {
+        n += string_size(k) + 1;
+        n += match v {
+            AttValue::Text(s) => string_size(s),
+            AttValue::Float(_) | AttValue::Int(_) => 8,
+            AttValue::FloatVec(v) => 4 + 8 * v.len(),
+        };
+    }
+    n
+}
+
+fn axis_size(ax: &Axis) -> usize {
+    string_size(&ax.id)
+        + string_size(&ax.units)
+        + 2 // kind + calendar
+        + 8
+        + 8 * ax.values.len()
+        + 1
+        + ax.bounds.as_ref().map_or(0, |b| 16 * b.len())
+        + attrs_size(&ax.attributes)
+}
+
+fn header_size(ds: &Dataset) -> usize {
+    string_size(&ds.id) + attrs_size(&ds.attributes) + 8
+}
+
+fn variable_size(var: &Variable, refs: &[usize]) -> usize {
+    let n = var.array.len();
+    string_size(&var.id)
+        + 4
+        + 4 * refs.len()
+        + attrs_size(&var.attributes)
+        + 4
+        + 8 * var.array.rank()
+        + 4 * n
+        + n.div_ceil(8)
 }
 
 // ---- decoding (strict) ----
@@ -1056,6 +1130,20 @@ fn put_axis(buf: &mut BytesMut, ax: &Axis) {
         None => buf.put_u8(0),
     }
     put_attrs(buf, &ax.attributes);
+}
+
+/// Streams an `f32` slice into the buffer through a stack staging block,
+/// amortizing the per-element bookkeeping of `put_f32_le`.
+fn put_f32_bulk(buf: &mut BytesMut, data: &[f32]) {
+    let mut stage = [0u8; 4096];
+    for chunk in data.chunks(1024) {
+        let mut n = 0;
+        for &v in chunk {
+            stage[n..n + 4].copy_from_slice(&v.to_le_bytes());
+            n += 4;
+        }
+        buf.put_slice(&stage[..n]);
+    }
 }
 
 fn put_mask(buf: &mut BytesMut, mask: &[bool]) {

@@ -70,7 +70,7 @@ pub mod storage;
 pub mod synth;
 pub mod variable;
 
-pub use array::MaskedArray;
+pub use array::{MaskWords, MaskedArray};
 pub use attr::AttValue;
 pub use axis::{Axis, AxisKind};
 pub use calendar::{Calendar, CompTime, RelTime, TimeUnits};

@@ -302,7 +302,7 @@ fn apply_function(name: &str, args: Vec<CalcValue>, strings: Vec<String>) -> Res
                 "log" => |x| x.ln(),
                 _ => |x| x.exp(),
             };
-            Ok(CalcValue::Variable(ops::apply(&v, &format!("{name}_{}", v.id), f)?))
+            Ok(CalcValue::Variable(ops::apply_sync(&v, &format!("{name}_{}", v.id), f)?))
         }
         "anom" => Ok(CalcValue::Variable(climatology::anomaly(&one_var(name, &args)?)?)),
         "trend" => Ok(CalcValue::Variable(statistics::linear_trend(&one_var(name, &args)?)?)),
@@ -385,7 +385,7 @@ fn binary(left: &CalcValue, right: &CalcValue, op: &Tok) -> Result<CalcValue> {
             Tok::Star => ops::mul_scalar(b, *s as f32)?,
             Tok::Minus => ops::add_scalar(&ops::mul_scalar(b, -1.0)?, *s as f32)?,
             Tok::Slash => {
-                let inv = ops::apply(b, &b.id, |x| 1.0 / x)?;
+                let inv = ops::apply_sync(b, &b.id, |x| 1.0 / x)?;
                 ops::mul_scalar(&inv, *s as f32)?
             }
             _ => return Err(Dv3dError::Config(format!("'{op:?}' is not a binary operator"))),

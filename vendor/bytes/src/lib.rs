@@ -111,6 +111,18 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes { vec: self.vec }
     }
+
+    /// Reserve capacity for at least `additional` more bytes, mirroring
+    /// `bytes::BytesMut::reserve`. Writers that know their encoded size up
+    /// front use this to pay for allocation exactly once.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Currently allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
 }
 
 impl BufMut for BytesMut {
@@ -123,6 +135,15 @@ impl std::ops::Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.vec
+    }
+}
+
+// The real `bytes` crate exposes the written region mutably; the in-place
+// section framer relies on this to patch a length placeholder after the
+// payload has been written directly into the buffer.
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
     }
 }
 
@@ -178,6 +199,22 @@ mod tests {
         r.copy_to_slice(&mut tail);
         assert_eq!(&tail, b"xyz");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_mut_allows_in_place_patching() {
+        let mut buf = BytesMut::with_capacity(16);
+        assert!(buf.capacity() >= 16);
+        buf.put_u8(0xAA);
+        buf.put_u64_le(0); // placeholder
+        buf.put_slice(b"payload");
+        let patch = (7u64).to_le_bytes();
+        buf[1..9].copy_from_slice(&patch);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 0xAA);
+        assert_eq!(r.get_u64_le(), 7);
+        buf.reserve(1024);
+        assert!(buf.capacity() >= 16 + 1024);
     }
 
     #[test]
