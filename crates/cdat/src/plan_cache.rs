@@ -1,10 +1,21 @@
 //! Workspace-wide cache of [`RegridPlan`]s: a bounded LRU keyed by the
 //! `(source grid, target grid, method)` fingerprint from
-//! [`crate::regrid_plan::plan_key`], with hit/miss/eviction counters so
-//! benches and diagnostics can verify reuse. The `regrid::{bilinear,
+//! [`crate::regrid_plan::plan_key`], with hit/miss/dedup/eviction counters
+//! so benches and diagnostics can verify reuse. The `regrid::{bilinear,
 //! conservative}` wrappers route through the process-global instance, so
 //! every animation frame, spreadsheet cell or hyperwall panel that repeats
 //! a grid pair pays the planning cost once.
+//!
+//! Two layers:
+//!
+//! * [`PlanCache`] — the single-owner LRU (bookkeeping only, no locking).
+//! * [`SharedPlanCache`] — the concurrent front the multi-tenant session
+//!   service hits from many threads at once. The map lock is **never held
+//!   while a plan builds** (builds for different keys proceed in
+//!   parallel), and concurrent requests for the *same* key are
+//!   deduplicated: one thread builds, the rest wait on that build and are
+//!   counted in [`CacheStats::dedups`]. Keys are content-addressed grid
+//!   fingerprints, so "same key" means "same work" across sessions.
 //!
 //! On the dv3dlint `indexing_hot_paths` list: lookups run inside the
 //! interactive render loop and must not panic.
@@ -13,7 +24,7 @@ use crate::regrid_plan::RegridPlan;
 use cdms::Result;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 
 /// Default capacity of the process-global cache: a hyperwall's worth of
 /// distinct grid pairs, small enough that eviction scans stay trivial.
@@ -28,6 +39,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Plans dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Lookups that piggybacked on another thread's in-flight build of the
+    /// same key instead of building their own copy (shared front only).
+    pub dedups: u64,
 }
 
 #[derive(Debug)]
@@ -149,11 +163,169 @@ impl PlanCache {
     }
 }
 
-static GLOBAL: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+/// Locks a std mutex, recovering the guard from a poisoned lock (the
+/// protected state is plain bookkeeping; a panicked peer cannot corrupt it
+/// beyond what the usual counters tolerate).
+fn std_lock<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
-/// The process-global plan cache the `regrid` wrappers share.
+/// One in-flight plan build that other threads can wait on.
+#[derive(Debug, Default)]
+struct BuildSlot {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl BuildSlot {
+    fn wait(&self) {
+        let mut done = std_lock(&self.done);
+        while !*done {
+            done = self
+                .cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn finish(&self) {
+        *std_lock(&self.done) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The concurrent front over a [`PlanCache`]: safe to hit from many
+/// session threads at once.
+///
+/// Invariants the contention tests pin down:
+///
+/// * the LRU lock is held only for map bookkeeping, never across a plan
+///   build — distinct keys build in parallel;
+/// * concurrent lookups of the same missing key run **one** build; the
+///   other threads block on that build and count as
+///   [`CacheStats::dedups`] (their served lookups also count as hits);
+/// * a failed build poisons nothing: waiters retry, and the next claimant
+///   rebuilds;
+/// * capacity stays bounded under any interleaving (eviction is the
+///   ordinary LRU path, counted in [`CacheStats::evictions`]).
+#[derive(Debug)]
+pub struct SharedPlanCache {
+    cache: Mutex<PlanCache>,
+    inflight: StdMutex<HashMap<u64, Arc<BuildSlot>>>,
+}
+
+impl SharedPlanCache {
+    /// A shared cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> SharedPlanCache {
+        SharedPlanCache {
+            cache: Mutex::new(PlanCache::new(capacity)),
+            inflight: StdMutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying LRU, for single-owner maintenance (capacity changes,
+    /// clears). Do not hold this lock across plan builds.
+    pub fn cache(&self) -> &Mutex<PlanCache> {
+        &self.cache
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.lock().is_empty()
+    }
+
+    /// The cached plan for `key`, bumping recency (counts a hit or miss).
+    pub fn get(&self, key: u64) -> Option<Arc<RegridPlan>> {
+        self.cache.lock().get(key)
+    }
+
+    /// The plan for `key`, building it on a miss without serializing
+    /// unrelated builds, and deduplicating concurrent builds of the same
+    /// key. A failed build caches nothing and surfaces the error to the
+    /// thread that ran it; waiting threads retry (and rebuild if needed).
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        mut build: impl FnMut() -> Result<RegridPlan>,
+    ) -> Result<Arc<RegridPlan>> {
+        let mut waited = false;
+        loop {
+            // fast path: answer from the LRU under its own (brief) lock
+            {
+                let mut c = self.cache.lock();
+                c.tick += 1;
+                let tick = c.tick;
+                if let Some(e) = c.entries.get_mut(&key) {
+                    e.last_used = tick;
+                    let plan = Arc::clone(&e.plan);
+                    c.stats.hits += 1;
+                    if waited {
+                        c.stats.dedups += 1;
+                    }
+                    return Ok(plan);
+                }
+            }
+            // miss: claim the build, or wait on whoever already claimed it
+            let (slot, is_builder) = {
+                let mut inflight = std_lock(&self.inflight);
+                match inflight.get(&key) {
+                    Some(s) => (Arc::clone(s), false),
+                    None => {
+                        let s = Arc::new(BuildSlot::default());
+                        inflight.insert(key, Arc::clone(&s));
+                        (s, true)
+                    }
+                }
+            };
+            if !is_builder {
+                slot.wait();
+                waited = true;
+                continue;
+            }
+            // build WITHOUT holding either lock: other keys proceed freely
+            let built = build();
+            let out = match built {
+                Ok(plan) => {
+                    let plan = Arc::new(plan);
+                    let mut c = self.cache.lock();
+                    c.stats.misses += 1;
+                    c.insert(key, Arc::clone(&plan));
+                    Ok(plan)
+                }
+                Err(e) => {
+                    self.cache.lock().stats.misses += 1;
+                    Err(e)
+                }
+            };
+            std_lock(&self.inflight).remove(&key);
+            slot.finish();
+            return out;
+        }
+    }
+}
+
+static GLOBAL: OnceLock<SharedPlanCache> = OnceLock::new();
+
+/// The process-global shared plan cache: the concurrent front every
+/// session of the multi-tenant service (and the `regrid` wrappers) hits.
+pub fn shared_global() -> &'static SharedPlanCache {
+    GLOBAL.get_or_init(|| SharedPlanCache::new(DEFAULT_GLOBAL_CAPACITY))
+}
+
+/// The process-global plan cache's LRU (legacy single-owner handle; the
+/// concurrent paths should use [`shared_global`]).
 pub fn global() -> &'static Mutex<PlanCache> {
-    GLOBAL.get_or_init(|| Mutex::new(PlanCache::new(DEFAULT_GLOBAL_CAPACITY)))
+    shared_global().cache()
 }
 
 /// Counters of the global cache.

@@ -22,8 +22,7 @@ pub fn regrid(var: &Variable, target: &RectGrid, method: RegridMethod) -> Result
     let src_lat = &var.axes[lat_i];
     let src_lon = &var.axes[lon_i];
     let key = plan_key(axes_fingerprint(src_lat, src_lon), target.fingerprint(), method);
-    let plan = plan_cache::global()
-        .lock()
+    let plan = plan_cache::shared_global()
         .get_or_build(key, || RegridPlan::build(method, src_lat, src_lon, target))?;
     plan.apply(var)
 }

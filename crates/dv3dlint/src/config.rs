@@ -207,8 +207,9 @@ pub struct Config {
     pub mask_markers: Vec<String>,
     pub deadline_enabled: bool,
     pub deadline_crate: String,
-    /// The one module allowed to use raw `read_message`/`write_message`.
-    pub protocol_module: String,
+    /// Modules allowed to use raw `read_message`/`write_message` (the
+    /// protocol primitives live here by design). Suffix-matched.
+    pub protocol_modules: Vec<String>,
     pub banned_calls: Vec<String>,
     pub atomic_writes_enabled: bool,
     /// Crates whose file writes must go through the atomic storage layer.
@@ -266,7 +267,7 @@ impl Config {
             ]),
             deadline_enabled: true,
             deadline_crate: "hyperwall".into(),
-            protocol_module: "crates/hyperwall/src/protocol.rs".into(),
+            protocol_modules: svec(&["crates/hyperwall/src/protocol.rs"]),
             banned_calls: svec(&["read_message", "write_message"]),
             atomic_writes_enabled: true,
             atomic_writes_crates: svec(&["cdms"]),
@@ -334,8 +335,12 @@ impl Config {
         if let Some(s) = t.string("rules.deadline_io", "crate") {
             cfg.deadline_crate = s;
         }
+        // singular key kept for back-compat with older config files
         if let Some(s) = t.string("rules.deadline_io", "protocol_module") {
-            cfg.protocol_module = s;
+            cfg.protocol_modules = vec![s];
+        }
+        if let Some(v) = t.str_list("rules.deadline_io", "protocol_modules") {
+            cfg.protocol_modules = v;
         }
         if let Some(v) = t.str_list("rules.deadline_io", "banned_calls") {
             cfg.banned_calls = v;

@@ -36,7 +36,7 @@ impl Rule for DeadlineIo {
         }
         for file in &krate.files {
             let path = file.path.as_os_str().to_string_lossy().to_string();
-            if path.ends_with(&cfg.protocol_module) {
+            if cfg.protocol_modules.iter().any(|m| path.ends_with(m)) {
                 continue; // the raw primitives live here by design
             }
             let toks = &file.lexed.tokens;
@@ -107,6 +107,38 @@ mod tests {
         let diags =
             run_on(&DeadlineIo, "hyperwall", "crates/hyperwall/src/protocol.rs", FIXTURE, &cfg());
         assert!(diags.is_empty());
+    }
+
+    /// The session-service modules are ordinary I/O consumers, not part
+    /// of the protocol module — raw exchanges there are flagged too.
+    #[test]
+    fn service_modules_are_covered() {
+        for file in [
+            "crates/hyperwall/src/service/server.rs",
+            "crates/hyperwall/src/service/client.rs",
+        ] {
+            let diags = run_on(&DeadlineIo, "hyperwall", file, FIXTURE, &cfg());
+            assert_eq!(lines(&diags), vec![5, 6], "{file}: {diags:?}");
+        }
+    }
+
+    /// Config may exempt several modules; each listed suffix is honored.
+    #[test]
+    fn multiple_protocol_modules_all_exempt() {
+        let mut c = cfg();
+        c.protocol_modules = vec![
+            "crates/hyperwall/src/protocol.rs".into(),
+            "crates/hyperwall/src/service/raw_io.rs".into(),
+        ];
+        for file in
+            ["crates/hyperwall/src/protocol.rs", "crates/hyperwall/src/service/raw_io.rs"]
+        {
+            let diags = run_on(&DeadlineIo, "hyperwall", file, FIXTURE, &c);
+            assert!(diags.is_empty(), "{file}: {diags:?}");
+        }
+        let diags =
+            run_on(&DeadlineIo, "hyperwall", "crates/hyperwall/src/service/server.rs", FIXTURE, &c);
+        assert_eq!(lines(&diags), vec![5, 6]);
     }
 
     #[test]

@@ -110,6 +110,7 @@ impl ClientNode {
         let mut refusals_left = faults.refused_reconnects();
         let mut dropped = false;
         let mut corrupted = false;
+        let mut cut = false;
         // after a reconnect the next message must arrive under a deadline:
         // the server may have given this panel up, and a blocking read
         // would hang the client thread forever
@@ -165,6 +166,40 @@ impl ClientNode {
                         }
                         self.cell = None;
                         expect_reassign = true;
+                        continue;
+                    }
+                    if !cut && faults.mid_request_disconnect_at() == Some(frame) {
+                        // scripted torn frame: send half the FrameDone
+                        // bytes, then cut the connection — the server sees
+                        // a truncated frame, not a clean close
+                        cut = true;
+                        let done = self.render_frame(frame)?;
+                        let framed = crate::protocol::encode_frame(&done)?;
+                        let half = &framed[..framed.len() / 2];
+                        self.stream.write_all(half).ok();
+                        self.stream.flush().ok();
+                        self.stream.shutdown(std::net::Shutdown::Both).ok();
+                        if !self.reconnect(&mut refusals_left) {
+                            return Ok(self.frames_rendered);
+                        }
+                        self.cell = None;
+                        expect_reassign = true;
+                        continue;
+                    }
+                    if faults.slow_loris_ms() > 0 {
+                        // slow-loris: the reply dribbles out one byte at a
+                        // time, so the frame never completes within the
+                        // server's deadline even though the socket is live
+                        let done = self.render_frame(frame)?;
+                        let framed = crate::protocol::encode_frame(&done)?;
+                        let delay = Duration::from_millis(faults.slow_loris_ms());
+                        for byte in framed {
+                            if self.stream.write_all(&[byte]).is_err() {
+                                return Ok(self.frames_rendered);
+                            }
+                            self.stream.flush().ok();
+                            std::thread::sleep(delay);
+                        }
                         continue;
                     }
                     if !corrupted && faults.corrupt_at() == Some(frame) {

@@ -375,6 +375,46 @@ mod tests {
         }
     }
 
+    /// A slow-loris client dribbles its `FrameDone` one byte at a time: the
+    /// frame deadline trips even though the socket stays alive, the panel
+    /// degrades, and the rest of the wall keeps animating.
+    #[test]
+    fn slow_loris_client_trips_deadline_and_degrades() {
+        let cfg = small_cfg(2);
+        let plan = FaultPlan::none().inject(1, Fault::SlowLoris(10));
+        let mut tuning = fast_tuning();
+        tuning.frame_deadline = Duration::from_millis(100);
+        tuning.max_reconnect_attempts = 1;
+        tuning.reconnect_poll = Duration::from_millis(10);
+        let report = run_wall_with_faults(&cfg, 4, 3, &[], &plan, tuning).unwrap();
+        assert!(report.deadline_misses >= 1, "{:?}", report.incidents);
+        assert_eq!(report.final_states[1], PanelState::Degraded);
+        // the healthy panel and the mirror kept every frame covered
+        for f in &report.frames {
+            assert!(!f.degraded[0]);
+            assert!(f.coverage.iter().all(|&c| c > 0.0), "{f:?}");
+        }
+    }
+
+    /// A client that cuts the connection halfway through a `FrameDone`
+    /// leaves a torn frame on the wire; the server degrades the panel, the
+    /// client redials, and the panel is restored to live.
+    #[test]
+    fn mid_request_disconnect_degrades_then_recovers() {
+        let cfg = small_cfg(2);
+        let plan = FaultPlan::none().inject(0, Fault::MidRequestDisconnect(1));
+        let report = run_wall_with_faults(&cfg, 4, 6, &[], &plan, fast_tuning()).unwrap();
+        assert_eq!(report.frames.len(), 6);
+        assert!(report.frames[1].degraded[0], "{:?}", report.incidents);
+        assert!(report.degraded_frames >= 1);
+        // the victim came back and the run ended fully live
+        assert_eq!(report.reconnects, 1, "{:?}", report.incidents);
+        assert_eq!(report.final_states, vec![PanelState::Live; 2]);
+        for f in &report.frames {
+            assert!(f.coverage.iter().all(|&c| c > 0.0), "{f:?}");
+        }
+    }
+
     /// A client that replies too slowly trips the frame deadline and is
     /// degraded (the miss is counted separately from disconnects).
     #[test]

@@ -24,6 +24,21 @@ pub enum Fault {
     /// Pretend the first K reconnect attempts fail (flaky network between
     /// the crash and the recovery).
     RefuseReconnect(u32),
+    /// Dribble every outbound message one byte at a time with this delay
+    /// (milliseconds per byte) — the classic slow-loris: the connection is
+    /// alive but a frame never completes within any reasonable deadline.
+    SlowLoris(u64),
+    /// Cut the connection halfway through sending message (wall: frame,
+    /// service: request) N — the peer sees a truncated frame, not a clean
+    /// close.
+    MidRequestDisconnect(u64),
+    /// After losing the connection, redial this many times in a tight loop
+    /// (a thundering-herd reconnect storm hammering the accept path).
+    ReconnectStorm(u32),
+    /// Fire this many requests back-to-back, ignoring every `Busy` /
+    /// `RetryAfter` the service answers — a quota-exhaustion storm
+    /// (service-level; the wall protocol has no client-initiated requests).
+    QuotaStorm(u32),
 }
 
 /// All faults scripted for a single client, with query helpers the client
@@ -72,6 +87,48 @@ impl ClientFaults {
             .iter()
             .find_map(|f| match f {
                 Fault::RefuseReconnect(k) => Some(*k),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Scripted slow-loris delay in milliseconds per byte (0 = none).
+    pub fn slow_loris_ms(&self) -> u64 {
+        self.faults
+            .iter()
+            .find_map(|f| match f {
+                Fault::SlowLoris(ms) => Some(*ms),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Message (frame / request) mid-way through which the connection is
+    /// cut, if scripted.
+    pub fn mid_request_disconnect_at(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::MidRequestDisconnect(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Size of the scripted reconnect storm (0 = none).
+    pub fn reconnect_storm(&self) -> u32 {
+        self.faults
+            .iter()
+            .find_map(|f| match f {
+                Fault::ReconnectStorm(k) => Some(*k),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Size of the scripted quota-exhaustion storm (0 = none).
+    pub fn quota_storm(&self) -> u32 {
+        self.faults
+            .iter()
+            .find_map(|f| match f {
+                Fault::QuotaStorm(k) => Some(*k),
                 _ => None,
             })
             .unwrap_or(0)
@@ -134,6 +191,46 @@ impl FaultPlan {
             .inject(victim, Fault::DropAtFrame(frame))
             .inject(victim, Fault::RefuseReconnect(refusals))
     }
+
+    /// A seeded service-overload scenario: of `n_sessions` client sessions,
+    /// `n_misbehaving` distinct victims are picked deterministically from
+    /// `seed` (SplitMix64) and each is scripted one misbehaviour, cycling
+    /// through quota storms, slow-loris sends, mid-request disconnects and
+    /// reconnect storms. Same seed → same storm, always.
+    pub fn seeded_service_storm(
+        seed: u64,
+        n_sessions: usize,
+        n_misbehaving: usize,
+        storm_requests: u32,
+    ) -> FaultPlan {
+        assert!(n_sessions > 0, "empty service scenario");
+        let n_misbehaving = n_misbehaving.min(n_sessions);
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        // Fisher–Yates prefix over the session ids picks distinct victims.
+        let mut ids: Vec<usize> = (0..n_sessions).collect();
+        for i in 0..n_misbehaving {
+            let j = i + (next() % (n_sessions - i) as u64) as usize;
+            ids.swap(i, j);
+        }
+        let mut plan = FaultPlan::none();
+        for (k, &victim) in ids[..n_misbehaving].iter().enumerate() {
+            let fault = match k % 4 {
+                0 => Fault::QuotaStorm(storm_requests.max(1)),
+                1 => Fault::SlowLoris(20 + next() % 30),
+                2 => Fault::MidRequestDisconnect(next() % 4),
+                _ => Fault::ReconnectStorm(4 + (next() % 8) as u32),
+            };
+            plan = plan.inject(victim, fault);
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +258,59 @@ mod tests {
         assert_eq!(plan.faulty_clients(), vec![0, 1, 2]);
         assert!(!plan.is_empty());
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn service_fault_queries_find_scripted_faults() {
+        let plan = FaultPlan::none()
+            .inject(0, Fault::SlowLoris(25))
+            .inject(1, Fault::MidRequestDisconnect(3))
+            .inject(2, Fault::ReconnectStorm(9))
+            .inject(3, Fault::QuotaStorm(64));
+        assert_eq!(plan.client(0).slow_loris_ms(), 25);
+        assert_eq!(plan.client(1).mid_request_disconnect_at(), Some(3));
+        assert_eq!(plan.client(2).reconnect_storm(), 9);
+        assert_eq!(plan.client(3).quota_storm(), 64);
+        // unscripted defaults
+        let clean = plan.client(7);
+        assert_eq!(clean.slow_loris_ms(), 0);
+        assert_eq!(clean.mid_request_disconnect_at(), None);
+        assert_eq!(clean.reconnect_storm(), 0);
+        assert_eq!(clean.quota_storm(), 0);
+    }
+
+    #[test]
+    fn seeded_service_storm_is_deterministic_with_distinct_victims() {
+        let a = FaultPlan::seeded_service_storm(7, 16, 12, 32);
+        let b = FaultPlan::seeded_service_storm(7, 16, 12, 32);
+        assert_eq!(a, b);
+        let victims = a.faulty_clients();
+        assert_eq!(victims.len(), 12, "victims must be distinct: {victims:?}");
+        assert!(victims.iter().all(|&v| v < 16));
+        // every storm kind appears when enough victims are drawn
+        let (mut storms, mut loris, mut cuts, mut herds) = (0, 0, 0, 0);
+        for &v in &victims {
+            let f = a.client(v);
+            if f.quota_storm() > 0 {
+                storms += 1;
+            }
+            if f.slow_loris_ms() > 0 {
+                loris += 1;
+            }
+            if f.mid_request_disconnect_at().is_some() {
+                cuts += 1;
+            }
+            if f.reconnect_storm() > 0 {
+                herds += 1;
+            }
+        }
+        assert!(storms > 0 && loris > 0 && cuts > 0 && herds > 0);
+        // different seeds explore different victim sets
+        let other = FaultPlan::seeded_service_storm(8, 16, 12, 32);
+        assert_ne!(a, other);
+        // misbehaving count is clamped to the session count
+        let clamped = FaultPlan::seeded_service_storm(1, 3, 10, 4);
+        assert_eq!(clamped.faulty_clients().len(), 3);
     }
 
     #[test]

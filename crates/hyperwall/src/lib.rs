@@ -58,6 +58,7 @@ pub mod fault;
 pub mod layout;
 pub mod protocol;
 pub mod server;
+pub mod service;
 pub mod workflow;
 
 /// Errors raised by hyperwall operations.
@@ -75,6 +76,9 @@ pub enum WallError {
     Timeout(String),
     /// An operation addressed a panel that is currently degraded.
     Degraded { panel: usize, reason: String },
+    /// The session service turned the caller away under load; retry after
+    /// the indicated backoff.
+    Overloaded { retry_after_ms: u64 },
 }
 
 impl std::fmt::Display for WallError {
@@ -87,6 +91,9 @@ impl std::fmt::Display for WallError {
             WallError::Timeout(m) => write!(f, "timeout: {m}"),
             WallError::Degraded { panel, reason } => {
                 write!(f, "panel {panel} degraded: {reason}")
+            }
+            WallError::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded: retry after {retry_after_ms} ms")
             }
         }
     }

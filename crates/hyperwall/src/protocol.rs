@@ -15,8 +15,55 @@ use std::time::Duration;
 /// from making the server allocate gigabytes.
 pub const MAX_MESSAGE_BYTES: usize = 8 << 20;
 
+/// One unit of analysis / rendering work a session submits to the
+/// multi-tenant service (see [`crate::service`]). Workloads are synthetic
+/// but shaped like the paper's: regridding, reductions, cell renders —
+/// each deterministic in its parameters, so identical requests from
+/// different sessions are content-addressed duplicates the shared caches
+/// collapse into one computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ServiceWork {
+    /// Regrid a seeded synthetic field from a `src`-shaped uniform grid
+    /// onto a `dst`-shaped one (plans flow through the shared plan cache).
+    Regrid { src: (usize, usize), dst: (usize, usize), seed: u64 },
+    /// Deterministic moment reduction over a seeded synthetic series.
+    Analysis { seed: u64, len: usize },
+    /// Render a small synthetic cell at this resolution (degraded replies
+    /// substitute a low-res mirror frame, exactly like a degraded panel).
+    Render { width: usize, height: usize, seed: u64 },
+}
+
+/// Fidelity of a service reply. Under overload the service answers with
+/// coarsened results (the Degraded-panel idea applied to analysis work)
+/// before it sheds anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ResultQuality {
+    /// Full-resolution result.
+    Full,
+    /// Coarsened / low-res mirror result produced under overload.
+    Degraded,
+}
+
+/// Why the service turned a session or request away. Every rejection is
+/// explicit — nothing is ever silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The session cap is reached; no new sessions are admitted.
+    SessionCapacity,
+    /// The session's token-bucket quota is exhausted.
+    OverQuota,
+    /// The session's bounded inbox is full.
+    InboxFull,
+    /// The request was admitted but shed under overload before running.
+    Shed,
+}
+
 /// Messages exchanged between server and clients.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum Message {
     /// Client → server: identify after connecting (also used when a
     /// recovering client re-handshakes after a disconnect).
@@ -53,10 +100,39 @@ pub enum Message {
     HeartbeatAck { client_id: usize, seq: u64 },
     /// Server → client: shut down cleanly.
     Shutdown,
+    /// Client → service: open a multiplexed analysis session.
+    SessionOpen { session_id: u64 },
+    /// Service → client: the session is admitted.
+    SessionAccepted { session_id: u64 },
+    /// Service → client: backpressure. The queue depth tells the client
+    /// how far behind the service is; a conforming client backs off for
+    /// `retry_after_ms` before retrying.
+    Busy { session_id: u64, queue_depth: usize, retry_after_ms: u64 },
+    /// Service → client: request `request` was turned away (quota, full
+    /// inbox, or shed under overload) — retry after the given backoff.
+    /// This is the "nothing is silently dropped" guarantee in wire form.
+    RetryAfter { session_id: u64, request: u64, retry_after_ms: u64, reason: RejectReason },
+    /// Client → service: one unit of work within a session.
+    Request { session_id: u64, request: u64, work: ServiceWork },
+    /// Service → client: request finished. `digest` fingerprints the
+    /// result (so tests can assert determinism), `quality` says whether
+    /// overload coarsened it.
+    Response {
+        session_id: u64,
+        request: u64,
+        quality: ResultQuality,
+        digest: u64,
+        compute_ms: f64,
+    },
+    /// Client → service: close the session and free its slot.
+    SessionClose { session_id: u64 },
 }
 
-/// Writes one message (u32-LE length prefix + JSON body).
-pub fn write_message(stream: &mut impl Write, msg: &Message) -> Result<()> {
+/// Encodes one message into its wire form (u32-LE length prefix + JSON
+/// body) without sending it. Fault-injection paths use this to dribble or
+/// truncate a frame byte-by-byte; everything else should call
+/// [`write_message_deadline`].
+pub fn encode_frame(msg: &Message) -> Result<Vec<u8>> {
     let body = serde_json::to_vec(msg).map_err(|e| WallError::Protocol(e.to_string()))?;
     if body.len() > MAX_MESSAGE_BYTES {
         return Err(WallError::Protocol(format!(
@@ -64,8 +140,15 @@ pub fn write_message(stream: &mut impl Write, msg: &Message) -> Result<()> {
             body.len()
         )));
     }
-    stream.write_all(&(body.len() as u32).to_le_bytes())?;
-    stream.write_all(&body)?;
+    let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&body);
+    Ok(framed)
+}
+
+/// Writes one message (u32-LE length prefix + JSON body).
+pub fn write_message(stream: &mut impl Write, msg: &Message) -> Result<()> {
+    let framed = encode_frame(msg)?;
+    stream.write_all(&framed)?;
     stream.flush()?;
     Ok(())
 }
@@ -97,17 +180,36 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-/// Reads one message with a deadline. Expiry maps to [`WallError::Timeout`]
-/// (`what` names the exchange for diagnostics); any other failure keeps its
-/// I/O or protocol classification. The socket's timeout is cleared again
-/// before returning so later blocking reads behave normally.
+/// Reads one message with a deadline covering the *whole frame*, not just
+/// the next syscall. Expiry maps to [`WallError::Timeout`] (`what` names
+/// the exchange for diagnostics); any other failure keeps its I/O or
+/// protocol classification. The socket's timeout is cleared again before
+/// returning so later blocking reads behave normally.
+///
+/// The total-frame budget is what defeats a slow-loris peer: with a plain
+/// per-read timeout, a client dribbling one byte every few milliseconds
+/// makes every syscall "succeed" and holds the reader hostage for as long
+/// as it likes. Here one clock covers length prefix and body together, and
+/// the entire message must land before it runs out.
 pub fn read_message_deadline(
     stream: &mut TcpStream,
     deadline: Duration,
     what: &str,
 ) -> Result<Message> {
-    stream.set_read_timeout(Some(deadline))?;
-    let out = read_message(stream);
+    let end = std::time::Instant::now() + deadline;
+    let out = (|| {
+        let mut len_buf = [0u8; 4];
+        read_exact_deadline(stream, &mut len_buf, end)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_MESSAGE_BYTES {
+            return Err(WallError::Protocol(format!(
+                "implausible message length {len} (cap {MAX_MESSAGE_BYTES})"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        read_exact_deadline(stream, &mut body, end)?;
+        serde_json::from_slice(&body).map_err(|e| WallError::Protocol(e.to_string()))
+    })();
     stream.set_read_timeout(None).ok();
     out.map_err(|e| match e {
         WallError::Io(io) if is_timeout(&io) => {
@@ -115,6 +217,44 @@ pub fn read_message_deadline(
         }
         other => other,
     })
+}
+
+/// Fills `buf` from the stream, giving up (with a timeout-kinded I/O
+/// error) once `end` passes — regardless of how many partial reads kept
+/// "succeeding" along the way. The caller restores the socket's blocking
+/// mode.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    end: std::time::Instant,
+) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let remaining = end.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Err(WallError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "frame deadline expired",
+            )));
+        }
+        // set_read_timeout rejects Some(0); the clamp keeps the last slice legal
+        stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        let Some(rest) = buf.get_mut(filled..) else { break };
+        match stream.read(rest) {
+            Ok(0) => {
+                return Err(WallError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            // a sliced read expiring is not fatal by itself; the loop's
+            // remaining-time check decides when the whole frame is late
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
 }
 
 /// Waits indefinitely for the next message, in bounded slices. Unlike
@@ -138,6 +278,39 @@ pub fn read_message_idle(
             // data (or EOF) ready: read_message_deadline reports either
             Ok(_) => return read_message_deadline(stream, deadline, what),
             Err(e) if is_timeout(&e) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Like [`read_message_idle`] but with a bounded idle wait: if no bytes
+/// arrive within `max_idle`, returns `Ok(None)` (an idle session is not an
+/// error — the caller typically checks a shutdown flag and calls again).
+/// Once bytes start arriving the whole frame must complete within
+/// `deadline`, so a slow-loris peer trips [`WallError::Timeout`] instead of
+/// wedging the connection thread. Peeking during the idle wait means an
+/// idle expiry can never desynchronise a half-received frame.
+pub fn read_message_idle_bounded(
+    stream: &mut TcpStream,
+    slice: Duration,
+    deadline: Duration,
+    max_idle: Duration,
+    what: &str,
+) -> Result<Option<Message>> {
+    let idle_deadline = std::time::Instant::now() + max_idle;
+    let mut probe = [0u8; 1];
+    loop {
+        stream.set_read_timeout(Some(slice))?;
+        let peeked = stream.peek(&mut probe);
+        stream.set_read_timeout(None).ok();
+        match peeked {
+            // data (or EOF) ready: read_message_deadline reports either
+            Ok(_) => return read_message_deadline(stream, deadline, what).map(Some),
+            Err(e) if is_timeout(&e) => {
+                if std::time::Instant::now() >= idle_deadline {
+                    return Ok(None);
+                }
+            }
             Err(e) => return Err(e.into()),
         }
     }
@@ -186,6 +359,38 @@ mod tests {
             Message::Heartbeat { seq: 11 },
             Message::HeartbeatAck { client_id: 3, seq: 11 },
             Message::Shutdown,
+            Message::SessionOpen { session_id: 9 },
+            Message::SessionAccepted { session_id: 9 },
+            Message::Busy { session_id: 9, queue_depth: 17, retry_after_ms: 40 },
+            Message::RetryAfter {
+                session_id: 9,
+                request: 4,
+                retry_after_ms: 25,
+                reason: RejectReason::Shed,
+            },
+            Message::Request {
+                session_id: 9,
+                request: 4,
+                work: ServiceWork::Regrid { src: (8, 16), dst: (6, 12), seed: 1 },
+            },
+            Message::Request {
+                session_id: 9,
+                request: 5,
+                work: ServiceWork::Analysis { seed: 2, len: 64 },
+            },
+            Message::Request {
+                session_id: 9,
+                request: 6,
+                work: ServiceWork::Render { width: 32, height: 24, seed: 3 },
+            },
+            Message::Response {
+                session_id: 9,
+                request: 4,
+                quality: ResultQuality::Degraded,
+                digest: 0xDEAD_BEEF,
+                compute_ms: 1.25,
+            },
+            Message::SessionClose { session_id: 9 },
         ];
         for m in &msgs {
             match m {
@@ -197,7 +402,14 @@ mod tests {
                 | Message::FrameDone { .. }
                 | Message::Heartbeat { .. }
                 | Message::HeartbeatAck { .. }
-                | Message::Shutdown => {}
+                | Message::Shutdown
+                | Message::SessionOpen { .. }
+                | Message::SessionAccepted { .. }
+                | Message::Busy { .. }
+                | Message::RetryAfter { .. }
+                | Message::Request { .. }
+                | Message::Response { .. }
+                | Message::SessionClose { .. } => {}
             }
         }
         msgs

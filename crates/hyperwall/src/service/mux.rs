@@ -1,0 +1,609 @@
+//! The deterministic session multiplexer: admission control, per-session
+//! bounded inboxes, deficit-round-robin scheduling, and the
+//! `Healthy → Overloaded → Shedding` state machine.
+//!
+//! The mux is pure data — no sockets, no threads, no wall clock. Time is
+//! the logical **round**: the TCP front-end calls [`SessionMux::submit`]
+//! as requests arrive and [`SessionMux::schedule_round`] whenever workers
+//! have capacity; the property tests drive the same API with scripted
+//! traffic and assert the invariants exactly:
+//!
+//! * a conforming session with queued work is served **every** round
+//!   (no starvation);
+//! * quota enforcement is exact to within the one in-flight request;
+//! * shedding follows a strict, deterministic priority order
+//!   (most-misbehaving first), and **every** shed request produces a
+//!   [`ShedNotice`] → `RetryAfter` — nothing is dropped silently.
+
+use super::quota::{QuotaConfig, TokenBucket, MILLI};
+use crate::protocol::{RejectReason, ServiceWork};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Tuning of the mux.
+#[derive(Debug, Clone, Copy)]
+pub struct MuxConfig {
+    /// Maximum concurrently open sessions; more are rejected at open.
+    pub max_sessions: usize,
+    /// Per-session inbox bound; submits beyond it are rejected.
+    pub inbox_capacity: usize,
+    /// Per-session token bucket.
+    pub quota: QuotaConfig,
+    /// DRR quantum: requests a session may be served per round before its
+    /// deficit carries over.
+    pub quantum: u32,
+    /// Total queued requests above which the service is Overloaded
+    /// (results degrade, Busy advisories flow).
+    pub overload_watermark: usize,
+    /// Total queued requests above which the service starts Shedding
+    /// (queued requests are evicted with RetryAfter).
+    pub shed_watermark: usize,
+    /// Rejections after which a session counts as misbehaving (demoted to
+    /// the second scheduling tier, shed first).
+    pub misbehave_threshold: u32,
+    /// Milliseconds one logical round represents in retry hints.
+    pub round_ms: u64,
+}
+
+impl Default for MuxConfig {
+    fn default() -> MuxConfig {
+        MuxConfig {
+            max_sessions: 32,
+            inbox_capacity: 16,
+            quota: QuotaConfig::default(),
+            quantum: 2,
+            overload_watermark: 64,
+            shed_watermark: 128,
+            misbehave_threshold: 4,
+            round_ms: 10,
+        }
+    }
+}
+
+/// Service-wide load state (the Degraded ladder, service edition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceState {
+    /// Under the overload watermark: full-quality results.
+    Healthy,
+    /// Over the overload watermark: requests still run, but at degraded
+    /// quality (low-res mirror frames, coarsened analyses), and clients
+    /// see `Busy` advisories.
+    Overloaded,
+    /// Over the shed watermark: queued requests are evicted (misbehaving
+    /// sessions first), each with an explicit `RetryAfter`.
+    Shedding,
+}
+
+/// Verdict of [`SessionMux::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Admission {
+    /// Queued; `queue_depth` is the session's inbox depth after the
+    /// enqueue (propagated to the client as backpressure).
+    Enqueued { queue_depth: usize, state: ServiceState },
+    /// Turned away; retry after the hinted backoff.
+    Rejected { reason: RejectReason, retry_after_ms: u64 },
+}
+
+/// One queued request.
+#[derive(Debug, Clone)]
+pub struct QueuedRequest {
+    pub request: u64,
+    pub work: ServiceWork,
+}
+
+/// A request the scheduler handed to a worker.
+#[derive(Debug, Clone)]
+pub struct ScheduledRequest {
+    pub session: u64,
+    pub request: u64,
+    pub work: ServiceWork,
+    /// True when the service is past the overload watermark: the worker
+    /// must produce the cheaper degraded result.
+    pub degraded: bool,
+}
+
+/// One shed request — the caller owes the client a `RetryAfter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedNotice {
+    pub session: u64,
+    pub request: u64,
+    pub retry_after_ms: u64,
+}
+
+/// Point-in-time view of one session (for reports and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    pub id: u64,
+    pub queued: usize,
+    pub served: u64,
+    pub shed: u64,
+    pub badness: u32,
+    pub misbehaving: bool,
+}
+
+/// Cumulative mux counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuxStats {
+    pub admitted: u64,
+    pub rejected_session_cap: u64,
+    pub rejected_quota: u64,
+    pub rejected_inbox: u64,
+    pub scheduled: u64,
+    pub shed: u64,
+    pub rounds: u64,
+}
+
+#[derive(Debug)]
+struct SessionEntry {
+    bucket: TokenBucket,
+    inbox: VecDeque<QueuedRequest>,
+    deficit: u32,
+    /// Rejections accumulated; over the threshold ⇒ misbehaving tier.
+    badness: u32,
+    served: u64,
+    shed: u64,
+}
+
+/// The multiplexer. Deterministic: identical call sequences produce
+/// identical admissions, schedules, and sheds.
+#[derive(Debug)]
+pub struct SessionMux {
+    cfg: MuxConfig,
+    // BTreeMap: iteration order (ascending id) is part of the determinism
+    // contract for scheduling and shedding tie-breaks.
+    sessions: BTreeMap<u64, SessionEntry>,
+    stats: MuxStats,
+}
+
+impl SessionMux {
+    /// An empty mux under `cfg` (watermarks are sanitized so
+    /// `overload ≤ shed`).
+    pub fn new(mut cfg: MuxConfig) -> SessionMux {
+        cfg.quantum = cfg.quantum.max(1);
+        cfg.inbox_capacity = cfg.inbox_capacity.max(1);
+        cfg.shed_watermark = cfg.shed_watermark.max(cfg.overload_watermark);
+        SessionMux { cfg, sessions: BTreeMap::new(), stats: MuxStats::default() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MuxConfig {
+        &self.cfg
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> MuxStats {
+        self.stats
+    }
+
+    /// Open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total queued requests across all inboxes.
+    pub fn total_queued(&self) -> usize {
+        self.sessions.values().map(|s| s.inbox.len()).sum()
+    }
+
+    /// The load state implied by the current queue depth.
+    pub fn state(&self) -> ServiceState {
+        let q = self.total_queued();
+        if q > self.cfg.shed_watermark {
+            ServiceState::Shedding
+        } else if q > self.cfg.overload_watermark {
+            ServiceState::Overloaded
+        } else {
+            ServiceState::Healthy
+        }
+    }
+
+    /// A session's queue depth, when open.
+    pub fn queue_depth(&self, session: u64) -> Option<usize> {
+        self.sessions.get(&session).map(|s| s.inbox.len())
+    }
+
+    /// True when `session` has crossed the misbehaving threshold.
+    pub fn is_misbehaving(&self, session: u64) -> bool {
+        self.sessions
+            .get(&session)
+            .map(|s| s.badness >= self.cfg.misbehave_threshold)
+            .unwrap_or(false)
+    }
+
+    /// Requests served to `session` so far.
+    pub fn served(&self, session: u64) -> u64 {
+        self.sessions.get(&session).map(|s| s.served).unwrap_or(0)
+    }
+
+    /// Requests shed from `session` so far.
+    pub fn shed_count(&self, session: u64) -> u64 {
+        self.sessions.get(&session).map(|s| s.shed).unwrap_or(0)
+    }
+
+    /// Per-session state, ascending id.
+    pub fn snapshot(&self) -> Vec<SessionSnapshot> {
+        self.sessions
+            .iter()
+            .map(|(&id, e)| SessionSnapshot {
+                id,
+                queued: e.inbox.len(),
+                served: e.served,
+                shed: e.shed,
+                badness: e.badness,
+                misbehaving: e.badness >= self.cfg.misbehave_threshold,
+            })
+            .collect()
+    }
+
+    /// Admits a new session, or rejects it at the session cap.
+    pub fn open_session(&mut self, session: u64) -> Admission {
+        if self.sessions.contains_key(&session) {
+            // idempotent reopen (reconnect): keep the existing state so a
+            // reconnect storm cannot launder badness or refill quota
+            return Admission::Enqueued {
+                queue_depth: self.sessions[&session].inbox.len(),
+                state: self.state(),
+            };
+        }
+        if self.sessions.len() >= self.cfg.max_sessions {
+            self.stats.rejected_session_cap += 1;
+            return Admission::Rejected {
+                reason: RejectReason::SessionCapacity,
+                retry_after_ms: self.cfg.round_ms.max(1) * 4,
+            };
+        }
+        self.sessions.insert(
+            session,
+            SessionEntry {
+                bucket: TokenBucket::new(self.cfg.quota),
+                inbox: VecDeque::new(),
+                deficit: 0,
+                badness: 0,
+                served: 0,
+                shed: 0,
+            },
+        );
+        Admission::Enqueued { queue_depth: 0, state: self.state() }
+    }
+
+    /// Closes `session`, returning any still-queued requests (the caller
+    /// owes each a `RetryAfter` if the close was server-initiated).
+    pub fn close_session(&mut self, session: u64) -> Vec<QueuedRequest> {
+        match self.sessions.remove(&session) {
+            Some(e) => e.inbox.into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Admission-controls one request.
+    pub fn submit(&mut self, session: u64, request: u64, work: ServiceWork) -> Admission {
+        let state = self.state();
+        let round_ms = self.cfg.round_ms.max(1);
+        let inbox_capacity = self.cfg.inbox_capacity;
+        let Some(entry) = self.sessions.get_mut(&session) else {
+            self.stats.rejected_session_cap += 1;
+            return Admission::Rejected {
+                reason: RejectReason::SessionCapacity,
+                retry_after_ms: round_ms * 4,
+            };
+        };
+        if entry.inbox.len() >= inbox_capacity {
+            entry.badness = entry.badness.saturating_add(1);
+            self.stats.rejected_inbox += 1;
+            return Admission::Rejected {
+                reason: RejectReason::InboxFull,
+                retry_after_ms: round_ms * inbox_capacity as u64,
+            };
+        }
+        if !entry.bucket.try_take() {
+            entry.badness = entry.badness.saturating_add(1);
+            let wait = entry.bucket.rounds_until_affordable();
+            self.stats.rejected_quota += 1;
+            return Admission::Rejected {
+                reason: RejectReason::OverQuota,
+                retry_after_ms: round_ms.saturating_mul(wait.min(1_000)),
+            };
+        }
+        entry.inbox.push_back(QueuedRequest { request, work });
+        let queue_depth = entry.inbox.len();
+        self.stats.admitted += 1;
+        Admission::Enqueued { queue_depth, state }
+    }
+
+    /// Runs one scheduling round: refills every bucket, tops up deficits,
+    /// and picks up to `budget` requests — round-robin, one at a time,
+    /// conforming sessions strictly before misbehaving ones. Returns the
+    /// picks in dispatch order.
+    pub fn schedule_round(&mut self, budget: usize) -> Vec<ScheduledRequest> {
+        self.stats.rounds += 1;
+        let degraded = self.state() != ServiceState::Healthy;
+        let quantum = self.cfg.quantum;
+        for e in self.sessions.values_mut() {
+            e.bucket.refill();
+            if e.inbox.is_empty() {
+                // no carryover for idle sessions: deficits must not bank
+                // into unbounded bursts
+                e.deficit = quantum;
+            } else {
+                e.deficit = e.deficit.saturating_add(quantum);
+            }
+        }
+        let threshold = self.cfg.misbehave_threshold;
+        let tiers: [Vec<u64>; 2] = {
+            let mut conforming = Vec::new();
+            let mut misbehaving = Vec::new();
+            for (&id, e) in &self.sessions {
+                if e.badness >= threshold {
+                    misbehaving.push(id);
+                } else {
+                    conforming.push(id);
+                }
+            }
+            [conforming, misbehaving]
+        };
+        let mut out = Vec::new();
+        for tier in &tiers {
+            // one-at-a-time round-robin inside the tier: with budget ≥
+            // |tier|, every session with queued work is served this round
+            loop {
+                if out.len() >= budget {
+                    break;
+                }
+                let mut progressed = false;
+                for &id in tier {
+                    if out.len() >= budget {
+                        break;
+                    }
+                    let Some(e) = self.sessions.get_mut(&id) else { continue };
+                    if e.deficit == 0 || e.inbox.is_empty() {
+                        continue;
+                    }
+                    if let Some(q) = e.inbox.pop_front() {
+                        e.deficit -= 1;
+                        e.served += 1;
+                        progressed = true;
+                        out.push(ScheduledRequest {
+                            session: id,
+                            request: q.request,
+                            work: q.work,
+                            degraded,
+                        });
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        self.stats.scheduled += out.len() as u64;
+        out
+    }
+
+    /// Enforces the shed watermark: evicts queued requests until total
+    /// depth is back at the overload watermark. Victim order is strict
+    /// and deterministic — most-misbehaving session first (ties: deepest
+    /// queue, then highest id), newest request within a session first.
+    /// Every evicted request is returned as a [`ShedNotice`].
+    pub fn shed_to_watermark(&mut self) -> Vec<ShedNotice> {
+        let mut notices = Vec::new();
+        if self.state() != ServiceState::Shedding {
+            return notices;
+        }
+        let target = self.cfg.overload_watermark;
+        let retry_after_ms = self.cfg.round_ms.max(1) * 8;
+        while self.total_queued() > target {
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(_, e)| !e.inbox.is_empty())
+                .max_by_key(|(&id, e)| (e.badness, e.inbox.len(), id))
+                .map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            if let Some(e) = self.sessions.get_mut(&id) {
+                if let Some(q) = e.inbox.pop_back() {
+                    e.shed += 1;
+                    self.stats.shed += 1;
+                    notices.push(ShedNotice {
+                        session: id,
+                        request: q.request,
+                        retry_after_ms,
+                    });
+                }
+            }
+        }
+        notices
+    }
+
+    /// Backoff hint for `Busy` advisories, scaled by queue depth.
+    pub fn busy_retry_hint(&self, queue_depth: usize) -> u64 {
+        self.cfg.round_ms.max(1) * (1 + queue_depth as u64 / 4)
+    }
+}
+
+/// Convenience: millitokens constant re-exported for tuning math.
+pub const QUOTA_MILLI: u64 = MILLI;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MuxConfig {
+        MuxConfig {
+            max_sessions: 4,
+            inbox_capacity: 4,
+            quota: QuotaConfig { burst: 8, refill_milli_per_round: 8 * MILLI },
+            quantum: 1,
+            overload_watermark: 6,
+            shed_watermark: 10,
+            misbehave_threshold: 2,
+            round_ms: 10,
+        }
+    }
+
+    fn work(seed: u64) -> ServiceWork {
+        ServiceWork::Analysis { seed, len: 64 }
+    }
+
+    fn assert_enqueued(a: &Admission) {
+        assert!(matches!(a, Admission::Enqueued { .. }), "expected Enqueued, got {a:?}");
+    }
+
+    #[test]
+    fn session_cap_rejects_with_retry_hint() {
+        let mut mux = SessionMux::new(small_cfg());
+        for id in 0..4 {
+            assert_enqueued(&mux.open_session(id));
+        }
+        match mux.open_session(99) {
+            Admission::Rejected { reason, retry_after_ms } => {
+                assert_eq!(reason, RejectReason::SessionCapacity);
+                assert!(retry_after_ms > 0);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(mux.stats().rejected_session_cap, 1);
+    }
+
+    #[test]
+    fn reopen_is_idempotent_and_keeps_badness() {
+        let mut mux = SessionMux::new(small_cfg());
+        mux.open_session(1);
+        // burn the whole burst + inbox to accumulate badness
+        for r in 0..16 {
+            mux.submit(1, r, work(r));
+        }
+        assert!(mux.is_misbehaving(1));
+        mux.open_session(1); // reconnect
+        assert!(mux.is_misbehaving(1), "reconnect must not launder badness");
+    }
+
+    #[test]
+    fn inbox_bound_rejects_with_inbox_full() {
+        let mut mux = SessionMux::new(small_cfg());
+        mux.open_session(1);
+        for r in 0..4 {
+            assert_enqueued(&mux.submit(1, r, work(r)));
+        }
+        match mux.submit(1, 4, work(4)) {
+            Admission::Rejected { reason, .. } => assert_eq!(reason, RejectReason::InboxFull),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quota_rejects_over_rate_with_usable_hint() {
+        let cfg = MuxConfig {
+            quota: QuotaConfig { burst: 2, refill_milli_per_round: MILLI / 2 },
+            inbox_capacity: 16,
+            ..small_cfg()
+        };
+        let mut mux = SessionMux::new(cfg);
+        mux.open_session(1);
+        assert_enqueued(&mux.submit(1, 0, work(0)));
+        assert_enqueued(&mux.submit(1, 1, work(1)));
+        match mux.submit(1, 2, work(2)) {
+            Admission::Rejected { reason, retry_after_ms } => {
+                assert_eq!(reason, RejectReason::OverQuota);
+                // 1 token at 0.5/round = 2 rounds × 10ms
+                assert_eq!(retry_after_ms, 20);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conforming_sessions_all_served_each_round() {
+        let mut mux = SessionMux::new(small_cfg());
+        for id in 0..3 {
+            mux.open_session(id);
+            mux.submit(id, 100 + id, work(id));
+        }
+        let picks = mux.schedule_round(10);
+        let served: Vec<u64> = picks.iter().map(|p| p.session).collect();
+        assert_eq!(served, vec![0, 1, 2], "deterministic id-order round robin");
+    }
+
+    #[test]
+    fn misbehaving_sessions_only_get_leftover_budget() {
+        let mut mux = SessionMux::new(small_cfg());
+        mux.open_session(1);
+        mux.open_session(2);
+        // session 2 misbehaves (inbox overflow twice)
+        for r in 0..8 {
+            mux.submit(2, r, work(r));
+        }
+        assert!(mux.is_misbehaving(2));
+        mux.submit(1, 100, work(100));
+        let picks = mux.schedule_round(1);
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].session, 1, "conforming session wins the only slot");
+    }
+
+    #[test]
+    fn overload_degrades_and_shed_emits_retry_for_every_victim() {
+        let cfg = MuxConfig {
+            inbox_capacity: 16,
+            quota: QuotaConfig { burst: 32, refill_milli_per_round: 32 * MILLI },
+            ..small_cfg()
+        };
+        let mut mux = SessionMux::new(cfg);
+        mux.open_session(1);
+        mux.open_session(2);
+        // flood session 2 far past the shed watermark (10)
+        for r in 0..14 {
+            mux.submit(2, r, work(r));
+        }
+        mux.submit(1, 100, work(100));
+        assert_eq!(mux.state(), ServiceState::Shedding);
+        // while past the overload watermark, scheduled work is degraded
+        let picks = mux.schedule_round(2);
+        assert!(!picks.is_empty());
+        assert!(picks.iter().all(|p| p.degraded), "overloaded rounds degrade results");
+        let before = mux.total_queued();
+        let notices = mux.shed_to_watermark();
+        let after = mux.total_queued();
+        assert_eq!(after, 6, "shed back to the overload watermark");
+        assert_eq!(notices.len(), before - after, "one notice per evicted request");
+        assert!(
+            notices.iter().all(|n| n.session == 2),
+            "the flooding session is shed first; the conforming one is untouched"
+        );
+    }
+
+    #[test]
+    fn identical_traffic_identical_decisions() {
+        let run = || {
+            let mut mux = SessionMux::new(small_cfg());
+            let mut trace = Vec::new();
+            for id in 0..3 {
+                mux.open_session(id);
+            }
+            for r in 0..20 {
+                for id in 0..3 {
+                    let a = mux.submit(id, r * 10 + id, work(r));
+                    trace.push(format!("{id}:{a:?}"));
+                }
+                for p in mux.schedule_round(2) {
+                    trace.push(format!("sched {}:{}", p.session, p.request));
+                }
+                for n in mux.shed_to_watermark() {
+                    trace.push(format!("shed {}:{}", n.session, n.request));
+                }
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn close_returns_queued_requests() {
+        let mut mux = SessionMux::new(small_cfg());
+        mux.open_session(1);
+        mux.submit(1, 7, work(7));
+        mux.submit(1, 8, work(8));
+        let orphans = mux.close_session(1);
+        assert_eq!(orphans.len(), 2);
+        assert_eq!(mux.session_count(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-session token-bucket quotas in fixed-point integer arithmetic.
+//!
+//! The bucket runs on the mux's *logical round clock*, not wall time, so
+//! every admission decision is a pure function of the request sequence —
+//! the property tests replay identical traffic and demand identical
+//! verdicts. Token amounts are millitokens (1 request = 1000 mt), which
+//! lets fractional refill rates ("2.5 requests per round") stay exact in
+//! integer math.
+
+/// Millitokens per request.
+pub const MILLI: u64 = 1000;
+
+/// Configuration of one session's token bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Burst size, in requests (bucket capacity).
+    pub burst: u32,
+    /// Steady-state rate, in millirequests per logical round
+    /// (e.g. `2500` = 2.5 requests/round).
+    pub refill_milli_per_round: u64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> QuotaConfig {
+        QuotaConfig { burst: 8, refill_milli_per_round: 2 * MILLI }
+    }
+}
+
+/// A deterministic token bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity_milli: u64,
+    refill_milli: u64,
+    level_milli: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket under `cfg`.
+    pub fn new(cfg: QuotaConfig) -> TokenBucket {
+        let capacity_milli = u64::from(cfg.burst.max(1)) * MILLI;
+        TokenBucket {
+            capacity_milli,
+            refill_milli: cfg.refill_milli_per_round,
+            level_milli: capacity_milli,
+        }
+    }
+
+    /// Adds one round's worth of tokens, saturating at capacity.
+    pub fn refill(&mut self) {
+        self.level_milli = (self.level_milli + self.refill_milli).min(self.capacity_milli);
+    }
+
+    /// Spends one request's tokens; `false` (and no change) when the
+    /// bucket cannot cover it.
+    pub fn try_take(&mut self) -> bool {
+        if self.level_milli >= MILLI {
+            self.level_milli -= MILLI;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current level in millitokens.
+    pub fn level_milli(&self) -> u64 {
+        self.level_milli
+    }
+
+    /// Whole requests currently affordable.
+    pub fn available(&self) -> u64 {
+        self.level_milli / MILLI
+    }
+
+    /// Logical rounds until one request is affordable (0 when affordable
+    /// now; `u64::MAX` when the refill rate is zero).
+    pub fn rounds_until_affordable(&self) -> u64 {
+        if self.level_milli >= MILLI {
+            return 0;
+        }
+        if self.refill_milli == 0 {
+            return u64::MAX;
+        }
+        let deficit = MILLI - self.level_milli;
+        deficit.div_ceil(self.refill_milli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_steady_state() {
+        let mut b = TokenBucket::new(QuotaConfig { burst: 3, refill_milli_per_round: MILLI });
+        // full burst up front
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take(), "burst exhausted");
+        // one round refills exactly one request
+        b.refill();
+        assert!(b.try_take());
+        assert!(!b.try_take());
+    }
+
+    #[test]
+    fn fractional_rate_is_exact() {
+        // 0.5 requests/round: affordable every other round, forever
+        let mut b = TokenBucket::new(QuotaConfig { burst: 1, refill_milli_per_round: MILLI / 2 });
+        assert!(b.try_take());
+        let mut granted = 0;
+        for _ in 0..20 {
+            b.refill();
+            if b.try_take() {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, 10, "exactly half the rounds grant a token");
+    }
+
+    #[test]
+    fn refill_saturates_at_capacity() {
+        let mut b = TokenBucket::new(QuotaConfig { burst: 2, refill_milli_per_round: 10 * MILLI });
+        b.refill();
+        b.refill();
+        assert_eq!(b.available(), 2);
+    }
+
+    #[test]
+    fn rounds_until_affordable_is_a_usable_retry_hint() {
+        let mut b = TokenBucket::new(QuotaConfig { burst: 1, refill_milli_per_round: MILLI / 4 });
+        assert!(b.try_take());
+        assert_eq!(b.rounds_until_affordable(), 4);
+        b.refill();
+        assert_eq!(b.rounds_until_affordable(), 3);
+        let frozen = TokenBucket::new(QuotaConfig { burst: 1, refill_milli_per_round: 0 });
+        assert_eq!(frozen.rounds_until_affordable(), 0, "still has its burst");
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests for the session multiplexer's scheduling invariants.
+//!
+//! The mux is deterministic, pure data on a logical round clock, so these
+//! properties hold *exactly*, not statistically:
+//!
+//! * **no starvation** — a conforming session with queued work is served
+//!   within one round whenever the round budget covers the conforming
+//!   session count;
+//! * **quota enforcement ± 1** — admissions never exceed the token-bucket
+//!   envelope `burst + rate × rounds`, and a session pacing itself inside
+//!   the envelope is never rejected;
+//! * **deterministic shedding** — replaying identical traffic (seeded
+//!   from a [`FaultPlan`] storm) sheds identical victims in identical
+//!   order, misbehaving sessions strictly first.
+
+use hyperwall::fault::FaultPlan;
+use hyperwall::protocol::ServiceWork;
+use hyperwall::service::mux::{Admission, MuxConfig, SessionMux};
+use hyperwall::service::quota::{QuotaConfig, MILLI};
+use proptest::prelude::*;
+
+fn work(seed: u64) -> ServiceWork {
+    ServiceWork::Analysis { seed, len: 64 }
+}
+
+fn cfg_for(sessions: usize) -> MuxConfig {
+    MuxConfig {
+        max_sessions: sessions.max(1),
+        inbox_capacity: 8,
+        quota: QuotaConfig { burst: 16, refill_milli_per_round: 16 * MILLI },
+        quantum: 1,
+        overload_watermark: 1_000, // stay Healthy: these tests isolate fairness
+        shed_watermark: 2_000,
+        misbehave_threshold: 4,
+        round_ms: 10,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With a round budget ≥ the session count, every conforming session
+    /// with queued work is served every round — no session waits more
+    /// than one round, regardless of the arrival pattern.
+    #[test]
+    fn no_conforming_session_starves(
+        n_sessions in 1usize..6,
+        // per-round, per-session arrival counts (0..3 requests)
+        arrivals in proptest::collection::vec(
+            proptest::collection::vec(0usize..3, 1..6), 1..12),
+    ) {
+        let mut mux = SessionMux::new(cfg_for(n_sessions));
+        for id in 0..n_sessions as u64 {
+            mux.open_session(id);
+        }
+        let mut next_req = 0u64;
+        for round in &arrivals {
+            // queue depth per session before this round's scheduling
+            for (slot, &count) in round.iter().enumerate() {
+                let id = (slot % n_sessions) as u64;
+                for _ in 0..count {
+                    mux.submit(id, next_req, work(next_req));
+                    next_req += 1;
+                }
+            }
+            let had_work: Vec<u64> = mux
+                .snapshot()
+                .iter()
+                .filter(|s| s.queued > 0 && !s.misbehaving)
+                .map(|s| s.id)
+                .collect();
+            let picks = mux.schedule_round(n_sessions.max(1));
+            let served: std::collections::HashSet<u64> =
+                picks.iter().map(|p| p.session).collect();
+            for id in had_work {
+                prop_assert!(
+                    served.contains(&id),
+                    "session {id} had queued work but was not served this round \
+                     (served: {served:?})"
+                );
+            }
+        }
+    }
+
+    /// Token-bucket envelope: over any horizon, admissions are bounded by
+    /// `burst + ⌊rate × rounds⌋ + 1`, and a session that paces at or
+    /// under the refill rate is never rejected for quota.
+    #[test]
+    fn quota_enforced_within_one_request(
+        burst in 1u32..6,
+        rate_milli in 250u64..3_000,
+        rounds in 1usize..40,
+        per_round_demand in 1u64..8,
+    ) {
+        let cfg = MuxConfig {
+            max_sessions: 1,
+            inbox_capacity: 10_000,
+            quota: QuotaConfig { burst, refill_milli_per_round: rate_milli },
+            quantum: 8,
+            overload_watermark: 100_000,
+            shed_watermark: 200_000,
+            misbehave_threshold: u32::MAX,
+            round_ms: 10,
+        };
+        let mut mux = SessionMux::new(cfg);
+        mux.open_session(0);
+        let mut admitted = 0u64;
+        let mut req = 0u64;
+        for _ in 0..rounds {
+            for _ in 0..per_round_demand {
+                if let Admission::Enqueued { .. } = mux.submit(0, req, work(req)) {
+                    admitted += 1;
+                }
+                req += 1;
+            }
+            // drain what was scheduled so the inbox never interferes
+            mux.schedule_round(usize::MAX >> 1);
+        }
+        let envelope = u64::from(burst) + (rate_milli * rounds as u64) / MILLI + 1;
+        prop_assert!(
+            admitted <= envelope,
+            "admitted {admitted} > envelope {envelope} (burst {burst}, \
+             rate {rate_milli} m/round, {rounds} rounds)"
+        );
+        // a conforming pacer (demand within both the burst and the
+        // whole-token refill rate) is never rejected
+        let whole_rate = rate_milli / MILLI;
+        if whole_rate >= per_round_demand && u64::from(burst) >= per_round_demand {
+            prop_assert_eq!(
+                admitted,
+                per_round_demand * rounds as u64,
+                "conforming demand must be admitted in full"
+            );
+        }
+    }
+
+    /// Replaying the identical seeded storm twice sheds identical victims
+    /// in identical order, and misbehaving sessions are shed strictly
+    /// before any conforming session loses a request.
+    #[test]
+    fn shedding_is_deterministic_and_misbehaving_first(
+        seed in 0u64..1_000,
+        n_sessions in 3usize..8,
+    ) {
+        let n_bad = (n_sessions / 2).max(1);
+        let plan = FaultPlan::seeded_service_storm(seed, n_sessions, n_bad, 24);
+        let replay = |plan: &FaultPlan| {
+            let cfg = MuxConfig {
+                max_sessions: n_sessions,
+                inbox_capacity: 32,
+                quota: QuotaConfig { burst: 32, refill_milli_per_round: 32 * MILLI },
+                quantum: 1,
+                overload_watermark: n_sessions * 2,
+                shed_watermark: n_sessions * 3,
+                misbehave_threshold: 4,
+                round_ms: 10,
+            };
+            let mut mux = SessionMux::new(cfg);
+            for id in 0..n_sessions as u64 {
+                mux.open_session(id);
+            }
+            let mut req = 0u64;
+            for id in 0..n_sessions as u64 {
+                let faults = plan.client(id as usize);
+                // storm sessions flood (overflowing inbox + quota to build
+                // badness); conforming sessions submit a modest trickle
+                let demand = if faults.quota_storm() > 0 { 64 } else { 2 };
+                for _ in 0..demand {
+                    mux.submit(id, req, work(req));
+                    req += 1;
+                }
+            }
+            let notices = mux.shed_to_watermark();
+            (notices, mux.snapshot())
+        };
+        let (notices_a, snap_a) = replay(&plan);
+        let (notices_b, _) = replay(&plan);
+        prop_assert_eq!(&notices_a, &notices_b, "shed order must be reproducible");
+        // strict priority: if any conforming session was shed, every
+        // misbehaving session's inbox must already be empty
+        let misbehaving: std::collections::HashSet<u64> =
+            snap_a.iter().filter(|s| s.misbehaving).map(|s| s.id).collect();
+        if !misbehaving.is_empty() {
+            let first_conforming_shed =
+                notices_a.iter().position(|n| !misbehaving.contains(&n.session));
+            if let Some(pos) = first_conforming_shed {
+                let misbehaving_shed_after = notices_a[pos..]
+                    .iter()
+                    .any(|n| misbehaving.contains(&n.session));
+                prop_assert!(
+                    !misbehaving_shed_after,
+                    "a misbehaving session was shed after a conforming one"
+                );
+            }
+        }
+    }
+}

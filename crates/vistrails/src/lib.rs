@@ -67,6 +67,7 @@ pub mod executor;
 pub mod module;
 pub mod pipeline;
 pub mod provenance;
+pub mod shared_cache;
 pub mod spreadsheet;
 pub mod value;
 

@@ -1,0 +1,261 @@
+//! Shared, bounded, content-addressed module-result cache.
+//!
+//! One multi-tenant service process runs many sessions, and sessions
+//! overwhelmingly ask for overlapping work (the same source modules, the
+//! same mid-pipeline analyses). The per-[`crate::executor::Executor`]
+//! cache cannot see across sessions, so every tenant used to pay the full
+//! cold-start cost. `SharedModuleCache` is the cross-session layer: keyed
+//! by the same salted module signatures (type + params + upstream
+//! signatures + engine salts) that the executor already computes — a
+//! content address, so two sessions that build identical sub-pipelines
+//! share results with no coordination.
+//!
+//! Properties the contention tests pin down:
+//!
+//! * **bounded** — LRU eviction keeps at most `capacity` results resident;
+//! * **counted** — [`SharedCacheStats`] tracks hits, misses, inserts,
+//!   evictions, and *dedups* (a duplicate insert of a signature another
+//!   session computed concurrently: wasted work detected and merged);
+//! * **concurrent** — a single short mutex guards the map; results are
+//!   cloned out, never borrowed, so the lock is never held across module
+//!   execution.
+
+use crate::value::WfData;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// The outputs of one module execution, as cached.
+pub type ModuleOutputs = BTreeMap<String, WfData>;
+
+/// Cumulative counters of a [`SharedModuleCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Fresh results stored.
+    pub inserts: u64,
+    /// Duplicate inserts: the signature was already resident because
+    /// another session computed the same work concurrently.
+    pub dedups: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    outputs: ModuleOutputs,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, Entry>,
+    stats: SharedCacheStats,
+}
+
+impl Inner {
+    fn evict_to_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            if let Some((&victim, _)) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_used)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// A module-result cache safe to share across session executors.
+#[derive(Debug)]
+pub struct SharedModuleCache {
+    inner: Mutex<Inner>,
+}
+
+impl SharedModuleCache {
+    /// A cache holding at most `capacity` module results (minimum 1).
+    pub fn new(capacity: usize) -> SharedModuleCache {
+        SharedModuleCache {
+            inner: Mutex::new(Inner {
+                capacity: capacity.max(1),
+                tick: 0,
+                entries: HashMap::new(),
+                stats: SharedCacheStats::default(),
+            }),
+        }
+    }
+
+    /// The cached outputs for `signature`, bumping recency. Counts a hit
+    /// or a miss.
+    pub fn get(&self, signature: u64) -> Option<ModuleOutputs> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&signature) {
+            Some(e) => {
+                e.last_used = tick;
+                let out = e.outputs.clone();
+                inner.stats.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `outputs` under `signature`. Returns `true` when the entry
+    /// is fresh; `false` (counting a dedup, keeping the resident copy)
+    /// when another session already inserted the same signature.
+    pub fn insert(&self, signature: u64, outputs: &ModuleOutputs) -> bool {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.entries.get_mut(&signature) {
+            e.last_used = tick;
+            inner.stats.dedups += 1;
+            return false;
+        }
+        inner
+            .entries
+            .insert(signature, Entry { outputs: outputs.clone(), last_used: tick });
+        inner.stats.inserts += 1;
+        inner.evict_to_capacity();
+        true
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> SharedCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of resident results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Changes the capacity (minimum 1), evicting LRU entries if it shrank.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity.max(1);
+        inner.evict_to_capacity();
+    }
+
+    /// Empties the cache (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    fn outputs(v: f64) -> ModuleOutputs {
+        let mut m = ModuleOutputs::new();
+        m.insert("out".into(), WfData::Float(v));
+        m
+    }
+
+    fn value_of(m: &ModuleOutputs) -> Option<f64> {
+        m.get("out").and_then(WfData::as_float)
+    }
+
+    #[test]
+    fn hit_miss_insert_counters() {
+        let c = SharedModuleCache::new(4);
+        assert!(c.get(1).is_none());
+        assert!(c.insert(1, &outputs(1.0)));
+        assert_eq!(c.get(1).as_ref().and_then(value_of), Some(1.0));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn duplicate_insert_counts_dedup_and_keeps_resident_copy() {
+        let c = SharedModuleCache::new(4);
+        assert!(c.insert(9, &outputs(1.0)));
+        assert!(!c.insert(9, &outputs(2.0)), "second insert is a dedup");
+        assert_eq!(c.get(9).as_ref().and_then(value_of), Some(1.0), "first writer wins");
+        assert_eq!(c.stats().dedups, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let c = SharedModuleCache::new(2);
+        c.insert(1, &outputs(1.0));
+        c.insert(2, &outputs(2.0));
+        c.get(1); // 1 is now more recent than 2
+        c.insert(3, &outputs(3.0)); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let c = SharedModuleCache::new(8);
+        for k in 0..8 {
+            c.insert(k, &outputs(k as f64));
+        }
+        c.set_capacity(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 5);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_and_counters_stay_consistent() {
+        const THREADS: usize = 8;
+        const KEYS: u64 = 5;
+        const ROUNDS: usize = 20;
+        let cache = Arc::new(SharedModuleCache::new(16));
+        let computed = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(THREADS));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                let gate = Arc::clone(&gate);
+                s.spawn(move || {
+                    gate.wait();
+                    for r in 0..ROUNDS {
+                        let key = ((t + r) as u64) % KEYS;
+                        if cache.get(key).is_none() {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            cache.insert(key, &outputs(key as f64));
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(cache.len(), KEYS as usize);
+        // every miss led to an insert attempt; duplicate computes show up
+        // as dedups, and inserts + dedups account for all of them
+        assert_eq!(s.inserts + s.dedups, computed.load(Ordering::SeqCst) as u64);
+        assert_eq!(s.inserts, KEYS, "one resident copy per distinct signature");
+        assert_eq!(s.hits + s.misses, (THREADS * ROUNDS) as u64);
+    }
+}
