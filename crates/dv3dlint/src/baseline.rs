@@ -1,0 +1,212 @@
+//! Baseline suppression: adopt dv3dlint in a codebase with pre-existing
+//! findings by recording them once (`--write-baseline`) and subtracting
+//! them on later runs (`--baseline`). Baselined findings are still
+//! reported (marked `baselined`) but do not fail the run, so the gate
+//! becomes "no *new* findings" — the ratchet direction is enforced by
+//! count: fixing a baselined finding shrinks the budget on the next
+//! `--write-baseline`, it never grows silently.
+//!
+//! Format (one line per bucket, sorted, tab-separated — diffable and
+//! mergeable):
+//!
+//! ```text
+//! <rule>\t<file>\t<fnv64 of message, 16 hex chars>\t<count>
+//! ```
+//!
+//! Hashing the message (not the line) keeps baselines stable across
+//! unrelated edits that shift line numbers; two identical findings in one
+//! file share a bucket via the count.
+
+use crate::diag::Diagnostic;
+use crate::engine::RunSummary;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// FNV-1a 64-bit, rendered as 16 lowercase hex chars.
+fn fnv16(s: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The baseline bucket a diagnostic falls into.
+fn key(d: &Diagnostic) -> String {
+    format!(
+        "{}\t{}\t{}",
+        d.rule,
+        d.file.as_os_str().to_string_lossy().replace(['\t', '\n'], "_"),
+        fnv16(&d.message)
+    )
+}
+
+/// Parses baseline file content. Blank lines and `#` comments are
+/// ignored; malformed lines are reported as errors (a typo must not
+/// silently un-suppress — or worse, suppress — anything).
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut out: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let [rule, file, hash, count] = fields.as_slice() else {
+            return Err(format!("baseline line {}: expected 4 tab-separated fields", i + 1));
+        };
+        let n: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+        if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("baseline line {}: bad hash `{hash}`", i + 1));
+        }
+        *out.entry(format!("{rule}\t{file}\t{hash}")).or_insert(0) += n;
+    }
+    Ok(out)
+}
+
+/// Loads a baseline file.
+pub fn load(path: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// Renders the current unsuppressed findings as baseline content.
+pub fn render(summary: &RunSummary) -> String {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for d in &summary.diagnostics {
+        if !d.suppressed {
+            *counts.entry(key(d)).or_insert(0) += 1;
+        }
+    }
+    let mut s = String::from("# dv3dlint baseline: rule<TAB>file<TAB>fnv64(message)<TAB>count\n");
+    for (k, n) in &counts {
+        s.push_str(&format!("{k}\t{n}\n"));
+    }
+    s
+}
+
+/// Writes the baseline, creating the parent directory when needed.
+pub fn save(summary: &RunSummary, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(summary))
+}
+
+/// Marks up to `count` matching unsuppressed findings per bucket as
+/// baselined, then re-tallies the per-rule counts. Diagnostics are
+/// already sorted (file/line/rule), so which instances get baselined when
+/// the bucket is over-subscribed is deterministic: the earliest.
+pub fn apply(summary: &mut RunSummary, baseline: &BTreeMap<String, usize>) {
+    let mut budget = baseline.clone();
+    for d in &mut summary.diagnostics {
+        if d.suppressed {
+            continue;
+        }
+        if let Some(n) = budget.get_mut(&key(d)) {
+            if *n > 0 {
+                *n -= 1;
+                d.baselined = true;
+            }
+        }
+    }
+    summary.retally();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RuleCount;
+    use std::path::PathBuf;
+
+    fn diag(rule: &'static str, file: &str, line: u32, msg: &str) -> Diagnostic {
+        Diagnostic {
+            file: PathBuf::from(file),
+            line,
+            rule,
+            message: msg.into(),
+            hint: None,
+            suppressed: false,
+            baselined: false,
+        }
+    }
+
+    fn summary(diags: Vec<Diagnostic>) -> RunSummary {
+        let mut per_rule: Vec<RuleCount> = Vec::new();
+        for d in &diags {
+            if !per_rule.iter().any(|c| c.rule == d.rule) {
+                per_rule.push(RuleCount {
+                    rule: d.rule,
+                    violations: 0,
+                    allowed: 0,
+                    baselined: 0,
+                });
+            }
+        }
+        let mut s = RunSummary {
+            diagnostics: diags,
+            per_rule,
+            files_scanned: 1,
+            elapsed_ms: 0,
+            threads: 1,
+        };
+        s.retally();
+        s
+    }
+
+    #[test]
+    fn round_trip_suppresses_everything_and_only_that() {
+        let mut s = summary(vec![
+            diag("no_panic", "a.rs", 3, "x"),
+            diag("no_panic", "a.rs", 9, "x"),
+            diag("lock_order", "b.rs", 1, "cycle"),
+        ]);
+        assert_eq!(s.total_violations(), 3);
+        let base = parse(&render(&s)).expect("round trip");
+        apply(&mut s, &base);
+        assert_eq!(s.total_violations(), 0);
+        assert_eq!(s.total_baselined(), 3);
+        assert!(s.clean());
+        // a new finding is NOT covered
+        let mut s2 = summary(vec![
+            diag("no_panic", "a.rs", 3, "x"),
+            diag("no_panic", "a.rs", 5, "y"),
+        ]);
+        apply(&mut s2, &base);
+        assert_eq!(s2.total_violations(), 1);
+        assert!(!s2.clean());
+    }
+
+    #[test]
+    fn over_subscribed_bucket_baselines_earliest_instances() {
+        let mut s = summary(vec![
+            diag("no_panic", "a.rs", 3, "x"),
+            diag("no_panic", "a.rs", 9, "x"),
+            diag("no_panic", "a.rs", 12, "x"),
+        ]);
+        let one = summary(vec![diag("no_panic", "a.rs", 3, "x")]);
+        let base = parse(&render(&one)).expect("parse");
+        apply(&mut s, &base);
+        assert_eq!(s.total_violations(), 2);
+        assert!(s.diagnostics[0].baselined);
+        assert!(!s.diagnostics[2].baselined);
+    }
+
+    #[test]
+    fn malformed_lines_are_hard_errors() {
+        assert!(parse("no_panic\ta.rs\tdeadbeef\t1\n").is_err(), "short hash");
+        assert!(parse("no_panic\ta.rs\t0123456789abcdef\tmany\n").is_err(), "bad count");
+        assert!(parse("just one field\n").is_err());
+        assert!(parse("# comment\n\n").expect("ok").is_empty());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv16(""), "cbf29ce484222325");
+        assert_ne!(fnv16("a"), fnv16("b"));
+    }
+}

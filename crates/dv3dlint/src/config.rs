@@ -226,6 +226,44 @@ pub struct Config {
     pub require_workspace_lints: bool,
     /// Lints the root manifest must deny (or forbid) workspace-wide.
     pub workspace_denies: Vec<String>,
+
+    // --- v2 dataflow analysis (shared by the four concurrency rules) ---
+    /// Crates the dataflow rules report on (the call-graph analysis itself
+    /// is always workspace-global so cross-crate edges resolve).
+    pub concurrency_crates: Vec<String>,
+    /// Guard-producing method names. Only *argument-free* calls count, so
+    /// `io::Read::read(&mut buf)` never registers as `RwLock::read()`.
+    pub lock_methods: Vec<String>,
+    /// Free functions whose first argument names the lock and whose return
+    /// value is its guard (the `std_lock(&self.m)` poison-recovery idiom).
+    pub lock_wrappers: Vec<String>,
+    /// Chained methods that pass a guard through unchanged
+    /// (`m.lock().unwrap()` on a std mutex still binds a guard).
+    pub guard_preserving: Vec<String>,
+    /// Condvar wait methods: the guard passed *as the argument* is released
+    /// by the wait and therefore exempt; any other live guard is not.
+    pub condvar_waits: Vec<String>,
+    /// Method or `qualifier::method` names that block the calling thread.
+    pub blocking_calls: Vec<String>,
+    pub lock_order_enabled: bool,
+    pub guard_blocking_enabled: bool,
+    pub nondet_enabled: bool,
+    /// Module path suffixes whose parallel reductions are the sanctioned
+    /// deterministic ones (`cdat::reduce` splits fixed-shape chunks).
+    pub reduction_modules: Vec<String>,
+    /// Chained/looped method names that copy iteration order into ordered
+    /// output (frames, digests, reports).
+    pub ordered_sinks: Vec<String>,
+    /// Chained method names that make iteration order irrelevant.
+    pub order_neutral: Vec<String>,
+    pub unbounded_enabled: bool,
+    /// Module path suffixes that receive network or session input.
+    pub input_modules: Vec<String>,
+    /// Collection-growing method names `unbounded_growth` watches.
+    pub grow_calls: Vec<String>,
+    /// Identifier substrings that signal a capacity bound in the same
+    /// function (`max_sessions`, `capacity`, `shed_watermark`, …).
+    pub growth_guards: Vec<String>,
 }
 
 fn svec(items: &[&str]) -> Vec<String> {
@@ -292,6 +330,72 @@ impl Config {
             require_forbid: svec(&["unsafe_code"]),
             require_workspace_lints: true,
             workspace_denies: svec(&["unused_must_use"]),
+            concurrency_crates: svec(&[
+                "cdms", "cdat", "rvtk", "vistrails", "dv3d", "hyperwall", "uvcdat", "dv3dlint",
+            ]),
+            lock_methods: svec(&["lock", "read", "write"]),
+            lock_wrappers: svec(&["std_lock"]),
+            guard_preserving: svec(&["unwrap", "expect", "unwrap_or_else"]),
+            condvar_waits: svec(&["wait", "wait_timeout", "wait_while", "wait_timeout_while"]),
+            blocking_calls: svec(&[
+                "wait",
+                "wait_timeout",
+                "wait_while",
+                "recv",
+                "recv_timeout",
+                "sleep",
+                "sync_all",
+                "sync_data",
+                "read_message",
+                "read_message_deadline",
+                "read_message_idle",
+                "write_message",
+                "write_message_deadline",
+                "connect",
+                "accept",
+                "read_exact",
+            ]),
+            lock_order_enabled: true,
+            guard_blocking_enabled: true,
+            nondet_enabled: true,
+            reduction_modules: svec(&["crates/cdat/src/reduce.rs"]),
+            ordered_sinks: svec(&[
+                "push",
+                "extend",
+                "push_str",
+                "append",
+                "push_back",
+                "write_fmt",
+                "mix",
+                "update",
+                "absorb",
+            ]),
+            order_neutral: svec(&[
+                "min",
+                "max",
+                "min_by",
+                "min_by_key",
+                "max_by",
+                "max_by_key",
+                "count",
+                "any",
+                "all",
+                "sum",
+                "product",
+                "len",
+                "contains",
+                "contains_key",
+            ]),
+            unbounded_enabled: true,
+            input_modules: svec(&[
+                "crates/hyperwall/src/service/server.rs",
+                "crates/hyperwall/src/service/mux.rs",
+                "crates/hyperwall/src/server.rs",
+            ]),
+            grow_calls: svec(&["push", "extend", "append", "push_back", "insert"]),
+            growth_guards: svec(&[
+                "max", "cap", "limit", "bound", "budget", "watermark", "quota", "shed",
+            ]),
         }
     }
 
@@ -377,6 +481,55 @@ impl Config {
         }
         if let Some(v) = t.str_list("rules.lint_attrs", "workspace_denies") {
             cfg.workspace_denies = v;
+        }
+        // shared dataflow-analysis knobs
+        if let Some(v) = t.str_list("analysis", "crates") {
+            cfg.concurrency_crates = v;
+        }
+        if let Some(v) = t.str_list("analysis", "lock_methods") {
+            cfg.lock_methods = v;
+        }
+        if let Some(v) = t.str_list("analysis", "lock_wrappers") {
+            cfg.lock_wrappers = v;
+        }
+        if let Some(v) = t.str_list("analysis", "guard_preserving") {
+            cfg.guard_preserving = v;
+        }
+        if let Some(v) = t.str_list("analysis", "condvar_waits") {
+            cfg.condvar_waits = v;
+        }
+        if let Some(v) = t.str_list("analysis", "blocking_calls") {
+            cfg.blocking_calls = v;
+        }
+        if let Some(b) = enabled("rules.lock_order") {
+            cfg.lock_order_enabled = b;
+        }
+        if let Some(b) = enabled("rules.guard_across_blocking") {
+            cfg.guard_blocking_enabled = b;
+        }
+        if let Some(b) = enabled("rules.nondet_reduction") {
+            cfg.nondet_enabled = b;
+        }
+        if let Some(v) = t.str_list("rules.nondet_reduction", "reduction_modules") {
+            cfg.reduction_modules = v;
+        }
+        if let Some(v) = t.str_list("rules.nondet_reduction", "ordered_sinks") {
+            cfg.ordered_sinks = v;
+        }
+        if let Some(v) = t.str_list("rules.nondet_reduction", "order_neutral") {
+            cfg.order_neutral = v;
+        }
+        if let Some(b) = enabled("rules.unbounded_growth") {
+            cfg.unbounded_enabled = b;
+        }
+        if let Some(v) = t.str_list("rules.unbounded_growth", "input_modules") {
+            cfg.input_modules = v;
+        }
+        if let Some(v) = t.str_list("rules.unbounded_growth", "grow_calls") {
+            cfg.grow_calls = v;
+        }
+        if let Some(v) = t.str_list("rules.unbounded_growth", "growth_guards") {
+            cfg.growth_guards = v;
         }
         Ok(cfg)
     }

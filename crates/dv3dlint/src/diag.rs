@@ -3,7 +3,8 @@
 use std::path::PathBuf;
 
 /// One finding. `suppressed` findings matched an allow directive — they
-//  are counted in the report but never fail the run.
+//  are counted in the report but never fail the run. `baselined` findings
+//  matched an entry in the `--baseline` file: reported, never fatal.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     pub file: PathBuf,
@@ -11,16 +12,24 @@ pub struct Diagnostic {
     pub line: u32,
     pub rule: &'static str,
     pub message: String,
+    /// Optional fix hint, rendered after the message and in SARIF.
+    pub hint: Option<String>,
     pub suppressed: bool,
+    pub baselined: bool,
 }
 
 impl Diagnostic {
     pub fn render(&self) -> String {
+        let hint = self
+            .hint
+            .as_deref()
+            .map(|h| format!("\n    hint: {h}"))
+            .unwrap_or_default();
         if self.line == 0 {
-            format!("{}: [{}] {}", self.file.display(), self.rule, self.message)
+            format!("{}: [{}] {}{hint}", self.file.display(), self.rule, self.message)
         } else {
             format!(
-                "{}:{}: [{}] {}",
+                "{}:{}: [{}] {}{hint}",
                 self.file.display(),
                 self.line,
                 self.rule,

@@ -15,10 +15,12 @@ pub const ALLOW_SYNTAX: &str = "allow_syntax";
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuleCount {
     pub rule: &'static str,
-    /// Unsuppressed findings (fail the run).
+    /// Unsuppressed, unbaselined findings (fail the run).
     pub violations: usize,
     /// Findings suppressed by a reasoned allow directive.
     pub allowed: usize,
+    /// Findings absorbed by the `--baseline` file (reported, non-fatal).
+    pub baselined: usize,
 }
 
 /// Outcome of one engine run.
@@ -28,6 +30,11 @@ pub struct RunSummary {
     pub diagnostics: Vec<Diagnostic>,
     pub per_rule: Vec<RuleCount>,
     pub files_scanned: usize,
+    /// Wall-clock of the lint pass (scan + parse + rules), for the CI
+    /// budget assertion. Zero until the driver stamps it.
+    pub elapsed_ms: u64,
+    /// Worker threads the parallel front-end used.
+    pub threads: usize,
 }
 
 impl RunSummary {
@@ -39,8 +46,33 @@ impl RunSummary {
         self.per_rule.iter().map(|c| c.allowed).sum()
     }
 
+    pub fn total_baselined(&self) -> usize {
+        self.per_rule.iter().map(|c| c.baselined).sum()
+    }
+
     pub fn clean(&self) -> bool {
         self.total_violations() == 0
+    }
+
+    /// Recomputes `per_rule` from the diagnostics (needed after baseline
+    /// application flips `baselined` flags).
+    pub fn retally(&mut self) {
+        for c in &mut self.per_rule {
+            c.violations = 0;
+            c.allowed = 0;
+            c.baselined = 0;
+        }
+        for d in &self.diagnostics {
+            if let Some(c) = self.per_rule.iter_mut().find(|c| c.rule == d.rule) {
+                if d.suppressed {
+                    c.allowed += 1;
+                } else if d.baselined {
+                    c.baselined += 1;
+                } else {
+                    c.violations += 1;
+                }
+            }
+        }
     }
 }
 
@@ -61,7 +93,13 @@ pub fn run(ws: &Workspace, cfg: &Config) -> RunSummary {
                     line: *line,
                     rule: ALLOW_SYNTAX,
                     message: problem.clone(),
+                    hint: Some(
+                        "write `// dv3dlint: allow(<rule>) -- <reason>`; the reason is \
+                         mandatory"
+                            .into(),
+                    ),
                     suppressed: false,
+                    baselined: false,
                 });
             }
         }
@@ -69,17 +107,16 @@ pub fn run(ws: &Workspace, cfg: &Config) -> RunSummary {
     sort(&mut diagnostics);
     let mut per_rule: Vec<RuleCount> = rules
         .iter()
-        .map(|r| RuleCount { rule: r.id(), violations: 0, allowed: 0 })
+        .map(|r| RuleCount { rule: r.id(), violations: 0, allowed: 0, baselined: 0 })
         .collect();
-    per_rule.push(RuleCount { rule: ALLOW_SYNTAX, violations: 0, allowed: 0 });
-    for d in &diagnostics {
-        if let Some(c) = per_rule.iter_mut().find(|c| c.rule == d.rule) {
-            if d.suppressed {
-                c.allowed += 1;
-            } else {
-                c.violations += 1;
-            }
-        }
-    }
-    RunSummary { diagnostics, per_rule, files_scanned: ws.files_scanned }
+    per_rule.push(RuleCount { rule: ALLOW_SYNTAX, violations: 0, allowed: 0, baselined: 0 });
+    let mut summary = RunSummary {
+        diagnostics,
+        per_rule,
+        files_scanned: ws.files_scanned,
+        elapsed_ms: 0,
+        threads: crate::workspace::worker_threads(),
+    };
+    summary.retally();
+    summary
 }

@@ -18,8 +18,9 @@ pub enum Tok {
     Lifetime,
     /// String / raw-string / byte-string / char literal.
     Str,
-    /// Numeric literal (loosely lexed).
-    Num,
+    /// Numeric literal (loosely lexed; the text is kept so dataflow can
+    /// tell float literals like `0.0` from integers).
+    Num(String),
 }
 
 /// A token with its 1-based source line.
@@ -156,6 +157,7 @@ pub fn lex(src: &str) -> Lexed {
             c if c.is_ascii_digit() => {
                 // loose: digits plus ident-ish continuation and dots (0xff,
                 // 1_000, 3.14, 12u64); `1e-3` splits, which no rule minds
+                let start = i;
                 i += 1;
                 while i < b.len()
                     && (b[i].is_alphanumeric()
@@ -164,7 +166,7 @@ pub fn lex(src: &str) -> Lexed {
                 {
                     i += 1;
                 }
-                out.tokens.push(Token { tok: Tok::Num, line });
+                out.tokens.push(Token { tok: Tok::Num(b[start..i].iter().collect()), line });
                 last_tok_line = line;
             }
             c => {

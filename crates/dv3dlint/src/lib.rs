@@ -10,13 +10,22 @@
 //!
 //! Shipped rules (each a module under [`rules`], with fixture tests):
 //!
-//! | id                 | invariant |
-//! |--------------------|-----------|
-//! | `no_panic`         | no unwrap/expect/panic-family macros (or hot-path indexing) in library code |
-//! | `mask_propagation` | CDAT kernels reading raw `.data()` must consult the mask |
-//! | `deadline_io`      | hyperwall exchanges outside `protocol.rs` use `_deadline` variants |
-//! | `error_hygiene`    | public `*Error` enums are `#[non_exhaustive]` + implement `source()` |
-//! | `lint_attrs`       | crate roots `#![forbid(unsafe_code)]` + opt into workspace `[lints]` |
+//! | id                      | invariant |
+//! |-------------------------|-----------|
+//! | `no_panic`              | no unwrap/expect/panic-family macros (or hot-path indexing) in library code |
+//! | `mask_propagation`      | CDAT kernels reading raw `.data()` must consult the mask |
+//! | `deadline_io`           | hyperwall exchanges outside `protocol.rs` use `_deadline` variants |
+//! | `error_hygiene`         | public `*Error` enums are `#[non_exhaustive]` + implement `source()` |
+//! | `lint_attrs`            | crate roots `#![forbid(unsafe_code)]` + opt into workspace `[lints]` |
+//! | `lock_order`            | workspace lock-acquisition graph is acyclic (cycles = deadlock risk) |
+//! | `guard_across_blocking` | no Mutex/RwLock guard live across blocking calls (I/O, fsync, condvar) |
+//! | `nondet_reduction`      | no thread-order float accumulation or hash-order output outside `cdat::reduce` |
+//! | `unbounded_growth`      | input-handling modules cap client-driven collection growth |
+//!
+//! The last four are powered by a two-pass dataflow engine ([`parse`] →
+//! [`dataflow`] → [`callgraph`]): pass 1 models each function (bindings,
+//! guards, call edges), pass 2 runs intra-procedural guard liveness plus a
+//! workspace call-graph fixpoint (`may_block`, transitive lock sets).
 //!
 //! Escape hatch (reason mandatory, malformed directives are themselves
 //! errors):
@@ -29,17 +38,24 @@
 //! configuration lives in `dv3dlint.toml` at the workspace root, and every
 //! workspace run refreshes `out/dv3dlint_report.json`.
 //!
-//! The crate is dependency-free by design — it lexes Rust, scans items,
-//! and reads the TOML subset it needs with its own ~zero-cost machinery,
-//! so it builds before (and regardless of) the rest of the workspace.
+//! The crate depends only on the workspace's vendored `rayon` stub (for
+//! the parallel file front-end, honouring `RAYON_NUM_THREADS`) — it lexes
+//! Rust, scans items, and reads the TOML subset it needs with its own
+//! machinery, so it builds before (and regardless of) the rest of the
+//! workspace.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
 pub mod model;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;

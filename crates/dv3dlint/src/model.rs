@@ -34,6 +34,9 @@ pub struct Item {
     pub name: String,
     /// 1-based line of the item keyword.
     pub line: u32,
+    /// Token index of the item keyword (`fn`, `mod`, …) — pass-1 parsing
+    /// resumes from here to read signatures.
+    pub kw_tok: usize,
     /// Flattened attribute texts, whitespace-free: `cfg(test)`,
     /// `non_exhaustive`, `derive(Debug,Clone)`, …
     pub attrs: Vec<String>,
@@ -208,6 +211,7 @@ impl Scanner<'_> {
         let mut is_pub = false;
         let mut kw: Option<String> = None;
         let mut kw_line = 0u32;
+        let mut kw_tok = 0usize;
         while self.idx < end {
             match self.tok(self.idx) {
                 Some(Tok::Ident(s)) if s == "pub" => {
@@ -232,6 +236,7 @@ impl Scanner<'_> {
                     } else {
                         kw = Some("extern".into());
                         kw_line = self.line(self.idx);
+                        kw_tok = self.idx;
                         self.idx += 1;
                         break;
                     }
@@ -244,6 +249,7 @@ impl Scanner<'_> {
                     } else {
                         kw = Some("const".into());
                         kw_line = self.line(self.idx);
+                        kw_tok = self.idx;
                         self.idx += 1;
                         break;
                     }
@@ -251,6 +257,7 @@ impl Scanner<'_> {
                 Some(Tok::Ident(s)) if ITEM_KEYWORDS.contains(&s.as_str()) => {
                     kw = Some(s.clone());
                     kw_line = self.line(self.idx);
+                    kw_tok = self.idx;
                     self.idx += 1;
                     break;
                 }
@@ -338,6 +345,7 @@ impl Scanner<'_> {
             kind,
             name,
             line: kw_line,
+            kw_tok,
             attrs,
             is_pub,
             in_test: is_test_item,
@@ -381,7 +389,7 @@ impl Scanner<'_> {
                 }
                 Some(Tok::Punct(c)) => text.push(*c),
                 Some(Tok::Str) => text.push('"'),
-                Some(Tok::Num) => text.push('0'),
+                Some(Tok::Num(_)) => text.push('0'),
                 Some(Tok::Lifetime) => text.push('\''),
                 None => break,
             }

@@ -1,0 +1,710 @@
+//! Pass 1 of the v2 engine: per-function IR extraction.
+//!
+//! [`crate::model`] scans files into items; this module descends into
+//! `fn` bodies (which the item scanner deliberately keeps as opaque token
+//! ranges) and linearizes each one into an event stream: block opens and
+//! closes, `let` bindings with their initializer extents, call sites with
+//! receiver paths and argument identifiers, compound assignments, and
+//! `for … in …` loops. The stream is deliberately *syntactic* — no name
+//! resolution happens here; [`crate::dataflow`] interprets it.
+//!
+//! Known simplifications (shared with the item scanner, and acceptable
+//! for a linter whose findings carry a reasoned escape hatch): generic
+//! arguments are not balanced against comparison operators, struct
+//! literals inside expressions count as blocks, and closures are plain
+//! nested blocks (a deferred closure body is treated as executing at its
+//! definition site, which is the conservative direction for guard
+//! tracking).
+
+use crate::lexer::Tok;
+use crate::model::{FileModel, ItemKind};
+
+/// One call site (method, free function, or macro invocation).
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Receiver path segments for method calls: `self.cache.lock()` →
+    /// `["self", "cache"]`. `["()"]` when chained onto a previous call or
+    /// index expression. Empty for free functions.
+    pub recv: Vec<String>,
+    /// Qualifier path of a path call (`std::thread::sleep` → `["std",
+    /// "thread"]`). Empty for methods and unqualified calls.
+    pub qual: Vec<String>,
+    /// The called name (last path segment / method name / macro name).
+    pub method: String,
+    /// True for `name!(…)` macro invocations.
+    pub is_macro: bool,
+    /// Top-level identifier arguments (first segment of each argument
+    /// path) — what the condvar-wait exemption and `drop(g)` need.
+    pub args: Vec<String>,
+    /// Leading path of the first argument (`std_lock(&self.done)` →
+    /// `["self", "done"]`) — what lock-wrapper naming needs.
+    pub arg0_path: Vec<String>,
+    pub line: u32,
+    /// Token index of the called name.
+    pub tok: usize,
+    /// Token index of the matching close paren (== `tok` when none found).
+    pub close: usize,
+    /// When the call sits in a `match` scrutinee, the token index of the
+    /// match body's closing brace: Rust keeps scrutinee temporaries (and
+    /// thus temporary guards) alive for the whole match.
+    pub match_extent: Option<usize>,
+}
+
+/// A `let` binding (also emitted for `if let` / `while let`).
+#[derive(Debug, Clone)]
+pub struct LetBind {
+    /// Bound variable names (lowercase pattern idents, `mut`/`ref`
+    /// stripped, constructors skipped).
+    pub vars: Vec<String>,
+    /// Flattened ascribed type text (empty when inferred).
+    pub ty: String,
+    pub line: u32,
+    /// Token range of the initializer, exclusive; `(0, 0)` when there is
+    /// none. Ends at the terminating `;`, or at a `{` when the value is a
+    /// block/if/match expression (the walker keeps scanning inside).
+    pub init: (usize, usize),
+}
+
+/// A compound assignment `x += …` / `x -= …` / `x *= …` / `x /= …`.
+#[derive(Debug, Clone)]
+pub struct OpAssign {
+    pub var: String,
+    pub line: u32,
+    /// Token index of the operator.
+    pub tok: usize,
+}
+
+/// A `for <pat> in <expr> { … }` loop.
+#[derive(Debug, Clone)]
+pub struct ForIter {
+    /// Leading path of the iterated expression (`&self.entries` →
+    /// `["self", "entries"]`).
+    pub source: Vec<String>,
+    /// Chained method names inside the iterated expression
+    /// (`map.iter().enumerate()` → `["iter", "enumerate"]`).
+    pub methods: Vec<String>,
+    pub line: u32,
+    /// Token range of the loop body, braces included.
+    pub body: (usize, usize),
+}
+
+/// One linearized event inside a function body.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// `{` — a new scope (block, closure body, match body, …).
+    Open { tok: usize },
+    /// `}` closing a scope.
+    Close { tok: usize },
+    Let(LetBind),
+    Call(Call),
+    OpAssign(OpAssign),
+    For(ForIter),
+}
+
+impl Event {
+    /// The token index the event anchors to (events are emitted sorted).
+    pub fn tok(&self) -> usize {
+        match self {
+            Event::Open { tok } | Event::Close { tok } => *tok,
+            Event::Let(l) => l.init.0.max(1) - 1,
+            Event::Call(c) => c.tok,
+            Event::OpAssign(a) => a.tok,
+            Event::For(f) => f.body.0,
+        }
+    }
+}
+
+/// The extracted IR of one function.
+#[derive(Debug)]
+pub struct FnIr {
+    pub name: String,
+    pub line: u32,
+    pub in_test: bool,
+    /// `(name, flattened type text)` for each value parameter.
+    pub params: Vec<(String, String)>,
+    /// Body token range, braces included.
+    pub body: (usize, usize),
+    pub events: Vec<Event>,
+}
+
+const KEYWORDS_NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "fn", "let",
+    "pub", "use", "mod", "impl", "where", "break", "continue", "unsafe", "dyn", "ref", "mut",
+];
+
+/// Extracts every function (with a body) from `file`, including functions
+/// nested in `impl`/`mod` items. Test functions are kept, flagged
+/// `in_test`, so callers can skip them.
+pub fn functions(file: &FileModel) -> Vec<FnIr> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for item in &file.items {
+        if item.kind != ItemKind::Fn {
+            continue;
+        }
+        let Some(body) = item.body else { continue };
+        let params = parse_params(file, item.kw_tok, body.0);
+        let events = walk_body(file, body);
+        out.push(FnIr {
+            name: item.name.clone(),
+            line: item.line,
+            in_test: item.in_test,
+            params,
+            body,
+            events,
+        });
+    }
+    debug_assert!(out.iter().all(|f| f.body.1 <= toks.len()));
+    out
+}
+
+/// Parses the parameter list between the `fn` keyword and the body open.
+fn parse_params(file: &FileModel, kw_tok: usize, body_open: usize) -> Vec<(String, String)> {
+    let toks = &file.lexed.tokens;
+    // find the param-list `(` — first paren after the name/generics
+    let mut i = kw_tok + 1;
+    let mut angle = 0i32;
+    let open = loop {
+        if i >= body_open {
+            return Vec::new();
+        }
+        match &toks[i].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('(') if angle <= 0 => break i,
+            _ => {}
+        }
+        i += 1;
+    };
+    let close = match_close(toks, open, body_open, '(', ')');
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut cur_name: Option<String> = None;
+    let mut cur_ty = String::new();
+    let mut in_ty = false;
+    for t in &toks[open.min(toks.len())..(close + 1).min(toks.len())] {
+        match &t.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => {
+                depth += 1;
+                if in_ty {
+                    cur_ty.push('<');
+                }
+            }
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => {
+                depth -= 1;
+                if in_ty && depth > 0 {
+                    cur_ty.push('>');
+                }
+            }
+            Tok::Punct(':') if depth == 1 => in_ty = true,
+            Tok::Punct(',') if depth == 1 => {
+                if let Some(n) = cur_name.take() {
+                    params.push((n, std::mem::take(&mut cur_ty)));
+                }
+                cur_ty.clear();
+                in_ty = false;
+            }
+            Tok::Ident(s)
+                if depth == 1 && !in_ty && s != "mut" && s != "ref" && s != "self" =>
+            {
+                cur_name = Some(s.clone());
+            }
+            Tok::Ident(s) if in_ty => {
+                if cur_ty.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+                    cur_ty.push(' ');
+                }
+                cur_ty.push_str(s);
+            }
+            _ => {}
+        }
+    }
+    if let Some(n) = cur_name.take() {
+        params.push((n, cur_ty));
+    }
+    params
+}
+
+/// Index of the token matching `open_kind` at `open`, scanning to `end`.
+fn match_close(
+    toks: &[crate::lexer::Token],
+    open: usize,
+    end: usize,
+    open_kind: char,
+    close_kind: char,
+) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end.min(toks.len()) {
+        match &toks[i].tok {
+            Tok::Punct(c) if *c == open_kind => depth += 1,
+            Tok::Punct(c) if *c == close_kind => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    open
+}
+
+fn ident_at(toks: &[crate::lexer::Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[crate::lexer::Token], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Linearizes a function body into events.
+fn walk_body(file: &FileModel, body: (usize, usize)) -> Vec<Event> {
+    let toks = &file.lexed.tokens;
+    let (open, close) = body;
+    let mut events = Vec::new();
+    // active `match` scrutinee contexts: (scrutinee_end, body_close)
+    let mut matches: Vec<(usize, usize)> = Vec::new();
+    let mut i = open;
+    while i <= close.min(toks.len().saturating_sub(1)) {
+        matches.retain(|&(_, ext)| ext >= i);
+        let line = toks[i].line;
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                events.push(Event::Open { tok: i });
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                events.push(Event::Close { tok: i });
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "match" => {
+                // find the body `{` at paren/bracket depth 0 to learn the
+                // scrutinee extent and the temporaries' lifetime
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                while j < close {
+                    match &toks[j].tok {
+                        Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                        Tok::Punct('{') if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < close {
+                    let body_close = match_close(toks, j, close + 1, '{', '}');
+                    matches.push((j, body_close));
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                let (bind, next) = parse_let(toks, i, close, line);
+                events.push(Event::Let(bind));
+                i = next; // continue scanning inside the initializer
+            }
+            Tok::Ident(kw) if kw == "for" => {
+                if let Some((fi, next)) = parse_for(toks, i, close, line) {
+                    events.push(Event::For(fi));
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(name)
+                if !KEYWORDS_NOT_CALLS.contains(&name.as_str())
+                    && (punct_at(toks, i + 1) == Some('(')
+                        || (punct_at(toks, i + 1) == Some('!')
+                            && punct_at(toks, i + 2) == Some('('))) =>
+            {
+                let is_macro = punct_at(toks, i + 1) == Some('!');
+                let paren = if is_macro { i + 2 } else { i + 1 };
+                let call_close = match_close(toks, paren, close + 1, '(', ')');
+                let (recv, qual) = receiver_of(toks, i);
+                let (args, arg0_path) = args_of(toks, paren, call_close);
+                let match_extent = matches
+                    .iter()
+                    .rev()
+                    .find(|&&(scrut_end, _)| i < scrut_end)
+                    .map(|&(_, ext)| ext);
+                events.push(Event::Call(Call {
+                    recv,
+                    qual,
+                    method: name.clone(),
+                    is_macro,
+                    args,
+                    arg0_path,
+                    line,
+                    tok: i,
+                    close: call_close,
+                    match_extent,
+                }));
+                i += 1; // walk inside the argument list too
+            }
+            Tok::Ident(var)
+                if matches!(punct_at(toks, i + 1), Some('+' | '-' | '*' | '/'))
+                    && punct_at(toks, i + 2) == Some('=')
+                    && punct_at(toks, i.wrapping_sub(1)) != Some('.') =>
+            {
+                events.push(Event::OpAssign(OpAssign { var: var.clone(), line, tok: i + 1 }));
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    events
+}
+
+/// Parses `let <pat> [: ty] [= init]`, returning the binding and the token
+/// index to resume from (just past `=`, so initializer calls are walked).
+fn parse_let(
+    toks: &[crate::lexer::Token],
+    let_tok: usize,
+    fn_close: usize,
+    line: u32,
+) -> (LetBind, usize) {
+    let mut vars = Vec::new();
+    let mut ty = String::new();
+    let mut i = let_tok + 1;
+    let mut depth = 0i32;
+    // pattern
+    while i < fn_close {
+        match &toks[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct(':') if depth == 0 && punct_at(toks, i + 1) != Some(':') => break,
+            Tok::Punct(':') if punct_at(toks, i + 1) == Some(':') => i += 1, // `::` path
+            Tok::Punct('=') if depth == 0 && punct_at(toks, i + 1) != Some('=') => break,
+            Tok::Punct(';') | Tok::Punct('{') if depth == 0 => break,
+            Tok::Ident(s)
+                if s != "mut"
+                    && s != "ref"
+                    && !s.starts_with(|c: char| c.is_ascii_uppercase()) =>
+            {
+                vars.push(s.clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // ascribed type
+    if punct_at(toks, i) == Some(':') {
+        i += 1;
+        let mut tdepth = 0i32;
+        while i < fn_close {
+            match &toks[i].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => {
+                    tdepth += 1;
+                    ty.push('<');
+                }
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => {
+                    tdepth -= 1;
+                    ty.push('>');
+                }
+                Tok::Punct('=') if tdepth <= 0 => break,
+                Tok::Punct(';') if tdepth <= 0 => break,
+                Tok::Ident(s) => {
+                    if ty.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+                        ty.push(' ');
+                    }
+                    ty.push_str(s);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // initializer extent: from past `=` to the `;` (or `{`) at depth 0
+    let mut init = (0usize, 0usize);
+    if punct_at(toks, i) == Some('=') {
+        let start = i + 1;
+        let mut j = start;
+        let mut d = 0i32;
+        while j < fn_close {
+            match &toks[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') => d += 1,
+                Tok::Punct(')') | Tok::Punct(']') => d -= 1,
+                Tok::Punct(';') if d <= 0 => break,
+                Tok::Punct('{') if d <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        init = (start, j);
+        i = start;
+    } else {
+        i += 1;
+    }
+    (LetBind { vars, ty, line, init }, i)
+}
+
+/// Parses `for <pat> in <expr> {`, returning the loop info and the token
+/// index of the body `{` (the walker resumes there to process the body).
+fn parse_for(
+    toks: &[crate::lexer::Token],
+    for_tok: usize,
+    fn_close: usize,
+    line: u32,
+) -> Option<(ForIter, usize)> {
+    // find `in` at pattern depth 0
+    let mut i = for_tok + 1;
+    let mut depth = 0i32;
+    loop {
+        if i >= fn_close {
+            return None;
+        }
+        match &toks[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Ident(s) if s == "in" && depth == 0 => break,
+            Tok::Punct('{') if depth == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    // iterated expression: until `{` at depth 0
+    let mut source = Vec::new();
+    let mut methods = Vec::new();
+    let mut in_head = true; // still collecting the leading path
+    let mut j = i + 1;
+    let mut d = 0i32;
+    while j < fn_close {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => d += 1,
+            Tok::Punct(')') | Tok::Punct(']') => d -= 1,
+            Tok::Punct('{') if d == 0 => break,
+            Tok::Ident(s) if d == 0 => {
+                if punct_at(toks, j + 1) == Some('(') {
+                    methods.push(s.clone());
+                    in_head = false;
+                } else if in_head {
+                    source.push(s.clone());
+                }
+            }
+            Tok::Punct('.') if d == 0 => {}
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= fn_close {
+        return None;
+    }
+    let body_close = match_close(toks, j, fn_close + 1, '{', '}');
+    Some((ForIter { source, methods, line, body: (j, body_close) }, j))
+}
+
+/// Receiver / qualifier paths of the call whose name token is `i`.
+fn receiver_of(toks: &[crate::lexer::Token], i: usize) -> (Vec<String>, Vec<String>) {
+    // `a::b::name(` — qualifier path
+    if punct_at(toks, i.wrapping_sub(1)) == Some(':')
+        && punct_at(toks, i.wrapping_sub(2)) == Some(':')
+    {
+        let mut qual = Vec::new();
+        let mut j = i.wrapping_sub(3);
+        while let Some(s) = ident_at(toks, j) {
+            qual.push(s.to_string());
+            if punct_at(toks, j.wrapping_sub(1)) == Some(':')
+                && punct_at(toks, j.wrapping_sub(2)) == Some(':')
+            {
+                j = j.wrapping_sub(3);
+            } else {
+                break;
+            }
+        }
+        qual.reverse();
+        return (Vec::new(), qual);
+    }
+    // `recv.name(` — method call
+    if punct_at(toks, i.wrapping_sub(1)) == Some('.') {
+        let mut recv = Vec::new();
+        let mut j = i.wrapping_sub(2);
+        loop {
+            match toks.get(j).map(|t| &t.tok) {
+                Some(Tok::Ident(s)) => recv.push(s.clone()),
+                Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => {
+                    recv.push("()".into());
+                    break;
+                }
+                _ => break,
+            }
+            if punct_at(toks, j.wrapping_sub(1)) == Some('.') {
+                j = j.wrapping_sub(2);
+            } else {
+                break;
+            }
+        }
+        recv.reverse();
+        return (recv, Vec::new());
+    }
+    (Vec::new(), Vec::new())
+}
+
+/// Top-level identifier arguments in `( … )`, plus the first argument's
+/// leading path.
+fn args_of(toks: &[crate::lexer::Token], open: usize, close: usize) -> (Vec<String>, Vec<String>) {
+    let mut args = Vec::new();
+    let mut arg0_path = Vec::new();
+    let mut depth = 0i32;
+    let mut first_arg = true;
+    let mut arg0_head = true;
+    for j in open..=close.min(toks.len().saturating_sub(1)) {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct(',') if depth == 1 => {
+                first_arg = false;
+            }
+            Tok::Ident(s) if depth == 1 => {
+                if punct_at(toks, j.wrapping_sub(1)) != Some('.') && s != "mut" {
+                    args.push(s.clone());
+                }
+                if first_arg && arg0_head && s != "mut" {
+                    if punct_at(toks, j + 1) == Some('(') {
+                        arg0_head = false; // a call, not a plain path
+                    } else {
+                        arg0_path.push(s.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (args, arg0_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fns(src: &str) -> Vec<FnIr> {
+        let m = FileModel::parse(PathBuf::from("mem.rs"), src);
+        functions(&m)
+    }
+
+    fn calls(f: &FnIr) -> Vec<&Call> {
+        f.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Call(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn receiver_paths_and_args_are_extracted() {
+        let src = "\
+fn f(&self) {
+    let mut g = self.cache.lock();
+    std_lock(&self.inflight);
+    std::thread::sleep(tick);
+    self.cv.wait(done);
+}
+";
+        let f = &fns(src)[0];
+        let cs = calls(f);
+        let lock = cs.iter().find(|c| c.method == "lock").expect("lock call");
+        assert_eq!(lock.recv, vec!["self", "cache"]);
+        let wrap = cs.iter().find(|c| c.method == "std_lock").expect("wrapper");
+        assert_eq!(wrap.arg0_path, vec!["self", "inflight"]);
+        let sleep = cs.iter().find(|c| c.method == "sleep").expect("sleep");
+        assert_eq!(sleep.qual, vec!["std", "thread"]);
+        let wait = cs.iter().find(|c| c.method == "wait").expect("wait");
+        assert_eq!(wait.args, vec!["done"]);
+    }
+
+    #[test]
+    fn let_bindings_track_vars_types_and_init_extent() {
+        let src = "\
+fn f() {
+    let mut acc: f64 = 0.0;
+    let (a, b) = pair();
+    let Some(x) = opt else { return };
+}
+";
+        let f = &fns(src)[0];
+        let lets: Vec<_> = f
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Let(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lets[0].vars, vec!["acc"]);
+        assert!(lets[0].ty.contains("f64"));
+        assert_eq!(lets[1].vars, vec!["a", "b"]);
+        assert_eq!(lets[2].vars, vec!["x"], "constructor skipped, binding kept");
+    }
+
+    #[test]
+    fn match_scrutinee_extends_temporaries() {
+        let src = "\
+fn f(&self) {
+    match self.mux.lock().open(s) {
+        Ok(_) => self.go(),
+        Err(_) => {}
+    }
+    self.after();
+}
+";
+        let f = &fns(src)[0];
+        let cs = calls(f);
+        let lock = cs.iter().find(|c| c.method == "lock").expect("lock");
+        let ext = lock.match_extent.expect("scrutinee call has a match extent");
+        let go = cs.iter().find(|c| c.method == "go").expect("go");
+        let after = cs.iter().find(|c| c.method == "after").expect("after");
+        assert!(go.tok < ext, "arm body is inside the extent");
+        assert!(after.tok > ext, "code after the match is outside");
+    }
+
+    #[test]
+    fn for_loops_capture_source_and_methods() {
+        let src = "\
+fn f(&self) {
+    for (k, v) in self.entries.iter().take(3) {
+        out.push(k);
+    }
+}
+";
+        let f = &fns(src)[0];
+        let fi = f
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::For(fi) => Some(fi),
+                _ => None,
+            })
+            .expect("for loop");
+        assert_eq!(fi.source, vec!["self", "entries"]);
+        assert_eq!(fi.methods, vec!["iter", "take"]);
+        let cs = calls(f);
+        let push = cs.iter().find(|c| c.method == "push").expect("push inside body");
+        assert!(push.tok > fi.body.0 && push.tok < fi.body.1);
+    }
+
+    #[test]
+    fn compound_assignment_and_params() {
+        let src = "\
+fn weigh(w: &[f64], total: &mut f64, map: &HashMap<u64, f64>) {
+    let mut acc = 0.0;
+    acc += w.len() as f64;
+}
+";
+        let f = &fns(src)[0];
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[2].0, "map");
+        assert!(f.params[2].1.contains("HashMap"));
+        assert!(f
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::OpAssign(a) if a.var == "acc")));
+    }
+}

@@ -69,7 +69,11 @@ impl Rule for AtomicWrites {
                         "raw `{call}(…)` outside the storage module: route the write \
                          through `storage::write_atomic` so a crash cannot tear the file"
                     ),
+                    hint: Some(
+                        "call `storage::write_atomic` (tmp file + fsync + rename)".into(),
+                    ),
                     suppressed: file.is_allowed(self.id(), line),
+                    baselined: false,
                 });
             }
         }

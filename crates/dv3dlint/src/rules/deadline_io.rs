@@ -62,7 +62,9 @@ impl Rule for DeadlineIo {
                         "raw `{name}(…)` outside the protocol module: use \
                          `{name}_deadline(…)` so a silent peer cannot wedge this node"
                     ),
+                    hint: Some(format!("replace with `{name}_deadline(stream, deadline, …)`")),
                     suppressed: file.is_allowed(self.id(), line),
+                    baselined: false,
                 });
             }
         }

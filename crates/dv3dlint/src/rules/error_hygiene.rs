@@ -76,7 +76,9 @@ impl Rule for ErrorHygiene {
                              failure mode would break every downstream match",
                             item.name
                         ),
+                        hint: Some("add `#[non_exhaustive]` above the enum".into()),
                         suppressed,
+                        baselined: false,
                     });
                 }
                 if !impls_with_source.iter().any(|t| t == &item.name) {
@@ -89,7 +91,11 @@ impl Rule for ErrorHygiene {
                              wrapped causes are unreachable from the error chain",
                             item.name
                         ),
+                        hint: Some(
+                            "implement `std::error::Error for …` with `fn source()`".into(),
+                        ),
                         suppressed,
+                        baselined: false,
                     });
                 }
             }

@@ -47,7 +47,9 @@ impl Rule for LintAttrs {
                     line: 1,
                     rule: self.id(),
                     message: format!("crate root `{}` lacks `#![{want}]`", krate.name),
+                    hint: Some(format!("add `#![{want}]` at the top of the crate root")),
                     suppressed: root_model.is_allowed(self.id(), 1),
+                    baselined: false,
                 });
             }
         }
@@ -61,7 +63,9 @@ impl Rule for LintAttrs {
                      `[lints]\\nworkspace = true` to its Cargo.toml",
                     krate.name
                 ),
+                hint: None,
                 suppressed: false,
+                baselined: false,
             });
         }
         // the workspace-level deny set is checked once, against the first
@@ -79,7 +83,9 @@ impl Rule for LintAttrs {
                                 "workspace manifest must set `{lint} = \"deny\"` under \
                                  `[workspace.lints.rust]`"
                             ),
+                            hint: None,
                             suppressed: false,
+                            baselined: false,
                         });
                     }
                 }
@@ -110,6 +116,7 @@ mod tests {
             crates: Vec::new(),
             root_manifest: Some(Toml::parse(root_manifest).expect("root manifest")),
             files_scanned: 0,
+            analysis: std::sync::OnceLock::new(),
         }
     }
 

@@ -85,7 +85,9 @@ fn check_fn(
                  `iter_valid()`, check `.mask()`, or use a `masked_*` helper",
                 f.name
             ),
+            hint: Some("iterate `iter_valid()` or branch on `.mask()` before reading".into()),
             suppressed,
+            baselined: false,
         });
     }
 }

@@ -8,9 +8,13 @@
 pub mod atomic_writes;
 pub mod deadline_io;
 pub mod error_hygiene;
+pub mod guard_across_blocking;
 pub mod lint_attrs;
+pub mod lock_order;
 pub mod mask_propagation;
 pub mod no_panic;
+pub mod nondet_reduction;
+pub mod unbounded_growth;
 
 use crate::config::Config;
 use crate::diag::Diagnostic;
@@ -42,6 +46,10 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(atomic_writes::AtomicWrites),
         Box::new(error_hygiene::ErrorHygiene),
         Box::new(lint_attrs::LintAttrs),
+        Box::new(lock_order::LockOrder),
+        Box::new(guard_across_blocking::GuardAcrossBlocking),
+        Box::new(nondet_reduction::NondetReduction),
+        Box::new(unbounded_growth::UnboundedGrowth),
     ]
 }
 
@@ -70,9 +78,42 @@ pub(crate) mod testutil {
             manifest: None,
             root_file: Some(PathBuf::from(path)),
         };
-        let ws = Workspace { crates: Vec::new(), root_manifest: None, files_scanned: 1 };
+        let ws = Workspace {
+            crates: Vec::new(),
+            root_manifest: None,
+            files_scanned: 1,
+            analysis: std::sync::OnceLock::new(),
+        };
         let mut out = Vec::new();
         rule.check_crate(&krate, &ws, cfg, &mut out);
+        out
+    }
+
+    /// Like [`run_on`], but the crate is *inside* the workspace, so rules
+    /// that consult the global analysis (the dataflow rules) see it.
+    pub fn run_on_ws(
+        rule: &dyn Rule,
+        name: &str,
+        path: &str,
+        src: &str,
+        cfg: &Config,
+    ) -> Vec<Diagnostic> {
+        let file = FileModel::parse(PathBuf::from(path), src);
+        let krate = CrateModel {
+            name: name.into(),
+            dir: PathBuf::from("."),
+            files: vec![file],
+            manifest: None,
+            root_file: Some(PathBuf::from(path)),
+        };
+        let ws = Workspace {
+            crates: vec![krate],
+            root_manifest: None,
+            files_scanned: 1,
+            analysis: std::sync::OnceLock::new(),
+        };
+        let mut out = Vec::new();
+        rule.check_crate(&ws.crates[0], &ws, cfg, &mut out);
         out
     }
 

@@ -63,7 +63,9 @@ fn check_file(rule: &'static str, file: &FileModel, hot: bool, out: &mut Vec<Dia
             line,
             rule,
             message,
+            hint: Some("return a `Result` (or use `get`/pattern matching) instead".into()),
             suppressed: file.is_allowed(rule, line),
+            baselined: false,
         });
     };
     for i in 0..toks.len() {

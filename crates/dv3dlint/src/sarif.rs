@@ -1,0 +1,130 @@
+//! SARIF 2.1.0 output — the interchange format CI code-scanning UIs
+//! ingest. Hand-emitted like the JSON report: the shape is small and
+//! fixed. `results` carries exactly the findings that fail the run
+//! (unsuppressed, unbaselined), so the SARIF result count always equals
+//! the report's `total_violations`.
+
+use crate::engine::RunSummary;
+use crate::rules;
+use std::path::Path;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Forward slashes regardless of host, as SARIF URIs require.
+fn uri(p: &Path) -> String {
+    esc(&p.as_os_str().to_string_lossy().replace('\\', "/"))
+}
+
+/// Renders the SARIF document.
+pub fn render(summary: &RunSummary) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"dv3dlint\",\n");
+    s.push_str("          \"rules\": [\n");
+    let rule_list = rules::all();
+    for (i, r) in rule_list.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}{}\n",
+            esc(r.id()),
+            esc(r.describe()),
+            if i + 1 < rule_list.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    let results: Vec<_> = summary
+        .diagnostics
+        .iter()
+        .filter(|d| !d.suppressed && !d.baselined)
+        .collect();
+    for (i, d) in results.iter().enumerate() {
+        let text = match &d.hint {
+            Some(h) => format!("{} (hint: {})", d.message, h),
+            None => d.message.clone(),
+        };
+        s.push_str(&format!(
+            "        {{ \"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{ \"text\": \"{}\" }}, \"locations\": [ {{ \"physicalLocation\": {{ \"artifactLocation\": {{ \"uri\": \"{}\" }}, \"region\": {{ \"startLine\": {} }} }} }} ] }}{}\n",
+            esc(d.rule),
+            esc(&text),
+            uri(&d.file),
+            d.line.max(1),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+/// Writes the SARIF file, creating the parent directory when needed.
+pub fn write(summary: &RunSummary, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+    use crate::engine::RuleCount;
+    use std::path::PathBuf;
+
+    #[test]
+    fn result_count_matches_total_violations_exactly() {
+        let mk = |line: u32, suppressed: bool, baselined: bool| Diagnostic {
+            file: PathBuf::from("crates/x/src/a.rs"),
+            line,
+            rule: "no_panic",
+            message: "a \"quoted\" message".into(),
+            hint: Some("do the thing".into()),
+            suppressed,
+            baselined,
+        };
+        let mut summary = RunSummary {
+            diagnostics: vec![mk(1, false, false), mk(2, true, false), mk(3, false, true)],
+            per_rule: vec![RuleCount {
+                rule: "no_panic",
+                violations: 0,
+                allowed: 0,
+                baselined: 0,
+            }],
+            files_scanned: 1,
+            elapsed_ms: 7,
+            threads: 2,
+        };
+        summary.retally();
+        let sarif = render(&summary);
+        assert_eq!(
+            sarif.matches("\"ruleId\"").count(),
+            summary.total_violations(),
+            "SARIF results == total_violations"
+        );
+        assert!(sarif.contains("\\\"quoted\\\""), "escaping");
+        assert!(sarif.contains("\"startLine\": 1"));
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        // every shipped rule is described
+        for r in rules::all() {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", r.id())));
+        }
+    }
+}

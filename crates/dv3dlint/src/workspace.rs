@@ -4,7 +4,9 @@
 
 use crate::config::{Config, ConfigError, Toml};
 use crate::model::FileModel;
+use rayon::prelude::*;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 /// One crate as the rules see it.
 #[derive(Debug)]
@@ -29,6 +31,24 @@ pub struct Workspace {
     /// Root `Cargo.toml`, parsed (absent in path mode).
     pub root_manifest: Option<Toml>,
     pub files_scanned: usize,
+    /// Lazily-built global dataflow analysis, shared by the concurrency
+    /// rules (built once, on first use).
+    pub analysis: OnceLock<Arc<crate::callgraph::Analysis>>,
+}
+
+impl Workspace {
+    /// The global two-pass analysis (call graph, lock graph, per-function
+    /// facts), building it on first request.
+    pub fn analysis(&self, cfg: &Config) -> Arc<crate::callgraph::Analysis> {
+        self.analysis
+            .get_or_init(|| Arc::new(crate::callgraph::Analysis::build(self, cfg)))
+            .clone()
+    }
+
+    /// The parsed model of the file at `path`, if it was scanned.
+    pub fn file(&self, path: &Path) -> Option<&FileModel> {
+        self.crates.iter().flat_map(|c| c.files.iter()).find(|f| f.path == path)
+    }
 }
 
 /// Recursively lists `*.rs` under `dir`, sorted for stable diagnostics.
@@ -53,10 +73,29 @@ fn rel(root: &Path, path: &Path) -> PathBuf {
     path.strip_prefix(root).map(Path::to_path_buf).unwrap_or_else(|_| path.to_path_buf())
 }
 
-fn parse_file(root: &Path, path: &Path) -> Result<FileModel, ConfigError> {
+fn read_source(root: &Path, path: &Path) -> Result<(PathBuf, String), ConfigError> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?;
-    Ok(FileModel::parse(rel(root, path), &src))
+    Ok((rel(root, path), src))
+}
+
+/// Worker threads the parallel front-end uses (vendored rayon honours
+/// `RAYON_NUM_THREADS`); reported in the JSON report.
+pub fn worker_threads() -> usize {
+    rayon::current_num_threads().max(1)
+}
+
+/// Parses already-read sources in parallel (vendored rayon; honours
+/// `RAYON_NUM_THREADS`). Output order matches input order, so diagnostics
+/// stay deterministic regardless of thread count.
+fn parse_sources(sources: Vec<(PathBuf, String)>) -> Vec<FileModel> {
+    let mut slots: Vec<(PathBuf, String, Option<FileModel>)> =
+        sources.into_iter().map(|(p, s)| (p, s, None)).collect();
+    slots
+        .as_mut_slice()
+        .par_iter_mut()
+        .for_each(|(path, src, out)| *out = Some(FileModel::parse(path.clone(), src)));
+    slots.into_iter().filter_map(|(_, _, m)| m).collect()
 }
 
 /// Builds one crate model from its directory (must contain `Cargo.toml`).
@@ -71,10 +110,11 @@ fn load_crate(root: &Path, dir_rel: &str) -> Result<CrateModel, ConfigError> {
         .string("package", "name")
         .ok_or_else(|| ConfigError(format!("{}: no package name", manifest_path.display())))?;
     let src_dir = dir_abs.join("src");
-    let mut files = Vec::new();
+    let mut sources = Vec::new();
     for path in rust_files(&src_dir) {
-        files.push(parse_file(root, &path)?);
+        sources.push(read_source(root, &path)?);
     }
+    let files = parse_sources(sources);
     let root_file = ["src/lib.rs", "src/main.rs"]
         .iter()
         .map(|f| dir_abs.join(f))
@@ -95,7 +135,12 @@ pub fn load_workspace(cfg: &Config) -> Result<Workspace, ConfigError> {
     let root_manifest = Toml::parse(&root_manifest_src)
         .map_err(|e| ConfigError(format!("workspace Cargo.toml: {}", e.0)))?;
     let files_scanned = crates.iter().map(|c| c.files.len()).sum();
-    Ok(Workspace { crates, root_manifest: Some(root_manifest), files_scanned })
+    Ok(Workspace {
+        crates,
+        root_manifest: Some(root_manifest),
+        files_scanned,
+        analysis: OnceLock::new(),
+    })
 }
 
 /// Builds a synthetic single-crate workspace from explicit file/dir paths.
@@ -103,18 +148,19 @@ pub fn load_workspace(cfg: &Config) -> Result<Workspace, ConfigError> {
 /// crate name `*` matches any scope); manifest-based checks are skipped.
 pub fn load_paths(paths: &[PathBuf]) -> Result<Workspace, ConfigError> {
     let cwd = PathBuf::from(".");
-    let mut files = Vec::new();
+    let mut sources = Vec::new();
     for p in paths {
         if p.is_dir() {
             for f in rust_files(p) {
-                files.push(parse_file(&cwd, &f)?);
+                sources.push(read_source(&cwd, &f)?);
             }
         } else if p.is_file() {
-            files.push(parse_file(&cwd, p)?);
+            sources.push(read_source(&cwd, p)?);
         } else {
             return Err(ConfigError(format!("no such path: {}", p.display())));
         }
     }
+    let files = parse_sources(sources);
     let files_scanned = files.len();
     Ok(Workspace {
         crates: vec![CrateModel {
@@ -126,6 +172,7 @@ pub fn load_paths(paths: &[PathBuf]) -> Result<Workspace, ConfigError> {
         }],
         root_manifest: None,
         files_scanned,
+        analysis: OnceLock::new(),
     })
 }
 

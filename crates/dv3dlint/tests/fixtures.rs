@@ -1,0 +1,215 @@
+//! Fixture-workspace tests for the two-pass dataflow rules (R7–R10).
+//!
+//! `tests/fixtures/` holds a miniature lint workspace: `bad/` seeds one
+//! known violation per analyzer capability (lock-order cycle across two
+//! mutexes with one interprocedural path, guard across deadline I/O,
+//! guard across a condvar wait, captured-float parallel accumulation,
+//! hash-order iteration into an ordered sink, unguarded growth in an
+//! input module) and `good/` carries the corrected counterparts, which
+//! must stay silent. `golden.json` pins the full JSON report byte-for-
+//! byte (minus the timing fields), so any drift in rule behaviour, finding
+//! order, message wording, or report shape fails here first.
+//!
+//! The baseline round-trip is checked twice: end-to-end through the
+//! binary (`--write-baseline` → `--baseline` → delete → byte-identical
+//! report), and as a property over arbitrary diagnostic sets.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dv3dlint-fx-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs the binary over the fixture workspace with report/sarif redirected
+/// into `out`, plus any extra flags. Returns (exit code, stderr).
+fn run_fixture_lint(out: &Path, extra: &[&str]) -> (i32, String) {
+    let cfg = fixtures_dir().join("dv3dlint.toml");
+    let mut args: Vec<String> = vec![
+        "--workspace".into(),
+        "--config".into(),
+        cfg.to_string_lossy().into_owned(),
+        "--json".into(),
+        out.join("report.json").to_string_lossy().into_owned(),
+        "--sarif".into(),
+        out.join("report.sarif").to_string_lossy().into_owned(),
+        "--quiet".into(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let o = Command::new(env!("CARGO_BIN_EXE_dv3dlint"))
+        .args(&args)
+        .current_dir(fixtures_dir())
+        .output()
+        .expect("spawn dv3dlint");
+    (o.status.code().unwrap_or(-1), String::from_utf8_lossy(&o.stderr).into_owned())
+}
+
+/// The report minus the wall-clock-dependent lines.
+fn normalize(report: &str) -> String {
+    report
+        .lines()
+        .filter(|l| !l.contains("\"elapsed_ms\"") && !l.contains("\"threads\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn seeded_fixture_findings_match_golden_json() {
+    let out = scratch_dir("golden");
+    let (code, err) = run_fixture_lint(&out, &[]);
+    assert_eq!(code, 1, "seeded violations must exit 1:\n{err}");
+
+    let report =
+        std::fs::read_to_string(out.join("report.json")).expect("report written");
+    let golden =
+        std::fs::read_to_string(fixtures_dir().join("golden.json")).expect("golden.json");
+    assert_eq!(
+        normalize(&report),
+        golden.trim_end().replace("\r\n", "\n"),
+        "fixture findings drifted from golden.json — if the change is \
+         intentional, regenerate the golden from the new report"
+    );
+
+    // the acceptance-criteria seeds, by name
+    assert!(report.contains("\"file\": \"bad/src/lib.rs\", \"line\": 17"), "lock cycle");
+    assert!(report.contains("grab_alpha"), "cycle message names the interprocedural path");
+    assert!(report.contains("\"line\": 37"), "guard across read_message_deadline");
+    assert!(report.contains("\"line\": 47"), "guard across condvar wait");
+    assert!(report.contains("\"line\": 57"), "captured float accumulator");
+    assert!(report.contains("\"line\": 65"), "hash iteration into ordered sink");
+    assert!(report.contains("\"file\": \"bad/src/intake.rs\", \"line\": 10"), "growth");
+    // the corrected crate stays silent
+    assert!(!report.contains("good/src"), "good/ must produce no findings:\n{report}");
+
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn sarif_and_json_agree_on_finding_count() {
+    let out = scratch_dir("sarif");
+    let (code, _err) = run_fixture_lint(&out, &[]);
+    assert_eq!(code, 1);
+    let report = std::fs::read_to_string(out.join("report.json")).expect("report");
+    let sarif = std::fs::read_to_string(out.join("report.sarif")).expect("sarif");
+    assert!(report.contains("\"total_violations\": 6"), "{report}");
+    assert_eq!(sarif.matches("\"ruleId\"").count(), 6, "SARIF results == JSON violations");
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("bad/src/lib.rs"));
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn baseline_round_trip_suppresses_then_restores_byte_identically() {
+    let out = scratch_dir("baseline");
+    let base = out.join("baseline.txt");
+    let base_arg = base.to_string_lossy().into_owned();
+
+    // 1. record the dirty state
+    let (code, err) = run_fixture_lint(&out, &["--write-baseline", &base_arg]);
+    assert_eq!(code, 1, "{err}");
+    let first =
+        normalize(&std::fs::read_to_string(out.join("report.json")).expect("report 1"));
+
+    // 2. with the baseline applied, the run is clean but still reports
+    let (code, err) = run_fixture_lint(&out, &["--baseline", &base_arg]);
+    assert_eq!(code, 0, "baselined run must be clean:\n{err}");
+    let masked = std::fs::read_to_string(out.join("report.json")).expect("report 2");
+    assert!(masked.contains("\"total_violations\": 0"), "{masked}");
+    assert!(masked.contains("\"total_baselined\": 6"), "{masked}");
+    let sarif = std::fs::read_to_string(out.join("report.sarif")).expect("sarif 2");
+    assert_eq!(sarif.matches("\"ruleId\"").count(), 0, "baselined findings leave SARIF");
+
+    // 3. remove the baseline: every finding reappears, byte-identically
+    std::fs::remove_file(&base).expect("remove baseline");
+    let (code, _err) = run_fixture_lint(&out, &[]);
+    assert_eq!(code, 1);
+    let third =
+        normalize(&std::fs::read_to_string(out.join("report.json")).expect("report 3"));
+    assert_eq!(first, third, "findings must reappear byte-identically");
+
+    std::fs::remove_dir_all(&out).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: for ANY set of diagnostics, a freshly written baseline absorbs
+// exactly that set — re-running yields zero violations with every finding
+// marked baselined — and diagnostics outside the recorded set never get
+// absorbed.
+
+const PROP_RULES: [&str; 4] =
+    ["lock_order", "guard_across_blocking", "nondet_reduction", "unbounded_growth"];
+const PROP_FILES: [&str; 3] = ["a/src/lib.rs", "b/src/lib.rs", "c/src/intake.rs"];
+const PROP_MSGS: [&str; 4] = ["alpha beta cycle", "guard across wait", "hash → sink", "push"];
+
+fn prop_summary(picks: &[(u8, u8, u16, u8)]) -> dv3dlint::engine::RunSummary {
+    let mut diagnostics: Vec<dv3dlint::diag::Diagnostic> = picks
+        .iter()
+        .map(|&(r, f, line, m)| dv3dlint::diag::Diagnostic {
+            file: PathBuf::from(PROP_FILES[f as usize % PROP_FILES.len()]),
+            line: u32::from(line) + 1,
+            rule: PROP_RULES[r as usize % PROP_RULES.len()],
+            message: PROP_MSGS[m as usize % PROP_MSGS.len()].to_string(),
+            hint: None,
+            suppressed: false,
+            baselined: false,
+        })
+        .collect();
+    dv3dlint::diag::sort(&mut diagnostics);
+    let mut summary = dv3dlint::engine::RunSummary {
+        diagnostics,
+        per_rule: PROP_RULES
+            .iter()
+            .map(|r| dv3dlint::engine::RuleCount {
+                rule: r,
+                violations: 0,
+                allowed: 0,
+                baselined: 0,
+            })
+            .collect(),
+        files_scanned: PROP_FILES.len(),
+        elapsed_ms: 0,
+        threads: 1,
+    };
+    summary.retally();
+    summary
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn baseline_absorbs_exactly_the_recorded_set(
+        picks in proptest::collection::vec((0u8..8, 0u8..8, 0u16..50, 0u8..8), 0..24),
+        extra in (0u8..8, 0u8..8, 0u16..50, 0u8..8),
+    ) {
+        let mut summary = prop_summary(&picks);
+        let violations = summary.total_violations();
+        let rendered = dv3dlint::baseline::render(&summary);
+        let parsed = dv3dlint::baseline::parse(&rendered).expect("own render must parse");
+
+        // apply: everything recorded is absorbed, nothing fails the run
+        dv3dlint::baseline::apply(&mut summary, &parsed);
+        prop_assert_eq!(summary.total_violations(), 0);
+        prop_assert_eq!(summary.total_baselined(), violations);
+        prop_assert!(summary.clean());
+
+        // a diagnostic with a message no recorded finding used is NOT
+        // absorbed by that same baseline
+        let (r, f, line, _) = extra;
+        let mut alien = prop_summary(&[(r, f, line, 0)]);
+        if let Some(d) = alien.diagnostics.first_mut() {
+            d.message = "never recorded".to_string();
+        }
+        alien.retally();
+        dv3dlint::baseline::apply(&mut alien, &parsed);
+        prop_assert_eq!(alien.total_violations(), 1);
+        prop_assert_eq!(alien.total_baselined(), 0);
+    }
+}

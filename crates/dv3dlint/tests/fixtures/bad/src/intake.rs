@@ -1,0 +1,12 @@
+//! The fixture's input-handling module (listed in `input_modules`).
+
+pub struct Intake {
+    subscriptions: Vec<(u64, String)>,
+}
+
+impl Intake {
+    // unbounded_growth: no capacity check anywhere in the function
+    pub fn on_subscribe(&mut self, peer: u64, topic: String) {
+        self.subscriptions.push((peer, topic));
+    }
+}

@@ -1,0 +1,69 @@
+//! Seeded violations: every rule of the two-pass analyzer must fire here,
+//! at the exact lines pinned by `golden.json`.
+
+pub struct Hub {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    state: Mutex<u32>,
+    stats: Mutex<u32>,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Hub {
+    // lock_order, path 1: alpha then beta
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    // lock_order, path 2: beta then (via grab_alpha) alpha — a cycle
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        self.grab_alpha();
+        drop(b);
+    }
+
+    fn grab_alpha(&self) {
+        let a = self.alpha.lock();
+        drop(a);
+    }
+
+    // guard_across_blocking: `state` live across deadline I/O
+    pub fn pump(&self, s: &mut TcpStream) {
+        let state = self.state.lock();
+        let msg = read_message_deadline(s, DEADLINE, "frame");
+        state.apply(msg);
+    }
+
+    // guard_across_blocking: `stats` live across the condvar wait (the
+    // wait releases `done`, not `stats`)
+    pub fn gate(&self) {
+        let stats = self.stats.lock();
+        let mut done = self.done.lock();
+        while !*done {
+            done = self.cv.wait(done);
+        }
+        stats.record();
+    }
+}
+
+// nondet_reduction: outer float accumulator mutated from a par closure
+pub fn total(chunks: &[Vec<f64>]) -> f64 {
+    let mut sum = 0.0;
+    chunks.par_iter().for_each(|c| {
+        sum += c.len() as f64;
+    });
+    sum
+}
+
+// nondet_reduction: hash-order iteration into an ordered sink
+pub fn digest(cells: &HashMap<String, f32>) -> String {
+    let mut out = String::new();
+    for (k, _v) in cells.iter() {
+        out.push_str(k);
+    }
+    out
+}

@@ -1,0 +1,15 @@
+//! Input-handling module with visible capacity discipline.
+
+pub struct Intake {
+    subscriptions: Vec<(u64, String)>,
+}
+
+impl Intake {
+    pub fn on_subscribe(&mut self, peer: u64, topic: String) -> bool {
+        if self.subscriptions.len() >= MAX_SUBSCRIPTIONS {
+            return false;
+        }
+        self.subscriptions.push((peer, topic));
+        true
+    }
+}

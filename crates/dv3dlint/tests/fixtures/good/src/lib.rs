@@ -1,0 +1,68 @@
+//! The corrected counterparts of `bad/src/lib.rs` — every function here
+//! must produce zero findings.
+
+pub struct Hub {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    state: Mutex<u32>,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Hub {
+    // one global order: alpha before beta, on every path
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    // block first, lock after: the guard never spans the deadline read
+    pub fn pump(&self, s: &mut TcpStream) {
+        let msg = read_message_deadline(s, DEADLINE, "frame");
+        let state = self.state.lock();
+        state.apply(msg);
+    }
+
+    // only the guard the wait itself releases is live at the wait
+    pub fn gate(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            done = self.cv.wait(done);
+        }
+    }
+}
+
+// chunk-local accumulators, combined by a deterministic pairwise pass
+pub fn total(chunks: &[Vec<f64>]) -> f64 {
+    let partials: Vec<f64> = chunks
+        .par_iter()
+        .map(|c| {
+            let mut local = 0.0;
+            for v in c.iter() {
+                local += v;
+            }
+            local
+        })
+        .collect();
+    reduce::pairwise(&partials)
+}
+
+// sort the keys before emitting: hash order never reaches the output
+pub fn digest(cells: &HashMap<String, f32>) -> String {
+    let mut keys: Vec<&String> = cells.keys().collect();
+    keys.sort();
+    let mut out = String::new();
+    for k in keys.iter() {
+        out.push_str(k);
+    }
+    out
+}

@@ -255,6 +255,7 @@ impl HyperwallServer {
     /// clients. Returns the broadcast wall time in ms.
     pub fn broadcast_op(&mut self, op: &ConfigOp) -> Result<f64> {
         let start = Instant::now();
+        // dv3dlint: allow(unbounded_growth) -- reconnect replay needs the full op history (ops are relative deltas over the reset assignment state), and growth is paced by operator interaction, not client traffic
         self.op_log.push(op.clone());
         let deadline = self.tuning.io_deadline;
         for i in 0..self.panels.len() {

@@ -295,9 +295,14 @@ fn scheduler_loop(shared: &Arc<Shared>, work_tx: &mpsc::Sender<ScheduledRequest>
 
 fn worker_loop(shared: &Arc<Shared>, work_rx: &Arc<Mutex<mpsc::Receiver<ScheduledRequest>>>) {
     loop {
+        // Poll under the lock, never block under it: holding the receiver
+        // guard across a timed recv would serialize the whole worker pool
+        // behind one sleeping thread (and is exactly what the
+        // guard_across_blocking lint rejects). Empty queue → sleep with the
+        // guard dropped.
         let next = {
             let rx = work_rx.lock();
-            rx.recv_timeout(Duration::from_millis(5))
+            rx.try_recv()
         };
         match next {
             Ok(p) => {
@@ -335,12 +340,13 @@ fn worker_loop(shared: &Arc<Shared>, work_rx: &Arc<Mutex<mpsc::Receiver<Schedule
                     }
                 }
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
+            Err(mpsc::TryRecvError::Empty) => {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                std::thread::sleep(Duration::from_millis(5));
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            Err(mpsc::TryRecvError::Disconnected) => return,
         }
     }
 }
