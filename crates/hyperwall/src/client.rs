@@ -9,8 +9,9 @@
 //! in a degraded wall the server is entitled to drop us.
 
 use crate::fault::ClientFaults;
+use crate::frame_delta::{FrameStreamer, DEFAULT_KEYFRAME_EVERY, PREVIEW_DOWNSAMPLE};
 use crate::protocol::{
-    read_message_deadline, read_message_idle, write_message_deadline, Message,
+    read_message_deadline, read_message_idle, write_message_deadline, Message, PROTO_DELTA,
 };
 use crate::workflow::wall_registry;
 use crate::{Result, WallError};
@@ -38,15 +39,54 @@ pub struct ClientNode {
     cell: Option<Dv3dCell>,
     size: (usize, usize),
     frames_rendered: u64,
+    /// Protocol revision spoken at the handshake (1 = metadata only,
+    /// [`PROTO_DELTA`] = frame-delta pixel transport).
+    proto: u32,
+    /// The delta encoder, created at `AssignWorkflow` for v2 clients.
+    streamer: Option<FrameStreamer>,
+    /// Set when a camera op arrives; the next frame leads with a low-res
+    /// preview (progressive refinement during motion).
+    in_motion: bool,
 }
 
 impl ClientNode {
-    /// Connects to the server and identifies itself.
+    /// Connects with the original (v1) handshake: frame metadata only, no
+    /// pixel transport. Kept for old deployments; new walls use
+    /// [`ClientNode::connect_v2`].
     pub fn connect(addr: std::net::SocketAddr, id: usize) -> Result<ClientNode> {
+        ClientNode::connect_proto(addr, id, 1)
+    }
+
+    /// Connects with the v2 handshake, opting into the dirty-tile
+    /// frame-delta transport (keyframes, deltas, previews, resync).
+    pub fn connect_v2(addr: std::net::SocketAddr, id: usize) -> Result<ClientNode> {
+        ClientNode::connect_proto(addr, id, PROTO_DELTA)
+    }
+
+    fn connect_proto(addr: std::net::SocketAddr, id: usize, proto: u32) -> Result<ClientNode> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        write_message_deadline(&mut stream, &Message::Hello { client_id: id }, IO_DEADLINE, "Hello")?;
-        Ok(ClientNode { id, addr, stream, cell: None, size: (64, 64), frames_rendered: 0 })
+        let hello = ClientNode::hello_message(id, proto);
+        write_message_deadline(&mut stream, &hello, IO_DEADLINE, "Hello")?;
+        Ok(ClientNode {
+            id,
+            addr,
+            stream,
+            cell: None,
+            size: (64, 64),
+            frames_rendered: 0,
+            proto,
+            streamer: None,
+            in_motion: false,
+        })
+    }
+
+    fn hello_message(id: usize, proto: u32) -> Message {
+        if proto >= PROTO_DELTA {
+            Message::HelloV2 { client_id: id, proto }
+        } else {
+            Message::Hello { client_id: id }
+        }
     }
 
     /// Runs the strict message loop until `Shutdown`. Returns the number of
@@ -59,6 +99,7 @@ impl ClientNode {
                     self.size = (width, height);
                     let pipeline = Pipeline::from_json(&pipeline_json)?;
                     self.cell = Some(self.instantiate(&pipeline, cell_module)?);
+                    self.reset_streamer();
                     write_message_deadline(
                         &mut self.stream,
                         &Message::Ready { client_id: self.id },
@@ -67,14 +108,23 @@ impl ClientNode {
                     )?;
                 }
                 Message::Op(op) => {
+                    if matches!(op, dv3d::interaction::ConfigOp::Camera(_)) {
+                        self.in_motion = true;
+                    }
                     if let Some(cell) = &mut self.cell {
                         // ops the local plot type doesn't understand are fine
                         let _ = cell.configure(&op);
                     }
                 }
                 Message::Execute { frame } => {
-                    let done = self.render_frame(frame)?;
+                    let (done, rgba) = self.render_frame(frame)?;
+                    self.send_transport(frame, &rgba, &ClientFaults::default())?;
                     write_message_deadline(&mut self.stream, &done, IO_DEADLINE, "FrameDone")?;
+                }
+                Message::ResyncRequest { .. } => {
+                    if let Some(streamer) = &mut self.streamer {
+                        streamer.force_keyframe();
+                    }
                 }
                 Message::Heartbeat { seq } => {
                     write_message_deadline(
@@ -137,6 +187,7 @@ impl ClientNode {
                     self.size = (width, height);
                     let pipeline = Pipeline::from_json(&pipeline_json)?;
                     self.cell = Some(self.instantiate(&pipeline, cell_module)?);
+                    self.reset_streamer();
                     std::thread::sleep(delay);
                     if write_message_deadline(
                         &mut self.stream,
@@ -150,8 +201,16 @@ impl ClientNode {
                     }
                 }
                 Message::Op(op) => {
+                    if matches!(op, dv3d::interaction::ConfigOp::Camera(_)) {
+                        self.in_motion = true;
+                    }
                     if let Some(cell) = &mut self.cell {
                         let _ = cell.configure(&op);
+                    }
+                }
+                Message::ResyncRequest { .. } => {
+                    if let Some(streamer) = &mut self.streamer {
+                        streamer.force_keyframe();
                     }
                 }
                 Message::Execute { frame } => {
@@ -173,7 +232,7 @@ impl ClientNode {
                         // bytes, then cut the connection — the server sees
                         // a truncated frame, not a clean close
                         cut = true;
-                        let done = self.render_frame(frame)?;
+                        let (done, _) = self.render_frame(frame)?;
                         let framed = crate::protocol::encode_frame(&done)?;
                         let half = &framed[..framed.len() / 2];
                         self.stream.write_all(half).ok();
@@ -190,7 +249,7 @@ impl ClientNode {
                         // slow-loris: the reply dribbles out one byte at a
                         // time, so the frame never completes within the
                         // server's deadline even though the socket is live
-                        let done = self.render_frame(frame)?;
+                        let (done, _) = self.render_frame(frame)?;
                         let framed = crate::protocol::encode_frame(&done)?;
                         let delay = Duration::from_millis(faults.slow_loris_ms());
                         for byte in framed {
@@ -214,8 +273,11 @@ impl ClientNode {
                         }
                         continue;
                     }
-                    let done = self.render_frame(frame)?;
+                    let (done, rgba) = self.render_frame(frame)?;
                     std::thread::sleep(delay);
+                    if self.send_transport(frame, &rgba, &faults).is_err() {
+                        return Ok(self.frames_rendered);
+                    }
                     if write_message_deadline(&mut self.stream, &done, IO_DEADLINE, "FrameDone")
                         .is_err()
                     {
@@ -246,8 +308,9 @@ impl ClientNode {
         }
     }
 
-    /// Renders the assigned cell and builds the `FrameDone` reply.
-    fn render_frame(&mut self, frame: u64) -> Result<Message> {
+    /// Renders the assigned cell; returns the `FrameDone` reply and the
+    /// raw RGBA8 pixels (the delta transport's input).
+    fn render_frame(&mut self, frame: u64) -> Result<(Message, Vec<u8>)> {
         let cell = self
             .cell
             .as_mut()
@@ -258,7 +321,57 @@ impl ClientNode {
         let coverage = fb.covered_pixels(rvtk::Color::BLACK) as f64
             / (self.size.0 * self.size.1) as f64;
         self.frames_rendered += 1;
-        Ok(Message::FrameDone { client_id: self.id, frame, coverage, render_ms })
+        let rgba = fb.to_rgba8();
+        Ok((Message::FrameDone { client_id: self.id, frame, coverage, render_ms }, rgba))
+    }
+
+    /// Fresh delta stream for the (re)assigned size — v2 clients only.
+    /// A fresh streamer's first frame is always a keyframe, so a
+    /// reconnected client and its server-side assembler re-sync naturally.
+    fn reset_streamer(&mut self) {
+        self.streamer = if self.proto >= PROTO_DELTA {
+            Some(FrameStreamer::new(self.size.0, self.size.1, DEFAULT_KEYFRAME_EVERY))
+        } else {
+            None
+        };
+    }
+
+    /// Ships this frame's pixel content ahead of `FrameDone`: an optional
+    /// low-res preview when the camera moved since the last frame, then
+    /// the keyframe/delta. No-op for v1 clients. Scripted transport faults
+    /// (corrupt / drop / delay) are applied here, after encoding — the
+    /// streamer's state always advances as if the send succeeded, which is
+    /// exactly the failure the server's resync path must absorb.
+    fn send_transport(&mut self, frame: u64, rgba: &[u8], faults: &ClientFaults) -> Result<()> {
+        let Some(streamer) = &mut self.streamer else { return Ok(()) };
+        if self.in_motion {
+            self.in_motion = false;
+            let (pw, ph) = (
+                (self.size.0 / PREVIEW_DOWNSAMPLE).max(8),
+                (self.size.1 / PREVIEW_DOWNSAMPLE).max(8),
+            );
+            if let Some(cell) = &mut self.cell {
+                let low = cell.render(pw, ph)?;
+                let preview =
+                    streamer.encode_preview(self.id, frame, &low.to_rgba8(), pw, ph)?;
+                write_message_deadline(&mut self.stream, &preview, IO_DEADLINE, "FramePreview")?;
+            }
+        }
+        let (mut msg, _) = streamer.encode(self.id, frame, rgba)?;
+        if let Some((f, ms)) = faults.delay_delta_at() {
+            if f == frame {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        if faults.drop_delta_at() == Some(frame) {
+            // encoded, then discarded: the server gets FrameDone with no
+            // pixels and must answer with a ResyncRequest
+            return Ok(());
+        }
+        if faults.corrupt_delta_at() == Some(frame) {
+            corrupt_transport(&mut msg);
+        }
+        write_message_deadline(&mut self.stream, &msg, IO_DEADLINE, "FrameDelta")
     }
 
     /// The client half of crash recovery: redial the server and say Hello,
@@ -273,9 +386,8 @@ impl ClientNode {
             }
             let Ok(mut s) = TcpStream::connect(self.addr) else { continue };
             s.set_nodelay(true).ok();
-            if write_message_deadline(&mut s, &Message::Hello { client_id: self.id }, IO_DEADLINE, "Hello")
-                .is_err()
-            {
+            let hello = ClientNode::hello_message(self.id, self.proto);
+            if write_message_deadline(&mut s, &hello, IO_DEADLINE, "Hello").is_err() {
                 continue;
             }
             self.stream = s;
@@ -307,6 +419,29 @@ impl ClientNode {
             .unwrap_or("wall cell")
             .to_string();
         Dv3dCell::try_new(&name, (*spec).clone()).map_err(Into::into)
+    }
+}
+
+/// Flips payload bits inside a transport message so it still parses as a
+/// `Message` but fails its content hashes — the scripted
+/// [`crate::fault::Fault::CorruptDeltaAt`] wire corruption.
+fn corrupt_transport(msg: &mut Message) {
+    match msg {
+        Message::FrameDelta { tiles, frame_hash, .. } => {
+            // flip a color byte of the first tile; an empty delta has no
+            // payload to damage, so lie about the frame hash instead
+            match tiles.first_mut().and_then(|t| t.data.get_mut(1)) {
+                Some(b) => *b ^= 0xA5,
+                None => *frame_hash ^= 0xDEAD_BEEF,
+            }
+        }
+        Message::FrameKey { payload, frame_hash, .. } => {
+            match payload.get_mut(1) {
+                Some(b) => *b ^= 0xA5,
+                None => *frame_hash ^= 0xDEAD_BEEF,
+            }
+        }
+        _ => {}
     }
 }
 

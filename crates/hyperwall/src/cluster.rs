@@ -37,6 +37,18 @@ pub struct WallRunReport {
     pub final_states: Vec<PanelState>,
     /// Human-readable fault timeline from the server.
     pub incidents: Vec<String>,
+    /// Wire bytes of dirty-tile `FrameDelta` messages received.
+    pub delta_bytes: u64,
+    /// Wire bytes of `FrameKey` full-frame messages received.
+    pub key_bytes: u64,
+    /// Low-res motion previews received.
+    pub preview_frames: u64,
+    /// Keyframe resyncs the server requested (dropped / rejected deltas).
+    pub resync_requests: u64,
+    /// Transport messages an assembler rejected (corrupt, stale, gapped).
+    pub delta_rejects: u64,
+    /// Per panel: did the run end with a hash-verified assembled frame?
+    pub synced_final: Vec<bool>,
 }
 
 impl WallRunReport {
@@ -118,7 +130,7 @@ pub fn run_wall_with_faults(
         .map(|id| {
             let faults = plan.client(id);
             std::thread::spawn(move || -> Result<u64> {
-                let client = ClientNode::connect(addr, id)?;
+                let client = ClientNode::connect_v2(addr, id)?;
                 client.run_with_faults(faults)
             })
         })
@@ -161,6 +173,12 @@ pub fn run_wall_with_faults(
         deadline_misses: server.deadline_misses_total(),
         final_states: server.panel_states(),
         incidents: server.incidents.clone(),
+        delta_bytes: server.delta_bytes_total(),
+        key_bytes: server.key_bytes_total(),
+        preview_frames: server.preview_frames_total(),
+        resync_requests: server.resync_requests_total(),
+        delta_rejects: server.delta_rejects_total(),
+        synced_final: server.panels_synced(),
     })
 }
 
@@ -238,6 +256,18 @@ mod tests {
         assert_eq!(report.degraded_fraction(), 0.0);
         assert_eq!(report.final_states, vec![PanelState::Live; 3]);
         assert!(report.incidents.is_empty(), "{:?}", report.incidents);
+        // delta transport: frame 0 opened with keyframes, frame 1 shipped
+        // dirty-tile deltas, and the camera op triggered motion previews
+        assert!(report.key_bytes > 0, "{report:?}");
+        assert!(report.delta_bytes > 0, "{report:?}");
+        assert!(report.preview_frames >= 3, "{report:?}");
+        assert_eq!(report.resync_requests, 0);
+        assert_eq!(report.delta_rejects, 0);
+        assert_eq!(report.synced_final, vec![true; 3]);
+        for f in &report.frames {
+            assert!(f.transport_bytes.iter().all(|&b| b > 0), "{f:?}");
+            assert!(f.first_content_ms.iter().all(|&ms| ms > 0.0), "{f:?}");
+        }
     }
 
     #[test]
@@ -348,6 +378,9 @@ mod tests {
         assert!(report.client_frames < 24, "{report:?}");
         assert!(report.degraded_fraction() > 0.0 && report.degraded_fraction() < 0.5);
         assert!(!report.incidents.is_empty());
+        // the reconnected client's fresh streamer re-keyed its fresh
+        // assembler: the run ends with every panel hash-verified
+        assert_eq!(report.synced_final, vec![true; 3], "{:?}", report.incidents);
     }
 
     /// A panel whose client never comes back stays degraded for the rest of
@@ -373,6 +406,8 @@ mod tests {
             assert!(f.degraded[0]);
             assert!(f.coverage[0] > 0.0);
         }
+        // a dead panel's assembler is dropped with its connection
+        assert_eq!(report.synced_final, vec![false, true]);
     }
 
     /// A slow-loris client dribbles its `FrameDone` one byte at a time: the
@@ -413,6 +448,68 @@ mod tests {
         for f in &report.frames {
             assert!(f.coverage.iter().all(|&c| c > 0.0), "{f:?}");
         }
+    }
+
+    /// The issue's delta-transport acceptance scenario: a seeded storm of
+    /// transport faults (corrupt payload, dropped delta, delayed delta)
+    /// hits the wall mid-run. Corrupt deltas are rejected atomically (never
+    /// partially applied), drops are detected at end of frame, and every
+    /// affected panel converges back to a hash-verified frame via keyframe
+    /// resync — with zero panel degradations, because transport faults are
+    /// repaired below the liveness layer.
+    #[test]
+    fn seeded_delta_fault_storm_ends_with_every_panel_converged() {
+        let cfg = small_cfg(3);
+        let plan = crate::fault::FaultPlan::seeded_delta_storm(0xD1CE, 3, 10, 2);
+        let report = run_wall_with_faults(&cfg, 4, 10, &[], &plan, fast_tuning()).unwrap();
+        assert_eq!(report.frames.len(), 10);
+        assert_eq!(report.client_frames, 30);
+        // the storm was real: the server had to request keyframe resyncs
+        // for both the corrupt and the dropped delta...
+        assert!(report.resync_requests >= 2, "{report:?}");
+        // ...and the corrupt one was rejected whole, not applied torn
+        assert!(report.delta_rejects >= 1, "{report:?}");
+        // transport faults never degraded a panel: the wall stayed live
+        assert_eq!(report.degraded_frames, 0, "{:?}", report.incidents);
+        assert_eq!(report.final_states, vec![PanelState::Live; 3]);
+        // and every panel's assembled frame re-verified at the end
+        assert_eq!(report.synced_final, vec![true; 3], "{:?}", report.incidents);
+    }
+
+    /// Version gating: a v1 (metadata-only) client and a v2 (delta
+    /// transport) client share one wall. The v1 panel works exactly as
+    /// before — no pixel transport, no resync traffic — while the v2 panel
+    /// streams hash-verified frames.
+    #[test]
+    fn v1_and_v2_clients_share_a_wall() {
+        let cfg = small_cfg(2);
+        let mut server = HyperwallServer::bind_tuned(&cfg, 4, fast_tuning()).unwrap();
+        let addr = server.addr().unwrap();
+        let t0 = std::thread::spawn(move || ClientNode::connect(addr, 0).unwrap().run());
+        let t1 =
+            std::thread::spawn(move || ClientNode::connect_v2(addr, 1).unwrap().run());
+        server.accept_clients(2).unwrap();
+        server.assign_workflows(&cfg).unwrap();
+        for frame in 0..3 {
+            let report = server.execute_frame(frame).unwrap();
+            assert_eq!(report.degraded, vec![false, false], "{:?}", server.incidents);
+            // the v1 panel ships no pixels; the v2 panel does every frame
+            assert_eq!(report.transport_bytes[0], 0);
+            assert!(report.transport_bytes[1] > 0, "{report:?}");
+            assert_eq!(report.first_content_ms[0], 0.0);
+            assert!(report.first_content_ms[1] > 0.0, "{report:?}");
+        }
+        assert_eq!(server.panels_synced(), vec![false, true]);
+        assert!(server.panel_frame_verified(1));
+        assert!(!server.panel_frame_verified(0));
+        let assembled = server.panel_frame(1).unwrap();
+        assert_eq!(assembled.len(), cfg.cell_px.0 * cfg.cell_px.1 * 4);
+        assert!(assembled.iter().any(|&b| b != 0));
+        assert_eq!(server.resync_requests_total(), 0);
+        assert_eq!(server.delta_rejects_total(), 0);
+        server.shutdown().unwrap();
+        t0.join().unwrap().unwrap();
+        t1.join().unwrap().unwrap();
     }
 
     /// A client that replies too slowly trips the frame deadline and is

@@ -39,6 +39,19 @@ pub enum Fault {
     /// `RetryAfter` the service answers — a quota-exhaustion storm
     /// (service-level; the wall protocol has no client-initiated requests).
     QuotaStorm(u32),
+    /// Flip payload bytes inside the `FrameKey` / `FrameDelta` for this
+    /// frame before sending — the message still parses, but its content
+    /// hashes no longer match; the server must reject it atomically and
+    /// request a keyframe resync (never display a torn tile).
+    CorruptDeltaAt(u64),
+    /// Encode this frame's transport message, then discard it instead of
+    /// sending — the server sees `FrameDone` with no pixel content and
+    /// must request a resync (the panel stays live; no degradation).
+    DropDeltaAt(u64),
+    /// Sleep this many milliseconds before sending the transport message
+    /// of frame `.0` — a late (but within-deadline) delta must apply
+    /// normally; a very late one trips the ordinary frame deadline.
+    DelayDeltaAt(u64, u64),
 }
 
 /// All faults scripted for a single client, with query helpers the client
@@ -132,6 +145,32 @@ impl ClientFaults {
                 _ => None,
             })
             .unwrap_or(0)
+    }
+
+    /// Frame whose delta/keyframe payload is corrupted in flight, if
+    /// scripted.
+    pub fn corrupt_delta_at(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::CorruptDeltaAt(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Frame whose transport message is encoded then discarded, if
+    /// scripted.
+    pub fn drop_delta_at(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::DropDeltaAt(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// `(frame, delay_ms)` for a scripted late transport send, if any.
+    pub fn delay_delta_at(&self) -> Option<(u64, u64)> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::DelayDeltaAt(n, ms) => Some((*n, *ms)),
+            _ => None,
+        })
     }
 }
 
@@ -231,6 +270,48 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// A seeded frame-delta fault storm: `n_misbehaving` distinct victim
+    /// clients are drawn deterministically from `seed` (SplitMix64) and
+    /// each is scripted one transport fault — corrupt, drop, or a small
+    /// within-deadline delay — at a frame early enough that the keyframe
+    /// resync can complete before the run ends. Same seed → same storm.
+    pub fn seeded_delta_storm(
+        seed: u64,
+        n_clients: usize,
+        n_frames: u64,
+        n_misbehaving: usize,
+    ) -> FaultPlan {
+        assert!(n_clients > 0 && n_frames > 0, "empty delta storm scenario");
+        let n_misbehaving = n_misbehaving.min(n_clients);
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        // distinct victims via a Fisher–Yates prefix, like the other storms
+        let mut ids: Vec<usize> = (0..n_clients).collect();
+        for i in 0..n_misbehaving {
+            let j = i + (next() % (n_clients - i) as u64) as usize;
+            ids.swap(i, j);
+        }
+        // leave at least two frames after the fault for resync + recovery
+        let last_fault_frame = n_frames.saturating_sub(3).max(1);
+        let mut plan = FaultPlan::none();
+        for (k, &victim) in ids[..n_misbehaving].iter().enumerate() {
+            let frame = 1 + next() % last_fault_frame;
+            let fault = match k % 3 {
+                0 => Fault::CorruptDeltaAt(frame),
+                1 => Fault::DropDeltaAt(frame),
+                _ => Fault::DelayDeltaAt(frame, 5 + next() % 20),
+            };
+            plan = plan.inject(victim, fault);
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +392,45 @@ mod tests {
         // misbehaving count is clamped to the session count
         let clamped = FaultPlan::seeded_service_storm(1, 3, 10, 4);
         assert_eq!(clamped.faulty_clients().len(), 3);
+    }
+
+    #[test]
+    fn delta_fault_queries_find_scripted_faults() {
+        let plan = FaultPlan::none()
+            .inject(0, Fault::CorruptDeltaAt(2))
+            .inject(1, Fault::DropDeltaAt(4))
+            .inject(2, Fault::DelayDeltaAt(3, 15));
+        assert_eq!(plan.client(0).corrupt_delta_at(), Some(2));
+        assert_eq!(plan.client(1).drop_delta_at(), Some(4));
+        assert_eq!(plan.client(2).delay_delta_at(), Some((3, 15)));
+        let clean = plan.client(9);
+        assert_eq!(clean.corrupt_delta_at(), None);
+        assert_eq!(clean.drop_delta_at(), None);
+        assert_eq!(clean.delay_delta_at(), None);
+    }
+
+    #[test]
+    fn seeded_delta_storm_is_deterministic_with_room_to_recover() {
+        let a = FaultPlan::seeded_delta_storm(11, 6, 10, 4);
+        let b = FaultPlan::seeded_delta_storm(11, 6, 10, 4);
+        assert_eq!(a, b);
+        let victims = a.faulty_clients();
+        assert_eq!(victims.len(), 4, "victims must be distinct: {victims:?}");
+        assert!(victims.iter().all(|&v| v < 6));
+        // every fault lands early enough that resync can complete
+        for &v in &victims {
+            let f = a.client(v);
+            let frame = f
+                .corrupt_delta_at()
+                .or(f.drop_delta_at())
+                .or(f.delay_delta_at().map(|(n, _)| n))
+                .expect("victim has a delta fault");
+            assert!((1..=7).contains(&frame), "fault frame {frame} leaves no recovery room");
+        }
+        // different seeds explore different storms
+        assert_ne!(a, FaultPlan::seeded_delta_storm(12, 6, 10, 4));
+        // misbehaving count clamps to the client count
+        assert_eq!(FaultPlan::seeded_delta_storm(1, 2, 10, 5).faulty_clients().len(), 2);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!
 //! * [`protocol`] — length-prefixed JSON messages (workflow assignment,
 //!   interaction ops, frame execution, completion reports, heartbeats).
+//! * [`frame_delta`] — the v2 pixel transport: dirty-tile deltas with
+//!   RLE payloads, hash-guarded all-or-nothing assembly, keyframe resync,
+//!   and low-res previews during camera motion.
 //! * [`workflow`] — builds the 15-cell wall workflow and splits it into
 //!   per-client sub-workflows with `Pipeline::upstream_subgraph`.
 //! * [`server`] / [`client`] — the two node roles.
@@ -55,6 +58,7 @@
 pub mod client;
 pub mod cluster;
 pub mod fault;
+pub mod frame_delta;
 pub mod layout;
 pub mod protocol;
 pub mod server;
@@ -79,6 +83,10 @@ pub enum WallError {
     /// The session service turned the caller away under load; retry after
     /// the indicated backoff.
     Overloaded { retry_after_ms: u64 },
+    /// A frame-delta transport message was rejected (corrupt payload,
+    /// stale epoch, sequence gap); the inner error says why and is
+    /// surfaced through `source()`.
+    Delta(frame_delta::DeltaError),
 }
 
 impl std::fmt::Display for WallError {
@@ -95,6 +103,7 @@ impl std::fmt::Display for WallError {
             WallError::Overloaded { retry_after_ms } => {
                 write!(f, "service overloaded: retry after {retry_after_ms} ms")
             }
+            WallError::Delta(e) => write!(f, "frame delta: {e}"),
         }
     }
 }
@@ -104,6 +113,7 @@ impl std::error::Error for WallError {
         match self {
             WallError::Io(e) => Some(e),
             WallError::Workflow(e) => Some(e),
+            WallError::Delta(e) => Some(e),
             _ => None,
         }
     }
@@ -118,6 +128,12 @@ impl From<std::io::Error> for WallError {
 impl From<vistrails::WfError> for WallError {
     fn from(e: vistrails::WfError) -> Self {
         WallError::Workflow(e)
+    }
+}
+
+impl From<frame_delta::DeltaError> for WallError {
+    fn from(e: frame_delta::DeltaError) -> Self {
+        WallError::Delta(e)
     }
 }
 
@@ -144,6 +160,11 @@ mod tests {
         assert!(wf.source().is_some());
         let proto = WallError::Protocol("bad".into());
         assert!(proto.source().is_none());
+        let delta: WallError = frame_delta::DeltaError::NotSynced.into();
+        assert!(delta.to_string().contains("frame delta"));
+        let chained: WallError =
+            frame_delta::DeltaError::Codec(frame_delta::CodecError::ZeroRun { at: 0 }).into();
+        assert!(chained.source().and_then(|e| e.source()).is_some());
         let timeout = WallError::Timeout("FrameDone".into());
         assert!(timeout.source().is_none());
     }

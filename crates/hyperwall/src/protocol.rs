@@ -2,6 +2,7 @@
 //! length-prefixed JSON messages over TCP, with bounded message sizes and
 //! deadline-aware variants of every exchange.
 
+use crate::frame_delta::WireTile;
 use crate::{Result, WallError};
 use dv3d::interaction::ConfigOp;
 use serde::{Deserialize, Serialize};
@@ -14,6 +15,13 @@ use std::time::Duration;
 /// corrupt or hostile length prefix, and rejecting it keeps a bad client
 /// from making the server allocate gigabytes.
 pub const MAX_MESSAGE_BYTES: usize = 8 << 20;
+
+/// Protocol revision spoken by [`Message::HelloV2`] clients: adds the
+/// dirty-tile frame-delta transport (`FrameKey` / `FrameDelta` /
+/// `FramePreview` / `ResyncRequest`). Plain [`Message::Hello`] clients are
+/// implicitly revision 1 and never see those messages — the same
+/// version-gating discipline as the `.ncr` v1/v2 container.
+pub const PROTO_DELTA: u32 = 2;
 
 /// One unit of analysis / rendering work a session submits to the
 /// multi-tenant service (see [`crate::service`]). Workloads are synthetic
@@ -126,6 +134,57 @@ pub enum Message {
     },
     /// Client → service: close the session and free its slot.
     SessionClose { session_id: u64 },
+    /// Client → server: versioned handshake. `proto >=`
+    /// [`PROTO_DELTA`] opts the panel into the frame-delta transport;
+    /// servers answer v1 [`Message::Hello`] clients exactly as before, so
+    /// old clients keep working against new servers.
+    HelloV2 { client_id: usize, proto: u32 },
+    /// Client → server: a full-frame keyframe — RLE-compressed RGBA8 of the
+    /// whole panel, starting a new delta epoch. Sent on the first frame,
+    /// on a periodic cadence, and in answer to [`Message::ResyncRequest`].
+    FrameKey {
+        client_id: usize,
+        frame: u64,
+        /// Keyframe lineage this message starts.
+        epoch: u64,
+        /// Always 0 for a keyframe (deltas continue 1, 2, …).
+        seq: u64,
+        width: usize,
+        height: usize,
+        /// RLE-compressed RGBA8 (see [`crate::frame_delta::rle_encode`]).
+        payload: Vec<u8>,
+        /// FNV-1a over the raw (decoded) frame bytes.
+        frame_hash: u64,
+    },
+    /// Client → server: only the tiles that changed since the previous
+    /// frame, each hash-guarded; the receiver applies all tiles or none.
+    FrameDelta {
+        client_id: usize,
+        frame: u64,
+        /// Must match the receiver's current keyframe lineage.
+        epoch: u64,
+        /// Strictly sequential within the epoch.
+        seq: u64,
+        tiles: Vec<WireTile>,
+        /// FNV-1a over the full assembled frame after this delta.
+        frame_hash: u64,
+    },
+    /// Client → server: a low-resolution preview sent ahead of the full
+    /// frame during camera motion (progressive refinement). Advisory:
+    /// carries its own hash but no epoch/seq obligations.
+    FramePreview {
+        client_id: usize,
+        frame: u64,
+        epoch: u64,
+        width: usize,
+        height: usize,
+        payload: Vec<u8>,
+        hash: u64,
+    },
+    /// Server → client: this panel's frame content was missing, corrupt or
+    /// out of sequence — the next frame must be a keyframe. Resync instead
+    /// of degradation: the panel stays live, only its pixel stream restarts.
+    ResyncRequest { client_id: usize, epoch: u64 },
 }
 
 /// Encodes one message into its wire form (u32-LE length prefix + JSON
@@ -391,6 +450,40 @@ mod tests {
                 compute_ms: 1.25,
             },
             Message::SessionClose { session_id: 9 },
+            Message::HelloV2 { client_id: 3, proto: PROTO_DELTA },
+            Message::FrameKey {
+                client_id: 3,
+                frame: 7,
+                epoch: 1,
+                seq: 0,
+                width: 8,
+                height: 4,
+                payload: vec![128, 10, 20, 30, 255],
+                frame_hash: 0x1234_5678_9abc_def0,
+            },
+            Message::FrameDelta {
+                client_id: 3,
+                frame: 8,
+                epoch: 1,
+                seq: 1,
+                tiles: vec![WireTile {
+                    tx: 0,
+                    ty: 0,
+                    hash: 0xfeed_f00d,
+                    data: vec![4, 1, 2, 3, 255],
+                }],
+                frame_hash: 0x0dd_ba11,
+            },
+            Message::FramePreview {
+                client_id: 3,
+                frame: 8,
+                epoch: 1,
+                width: 4,
+                height: 2,
+                payload: vec![8, 0, 0, 0, 255],
+                hash: 0xcafe,
+            },
+            Message::ResyncRequest { client_id: 3, epoch: 1 },
         ];
         for m in &msgs {
             match m {
@@ -409,7 +502,12 @@ mod tests {
                 | Message::RetryAfter { .. }
                 | Message::Request { .. }
                 | Message::Response { .. }
-                | Message::SessionClose { .. } => {}
+                | Message::SessionClose { .. }
+                | Message::HelloV2 { .. }
+                | Message::FrameKey { .. }
+                | Message::FrameDelta { .. }
+                | Message::FramePreview { .. }
+                | Message::ResyncRequest { .. } => {}
             }
         }
         msgs

@@ -8,7 +8,10 @@
 //! server's own low-res mirror, and reconnecting clients are re-handshaken
 //! with capped exponential backoff and promoted back to live.
 
-use crate::protocol::{read_message_deadline, write_message_deadline, Message};
+use crate::frame_delta::{Applied, FrameAssembler};
+use crate::protocol::{
+    encode_frame, read_message_deadline, write_message_deadline, Message, PROTO_DELTA,
+};
 use crate::workflow::{split_per_client, wall_registry, CellChain, WallWorkflowConfig};
 use crate::{Result, WallError};
 use dv3d::cell::Dv3dCell;
@@ -69,13 +72,30 @@ struct Panel {
     state: PanelState,
     reconnect_attempts: u32,
     next_retry_frame: u64,
+    /// Protocol revision the client spoke at its handshake (1 = metadata
+    /// only, [`PROTO_DELTA`] = frame-delta pixel transport).
+    proto: u32,
+    /// Receiver half of the delta transport; `Some` only for v2 panels.
+    assembler: Option<FrameAssembler>,
 }
 
 impl Panel {
-    fn live(stream: TcpStream) -> Panel {
-        Panel { stream: Some(stream), state: PanelState::Live, reconnect_attempts: 0, next_retry_frame: 0 }
+    fn live(stream: TcpStream, proto: u32) -> Panel {
+        Panel {
+            stream: Some(stream),
+            state: PanelState::Live,
+            reconnect_attempts: 0,
+            next_retry_frame: 0,
+            proto,
+            assembler: None,
+        }
     }
 }
+
+/// Upper bound on transport messages one panel may send per frame; beyond
+/// it the panel is degraded (a spamming client must not hold the frame
+/// loop hostage).
+const MAX_TRANSPORT_PER_FRAME: u32 = 64;
 
 /// Timing record of one distributed frame.
 #[derive(Debug, Clone)]
@@ -91,6 +111,13 @@ pub struct FrameReport {
     pub coverage: Vec<f64>,
     /// Which panels were served from the server mirror this frame.
     pub degraded: Vec<bool>,
+    /// Wire bytes of frame-delta transport messages received per panel
+    /// this frame (0 for v1 panels).
+    pub transport_bytes: Vec<u64>,
+    /// Per panel: ms from the Execute broadcast to the first pixel content
+    /// (preview, keyframe or delta) arriving — the interaction-to-photon
+    /// latency of the wall. 0 when no content arrived.
+    pub first_content_ms: Vec<f64>,
 }
 
 /// The hyperwall server.
@@ -118,6 +145,11 @@ pub struct HyperwallServer {
     degraded_frames_total: u64,
     reconnects_total: u64,
     deadline_misses_total: u64,
+    delta_bytes_total: u64,
+    key_bytes_total: u64,
+    preview_frames_total: u64,
+    resync_requests_total: u64,
+    delta_rejects_total: u64,
     /// Human-readable fault timeline ("frame 2: panel 1 degraded: …").
     pub incidents: Vec<String>,
 }
@@ -154,6 +186,11 @@ impl HyperwallServer {
             degraded_frames_total: 0,
             reconnects_total: 0,
             deadline_misses_total: 0,
+            delta_bytes_total: 0,
+            key_bytes_total: 0,
+            preview_frames_total: 0,
+            resync_requests_total: 0,
+            delta_rejects_total: 0,
             incidents: Vec::new(),
         })
     }
@@ -163,15 +200,21 @@ impl HyperwallServer {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Accepts `n` clients (ordered by their Hello ids).
+    /// Accepts `n` clients (ordered by their Hello ids). Both handshake
+    /// revisions are admitted: plain `Hello` clients get the original
+    /// metadata-only protocol, `HelloV2` clients opt into the frame-delta
+    /// pixel transport.
     pub fn accept_clients(&mut self, n: usize) -> Result<()> {
-        let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<(TcpStream, u32)>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (mut stream, _) = self.listener.accept()?;
             stream.set_nodelay(true).ok();
             match read_message_deadline(&mut stream, self.tuning.io_deadline, "Hello")? {
                 Message::Hello { client_id } if client_id < n => {
-                    slots[client_id] = Some(stream);
+                    slots[client_id] = Some((stream, 1));
+                }
+                Message::HelloV2 { client_id, proto } if client_id < n => {
+                    slots[client_id] = Some((stream, proto.max(PROTO_DELTA)));
                 }
                 other => {
                     return Err(WallError::Protocol(format!("expected Hello, got {other:?}")))
@@ -181,7 +224,7 @@ impl HyperwallServer {
         self.panels = slots
             .into_iter()
             .map(|s| {
-                s.map(Panel::live)
+                s.map(|(stream, proto)| Panel::live(stream, proto))
                     .ok_or_else(|| WallError::Protocol("missing client".into()))
             })
             .collect::<Result<_>>()?;
@@ -206,6 +249,11 @@ impl HyperwallServer {
             })
             .collect::<Result<_>>()?;
         for i in 0..self.panels.len() {
+            // v2 panels get a frame assembler matching the assigned size
+            if self.panels[i].proto >= PROTO_DELTA {
+                self.panels[i].assembler =
+                    Some(FrameAssembler::new(cfg.cell_px.0, cfg.cell_px.1));
+            }
             // every slot was filled Some(..) by the collect above
             let Some(msg) = self.assignments[i].clone() else { continue };
             let deadline = self.tuning.io_deadline;
@@ -354,36 +402,115 @@ impl HyperwallServer {
 
         let mut client_render_ms = vec![0.0; n];
         let mut coverage = vec![0.0; n];
+        let mut transport_bytes = vec![0u64; n];
+        let mut first_content_ms = vec![0.0f64; n];
         let frame_deadline = self.tuning.frame_deadline;
         for i in 0..n {
             if !sent[i] {
                 continue;
             }
-            let reply = self
-                .panels[i]
-                .stream
-                .as_mut()
-                .map(|s| read_message_deadline(s, frame_deadline, "FrameDone"))
-                .unwrap_or_else(|| Err(WallError::Protocol("no connection".into())));
-            match reply {
-                Ok(Message::FrameDone { client_id, frame: f, coverage: c, render_ms })
-                    if client_id == i && f == frame =>
-                {
-                    client_render_ms[i] = render_ms;
-                    coverage[i] = c;
-                }
-                Ok(Message::FrameDone { client_id, frame: f, .. }) => {
-                    self.degrade(
-                        i,
-                        &format!("client {client_id} answered frame {f}, expected {frame}"),
-                    );
-                }
-                Ok(other) => self.degrade(i, &format!("expected FrameDone, got {other:?}")),
-                Err(e) => {
-                    if matches!(e, WallError::Timeout(_)) {
-                        self.deadline_misses_total += 1;
+            // v2 clients interleave FramePreview / FrameKey / FrameDelta
+            // messages before their FrameDone on the same ordered stream;
+            // drain them into the panel's assembler until the frame closes.
+            let mut transport_msgs: u32 = 0;
+            let mut content_ok = false;
+            loop {
+                let reply = self
+                    .panels[i]
+                    .stream
+                    .as_mut()
+                    .map(|s| read_message_deadline(s, frame_deadline, "FrameDone"))
+                    .unwrap_or_else(|| Err(WallError::Protocol("no connection".into())));
+                match reply {
+                    Ok(Message::FrameDone { client_id, frame: f, coverage: c, render_ms })
+                        if client_id == i && f == frame =>
+                    {
+                        client_render_ms[i] = render_ms;
+                        coverage[i] = c;
+                        break;
                     }
-                    self.degrade(i, &format!("FrameDone failed: {e}"));
+                    Ok(Message::FrameDone { client_id, frame: f, .. }) => {
+                        self.degrade(
+                            i,
+                            &format!("client {client_id} answered frame {f}, expected {frame}"),
+                        );
+                        break;
+                    }
+                    Ok(
+                        msg @ (Message::FrameKey { .. }
+                        | Message::FrameDelta { .. }
+                        | Message::FramePreview { .. }),
+                    ) => {
+                        transport_msgs += 1;
+                        if transport_msgs > MAX_TRANSPORT_PER_FRAME {
+                            self.degrade(i, "transport message flood");
+                            break;
+                        }
+                        let wire = encode_frame(&msg).map(|b| b.len() as u64).unwrap_or(0);
+                        transport_bytes[i] += wire;
+                        match &msg {
+                            Message::FrameKey { .. } => self.key_bytes_total += wire,
+                            Message::FrameDelta { .. } => self.delta_bytes_total += wire,
+                            _ => self.preview_frames_total += 1,
+                        }
+                        if first_content_ms[i] == 0.0 {
+                            first_content_ms[i] = start.elapsed().as_secs_f64() * 1000.0;
+                        }
+                        if self.panels[i].assembler.is_none() {
+                            self.degrade(i, "pixel transport from a v1 client");
+                            break;
+                        }
+                        if let Some(asm) = self.panels[i].assembler.as_mut() {
+                            // a rejected delta is NOT a degradation: the
+                            // assembler unsyncs atomically (no torn tiles)
+                            // and the end-of-frame resync below repairs it
+                            match asm.apply(&msg) {
+                                Ok(Applied::Key) | Ok(Applied::Delta { .. }) => {
+                                    content_ok = true;
+                                }
+                                Ok(Applied::Preview) => {}
+                                Err(_) => self.delta_rejects_total += 1,
+                            }
+                        }
+                    }
+                    Ok(other) => {
+                        self.degrade(i, &format!("expected FrameDone, got {other:?}"));
+                        break;
+                    }
+                    Err(e) => {
+                        if matches!(e, WallError::Timeout(_)) {
+                            self.deadline_misses_total += 1;
+                        }
+                        self.degrade(i, &format!("FrameDone failed: {e}"));
+                        break;
+                    }
+                }
+            }
+            // Drop / reject detection: a live v2 panel whose frame closed
+            // without committing any pixel content (delta lost in transit or
+            // rejected) is told to open its next frame with a keyframe.
+            if self.panels[i].state == PanelState::Live
+                && self.panels[i].proto >= PROTO_DELTA
+                && !content_ok
+            {
+                let epoch =
+                    self.panels[i].assembler.as_ref().map(|a| a.epoch()).unwrap_or(0);
+                let send = self
+                    .panels[i]
+                    .stream
+                    .as_mut()
+                    .map(|s| {
+                        write_message_deadline(
+                            s,
+                            &Message::ResyncRequest { client_id: i, epoch },
+                            deadline,
+                            "ResyncRequest",
+                        )
+                    })
+                    .unwrap_or_else(|| Err(WallError::Protocol("no connection".into())));
+                match send {
+                    Ok(()) => self.resync_requests_total += 1,
+                    Err(e) => self.degrade(i, &format!("ResyncRequest send failed: {e}")),
                 }
             }
         }
@@ -405,6 +532,8 @@ impl HyperwallServer {
             mirror_ms,
             coverage,
             degraded,
+            transport_bytes,
+            first_content_ms,
         })
     }
 
@@ -419,6 +548,9 @@ impl HyperwallServer {
         let p = &mut self.panels[i];
         p.state = PanelState::Degraded;
         p.stream = None;
+        // the assembled frame is stale the moment the client is gone; a
+        // reconnect installs a fresh assembler sized from the assignment
+        p.assembler = None;
         p.reconnect_attempts = 0;
         p.next_retry_frame = self.current_frame + self.tuning.backoff_base_frames.max(1);
     }
@@ -449,11 +581,21 @@ impl HyperwallServer {
                     stream.set_nonblocking(false).ok();
                     stream.set_nodelay(true).ok();
                     match self.rehandshake(&mut stream) {
-                        Ok(i) => {
+                        Ok((i, proto)) => {
                             self.incidents.push(format!(
                                 "frame {frame}: panel {i} reconnected, restored to live"
                             ));
-                            self.panels[i] = Panel::live(stream);
+                            let mut panel = Panel::live(stream, proto);
+                            if proto >= PROTO_DELTA {
+                                // fresh assembler: the client's fresh streamer
+                                // opens with a keyframe, so they resync
+                                if let Some(Message::AssignWorkflow { width, height, .. }) =
+                                    self.assignments.get(i).cloned().flatten()
+                                {
+                                    panel.assembler = Some(FrameAssembler::new(width, height));
+                                }
+                            }
+                            self.panels[i] = panel;
                             self.reconnects_total += 1;
                         }
                         Err(e) => {
@@ -492,11 +634,14 @@ impl HyperwallServer {
     }
 
     /// Runs the full recovery handshake on a fresh connection; returns the
-    /// recovered panel index.
-    fn rehandshake(&mut self, stream: &mut TcpStream) -> Result<usize> {
+    /// recovered panel index and the protocol revision it spoke.
+    fn rehandshake(&mut self, stream: &mut TcpStream) -> Result<(usize, u32)> {
         let deadline = self.tuning.io_deadline;
-        let i = match read_message_deadline(stream, deadline, "Hello")? {
-            Message::Hello { client_id } if client_id < self.panels.len() => client_id,
+        let (i, proto) = match read_message_deadline(stream, deadline, "Hello")? {
+            Message::Hello { client_id } if client_id < self.panels.len() => (client_id, 1),
+            Message::HelloV2 { client_id, proto } if client_id < self.panels.len() => {
+                (client_id, proto.max(PROTO_DELTA))
+            }
             other => {
                 return Err(WallError::Protocol(format!("expected Hello, got {other:?}")))
             }
@@ -519,7 +664,7 @@ impl HyperwallServer {
         for op in self.op_log.clone() {
             write_message_deadline(stream, &Message::Op(op), deadline, "Op replay")?;
         }
-        Ok(i)
+        Ok((i, proto))
     }
 
     /// Assembles the server's low-resolution mirror cells into one mosaic
@@ -573,6 +718,59 @@ impl HyperwallServer {
     /// FrameDone waits that expired at the deadline.
     pub fn deadline_misses_total(&self) -> u64 {
         self.deadline_misses_total
+    }
+
+    /// Total wire bytes of `FrameDelta` messages received.
+    pub fn delta_bytes_total(&self) -> u64 {
+        self.delta_bytes_total
+    }
+
+    /// Total wire bytes of `FrameKey` messages received.
+    pub fn key_bytes_total(&self) -> u64 {
+        self.key_bytes_total
+    }
+
+    /// Low-res motion previews received.
+    pub fn preview_frames_total(&self) -> u64 {
+        self.preview_frames_total
+    }
+
+    /// Keyframe resyncs the server had to request (dropped or rejected
+    /// deltas detected at end of frame).
+    pub fn resync_requests_total(&self) -> u64 {
+        self.resync_requests_total
+    }
+
+    /// Transport messages rejected by an assembler (corrupt payload, stale
+    /// epoch, sequence gap). Every reject is followed by a resync, never a
+    /// torn frame.
+    pub fn delta_rejects_total(&self) -> u64 {
+        self.delta_rejects_total
+    }
+
+    /// Per panel: does its assembler currently hold a hash-verified frame?
+    /// (Always `false` for v1 panels, which ship no pixels.)
+    pub fn panels_synced(&self) -> Vec<bool> {
+        self.panels
+            .iter()
+            .map(|p| p.assembler.as_ref().map(|a| a.is_synced()).unwrap_or(false))
+            .collect()
+    }
+
+    /// True when panel `i`'s assembled frame re-verifies against its
+    /// whole-frame content hash (the no-torn-tiles guarantee).
+    pub fn panel_frame_verified(&self, i: usize) -> bool {
+        self.panels
+            .get(i)
+            .and_then(|p| p.assembler.as_ref())
+            .map(|a| a.verify())
+            .unwrap_or(false)
+    }
+
+    /// The last committed full-resolution RGBA frame for panel `i`, if its
+    /// assembler is synced.
+    pub fn panel_frame(&self, i: usize) -> Option<&[u8]> {
+        self.panels.get(i).and_then(|p| p.assembler.as_ref()).and_then(|a| a.frame())
     }
 }
 

@@ -1,7 +1,7 @@
 //! RGBA colors with float components in `[0, 1]`.
 
 /// An RGBA color.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Color {
     pub r: f32,
     pub g: f32,

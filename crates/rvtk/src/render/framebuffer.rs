@@ -1,8 +1,152 @@
-//! Offscreen framebuffer: color + depth, with PPM export.
+//! Offscreen framebuffer: color + depth, with PPM export, plus the
+//! tile/band partition helpers shared by the rasterizer and volume paths.
 
 use crate::color::Color;
 use std::io::Write;
 use std::path::Path;
+
+/// A fixed-size screen-tile decomposition of a framebuffer.
+///
+/// Both the tile-binned rasterizer and the hyperwall frame-delta transport
+/// partition the screen with this grid, so a "tile" means the same pixel
+/// rectangle on both sides of the wire. Tiles are `tile × tile` pixels
+/// except at the right/bottom edges, where they are clipped to the screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    width: usize,
+    height: usize,
+    tile: usize,
+}
+
+/// The pixel rectangle of one tile (clipped to the screen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileRect {
+    /// Left column (inclusive).
+    pub x0: usize,
+    /// Top row (inclusive).
+    pub y0: usize,
+    /// Width in pixels (≥ 1 for a valid tile).
+    pub w: usize,
+    /// Height in pixels.
+    pub h: usize,
+}
+
+impl TileGrid {
+    /// The default tile edge in pixels.
+    pub const TILE: usize = 32;
+
+    /// A grid of `tile × tile` tiles over a `width × height` screen.
+    pub fn new(width: usize, height: usize, tile: usize) -> TileGrid {
+        TileGrid { width, height, tile: tile.max(1) }
+    }
+
+    /// Grid over a screen with the default tile edge.
+    pub fn with_default_tile(width: usize, height: usize) -> TileGrid {
+        TileGrid::new(width, height, TileGrid::TILE)
+    }
+
+    /// Screen width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Screen height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Tile edge in pixels.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of tile columns.
+    pub fn cols(&self) -> usize {
+        self.width.div_ceil(self.tile)
+    }
+
+    /// Number of tile rows.
+    pub fn rows(&self) -> usize {
+        self.height.div_ceil(self.tile)
+    }
+
+    /// Total number of tiles.
+    pub fn len(&self) -> usize {
+        self.cols() * self.rows()
+    }
+
+    /// True when the screen is empty (zero tiles).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat tile index of tile column `tx`, tile row `ty`.
+    pub fn index(&self, tx: usize, ty: usize) -> usize {
+        ty * self.cols() + tx
+    }
+
+    /// Pixel rectangle of the tile at flat index `idx`, clipped to the
+    /// screen. Out-of-range indices yield an empty rect.
+    pub fn rect(&self, idx: usize) -> TileRect {
+        let cols = self.cols().max(1);
+        let (tx, ty) = (idx % cols, idx / cols);
+        let x0 = (tx * self.tile).min(self.width);
+        let y0 = (ty * self.tile).min(self.height);
+        TileRect {
+            x0,
+            y0,
+            w: self.tile.min(self.width - x0),
+            h: self.tile.min(self.height - y0),
+        }
+    }
+
+    /// Calls `f(flat_index)` for every tile overlapping the inclusive
+    /// pixel bbox `[x0, x1] × [y0, y1]` (screen-clamped). The bbox may
+    /// extend past the screen; nothing is visited for an empty overlap.
+    pub fn for_tiles_over(
+        &self,
+        x0: f64,
+        x1: f64,
+        y0: f64,
+        y1: f64,
+        mut f: impl FnMut(usize),
+    ) {
+        if self.width == 0 || self.height == 0 || x1 < 0.0 || y1 < 0.0 {
+            return;
+        }
+        if x0 > (self.width - 1) as f64 || y0 > (self.height - 1) as f64 {
+            return;
+        }
+        let px0 = x0.max(0.0) as usize;
+        let py0 = y0.max(0.0) as usize;
+        let px1 = (x1 as usize).min(self.width - 1);
+        let py1 = (y1 as usize).min(self.height - 1);
+        if px0 > px1 || py0 > py1 {
+            return;
+        }
+        for ty in (py0 / self.tile)..=(py1 / self.tile) {
+            for tx in (px0 / self.tile)..=(px1 / self.tile) {
+                f(self.index(tx, ty));
+            }
+        }
+    }
+}
+
+/// A horizontal slice of a framebuffer owned by one rasterizer thread —
+/// the partition unit shared by the tile rasterizer, the scanline
+/// reference and the volume ray-caster.
+pub(crate) struct BandView<'a> {
+    /// First framebuffer row of this band.
+    pub y0: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Framebuffer width.
+    pub width: usize,
+    /// Color storage for exactly `rows * width` pixels.
+    pub colors: &'a mut [Color],
+    /// Depth storage for exactly `rows * width` pixels.
+    pub depths: &'a mut [f32],
+}
 
 /// An RGBA + depth framebuffer.
 #[derive(Debug, Clone)]
@@ -87,14 +231,15 @@ impl Framebuffer {
         &self.color
     }
 
-    /// Splits the framebuffer into `n` horizontal bands, returning
-    /// `(y0, colors, depths)` per band — each band owns disjoint rows so
-    /// they can be rasterized in parallel.
-    pub(crate) fn bands(&mut self, n: usize) -> Vec<(usize, &mut [Color], &mut [f32])> {
-        let n = n.clamp(1, self.height.max(1));
-        let rows_per = self.height.div_ceil(n);
+    /// Splits the framebuffer into horizontal bands of `rows_per_band`
+    /// rows (the last may be shorter) — each band owns disjoint rows so
+    /// they can be written in parallel without locking. This is the one
+    /// partition primitive shared by the tile rasterizer, the scanline
+    /// reference and the volume ray-caster.
+    pub(crate) fn band_views(&mut self, rows_per_band: usize) -> Vec<BandView<'_>> {
+        let rows_per = rows_per_band.clamp(1, self.height.max(1));
         let width = self.width;
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(self.height.div_ceil(rows_per));
         let mut color_rest: &mut [Color] = &mut self.color;
         let mut depth_rest: &mut [f32] = &mut self.depth;
         let mut y = 0usize;
@@ -104,10 +249,59 @@ impl Framebuffer {
             let (d, dr) = depth_rest.split_at_mut(rows * width);
             color_rest = cr;
             depth_rest = dr;
-            out.push((y, c, d));
+            out.push(BandView { y0: y, rows, width, colors: c, depths: d });
             y += rows;
         }
         out
+    }
+
+    /// One band per rayon worker — the historic row-band split used by the
+    /// volume path and the scanline reference rasterizer.
+    pub(crate) fn thread_bands(&mut self) -> Vec<BandView<'_>> {
+        let n = rayon::current_num_threads().max(1).min(self.height.max(1));
+        self.band_views(self.height.max(1).div_ceil(n))
+    }
+
+    /// Bands aligned to the tile rows of `grid`: band `ty` covers exactly
+    /// tile row `ty`, so a parallel iteration over these bands gives each
+    /// worker exclusive ownership of whole tiles.
+    pub(crate) fn tile_bands(&mut self, grid: &TileGrid) -> Vec<BandView<'_>> {
+        self.band_views(grid.tile())
+    }
+
+    /// Quantizes the image to packed RGBA8 bytes (row-major, y = 0 top) —
+    /// the lossless wire format of the hyperwall frame-delta transport.
+    pub fn to_rgba8(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.color.len() * 4);
+        for c in &self.color {
+            out.extend_from_slice(&c.to_u8());
+        }
+        out
+    }
+
+    /// Resets `rect` to `background` color and empty depth (the per-tile
+    /// analogue of [`Framebuffer::clear`]).
+    pub(crate) fn clear_rect(&mut self, rect: TileRect, background: Color) {
+        for y in rect.y0..(rect.y0 + rect.h).min(self.height) {
+            let row = y * self.width;
+            let (lo, hi) = (row + rect.x0, row + (rect.x0 + rect.w).min(self.width));
+            self.color[lo..hi].fill(background);
+            self.depth[lo..hi].fill(f32::INFINITY);
+        }
+    }
+
+    /// Copies the color + depth of `rect` from `src`, which must have the
+    /// same dimensions — used to restore clean tiles from a render cache.
+    pub(crate) fn copy_rect_from(&mut self, src: &Framebuffer, rect: TileRect) {
+        if src.width != self.width || src.height != self.height {
+            return;
+        }
+        for y in rect.y0..(rect.y0 + rect.h).min(self.height) {
+            let row = y * self.width;
+            let (lo, hi) = (row + rect.x0, row + (rect.x0 + rect.w).min(self.width));
+            self.color[lo..hi].copy_from_slice(&src.color[lo..hi]);
+            self.depth[lo..hi].copy_from_slice(&src.depth[lo..hi]);
+        }
     }
 
     /// Mean luminance over all pixels — a cheap "did anything render" probe
@@ -219,15 +413,74 @@ mod tests {
     #[test]
     fn bands_partition_all_rows() {
         let mut fb = Framebuffer::new(3, 10);
-        let bands = fb.bands(4);
-        let total_rows: usize = bands.iter().map(|(_, c, _)| c.len() / 3).sum();
+        let bands = fb.band_views(3);
+        let total_rows: usize = bands.iter().map(|b| b.rows).sum();
         assert_eq!(total_rows, 10);
+        assert!(bands.iter().all(|b| b.colors.len() == b.rows * 3));
         // bands start at increasing y
-        let ys: Vec<usize> = bands.iter().map(|(y, _, _)| *y).collect();
+        let ys: Vec<usize> = bands.iter().map(|b| b.y0).collect();
         assert!(ys.windows(2).all(|w| w[1] > w[0]));
-        // more bands than rows clamps
+        // rows_per_band of 0 clamps to 1; tiny framebuffers survive
         let mut fb2 = Framebuffer::new(2, 2);
-        assert_eq!(fb2.bands(16).len(), 2);
+        assert_eq!(fb2.band_views(0).len(), 2);
+        assert!(Framebuffer::new(4, 0).band_views(2).is_empty());
+    }
+
+    #[test]
+    fn tile_grid_partitions_screen() {
+        let g = TileGrid::new(70, 33, 32);
+        assert_eq!((g.cols(), g.rows(), g.len()), (3, 2, 6));
+        // interior tile
+        let r = g.rect(g.index(1, 0));
+        assert_eq!((r.x0, r.y0, r.w, r.h), (32, 0, 32, 32));
+        // clipped right/bottom edges
+        let r = g.rect(g.index(2, 1));
+        assert_eq!((r.x0, r.y0, r.w, r.h), (64, 32, 6, 1));
+        // rects tile the screen exactly
+        let area: usize = (0..g.len()).map(|i| g.rect(i).w * g.rect(i).h).sum();
+        assert_eq!(area, 70 * 33);
+        // tile bands align with tile rows
+        let mut fb = Framebuffer::new(70, 33);
+        let bands = fb.tile_bands(&g);
+        assert_eq!(bands.len(), g.rows());
+        assert_eq!(bands[1].rows, 1);
+    }
+
+    #[test]
+    fn tiles_over_bbox_visits_overlaps_only() {
+        let g = TileGrid::new(64, 64, 32);
+        let mut seen = Vec::new();
+        g.for_tiles_over(30.0, 34.0, 10.0, 12.0, |i| seen.push(i));
+        assert_eq!(seen, vec![0, 1]);
+        seen.clear();
+        // off-screen bbox visits nothing
+        g.for_tiles_over(-10.0, -1.0, 0.0, 5.0, |i| seen.push(i));
+        g.for_tiles_over(100.0, 200.0, 0.0, 5.0, |i| seen.push(i));
+        assert!(seen.is_empty());
+        // bbox spilling past the screen clamps
+        g.for_tiles_over(-5.0, 500.0, 40.0, 500.0, |i| seen.push(i));
+        assert_eq!(seen, vec![2, 3]);
+    }
+
+    #[test]
+    fn rgba8_and_rect_helpers_roundtrip() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.set_pixel(1, 1, Color::RED);
+        let bytes = fb.to_rgba8();
+        assert_eq!(bytes.len(), 64);
+        assert_eq!(&bytes[(4 + 1) * 4..(4 + 1) * 4 + 4], &[255, 0, 0, 255]);
+        // copy a rect into a second framebuffer
+        let mut dst = Framebuffer::new(4, 4);
+        dst.copy_rect_from(&fb, TileRect { x0: 0, y0: 0, w: 2, h: 2 });
+        assert_eq!(dst.pixel(1, 1), Color::RED);
+        assert_eq!(dst.pixel(3, 3), Color::BLACK);
+        // clear the rect back out
+        dst.clear_rect(TileRect { x0: 0, y0: 0, w: 2, h: 2 }, Color::BLUE);
+        assert_eq!(dst.pixel(1, 1), Color::BLUE);
+        assert_eq!(dst.depth_at(1, 1), f32::INFINITY);
+        // mismatched dims are a no-op, not a panic
+        let small = Framebuffer::new(2, 2);
+        dst.copy_rect_from(&small, TileRect { x0: 0, y0: 0, w: 2, h: 2 });
     }
 
     #[test]

@@ -18,12 +18,15 @@ mod volume;
 mod window;
 
 pub(crate) mod rasterizer;
+pub(crate) mod tile;
+
+pub mod scanline_ref;
 
 pub use actor::{Actor, Property, Representation};
 pub use camera::Camera;
-pub use framebuffer::Framebuffer;
+pub use framebuffer::{Framebuffer, TileGrid, TileRect};
 pub use light::Light;
-pub use renderer::Renderer;
+pub use renderer::{RedrawStats, RenderCache, Renderer};
 pub use text::{draw_colorbar, draw_text, text_width, GLYPH_HEIGHT};
 pub use volume::{BlendMode, Volume, VolumeProperty};
 pub use window::{RenderWindow, StereoMode};

@@ -1,20 +1,22 @@
-//! Band-parallel software rasterization: triangles (Gouraud-shaded,
+//! Tile-binned software rasterization: triangles (Gouraud-shaded,
 //! z-buffered), depth-interpolated lines and point sprites.
 //!
 //! Geometry is first transformed and shaded into screen-space primitive
-//! lists; the framebuffer is then split into disjoint horizontal bands which
-//! rayon rasterizes in parallel — each band owns its rows, so no locking is
-//! needed (the data-race-freedom-by-partition idiom).
+//! lists; a bucketing pass then bins each primitive into the 32×32 screen
+//! tiles its bbox overlaps, and rayon rasterizes tile-row bands in parallel
+//! — each tile owns its pixels, so no locking is needed, and a tile visits
+//! only the primitives binned into it (see `tile.rs`). Output is
+//! bit-identical to the historic row-band engine kept in `scanline_ref.rs`.
 
 use crate::color::Color;
 use crate::math::{Mat4, Vec3};
 use crate::render::actor::{Actor, Representation};
-use crate::render::framebuffer::Framebuffer;
+use crate::render::framebuffer::{Framebuffer, TileGrid};
 use crate::render::light::Light;
-use rayon::prelude::*;
+use crate::render::tile;
 
 /// A transformed, shaded triangle ready to rasterize.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct RasterTri {
     /// Screen x/y per vertex.
     pub sx: [f64; 3],
@@ -26,7 +28,7 @@ pub(crate) struct RasterTri {
 }
 
 /// A screen-space line segment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct RasterLine {
     pub a: (f64, f64, f32),
     pub b: (f64, f64, f32),
@@ -35,7 +37,7 @@ pub(crate) struct RasterLine {
 }
 
 /// A screen-space point sprite.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct RasterPoint {
     pub x: f64,
     pub y: f64,
@@ -178,158 +180,36 @@ fn push_polylines(
     }
 }
 
-/// Rasterizes all primitives into the framebuffer, bands in parallel.
+/// Rasterizes all primitives into the framebuffer via the tile-binned
+/// engine: bin into the default 32×32 grid, then rasterize occupied tiles
+/// with rayon (tile-row bands in parallel).
 pub(crate) fn rasterize(prims: &PrimitiveList, fb: &mut Framebuffer) {
-    let width = fb.width();
-    let n_bands = rayon::current_num_threads().max(1);
-    let mut bands = fb.bands(n_bands);
-    bands.par_iter_mut().for_each(|(y0, colors, depths)| {
-        let rows = colors.len() / width.max(1);
-        let mut band = Band { y0: *y0, rows, width, colors, depths };
-        for t in &prims.tris {
-            band.triangle(t);
-        }
-        for l in &prims.lines {
-            band.line(l);
-        }
-        for p in &prims.points {
-            band.point(p);
-        }
-    });
+    let grid = TileGrid::with_default_tile(fb.width(), fb.height());
+    let bins = tile::bin_primitives(prims, &grid);
+    tile::rasterize_bins(prims, &bins, &grid, None, fb);
 }
 
-/// A horizontal slice of the framebuffer owned by one rasterizer thread.
-struct Band<'a> {
-    y0: usize,
-    rows: usize,
+/// Builds the frame's screen-space primitives for `actors` and sorts
+/// triangles far→near (painter-friendly ordering for translucency) —
+/// the shared front half of both the tile and scanline engines.
+pub(crate) fn build_sorted_primitives(
+    actors: &[Actor],
+    view_proj: &Mat4,
+    lights: &[Light],
     width: usize,
-    colors: &'a mut [Color],
-    depths: &'a mut [f32],
-}
-
-impl Band<'_> {
-    #[inline]
-    fn plot(&mut self, x: usize, y: usize, z: f32, c: Color) {
-        if y < self.y0 || y >= self.y0 + self.rows || x >= self.width {
-            return;
-        }
-        let i = (y - self.y0) * self.width + x;
-        if z < self.depths[i] {
-            if c.a >= 0.999 {
-                self.colors[i] = c;
-                self.depths[i] = z;
-            } else if c.a > 0.001 {
-                self.colors[i] = Color { a: 1.0, ..c }.lerp(self.colors[i], 1.0 - c.a);
-            }
-        }
+    height: usize,
+) -> PrimitiveList {
+    let mut prims = PrimitiveList::default();
+    for actor in actors {
+        build_primitives(actor, view_proj, lights, width, height, &mut prims);
     }
-
-    fn triangle(&mut self, t: &RasterTri) {
-        let ymin = t.sy.iter().cloned().fold(f64::INFINITY, f64::min).floor().max(self.y0 as f64);
-        let ymax = t
-            .sy
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
-            .ceil()
-            .min((self.y0 + self.rows - 1) as f64);
-        if ymin > ymax {
-            return;
-        }
-        let xmin = t.sx.iter().cloned().fold(f64::INFINITY, f64::min).floor().max(0.0);
-        let xmax = t
-            .sx
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
-            .ceil()
-            .min((self.width - 1) as f64);
-        if xmin > xmax {
-            return;
-        }
-        // signed area; reject degenerate
-        let area = (t.sx[1] - t.sx[0]) * (t.sy[2] - t.sy[0])
-            - (t.sx[2] - t.sx[0]) * (t.sy[1] - t.sy[0]);
-        if area.abs() < 1e-12 {
-            return;
-        }
-        let inv_area = 1.0 / area;
-        for y in (ymin as usize)..=(ymax as usize) {
-            let py = y as f64;
-            for x in (xmin as usize)..=(xmax as usize) {
-                let px = x as f64;
-                // barycentric coordinates
-                let w0 = ((t.sx[1] - px) * (t.sy[2] - py) - (t.sx[2] - px) * (t.sy[1] - py))
-                    * inv_area;
-                let w1 = ((t.sx[2] - px) * (t.sy[0] - py) - (t.sx[0] - px) * (t.sy[2] - py))
-                    * inv_area;
-                let w2 = 1.0 - w0 - w1;
-                if w0 < -1e-9 || w1 < -1e-9 || w2 < -1e-9 {
-                    continue;
-                }
-                let z = (w0 * t.z[0] as f64 + w1 * t.z[1] as f64 + w2 * t.z[2] as f64) as f32;
-                if !(-1.001..=1.001).contains(&z) {
-                    continue; // outside clip volume
-                }
-                let c = Color {
-                    r: (w0 as f32) * t.color[0].r + (w1 as f32) * t.color[1].r
-                        + (w2 as f32) * t.color[2].r,
-                    g: (w0 as f32) * t.color[0].g + (w1 as f32) * t.color[1].g
-                        + (w2 as f32) * t.color[2].g,
-                    b: (w0 as f32) * t.color[0].b + (w1 as f32) * t.color[1].b
-                        + (w2 as f32) * t.color[2].b,
-                    a: (w0 as f32) * t.color[0].a + (w1 as f32) * t.color[1].a
-                        + (w2 as f32) * t.color[2].a,
-                };
-                self.plot(x, y, z, c);
-            }
-        }
-    }
-
-    fn line(&mut self, l: &RasterLine) {
-        let dx = l.b.0 - l.a.0;
-        let dy = l.b.1 - l.a.1;
-        let steps = dx.abs().max(dy.abs()).ceil().max(1.0);
-        // skip lines entirely outside this band
-        let (ly_min, ly_max) = (l.a.1.min(l.b.1), l.a.1.max(l.b.1));
-        if ly_max < self.y0 as f64 - 1.0 || ly_min > (self.y0 + self.rows) as f64 {
-            return;
-        }
-        let n = steps as usize;
-        for s in 0..=n {
-            let t = s as f64 / steps;
-            let x = l.a.0 + dx * t;
-            let y = l.a.1 + dy * t;
-            if x < 0.0 || y < 0.0 {
-                continue;
-            }
-            let z = l.a.2 + (l.b.2 - l.a.2) * t as f32;
-            if !(-1.001..=1.001).contains(&z) {
-                continue;
-            }
-            // nudge lines toward the viewer so they win ties against the
-            // coplanar surfaces they annotate
-            let c = l.color_a.lerp(l.color_b, t as f32);
-            self.plot(x.round() as usize, y.round() as usize, z - 2e-4, c);
-        }
-    }
-
-    fn point(&mut self, p: &RasterPoint) {
-        if !(-1.001..=1.001).contains(&p.z) {
-            return;
-        }
-        let r = p.radius.max(0.5) as f64;
-        let (x0, x1) = ((p.x - r).floor().max(0.0), (p.x + r).ceil());
-        let (y0, y1) = ((p.y - r).floor().max(0.0), (p.y + r).ceil());
-        for y in (y0 as usize)..=(y1 as usize) {
-            for x in (x0 as usize)..=(x1 as usize) {
-                let d2 = (x as f64 - p.x).powi(2) + (y as f64 - p.y).powi(2);
-                if d2 <= r * r {
-                    self.plot(x, y, p.z, p.color);
-                }
-            }
-        }
-    }
+    // Painter-friendly ordering for translucent surfaces: draw far→near.
+    prims.tris.sort_by(|a, b| {
+        let za = a.z.iter().sum::<f32>();
+        let zb = b.z.iter().sum::<f32>();
+        zb.total_cmp(&za)
+    });
+    prims
 }
 
 /// Convenience entry point: builds primitives for `actors` and rasterizes
@@ -340,16 +220,7 @@ pub(crate) fn draw_actors(
     lights: &[Light],
     fb: &mut Framebuffer,
 ) {
-    let mut prims = PrimitiveList::default();
-    for actor in actors {
-        build_primitives(actor, view_proj, lights, fb.width(), fb.height(), &mut prims);
-    }
-    // Painter-friendly ordering for translucent surfaces: draw far→near.
-    prims.tris.sort_by(|a, b| {
-        let za = a.z.iter().sum::<f32>();
-        let zb = b.z.iter().sum::<f32>();
-        zb.total_cmp(&za)
-    });
+    let prims = build_sorted_primitives(actors, view_proj, lights, fb.width(), fb.height());
     rasterize(&prims, fb);
 }
 

@@ -1,0 +1,698 @@
+//! Tile-binned rasterization: the sort-middle core of the renderer.
+//!
+//! A cheap bucketing pass assigns each screen-space primitive to the fixed
+//! 32×32 [`TileGrid`] tiles its bounding box overlaps; rayon then rasterizes
+//! tile-row bands in parallel and each band walks only the *occupied* tiles
+//! it owns, visiting only the primitives binned there. Contrast with the old
+//! row-band engine (preserved in `scanline_ref`), where every band scanned
+//! every primitive and point sprites/lines re-walked their full extent once
+//! per band.
+//!
+//! Bit-identity with the scanline engine is a hard invariant, relied on by
+//! the incremental-redraw cache and the hyperwall delta transport: the
+//! per-pixel kernels below are the scanline kernels verbatim — identical
+//! expression trees, identical fold/clamp semantics — with their iteration
+//! domains intersected with the tile rectangle. Since every pixel belongs
+//! to exactly one tile, and primitives are replayed per tile in list order
+//! (triangles, then lines, then points), each pixel sees exactly the plot
+//! sequence the scanline engine would have issued, at any thread count.
+//!
+//! This file is on the dv3dlint `indexing_hot_paths` list: no bracket
+//! indexing — slice-pattern destructuring, iterators and `.get()` only.
+
+use crate::color::Color;
+use crate::render::framebuffer::{Framebuffer, TileGrid};
+use crate::render::rasterizer::{PrimitiveList, RasterLine, RasterPoint, RasterTri};
+use rayon::prelude::*;
+
+/// Per-tile primitive *data* in CSR (offsets + flat payload) layout, one
+/// class per array pair — a sort-middle command buffer. A counting sort
+/// builds each pair in two passes over the primitives — count,
+/// prefix-sum, fill — so a frame costs a handful of exact-sized
+/// allocations instead of three growable `Vec`s per tile. Bins carry
+/// copies of the primitives rather than indices: a tile then rasterizes
+/// from one contiguous slice instead of chasing per-index pointers into
+/// the frame-wide primitive arrays, which on multi-actor scenes is the
+/// difference between streaming reads and an L1 miss per primitive
+/// visit. Within a tile, entries stay in primitive-list order (the fill
+/// pass walks primitives in order), which the draw-order invariant
+/// depends on.
+#[derive(Debug, Default)]
+pub(crate) struct TileBins {
+    tiles: usize,
+    tri_off: Vec<u32>,
+    tri_items: Vec<RasterTri>,
+    line_off: Vec<u32>,
+    line_items: Vec<BinnedLine>,
+    point_off: Vec<u32>,
+    point_items: Vec<RasterPoint>,
+}
+
+/// A binned line entry: the index of the line in the frame's
+/// `PrimitiveList` plus the conservative step-index range covering this
+/// tile. The range falls out of the slab/column t-intervals the binning
+/// pass already computes, so storing it here lets the kernel start
+/// walking immediately instead of re-deriving the range (two interval
+/// solves, i.e. divisions) per tile entry. Unlike triangles and points,
+/// lines bin by index rather than by copy: a zoomed full-height segment
+/// crosses a whole tile column, and copying an 80-byte payload per
+/// crossed tile costs more in binning memory traffic than the gather
+/// indirection saves in the kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BinnedLine {
+    pub(crate) idx: u32,
+    s0: u32,
+    s1: u32,
+}
+
+impl TileBins {
+    pub(crate) fn len(&self) -> usize {
+        self.tiles
+    }
+
+    fn class<'a, T>(off: &'a [u32], items: &'a [T], t: usize) -> &'a [T] {
+        let (Some(&a), Some(&b)) = (off.get(t), off.get(t + 1)) else {
+            return &[];
+        };
+        items.get(a as usize..b as usize).unwrap_or(&[])
+    }
+
+    pub(crate) fn tris(&self, t: usize) -> &[RasterTri] {
+        Self::class(&self.tri_off, &self.tri_items, t)
+    }
+
+    pub(crate) fn lines(&self, t: usize) -> &[BinnedLine] {
+        Self::class(&self.line_off, &self.line_items, t)
+    }
+
+    pub(crate) fn points(&self, t: usize) -> &[RasterPoint] {
+        Self::class(&self.point_off, &self.point_items, t)
+    }
+
+    fn is_empty(&self, t: usize) -> bool {
+        self.tris(t).is_empty() && self.lines(t).is_empty() && self.points(t).is_empty()
+    }
+}
+
+/// Counting-sort one primitive class into CSR form. `each` replays the
+/// class's (payload, conservative bbox) stream; it runs twice — once to
+/// count entries per tile, once to scatter the payload copies through
+/// per-tile write cursors.
+fn csr_bin<T, F>(grid: &TileGrid, mut each: F) -> (Vec<u32>, Vec<T>)
+where
+    T: Copy + Default,
+    F: FnMut(&mut dyn FnMut(T, f64, f64, f64, f64)),
+{
+    let n = grid.len();
+    let mut off = vec![0u32; n + 1];
+    each(&mut |_prim, x0, x1, y0, y1| {
+        grid.for_tiles_over(x0, x1, y0, y1, |idx| {
+            if let Some(c) = off.get_mut(idx + 1) {
+                *c += 1;
+            }
+        });
+    });
+    let mut sum = 0u32;
+    for c in off.iter_mut() {
+        sum += *c;
+        *c = sum;
+    }
+    let total = off.last().copied().unwrap_or(0) as usize;
+    let mut items = vec![T::default(); total];
+    let mut cursor: Vec<u32> = off.get(..n).map(<[u32]>::to_vec).unwrap_or_default();
+    each(&mut |prim, x0, x1, y0, y1| {
+        grid.for_tiles_over(x0, x1, y0, y1, |idx| {
+            if let Some(cur) = cursor.get_mut(idx) {
+                if let Some(slot) = items.get_mut(*cur as usize) {
+                    *slot = prim;
+                }
+                *cur += 1;
+            }
+        });
+    });
+    (off, items)
+}
+
+/// Counting-sort pre-resolved `(tile, payload)` pairs into CSR form —
+/// the fast path for classes whose binner already knows the single tile
+/// each entry lands in. Entries stay in push order within a tile, which
+/// the draw-order invariant depends on.
+fn csr_pairs<T: Copy + Default>(n: usize, pairs: &[(u32, T)]) -> (Vec<u32>, Vec<T>) {
+    let mut off = vec![0u32; n + 1];
+    for (idx, _) in pairs {
+        if let Some(c) = off.get_mut(*idx as usize + 1) {
+            *c += 1;
+        }
+    }
+    let mut sum = 0u32;
+    for c in off.iter_mut() {
+        sum += *c;
+        *c = sum;
+    }
+    let total = off.last().copied().unwrap_or(0) as usize;
+    let mut items = vec![T::default(); total];
+    let mut cursor: Vec<u32> = off.get(..n).map(<[u32]>::to_vec).unwrap_or_default();
+    for (idx, prim) in pairs {
+        if let Some(cur) = cursor.get_mut(*idx as usize) {
+            if let Some(slot) = items.get_mut(*cur as usize) {
+                *slot = *prim;
+            }
+            *cur += 1;
+        }
+    }
+    (off, items)
+}
+
+/// Bins every primitive into the tiles its conservative screen bbox
+/// overlaps. Over-binning is harmless (the kernels re-derive exact
+/// bounds); under-binning would drop pixels, so boxes are expanded to
+/// cover rounding (`line`) and sprite radius (`point`).
+pub(crate) fn bin_primitives(prims: &PrimitiveList, grid: &TileGrid) -> TileBins {
+    let (tri_off, tri_items) = csr_bin(grid, |emit| {
+        for t in prims.tris.iter() {
+            let [ax, bx, cx] = t.sx;
+            let [ay, by, cy] = t.sy;
+            emit(
+                *t,
+                min3(ax, bx, cx).floor(),
+                max3(ax, bx, cx).ceil(),
+                min3(ay, by, cy).floor(),
+                max3(ay, by, cy).ceil(),
+            );
+        }
+    });
+    // The line traversal (slab/column walk with interval solves) is the
+    // expensive part of binning, and each slab/column pair targets
+    // exactly one tile — so rather than replaying the traversal through
+    // `csr_bin`'s bbox path twice, walk the geometry once into a flat
+    // (tile, entry) scratch list and counting-sort that.
+    let mut line_scratch: Vec<(u32, BinnedLine)> = Vec::new();
+    {
+        let ts = grid.tile() as f64;
+        let (sw, sh) = (grid.width() as f64, grid.height() as f64);
+        for (li, l) in prims.lines.iter().enumerate() {
+            let (ax, ay, _) = l.a;
+            let (bx, by, _) = l.b;
+            let dx = bx - ax;
+            let dy = by - ay;
+            // Same formula as the kernel, so stored step indices agree.
+            let steps = dx.abs().max(dy.abs()).ceil().max(1.0);
+            // Walk tile-row slabs, then tile columns within the slab's
+            // x-extent, rather than the whole bbox: a diagonal segment's
+            // bbox covers rows×cols tiles but the segment only passes
+            // through ~rows+cols of them, and every spurious tile costs
+            // kernel setup. Both coordinates are monotone in t, so each
+            // slab/column pair pins an exact t-interval; its intersection
+            // becomes the entry's stored step range. The ±0.5px slack in
+            // `slab_t` covers nearest-pixel rounding on both axes.
+            let (y0, y1) = (ay.min(by).floor() - 1.0, ay.max(by).ceil() + 1.0);
+            let inv_dy = if dy.abs() < 1e-12 { 0.0 } else { 1.0 / dy };
+            let inv_dx = if dx.abs() < 1e-12 { 0.0 } else { 1.0 / dx };
+            // Clamp the slab walk to the screen: off-screen slabs can
+            // never produce a visible entry, and a zoomed-in camera can
+            // leave most of a segment's extent outside the viewport.
+            let y_end = y1.min(sh - 1.0);
+            let mut ry0 = ((y0 / ts).floor() * ts).max(0.0);
+            while ry0 <= y_end {
+                let ry1 = ry0 + ts - 1.0;
+                let (tya, tyb) = slab_t(ay, inv_dy, ry0, ry1);
+                if tyb >= tya {
+                    let xa = ax + dx * tya;
+                    let xb = ax + dx * tyb;
+                    let (xlo, xhi) = (xa.min(xb).floor() - 1.0, xa.max(xb).ceil() + 1.0);
+                    let x_end = xhi.min(sw - 1.0);
+                    let mut cx0 = ((xlo / ts).floor() * ts).max(0.0);
+                    while cx0 <= x_end {
+                        let cx1 = cx0 + ts - 1.0;
+                        let (txa, txb) = slab_t(ax, inv_dx, cx0, cx1);
+                        let (ta, tb) = (tya.max(txa), tyb.min(txb));
+                        // The entry's screen extent is the slab/column
+                        // intersection clipped to the line bbox; it maps
+                        // to one tile (or to none, when off-screen —
+                        // mirroring `for_tiles_over`'s clamp semantics).
+                        let (bx0, bx1) = (cx0.max(xlo), cx1.min(xhi));
+                        let (by0, by1) = (ry0.max(y0), ry1.min(y1));
+                        let visible = bx1 >= 0.0
+                            && by1 >= 0.0
+                            && bx0 <= sw - 1.0
+                            && by0 <= sh - 1.0
+                            && bx0.max(0.0) <= bx1.min(sw - 1.0)
+                            && by0.max(0.0) <= by1.min(sh - 1.0);
+                        if tb >= ta && visible {
+                            // floor/ceil give ≤1 step of slack each side
+                            // on top of the ±0.5px interval slack; the
+                            // kernel's pre-reject discards the excess.
+                            let s0 = (ta * steps).floor().max(0.0);
+                            let s1 = (tb * steps).ceil().min(steps);
+                            let tc = bx0.max(0.0) as usize / grid.tile();
+                            let tr = by0.max(0.0) as usize / grid.tile();
+                            line_scratch.push((
+                                grid.index(tc, tr) as u32,
+                                BinnedLine {
+                                    idx: li as u32,
+                                    s0: s0 as u32,
+                                    s1: s1 as u32,
+                                },
+                            ));
+                        }
+                        cx0 += ts;
+                    }
+                }
+                ry0 += ts;
+            }
+        }
+    }
+    let (line_off, line_items) = csr_pairs(grid.len(), &line_scratch);
+    let (point_off, point_items) = csr_bin(grid, |emit| {
+        for p in prims.points.iter() {
+            if !(-1.001..=1.001).contains(&p.z) {
+                continue; // the kernel rejects the whole sprite anyway
+            }
+            let r = p.radius.max(0.5) as f64;
+            emit(
+                *p,
+                (p.x - r).floor(),
+                (p.x + r).ceil(),
+                (p.y - r).floor(),
+                (p.y + r).ceil(),
+            );
+        }
+    });
+    TileBins {
+        tiles: grid.len(),
+        tri_off,
+        tri_items,
+        line_off,
+        line_items,
+        point_off,
+        point_items,
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_color(h: u64, c: Color) -> u64 {
+    let h = fnv_bytes(h, &c.r.to_bits().to_le_bytes());
+    let h = fnv_bytes(h, &c.g.to_bits().to_le_bytes());
+    let h = fnv_bytes(h, &c.b.to_bits().to_le_bytes());
+    fnv_bytes(h, &c.a.to_bits().to_le_bytes())
+}
+
+/// FNV-1a content hash of each tile's binned primitive *data* (not
+/// indices), in draw order, seeded with `salt`. Two frames whose tile
+/// hashes match bin the same primitive bytes in the same order, so —
+/// rasterization being deterministic — the tile's pixels are identical
+/// and a cached copy can be reused.
+pub(crate) fn tile_hashes(prims: &PrimitiveList, bins: &TileBins, salt: u64) -> Vec<u64> {
+    (0..bins.len())
+        .map(|tile| {
+            let mut h = fnv_bytes(FNV_OFFSET, &salt.to_le_bytes());
+            for t in bins.tris(tile) {
+                h = fnv_bytes(h, &[1]);
+                for v in t.sx.iter().chain(t.sy.iter()) {
+                    h = fnv_bytes(h, &v.to_bits().to_le_bytes());
+                }
+                for z in t.z.iter() {
+                    h = fnv_bytes(h, &z.to_bits().to_le_bytes());
+                }
+                for c in t.color.iter() {
+                    h = fnv_color(h, *c);
+                }
+            }
+            for b in bins.lines(tile) {
+                let Some(l) = prims.lines.get(b.idx as usize) else {
+                    continue;
+                };
+                // hash the payload, not the index: two frames that bin the
+                // same line bytes here must hash alike wherever the line
+                // sits in its frame's primitive list
+                h = fnv_bytes(h, &[2]);
+                let (ax, ay, az) = l.a;
+                let (bx, by, bz) = l.b;
+                for v in [ax, ay, bx, by] {
+                    h = fnv_bytes(h, &v.to_bits().to_le_bytes());
+                }
+                for z in [az, bz] {
+                    h = fnv_bytes(h, &z.to_bits().to_le_bytes());
+                }
+                h = fnv_color(h, l.color_a);
+                h = fnv_color(h, l.color_b);
+            }
+            for p in bins.points(tile) {
+                h = fnv_bytes(h, &[3]);
+                h = fnv_bytes(h, &p.x.to_bits().to_le_bytes());
+                h = fnv_bytes(h, &p.y.to_bits().to_le_bytes());
+                h = fnv_bytes(h, &p.z.to_bits().to_le_bytes());
+                h = fnv_bytes(h, &p.radius.to_bits().to_le_bytes());
+                h = fnv_color(h, p.color);
+            }
+            h
+        })
+        .collect()
+}
+
+/// Rasterizes binned primitives: tile-row bands in parallel, occupied
+/// tiles serially within each band (each tile's pixels belong to exactly
+/// one band, so no locking). When `dirty` is given, tiles marked `false`
+/// are skipped entirely — the incremental-redraw fast path.
+pub(crate) fn rasterize_bins(
+    prims: &PrimitiveList,
+    bins: &TileBins,
+    grid: &TileGrid,
+    dirty: Option<&[bool]>,
+    fb: &mut Framebuffer,
+) {
+    let cols = grid.cols();
+    let mut bands = fb.tile_bands(grid);
+    bands.par_iter_mut().enumerate().for_each(|(ty, band)| {
+        for tx in 0..cols {
+            let idx = grid.index(tx, ty);
+            let skip = dirty.is_some_and(|d| !d.get(idx).copied().unwrap_or(true));
+            if skip || bins.is_empty(idx) {
+                continue;
+            }
+            let rect = grid.rect(idx);
+            let mut view = TileView {
+                x0: rect.x0,
+                x1: rect.x0 + rect.w,
+                y0: band.y0,
+                rows: band.rows,
+                width: band.width,
+                colors: &mut *band.colors,
+                depths: &mut *band.depths,
+            };
+            for t in bins.tris(idx) {
+                view.triangle(t);
+            }
+            for b in bins.lines(idx) {
+                if let Some(l) = prims.lines.get(b.idx as usize) {
+                    view.line(l, b.s0 as usize, b.s1 as usize);
+                }
+            }
+            for p in bins.points(idx) {
+                view.point(p);
+            }
+        }
+    });
+}
+
+/// Replicates the scanline reference's `fold(INFINITY, f64::min)` /
+/// `fold(NEG_INFINITY, f64::max)` exactly (including NaN behaviour).
+fn min3(a: f64, b: f64, c: f64) -> f64 {
+    f64::INFINITY.min(a).min(b).min(c)
+}
+
+fn max3(a: f64, b: f64, c: f64) -> f64 {
+    f64::NEG_INFINITY.max(a).max(b).max(c)
+}
+
+/// One tile of one band: the x-range `[x0, x1)` of the tile plus the
+/// rows the owning band covers. Holds the pixel slices directly (not a
+/// `&mut BandView` indirection) so the plot path compiles to the same
+/// register-resident loads the scanline `Band` gets. The kernels below
+/// are the scanline kernels with their loops clipped to this rectangle.
+struct TileView<'a> {
+    x0: usize,
+    x1: usize,
+    y0: usize,
+    rows: usize,
+    width: usize,
+    colors: &'a mut [Color],
+    depths: &'a mut [f32],
+}
+
+impl TileView<'_> {
+    #[inline]
+    fn plot(&mut self, x: usize, y: usize, z: f32, c: Color) {
+        if y < self.y0 || y >= self.y0 + self.rows || x < self.x0 || x >= self.x1 {
+            return;
+        }
+        let i = (y - self.y0) * self.width + x;
+        let (Some(d), Some(px)) = (self.depths.get_mut(i), self.colors.get_mut(i)) else {
+            return;
+        };
+        if z < *d {
+            if c.a >= 0.999 {
+                *px = c;
+                *d = z;
+            } else if c.a > 0.001 {
+                *px = Color { a: 1.0, ..c }.lerp(*px, 1.0 - c.a);
+            }
+        }
+    }
+
+    fn triangle(&mut self, t: &RasterTri) {
+        let [ax, bx, cx] = t.sx;
+        let [ay, by, cy] = t.sy;
+        let [az, bz, cz] = t.z;
+        let [col_a, col_b, col_c] = t.color;
+        let band_y0 = self.y0;
+        let band_y1 = band_y0 + self.rows - 1;
+        let ymin = min3(ay, by, cy).floor().max(band_y0 as f64);
+        let ymax = max3(ay, by, cy).ceil().min(band_y1 as f64);
+        if ymin > ymax {
+            return;
+        }
+        let xmin = min3(ax, bx, cx).floor().max(self.x0 as f64);
+        let xmax = max3(ax, bx, cx).ceil().min((self.x1 - 1) as f64);
+        if xmin > xmax {
+            return;
+        }
+        // signed area; reject degenerate
+        let area = (bx - ax) * (cy - ay) - (cx - ax) * (by - ay);
+        if area.abs() < 1e-12 {
+            return;
+        }
+        let inv_area = 1.0 / area;
+        for y in (ymin as usize)..=(ymax as usize) {
+            let py = y as f64;
+            for x in (xmin as usize)..=(xmax as usize) {
+                let px = x as f64;
+                // barycentric coordinates
+                let w0 = ((bx - px) * (cy - py) - (cx - px) * (by - py)) * inv_area;
+                let w1 = ((cx - px) * (ay - py) - (ax - px) * (cy - py)) * inv_area;
+                let w2 = 1.0 - w0 - w1;
+                if w0 < -1e-9 || w1 < -1e-9 || w2 < -1e-9 {
+                    continue;
+                }
+                let z = (w0 * az as f64 + w1 * bz as f64 + w2 * cz as f64) as f32;
+                if !(-1.001..=1.001).contains(&z) {
+                    continue; // outside clip volume
+                }
+                let c = Color {
+                    r: (w0 as f32) * col_a.r + (w1 as f32) * col_b.r + (w2 as f32) * col_c.r,
+                    g: (w0 as f32) * col_a.g + (w1 as f32) * col_b.g + (w2 as f32) * col_c.g,
+                    b: (w0 as f32) * col_a.b + (w1 as f32) * col_b.b + (w2 as f32) * col_c.b,
+                    a: (w0 as f32) * col_a.a + (w1 as f32) * col_b.a + (w2 as f32) * col_c.a,
+                };
+                self.plot(x, y, z, c);
+            }
+        }
+    }
+
+    fn line(&mut self, l: &RasterLine, bs0: usize, bs1: usize) {
+        let (ax, ay, az) = l.a;
+        let (bx, by, bz) = l.b;
+        let dx = bx - ax;
+        let dy = by - ay;
+        let steps = dx.abs().max(dy.abs()).ceil().max(1.0);
+        let n = steps as usize;
+        // Conservative step range for this tile, precomputed at bin
+        // time; each visited step runs the scanline arithmetic verbatim
+        // (t derives from the absolute step index, so shared pixels get
+        // bit-identical samples) and the pre-reject below discards the
+        // slack steps before any interpolation.
+        let s0 = bs0.min(n);
+        let s1 = bs1.min(n);
+        for s in s0..=s1 {
+            let t = s as f64 / steps;
+            let x = ax + dx * t;
+            let y = ay + dy * t;
+            if x < 0.0 || y < 0.0 {
+                continue;
+            }
+            // Pre-reject steps that round outside this tile before the
+            // z/color interpolation: the walk range is conservative, so
+            // edge steps land out of rect and their interpolants would be
+            // discarded by `plot` anyway. Plotted pixels are untouched —
+            // in-rect steps run the scanline arithmetic verbatim below.
+            let (xi, yi) = (x.round() as usize, y.round() as usize);
+            if yi < self.y0 || yi >= self.y0 + self.rows || xi < self.x0 || xi >= self.x1 {
+                continue;
+            }
+            let z = az + (bz - az) * t as f32;
+            if !(-1.001..=1.001).contains(&z) {
+                continue;
+            }
+            // nudge lines toward the viewer so they win ties against the
+            // coplanar surfaces they annotate
+            let c = l.color_a.lerp(l.color_b, t as f32);
+            self.plot(xi, yi, z - 2e-4, c);
+        }
+    }
+
+    fn point(&mut self, p: &RasterPoint) {
+        if !(-1.001..=1.001).contains(&p.z) {
+            return;
+        }
+        let r = p.radius.max(0.5) as f64;
+        let (x0, x1) = ((p.x - r).floor().max(0.0), (p.x + r).ceil());
+        let (y0, y1) = ((p.y - r).floor().max(0.0), (p.y + r).ceil());
+        // clip the sprite bbox to this tile; the d² test is unchanged
+        let xs = x0.max(self.x0 as f64);
+        let xe = x1.min((self.x1 - 1) as f64);
+        let ys = y0.max(self.y0 as f64);
+        let ye = y1.min((self.y0 + self.rows - 1) as f64);
+        for y in (ys as usize)..=(ye as usize) {
+            for x in (xs as usize)..=(xe as usize) {
+                let d2 = (x as f64 - p.x).powi(2) + (y as f64 - p.y).powi(2);
+                if d2 <= r * r {
+                    self.plot(x, y, p.z, p.color);
+                }
+            }
+        }
+    }
+}
+
+/// t-interval over which `p0 + d·t` lies within `[lo - 0.5, hi + 0.5]`
+/// (the half-pixel slack is exactly what nearest-pixel rounding needs),
+/// intersected with `[0, 1]`. `inv_d` is the hoisted reciprocal of the
+/// coordinate delta, or `0.0` for a (near-)constant coordinate — there
+/// the interval is the full line, since the caller's slab/column loops
+/// already bound which slabs a constant coordinate visits.
+fn slab_t(p0: f64, inv_d: f64, lo: f64, hi: f64) -> (f64, f64) {
+    if inv_d == 0.0 {
+        return if p0 >= lo - 0.5 && p0 <= hi + 0.5 { (0.0, 1.0) } else { (1.0, 0.0) };
+    }
+    let u = (lo - 0.5 - p0) * inv_d;
+    let v = (hi + 0.5 - p0) * inv_d;
+    (u.min(v).max(0.0), u.max(v).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(sx: [f64; 3], sy: [f64; 3]) -> RasterTri {
+        RasterTri { sx, sy, z: [0.0; 3], color: [Color::WHITE; 3] }
+    }
+
+    #[test]
+    fn binning_hits_overlapping_tiles_only() {
+        let grid = TileGrid::new(64, 64, 32);
+        let mut prims = PrimitiveList::default();
+        prims.tris.push(tri([2.0, 10.0, 5.0], [2.0, 10.0, 9.0])); // tile 0 only
+        prims.tris.push(tri([20.0, 44.0, 30.0], [2.0, 40.0, 9.0])); // spans all four
+        let bins = bin_primitives(&prims, &grid);
+        assert_eq!(bins.len(), 4);
+        // tile 0 holds copies of both triangles, in draw order
+        let sx0: Vec<f64> = bins.tris(0).iter().map(|t| { let [a, _, _] = t.sx; a }).collect();
+        assert_eq!(sx0, vec![2.0, 20.0]);
+        for t in 1..4 {
+            let sx: Vec<f64> = bins.tris(t).iter().map(|t| { let [a, _, _] = t.sx; a }).collect();
+            assert_eq!(sx, vec![20.0], "only the spanning triangle lands in tile {t}");
+        }
+    }
+
+    #[test]
+    fn line_binning_covers_rounding_slack() {
+        let grid = TileGrid::new(64, 64, 32);
+        let mut prims = PrimitiveList::default();
+        // horizontal line at y = 31.6: every pixel rounds to y = 32, the
+        // bottom tile row — binning must cover that row, and the ±0.5px
+        // slack must NOT leak it into the top row (whose pixels it can
+        // never touch)
+        prims.lines.push(RasterLine {
+            a: (0.0, 31.6, 0.0),
+            b: (63.0, 31.6, 0.0),
+            color_a: Color::WHITE,
+            color_b: Color::WHITE,
+        });
+        let bins = bin_primitives(&prims, &grid);
+        assert_eq!(bins.lines(grid.index(0, 1)).len(), 1);
+        assert_eq!(bins.lines(grid.index(1, 1)).len(), 1);
+        assert!(bins.lines(grid.index(0, 0)).is_empty());
+        assert!(bins.lines(grid.index(1, 0)).is_empty());
+    }
+
+    #[test]
+    fn point_z_clip_skips_binning() {
+        let grid = TileGrid::new(64, 64, 32);
+        let mut prims = PrimitiveList::default();
+        prims.points.push(RasterPoint {
+            x: 5.0,
+            y: 5.0,
+            z: 2.0, // outside clip volume
+            radius: 3.0,
+            color: Color::WHITE,
+        });
+        let bins = bin_primitives(&prims, &grid);
+        assert!((0..bins.len()).all(|t| bins.points(t).is_empty()));
+    }
+
+    #[test]
+    fn hashes_track_content_not_indices() {
+        let grid = TileGrid::new(32, 32, 32);
+        let mut a = PrimitiveList::default();
+        a.tris.push(tri([1.0, 5.0, 3.0], [1.0, 5.0, 4.0]));
+        let ha = tile_hashes(&a, &bin_primitives(&a, &grid), 7);
+        // same content at a different index position hashes the same
+        let mut b = PrimitiveList::default();
+        b.tris.push(tri([1.0, 5.0, 3.0], [1.0, 5.0, 4.0]));
+        let hb = tile_hashes(&b, &bin_primitives(&b, &grid), 7);
+        assert_eq!(ha, hb);
+        // different salt or content changes the hash
+        assert_ne!(ha, tile_hashes(&a, &bin_primitives(&a, &grid), 8));
+        let mut c = PrimitiveList::default();
+        c.tris.push(tri([1.0, 5.0, 3.0], [1.0, 5.0, 4.5]));
+        assert_ne!(ha, tile_hashes(&c, &bin_primitives(&c, &grid), 7));
+    }
+
+    #[test]
+    fn slab_t_brackets_the_slab() {
+        // p(t) = 0 + 64·t: the slab [16, 31] is hit for t in [16/64, 31/64]
+        let (ta, tb) = slab_t(0.0, 1.0 / 64.0, 16.0, 31.0);
+        assert!(ta < 16.0 / 64.0 && tb > 31.0 / 64.0);
+        // constant coordinate: full interval (the caller's loops bound it)
+        assert_eq!(slab_t(20.0, 0.0, 16.0, 31.0), (0.0, 1.0));
+        // interval is clamped to [0, 1]
+        let (ta, tb) = slab_t(0.0, 1.0 / 8.0, -100.0, 200.0);
+        assert_eq!((ta, tb), (0.0, 1.0));
+    }
+
+    #[test]
+    fn binned_line_step_range_covers_tile_pixels() {
+        // a diagonal across a 64×64 screen: each tile's stored range must
+        // include every step whose rounded pixel lands in that tile
+        let grid = TileGrid::new(64, 64, 32);
+        let mut prims = PrimitiveList::default();
+        let l = RasterLine {
+            a: (3.0, 7.0, 0.0),
+            b: (61.0, 58.0, 0.0),
+            color_a: Color::WHITE,
+            color_b: Color::WHITE,
+        };
+        prims.lines.push(l);
+        let bins = bin_primitives(&prims, &grid);
+        let steps = (61.0f64 - 3.0).max(58.0 - 7.0).ceil();
+        for s in 0..=(steps as usize) {
+            let t = s as f64 / steps;
+            let x = (3.0 + 58.0 * t).round() as usize;
+            let y = (7.0 + 51.0 * t).round() as usize;
+            let idx = grid.index(x / 32, y / 32);
+            assert!(
+                bins.lines(idx).iter().any(|b| (b.s0 as usize..=b.s1 as usize).contains(&s)),
+                "step {s} (pixel {x},{y}) missing from tile {idx}"
+            );
+        }
+    }
+}

@@ -91,12 +91,13 @@ pub(crate) fn render_volume(volume: &Volume, view_proj: &Mat4, fb: &mut Framebuf
     // property's nominal setting
     let reference = prop.sample_distance.max(1e-6);
 
-    let n_bands = rayon::current_num_threads().max(1);
-    let mut bands = fb.bands(n_bands);
-    bands.par_iter_mut().for_each(|(y0, colors, depths)| {
-        let rows = colors.len() / width;
-        for row in 0..rows {
-            let y = *y0 + row;
+    // one band per rayon worker, via the partition helper shared with the
+    // rasterizer
+    let mut bands = fb.thread_bands();
+    bands.par_iter_mut().for_each(|band| {
+        let (colors, depths) = (&mut *band.colors, &mut *band.depths);
+        for row in 0..band.rows {
+            let y = band.y0 + row;
             let ndc_y = 1.0 - 2.0 * y as f64 / (height - 1) as f64;
             for x in 0..width {
                 let ndc_x = 2.0 * x as f64 / (width - 1) as f64 - 1.0;

@@ -1,0 +1,276 @@
+//! Bit-identity contracts for the tile-binned rasterizer.
+//!
+//! 1. **Tile binning is invisible in the bits.** For random scenes (mixed
+//!    surface/wireframe/points actors, translucency, LUT coloring, random
+//!    camera poses and framebuffer shapes) the tile-binned engine must
+//!    produce color AND depth bit-identical to the frozen row-band
+//!    scanline reference, at rayon pools of 1, 2, 3 and 8 workers (the
+//!    vendored rayon honours RAYON_NUM_THREADS at dispatch time).
+//! 2. **Golden multi-actor frame.** One deterministic frame mixing
+//!    surface, wireframe and points actors is pinned by an FNV-1a hash
+//!    of its RGBA8 bytes, so a
+//!    kernel regression shows up as a hash diff even if identity with the
+//!    (also-changed) reference still holds.
+//! 3. **Incremental redraw is invisible in the bits.** A camera-motion
+//!    script rendered through `RenderCache` matches the scanline
+//!    reference frame-for-frame while still-frames reuse every tile.
+
+use rvtk::color::Color;
+use rvtk::math::Vec3;
+use rvtk::poly_data::PolyData;
+use rvtk::render::{
+    scanline_ref, Actor, Camera, Framebuffer, RenderCache, Renderer, Representation,
+};
+use std::sync::Mutex;
+
+// ---- deterministic PRNG (no external crates, no wall clock) ----
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform-ish in [-range, range).
+    fn coord(&mut self, range: f64) -> f64 {
+        (self.next() % 2_000) as f64 / 1_000.0 * range - range
+    }
+
+    fn unit(&mut self) -> f32 {
+        (self.next() % 1_000) as f32 / 999.0
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+}
+
+/// Serializes RAYON_NUM_THREADS mutation across tests in this binary.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    out
+}
+
+fn random_actor(rng: &mut Rng) -> Actor {
+    let mut pd = PolyData::new();
+    let n_pts = 3 + rng.below(30);
+    for _ in 0..n_pts {
+        pd.add_point(Vec3::new(rng.coord(1.5), rng.coord(1.5), rng.coord(1.5)));
+    }
+    let n_tris = 1 + rng.below(20);
+    for _ in 0..n_tris {
+        let tri =
+            [rng.below(n_pts) as u32, rng.below(n_pts) as u32, rng.below(n_pts) as u32];
+        pd.triangles.push(tri);
+    }
+    if rng.chance(40) {
+        let line: Vec<u32> = (0..2 + rng.below(5)).map(|_| rng.below(n_pts) as u32).collect();
+        pd.lines.push(line);
+    }
+    if rng.chance(30) {
+        pd.scalars = Some((0..n_pts).map(|_| rng.unit()).collect());
+    }
+    if rng.chance(30) {
+        pd.normals = Some(
+            (0..n_pts)
+                .map(|_| {
+                    Vec3::new(
+                        rng.coord(1.0),
+                        rng.coord(1.0),
+                        rng.coord(1.0) + 0.01,
+                    )
+                    .normalized()
+                })
+                .collect(),
+        );
+    }
+    let color = Color::rgb(rng.unit(), rng.unit(), rng.unit());
+    let mut a = Actor::from_poly_data(pd).with_color(color);
+    a.property.representation = match rng.below(3) {
+        0 => Representation::Surface,
+        1 => Representation::Wireframe,
+        _ => Representation::Points,
+    };
+    a.property.point_size = 1.0 + rng.unit() * 7.0;
+    a.property.lighting = rng.chance(50);
+    if rng.chance(35) {
+        a = a.with_opacity(0.2 + 0.6 * rng.unit()); // translucent: order-sensitive
+    }
+    if rng.chance(25) {
+        use rvtk::lookup_table::{ColormapName, LookupTable};
+        if a.poly_data.scalars.is_none() {
+            let n = a.poly_data.points.len();
+            a.poly_data.scalars = Some((0..n).map(|i| i as f32 / n.max(1) as f32).collect());
+        }
+        a.property.lookup_table =
+            Some(LookupTable::new(ColormapName::Jet, (0.0, 1.0)));
+    }
+    a
+}
+
+fn random_scene(rng: &mut Rng) -> Renderer {
+    let mut r = Renderer::new();
+    for _ in 0..1 + rng.below(4) {
+        r.add_actor(random_actor(rng));
+    }
+    if rng.chance(30) {
+        r.background = Color::rgb(rng.unit(), rng.unit(), rng.unit());
+    }
+    r.reset_camera();
+    r.camera.azimuth(rng.coord(180.0));
+    r.camera.elevation(rng.coord(80.0));
+    if rng.chance(50) {
+        r.camera.dolly(0.5 + 1.2 * rng.unit() as f64);
+    }
+    if rng.chance(25) {
+        r.camera.parallel_projection = true;
+        r.camera.parallel_scale = 1.0 + rng.unit() as f64 * 3.0;
+    }
+    r
+}
+
+fn bits(fb: &Framebuffer) -> Vec<u32> {
+    let mut out: Vec<u32> = fb
+        .colors()
+        .iter()
+        .flat_map(|c| [c.r.to_bits(), c.g.to_bits(), c.b.to_bits(), c.a.to_bits()])
+        .collect();
+    for y in 0..fb.height() {
+        for x in 0..fb.width() {
+            out.push(fb.depth_at(x, y).to_bits());
+        }
+    }
+    out
+}
+
+#[test]
+fn tile_engine_bit_identical_to_scanline_for_random_scenes() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let sizes = [(33usize, 31usize), (64, 48), (97, 80), (128, 64), (16, 16)];
+    for seed in 0..40u64 {
+        let mut rng = Rng::new(seed);
+        let scene = random_scene(&mut rng);
+        let (w, h) = sizes[rng.below(sizes.len())];
+        // the reference is thread-count invariant; render it once
+        let mut reference = Framebuffer::new(w, h);
+        with_threads(2, || scanline_ref::render_scene_scanline(&scene, &mut reference));
+        let ref_bits = bits(&reference);
+        for threads in [1usize, 2, 3, 8] {
+            let mut fb = Framebuffer::new(w, h);
+            with_threads(threads, || scene.render(&mut fb));
+            assert_eq!(
+                bits(&fb),
+                ref_bits,
+                "tile vs scanline diverged: seed {seed}, {w}x{h}, {threads} threads"
+            );
+        }
+    }
+}
+
+/// The pinned multi-actor scene: a lit surface, a translucent wireframe
+/// and a point cloud, deterministically generated.
+fn golden_scene() -> Renderer {
+    let mut rng = Rng::new(0xD1_5EA5E);
+    let mut r = Renderer::new();
+    let mut surface = random_actor(&mut rng);
+    surface.property.representation = Representation::Surface;
+    surface.property.lighting = true;
+    r.add_actor(surface);
+    let mut wire = random_actor(&mut rng);
+    wire.property.representation = Representation::Wireframe;
+    r.add_actor(wire.with_opacity(0.6));
+    let mut pts = random_actor(&mut rng);
+    pts.property.representation = Representation::Points;
+    pts.property.point_size = 5.0;
+    r.add_actor(pts);
+    r.background = Color::rgb(0.05, 0.05, 0.12);
+    r.reset_camera();
+    r.camera.azimuth(30.0);
+    r.camera.elevation(-20.0);
+    r
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn golden_multi_actor_frame_pinned() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let scene = golden_scene();
+    let mut fb = Framebuffer::new(160, 120);
+    with_threads(2, || scene.render(&mut fb));
+    let hash = fnv1a(&fb.to_rgba8());
+    // Pinned from the scanline engine before the tile rewrite; the tile
+    // engine must reproduce it bit-for-bit (quantized to RGBA8 here).
+    assert_eq!(hash, GOLDEN_FRAME_FNV, "golden frame drifted: got {hash:#018x}");
+    // and the reference agrees, so the pin tracks both engines
+    let mut reference = Framebuffer::new(160, 120);
+    with_threads(2, || scanline_ref::render_scene_scanline(&scene, &mut reference));
+    assert_eq!(fnv1a(&reference.to_rgba8()), GOLDEN_FRAME_FNV);
+}
+
+const GOLDEN_FRAME_FNV: u64 = 0x5489ac74984d3617;
+
+#[test]
+fn cached_motion_script_bit_identical_to_reference() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let mut scene = golden_scene();
+    let mut cache = RenderCache::new();
+    let mut fb = Framebuffer::new(160, 120);
+    // script: still, still, small orbit steps, still
+    let script: [f64; 6] = [0.0, 0.0, 1.5, 1.5, -2.0, 0.0];
+    for (i, step) in script.iter().enumerate() {
+        scene.camera.azimuth(*step);
+        let stats = with_threads(3, || scene.render_with_cache(&mut fb, &mut cache));
+        let mut reference = Framebuffer::new(160, 120);
+        with_threads(3, || scanline_ref::render_scene_scanline(&scene, &mut reference));
+        assert_eq!(bits(&fb), bits(&reference), "cached frame {i} diverged");
+        if i > 0 && *step == 0.0 {
+            assert_eq!(stats.tiles_redrawn, 0, "still frame {i} must reuse all tiles");
+        }
+        if *step != 0.0 {
+            assert!(stats.tiles_redrawn > 0, "motion frame {i} must redraw");
+        }
+    }
+}
+
+#[test]
+fn default_camera_roundtrip_does_not_disturb_state() {
+    // regression guard: rendering through the cache must not mutate the
+    // renderer (render_with_cache takes &self)
+    let scene = golden_scene();
+    let cam_before: Camera = scene.camera.clone();
+    let mut cache = RenderCache::new();
+    let mut fb = Framebuffer::new(64, 48);
+    scene.render_with_cache(&mut fb, &mut cache);
+    assert_eq!(format!("{cam_before:?}"), format!("{:?}", scene.camera));
+}
