@@ -169,6 +169,61 @@ impl TaskGraph {
         })
     }
 
+    /// Adds a source task that streams ONE chunk window of `variable` out
+    /// of a `.ncr` v3 file — a graph over many windows touches each chunk
+    /// with ranged reads instead of ever loading the whole series, so the
+    /// graph's working set stays at the streaming cache budget.
+    ///
+    /// Fault behaviour matches [`TaskGraph::add_dataset_source`] in
+    /// spirit: transient storage errors propagate so the graph's
+    /// [`RetryPolicy`] re-runs the node, and when `degrade` is set a
+    /// permanently damaged window falls back to the best intact pyramid
+    /// level (or a masked slab) instead of failing the graph.
+    pub fn add_streaming_window_source(
+        &mut self,
+        name: &str,
+        path: &Path,
+        variable: &str,
+        window: usize,
+        degrade: bool,
+    ) -> Result<()> {
+        self.add_streaming_window_source_with(
+            Arc::new(cdms::storage::LocalDisk),
+            name,
+            path,
+            variable,
+            window,
+            cdms::StreamOptions::default(),
+            degrade,
+        )
+    }
+
+    /// [`TaskGraph::add_streaming_window_source`] through an explicit
+    /// storage backend and stream options (fault injection, cache tuning).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_streaming_window_source_with(
+        &mut self,
+        storage: Arc<dyn cdms::Storage>,
+        name: &str,
+        path: &Path,
+        variable: &str,
+        window: usize,
+        opts: cdms::StreamOptions,
+        degrade: bool,
+    ) -> Result<()> {
+        let path = path.to_path_buf();
+        let variable = variable.to_string();
+        self.add_task(name, &[], move |_| {
+            let sd = cdms::StreamingDataset::open_with(Arc::clone(&storage), &path, opts.clone())?;
+            let sv = sd.variable(&variable)?;
+            if degrade {
+                sv.window_variable_degraded(window)
+            } else {
+                sv.window_variable(window)
+            }
+        })
+    }
+
     /// Adds a task that regrids the output of `input` onto `target` with
     /// `method`, planning through the global regrid plan cache — graphs
     /// that regrid many timesteps (or many variables) over the same grid
@@ -585,6 +640,134 @@ mod tests {
         g.add_dataset_source("broken", &path, &corrupt_id).unwrap();
         let err = g.run_serial().unwrap_err();
         assert!(err.to_string().contains("not salvageable"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    fn saved_v3_dataset(tag: &str, window: usize) -> (std::path::PathBuf, cdms::Dataset) {
+        let dir =
+            std::env::temp_dir().join(format!("cdat_taskgraph_v3_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = SynthesisSpec::new(6, 2, 8, 16).build();
+        let path = dir.join("src.ncr");
+        let opts = cdms::format_v3::V3Options { window, levels: 2, compress: true };
+        cdms::format_v3::write_dataset_v3_with(&cdms::storage::LocalDisk, &ds, &path, &opts)
+            .unwrap();
+        (path, ds)
+    }
+
+    #[test]
+    fn streaming_window_sources_fan_out_one_node_per_window() {
+        let (path, ds) = saved_v3_dataset("fanout", 2);
+        let ta = ds.variable("ta").unwrap();
+        let mut g = TaskGraph::new();
+        for w in 0..3 {
+            g.add_streaming_window_source(&format!("ta_w{w}"), &path, "ta", w, false).unwrap();
+        }
+        let report = g.run_parallel().unwrap();
+        for w in 0..3 {
+            let want = ta.time_window(w * 2..w * 2 + 2).unwrap();
+            let got = &report.outputs[&format!("ta_w{w}")];
+            assert_eq!(got.array, want.array, "window {w}");
+            assert_eq!(got.axes, want.axes, "window {w}");
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn streaming_window_source_degrades_instead_of_failing() {
+        use cdms::storage::{FaultyStorage, LocalDisk, StorageFault, StorageFaultPlan};
+        let (path, ds) = saved_v3_dataset("degrade", 2);
+        let ta = ds.variable("ta").unwrap();
+        // kill window 1's full-resolution chunk; the pyramid survives
+        let meta = cdms::format_v3::read_meta_with(&LocalDisk, &path).unwrap();
+        let vi = meta.var_index("ta").unwrap();
+        let e = *meta.chunk(vi, 1, 0).unwrap();
+        let plan = StorageFaultPlan::none().inject_read(
+            e.offset..e.offset + 1,
+            StorageFault::ReadError,
+            0,
+        );
+        let fresh_storage = || -> Arc<dyn cdms::Storage> {
+            let plan = StorageFaultPlan::none().inject_read(
+                e.offset..e.offset + 1,
+                StorageFault::ReadError,
+                0,
+            );
+            Arc::new(FaultyStorage::new(plan))
+        };
+
+        // strict node: the damaged window fails the graph
+        let mut g = TaskGraph::new();
+        g.add_streaming_window_source_with(
+            Arc::new(FaultyStorage::new(plan)),
+            "ta_w1",
+            &path,
+            "ta",
+            1,
+            cdms::StreamOptions::default(),
+            false,
+        )
+        .unwrap();
+        assert!(g.run_serial().is_err());
+
+        // degraded node: the graph completes with an approximate window
+        let mut g = TaskGraph::new();
+        g.add_streaming_window_source_with(
+            fresh_storage(),
+            "ta_w1",
+            &path,
+            "ta",
+            1,
+            cdms::StreamOptions::default(),
+            true,
+        )
+        .unwrap();
+        let report = g.run_serial().unwrap();
+        let got = &report.outputs["ta_w1"];
+        let want = ta.time_window(2..4).unwrap();
+        assert_eq!(got.shape(), want.shape());
+        assert_eq!(got.axes, want.axes);
+        assert_ne!(got.array, want.array, "served from the pyramid, not level 0");
+        assert!(got.array.valid_count() > 0, "degraded, not masked out");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn streaming_window_source_retries_transients_via_policy() {
+        use cdms::storage::{FaultyStorage, LocalDisk, StorageFault, StorageFaultPlan};
+        let (path, ds) = saved_v3_dataset("retry", 3);
+        let meta = cdms::format_v3::read_meta_with(&LocalDisk, &path).unwrap();
+        let vi = meta.var_index("ta").unwrap();
+        let e = *meta.chunk(vi, 0, 0).unwrap();
+        // more consecutive failures than the stream's own retry budget, so
+        // the error escapes the node and the graph's RetryPolicy matters
+        let plan = StorageFaultPlan::none().inject_read(
+            e.offset..e.offset + 1,
+            StorageFault::Transient { times: 0 },
+            5,
+        );
+        let sopts = cdms::StreamOptions {
+            max_retries: 1,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            ..cdms::StreamOptions::default()
+        };
+        let mut g = TaskGraph::new();
+        g.add_streaming_window_source_with(
+            Arc::new(FaultyStorage::new(plan)),
+            "ta_w0",
+            &path,
+            "ta",
+            0,
+            sopts,
+            false,
+        )
+        .unwrap();
+        g.retry = RetryPolicy::retries(4, Duration::ZERO);
+        let report = g.run_serial().unwrap();
+        let want = ds.variable("ta").unwrap().time_window(0..3).unwrap();
+        assert_eq!(report.outputs["ta_w0"].array, want.array);
+        assert!(report.attempt_timings["ta_w0"].len() > 1, "should have retried");
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 

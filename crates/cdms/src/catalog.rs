@@ -289,6 +289,39 @@ impl EsgCatalog {
         }
     }
 
+    /// Opens a dataset by id for out-of-core streaming instead of a full
+    /// transfer. Only local entries (and local paths behind simulated
+    /// remote nodes) whose file is `.ncr` v3 are streamable; the returned
+    /// session reads chunk frames on demand at a bounded memory budget —
+    /// the interactive-browse workflow for series far larger than RAM.
+    /// No transfer latency is charged up front: nothing moves until
+    /// chunks are fetched.
+    pub fn open_streaming(
+        &self,
+        id: &str,
+        opts: crate::stream::StreamOptions,
+    ) -> Result<crate::stream::StreamingDataset> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or_else(|| CdmsError::NotFound(format!("catalog entry '{id}'")))?;
+        if let EntryStatus::Quarantined { reason } = &entry.status {
+            return Err(CdmsError::Format(format!(
+                "catalog entry '{id}' is quarantined: {reason}"
+            )));
+        }
+        let path = match &entry.source {
+            DataSource::LocalFile(p) => p,
+            DataSource::EsgNode { path, .. } | DataSource::ParaViewServer { path, .. } => path,
+        };
+        crate::stream::StreamingDataset::open_with(
+            std::sync::Arc::new(crate::storage::LocalDisk),
+            path,
+            opts,
+        )
+    }
+
     /// Opens one variable of a dataset with *server-side* subsetting — the
     /// ParaView-server workflow of §III.G. Only entries published behind a
     /// ParaView server accept this; the subset happens "remotely" (before
@@ -341,6 +374,45 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("cdms_catalog_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
+    }
+
+    #[test]
+    fn open_streaming_serves_v3_entries_lazily() {
+        let root = temp_root("streamv3");
+        std::fs::create_dir_all(&root).unwrap();
+        let mut ds = SynthesisSpec::new(6, 1, 8, 12).build();
+        ds.id = "big_series".to_string();
+        let v3opts = crate::format_v3::V3Options { window: 2, levels: 2, compress: true };
+        crate::format_v3::write_dataset_v3_with(
+            &crate::storage::LocalDisk,
+            &ds,
+            &root.join("series.ncr"),
+            &v3opts,
+        )
+        .unwrap();
+        let mut flat = SynthesisSpec::new(2, 1, 4, 8).build();
+        flat.id = "flat".to_string();
+        crate::format::write_dataset(&flat, &root.join("flat.ncr")).unwrap();
+
+        let cat = EsgCatalog::new(&root).unwrap();
+        // the v3 file indexes as a healthy entry like any other
+        assert!(cat.entries().iter().any(|e| e.id == "big_series" && e.is_healthy()));
+
+        let sd = cat
+            .open_streaming("big_series", crate::stream::StreamOptions::default())
+            .unwrap();
+        let sv = sd.variable("ta").unwrap();
+        assert_eq!(sv.n_times(), 6);
+        let want = ds.variable("ta").unwrap().time_slab(3).unwrap();
+        assert_eq!(sv.time_slab(3).unwrap().array, want.array);
+
+        // a v2 entry is not streamable, and says so
+        let err = cat
+            .open_streaming("flat", crate::stream::StreamOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("not streamable"), "{err}");
+        assert!(cat.open_streaming("missing", Default::default()).is_err());
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

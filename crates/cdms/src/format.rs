@@ -1,8 +1,12 @@
 //! The `.ncr` self-describing binary container — this repo's NetCDF stand-in.
 //!
-//! Two on-disk versions exist, both little-endian, both starting with
+//! Three on-disk versions exist, all little-endian, all starting with
 //! `magic "NCRS" | version u32`. The reader dispatches on the version, so
-//! v1 files written by earlier releases keep opening unchanged.
+//! files written by earlier releases keep opening unchanged. **v3** — the
+//! chunked streaming layout with a resolution pyramid, read piecewise via
+//! `Storage::read_at` by [`crate::stream`] — lives in [`crate::format_v3`];
+//! this module holds v1/v2 plus the framing and codec primitives all
+//! versions share.
 //!
 //! **v1** (legacy, still readable; [`to_bytes_v1`] still writes it):
 //!
@@ -56,45 +60,60 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::ops::Range;
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"NCRS";
+pub(crate) const MAGIC: &[u8; 4] = b"NCRS";
 /// Legacy unsectioned format.
 pub const VERSION_V1: u32 = 1;
-/// Current checksummed-section format.
+/// Checksummed-section format (whole-file reads).
 pub const VERSION_V2: u32 = 2;
+/// Chunked streaming format with resolution pyramid (see [`crate::format_v3`]).
+pub const VERSION_V3: u32 = 3;
 
 /// Bytes of a section frame besides the payload: kind u8 + len u64 + crc u32.
-const FRAME_OVERHEAD: usize = 13;
+pub(crate) const FRAME_OVERHEAD: usize = 13;
 /// Bytes of the end-of-file footer: trailer offset u64 + crc u32.
-const FOOTER_LEN: usize = 12;
+pub(crate) const FOOTER_LEN: usize = 12;
 
-const MAX_AXES: usize = 1 << 20;
-const MAX_VARS: usize = 1_000_000;
+pub(crate) const MAX_AXES: usize = 1 << 20;
+pub(crate) const MAX_VARS: usize = 1_000_000;
 
-/// The kind tag of a v2 section.
+/// The kind tag of a v2/v3 section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SectionKind {
     Header,
     Axis,
     Variable,
     Trailer,
+    /// v3 only: per-variable metadata (id, axis refs, attrs, shape) with no
+    /// bulk data — the data lives in [`SectionKind::Chunk`] frames.
+    VarMeta,
+    /// v3 only: one (variable, time-window, pyramid-level) data chunk.
+    Chunk,
+    /// v3 only: the chunk directory mapping (var, window, level) → frame.
+    ChunkDir,
 }
 
 impl SectionKind {
-    fn as_u8(self) -> u8 {
+    pub(crate) fn as_u8(self) -> u8 {
         match self {
             SectionKind::Header => 1,
             SectionKind::Axis => 2,
             SectionKind::Variable => 3,
             SectionKind::Trailer => 4,
+            SectionKind::VarMeta => 5,
+            SectionKind::Chunk => 6,
+            SectionKind::ChunkDir => 7,
         }
     }
 
-    fn from_u8(b: u8) -> Option<SectionKind> {
+    pub(crate) fn from_u8(b: u8) -> Option<SectionKind> {
         match b {
             1 => Some(SectionKind::Header),
             2 => Some(SectionKind::Axis),
             3 => Some(SectionKind::Variable),
             4 => Some(SectionKind::Trailer),
+            5 => Some(SectionKind::VarMeta),
+            6 => Some(SectionKind::Chunk),
+            7 => Some(SectionKind::ChunkDir),
             _ => None,
         }
     }
@@ -367,11 +386,11 @@ fn end_section(
 
 // ---- encoded-size precomputation (exact, mirrors the put_* writers) ----
 
-fn string_size(s: &str) -> usize {
+pub(crate) fn string_size(s: &str) -> usize {
     4 + s.len()
 }
 
-fn attrs_size(attrs: &Attributes) -> usize {
+pub(crate) fn attrs_size(attrs: &Attributes) -> usize {
     let mut n = 4;
     for (k, v) in attrs {
         n += string_size(k) + 1;
@@ -384,7 +403,7 @@ fn attrs_size(attrs: &Attributes) -> usize {
     n
 }
 
-fn axis_size(ax: &Axis) -> usize {
+pub(crate) fn axis_size(ax: &Axis) -> usize {
     string_size(&ax.id)
         + string_size(&ax.units)
         + 2 // kind + calendar
@@ -395,7 +414,7 @@ fn axis_size(ax: &Axis) -> usize {
         + attrs_size(&ax.attributes)
 }
 
-fn header_size(ds: &Dataset) -> usize {
+pub(crate) fn header_size(ds: &Dataset) -> usize {
     string_size(&ds.id) + attrs_size(&ds.attributes) + 8
 }
 
@@ -419,11 +438,12 @@ pub fn from_bytes(buf: &[u8]) -> Result<Dataset> {
     match parse_magic_version(buf)? {
         VERSION_V1 => from_bytes_v1(&buf[8..]),
         VERSION_V2 => from_bytes_v2(buf),
+        VERSION_V3 => crate::format_v3::from_bytes_v3(buf),
         v => Err(CdmsError::Format(format!("unsupported version {v}"))),
     }
 }
 
-fn parse_magic_version(buf: &[u8]) -> Result<u32> {
+pub(crate) fn parse_magic_version(buf: &[u8]) -> Result<u32> {
     if buf.len() < 8 {
         return Err(CdmsError::Format(format!(
             "truncated: {} bytes is too short for magic + version",
@@ -487,17 +507,17 @@ fn from_bytes_v1(mut buf: &[u8]) -> Result<Dataset> {
     Ok(ds)
 }
 
-/// One parsed v2 section frame.
-struct Frame<'a> {
-    kind: SectionKind,
-    offset: usize,
-    payload: &'a [u8],
-    crc: u32,
+/// One parsed v2/v3 section frame.
+pub(crate) struct Frame<'a> {
+    pub(crate) kind: SectionKind,
+    pub(crate) offset: usize,
+    pub(crate) payload: &'a [u8],
+    pub(crate) crc: u32,
 }
 
 /// Parses and CRC-verifies the frame at `*pos`, advancing past it.
 /// `limit` is the end of the section region (start of the footer).
-fn read_frame<'a>(full: &'a [u8], pos: &mut usize, limit: usize) -> Result<Frame<'a>> {
+pub(crate) fn read_frame<'a>(full: &'a [u8], pos: &mut usize, limit: usize) -> Result<Frame<'a>> {
     let start = *pos;
     if limit < start + FRAME_OVERHEAD {
         return Err(CdmsError::Format(format!("truncated section frame at byte {start}")));
@@ -531,7 +551,7 @@ fn read_frame<'a>(full: &'a [u8], pos: &mut usize, limit: usize) -> Result<Frame
     Ok(Frame { kind, offset: start, payload, crc: stored })
 }
 
-fn expect_kind(frame: &Frame<'_>, want: SectionKind) -> Result<()> {
+pub(crate) fn expect_kind(frame: &Frame<'_>, want: SectionKind) -> Result<()> {
     if frame.kind != want {
         return Err(CdmsError::Format(format!(
             "expected {want:?} section at byte {}, found {:?}",
@@ -595,7 +615,7 @@ fn from_bytes_v2(full: &[u8]) -> Result<Dataset> {
 }
 
 /// Checks the footer checksum and returns the declared trailer offset.
-fn verify_footer(full: &[u8], footer_at: usize) -> Result<u64> {
+pub(crate) fn verify_footer(full: &[u8], footer_at: usize) -> Result<u64> {
     let off_bytes: [u8; 8] = full[footer_at..footer_at + 8]
         .try_into()
         .map_err(|_| CdmsError::Format("unreachable: 8-byte slice".into()))?;
@@ -613,7 +633,7 @@ fn verify_footer(full: &[u8], footer_at: usize) -> Result<u64> {
 
 /// Checks the trailer directory against the sections actually observed,
 /// plus the file-level CRC chained over section CRCs.
-fn verify_trailer(payload: &[u8], observed: &[(u8, u64, u64, u32)]) -> Result<()> {
+pub(crate) fn verify_trailer(payload: &[u8], observed: &[(u8, u64, u64, u32)]) -> Result<()> {
     let mut cur = payload;
     let buf = &mut cur;
     let n = get_u32(buf)? as usize;
@@ -647,7 +667,7 @@ fn verify_trailer(payload: &[u8], observed: &[(u8, u64, u64, u32)]) -> Result<()
     Ok(())
 }
 
-fn decode_header(payload: &[u8]) -> Result<(String, Attributes, usize, usize)> {
+pub(crate) fn decode_header(payload: &[u8]) -> Result<(String, Attributes, usize, usize)> {
     let mut cur = payload;
     let buf = &mut cur;
     let id = get_string(buf)?;
@@ -666,7 +686,7 @@ fn decode_header(payload: &[u8]) -> Result<(String, Attributes, usize, usize)> {
     Ok((id, attributes, n_axes, n_vars))
 }
 
-fn decode_axis_payload(payload: &[u8]) -> Result<Axis> {
+pub(crate) fn decode_axis_payload(payload: &[u8]) -> Result<Axis> {
     let mut cur = payload;
     let buf = &mut cur;
     let ax = get_axis(buf)?;
@@ -676,7 +696,7 @@ fn decode_axis_payload(payload: &[u8]) -> Result<Axis> {
     Ok(ax)
 }
 
-fn decode_variable_payload(payload: &[u8], axes: &[Axis]) -> Result<Variable> {
+pub(crate) fn decode_variable_payload(payload: &[u8], axes: &[Axis]) -> Result<Variable> {
     let mut cur = payload;
     let buf = &mut cur;
     let vid = get_string(buf)?;
@@ -733,7 +753,7 @@ fn decode_variable_payload(payload: &[u8], axes: &[Axis]) -> Result<Variable> {
 }
 
 /// Product of `shape` without overflow (empty shape = scalar = 1 element).
-fn checked_volume(shape: &[usize]) -> Option<usize> {
+pub(crate) fn checked_volume(shape: &[usize]) -> Option<usize> {
     shape.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))
 }
 
@@ -763,16 +783,17 @@ pub fn from_bytes_salvage(buf: &[u8]) -> Result<(Dataset, SalvageReport)> {
             ))),
         },
         VERSION_V2 => Ok(salvage_v2(buf)),
+        VERSION_V3 => Ok(crate::format_v3::salvage_v3(buf)),
         v => Err(CdmsError::Format(format!("unsupported version {v}"))),
     }
 }
 
-/// A located (not yet verified) v2 section.
-struct RawSection {
-    kind: SectionKind,
-    offset: usize,
-    len: usize,
-    crc: u32,
+/// A located (not yet verified) v2/v3 section.
+pub(crate) struct RawSection {
+    pub(crate) kind: SectionKind,
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+    pub(crate) crc: u32,
 }
 
 fn salvage_v2(full: &[u8]) -> (Dataset, SalvageReport) {
@@ -814,7 +835,12 @@ fn salvage_v2(full: &[u8]) -> (Dataset, SalvageReport) {
                 }
             },
             SectionKind::Variable => var_payloads.push(Some(payload)),
-            SectionKind::Trailer => {}
+            // v3-only kinds never appear in a well-formed v2 file; a
+            // corrupt kind byte that happens to decode as one is ignored
+            SectionKind::Trailer
+            | SectionKind::VarMeta
+            | SectionKind::Chunk
+            | SectionKind::ChunkDir => {}
         }
     }
     report.header_intact = header.is_some();
@@ -928,7 +954,7 @@ fn remap_axis_refs(payload: &[u8], intact_index: &[Option<usize>]) -> Result<Vec
 }
 
 /// Slices and checksum-verifies one raw section's payload.
-fn verified_payload<'a>(full: &'a [u8], s: &RawSection) -> Option<&'a [u8]> {
+pub(crate) fn verified_payload<'a>(full: &'a [u8], s: &RawSection) -> Option<&'a [u8]> {
     let payload_at = s.offset.checked_add(9)?;
     let crc_at = payload_at.checked_add(s.len)?;
     if crc_at.checked_add(4)? > full.len() {
@@ -940,7 +966,7 @@ fn verified_payload<'a>(full: &'a [u8], s: &RawSection) -> Option<&'a [u8]> {
 
 /// Locates sections via the trailer directory (preferred — robust to
 /// corrupt mid-file framing) or a sequential walk.
-fn locate_sections(full: &[u8]) -> (Vec<RawSection>, bool) {
+pub(crate) fn locate_sections(full: &[u8]) -> (Vec<RawSection>, bool) {
     if let Some(sections) = sections_from_directory(full) {
         return (sections, true);
     }
@@ -1039,7 +1065,21 @@ pub fn read_dataset(path: &Path) -> Result<Dataset> {
 
 /// Reads through an explicit storage backend (fault injection, tests).
 pub fn read_dataset_with(storage: &dyn Storage, path: &Path) -> Result<Dataset> {
-    from_bytes(&storage.read(path)?)
+    let bytes = storage.read(path).map_err(|e| with_path(e, path))?;
+    from_bytes(&bytes).map_err(|e| with_path(e, path))
+}
+
+/// Prefixes `Format`/`Io` error messages with the offending file path so a
+/// failure in a multi-file workload names which file was bad. Other
+/// variants — notably `TransientIo`, which retry layers match on — pass
+/// through unchanged (`is_transient` only checks the variant, but keeping
+/// the message pristine keeps retry logs grep-able).
+pub(crate) fn with_path(e: CdmsError, path: &Path) -> CdmsError {
+    match e {
+        CdmsError::Format(msg) => CdmsError::Format(format!("{}: {msg}", path.display())),
+        CdmsError::Io(msg) => CdmsError::Io(format!("{}: {msg}", path.display())),
+        other => other,
+    }
 }
 
 /// Reads with salvage semantics: recovers the variables whose sections are
@@ -1054,8 +1094,8 @@ pub fn read_dataset_salvage_with(
     storage: &dyn Storage,
     path: &Path,
 ) -> Result<(Dataset, SalvageReport)> {
-    let bytes = storage.read(path)?;
-    let (mut ds, report) = from_bytes_salvage(&bytes)?;
+    let bytes = storage.read(path).map_err(|e| with_path(e, path))?;
+    let (mut ds, report) = from_bytes_salvage(&bytes).map_err(|e| with_path(e, path))?;
     if ds.id.is_empty() {
         if let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) {
             ds.id = stem;
@@ -1066,12 +1106,12 @@ pub fn read_dataset_salvage_with(
 
 // ---- encoding helpers ----
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn put_attrs(buf: &mut BytesMut, attrs: &Attributes) {
+pub(crate) fn put_attrs(buf: &mut BytesMut, attrs: &Attributes) {
     buf.put_u32_le(attrs.len() as u32);
     for (k, v) in attrs {
         put_string(buf, k);
@@ -1099,7 +1139,7 @@ fn put_attrs(buf: &mut BytesMut, attrs: &Attributes) {
     }
 }
 
-fn put_axis(buf: &mut BytesMut, ax: &Axis) {
+pub(crate) fn put_axis(buf: &mut BytesMut, ax: &Axis) {
     put_string(buf, &ax.id);
     put_string(buf, &ax.units);
     buf.put_u8(match ax.kind {
@@ -1134,7 +1174,7 @@ fn put_axis(buf: &mut BytesMut, ax: &Axis) {
 
 /// Streams an `f32` slice into the buffer through a stack staging block,
 /// amortizing the per-element bookkeeping of `put_f32_le`.
-fn put_f32_bulk(buf: &mut BytesMut, data: &[f32]) {
+pub(crate) fn put_f32_bulk(buf: &mut BytesMut, data: &[f32]) {
     let mut stage = [0u8; 4096];
     for chunk in data.chunks(1024) {
         let mut n = 0;
@@ -1146,7 +1186,7 @@ fn put_f32_bulk(buf: &mut BytesMut, data: &[f32]) {
     }
 }
 
-fn put_mask(buf: &mut BytesMut, mask: &[bool]) {
+pub(crate) fn put_mask(buf: &mut BytesMut, mask: &[bool]) {
     let nbytes = mask.len().div_ceil(8);
     let mut packed = vec![0u8; nbytes];
     for (i, &m) in mask.iter().enumerate() {
@@ -1159,7 +1199,7 @@ fn put_mask(buf: &mut BytesMut, mask: &[bool]) {
 
 // ---- decoding helpers ----
 
-fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+pub(crate) fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     if buf.len() < n {
         return Err(CdmsError::Format(format!("truncated: need {n} bytes, have {}", buf.len())));
     }
@@ -1168,11 +1208,11 @@ fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     Ok(head)
 }
 
-fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+pub(crate) fn get_u32(buf: &mut &[u8]) -> Result<u32> {
     Ok(take_bytes(buf, 4)?.iter().rev().fold(0u32, |acc, &b| (acc << 8) | b as u32))
 }
 
-fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+pub(crate) fn get_u64(buf: &mut &[u8]) -> Result<u64> {
     Ok(take_bytes(buf, 8)?.iter().rev().fold(0u64, |acc, &b| (acc << 8) | b as u64))
 }
 
@@ -1191,11 +1231,11 @@ fn get_i64(buf: &mut &[u8]) -> Result<i64> {
     Ok(b.get_i64_le())
 }
 
-fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+pub(crate) fn get_u8(buf: &mut &[u8]) -> Result<u8> {
     Ok(take_bytes(buf, 1)?[0])
 }
 
-fn get_string(buf: &mut &[u8]) -> Result<String> {
+pub(crate) fn get_string(buf: &mut &[u8]) -> Result<String> {
     let len = get_u32(buf)? as usize;
     if len > 1 << 24 {
         return Err(CdmsError::Format(format!("implausible string length {len}")));
@@ -1204,7 +1244,7 @@ fn get_string(buf: &mut &[u8]) -> Result<String> {
     String::from_utf8(raw.to_vec()).map_err(|e| CdmsError::Format(format!("bad utf8: {e}")))
 }
 
-fn get_attrs(buf: &mut &[u8]) -> Result<Attributes> {
+pub(crate) fn get_attrs(buf: &mut &[u8]) -> Result<Attributes> {
     let n = get_u32(buf)? as usize;
     if n > 100_000 {
         return Err(CdmsError::Format(format!("implausible attribute count {n}")));
@@ -1236,7 +1276,7 @@ fn get_attrs(buf: &mut &[u8]) -> Result<Attributes> {
     Ok(attrs)
 }
 
-fn get_axis(buf: &mut &[u8]) -> Result<Axis> {
+pub(crate) fn get_axis(buf: &mut &[u8]) -> Result<Axis> {
     let id = get_string(buf)?;
     let units = get_string(buf)?;
     let kind = match get_u8(buf)? {
@@ -1288,7 +1328,7 @@ fn get_axis(buf: &mut &[u8]) -> Result<Axis> {
     Ok(ax)
 }
 
-fn get_mask(buf: &mut &[u8], n: usize) -> Result<Vec<bool>> {
+pub(crate) fn get_mask(buf: &mut &[u8], n: usize) -> Result<Vec<bool>> {
     let nbytes = n.div_ceil(8);
     let packed = take_bytes(buf, nbytes)?;
     Ok((0..n).map(|i| packed[i / 8] & (1 << (i % 8)) != 0).collect())

@@ -1,0 +1,1676 @@
+//! `.ncr` format **v3** — the chunked, multi-resolution streaming layout.
+//!
+//! v3 keeps the v2 skeleton (CRC32C-framed sections, trailer directory,
+//! checksummed footer) but splits each variable's bulk data into
+//! **chunk frames**, one per (time window, pyramid level), so a reader can
+//! fetch exactly the bytes one animation frame needs via
+//! `Storage::read_at` instead of slurping the whole file:
+//!
+//! ```text
+//! magic "NCRS" | version u32 = 3
+//! Header   (kind 1) dataset id, global attrs, axis count, varmeta count
+//! Axis     (kind 2) one deduplicated axis per section
+//! VarMeta  (kind 5) id, axis refs, attrs, shape, window size, level count
+//!                   — metadata only, no bulk data
+//! Chunk    (kind 6) var u32 | window u32 | level u32 | codec u8 |
+//!                   raw_len u64 | body        (ordered by (var, win, lvl))
+//! ChunkDir (kind 7) (var, window, level) → (frame offset, payload len, crc)
+//! Trailer  (kind 4) directory of ALL sections + file CRC   (as v2)
+//! footer            trailer offset u64 | crc32c(offset) u32
+//! ```
+//!
+//! A chunk's body is the window's data (`f32 × n`) plus its bit-packed
+//! mask, either raw (codec 0) or PackBits-RLE compressed (codec 1 — chosen
+//! per chunk only when it is actually smaller, so constant fields shrink
+//! and noisy fields pay nothing). Level 0 is full resolution; level *k*
+//! downsamples the two trailing non-time dimensions by `2^k`, averaging
+//! valid cells (a cell with no valid source cells is masked). The pyramid
+//! is what lets [`crate::stream`] degrade a damaged or slow chunk to a
+//! coarser level instead of stalling playback.
+//!
+//! The strict reader ([`from_bytes_v3`]) rebuilds variables from level-0
+//! chunks only and verifies every frame CRC, the chunk directory, the
+//! trailer, and the footer — `from_bytes(to_bytes_v3(ds))` is bit-exact
+//! with the source dataset. [`salvage_v3`] recovers per chunk: a corrupt
+//! level-0 chunk falls back to the best intact pyramid level (upsampled,
+//! nearest-neighbor), or to a fully-masked window at worst.
+
+use crate::attr::Attributes;
+use crate::axis::{Axis, AxisKind};
+use crate::dataset::Dataset;
+use crate::error::{CdmsError, Result};
+use crate::format::{
+    self, SectionKind, SectionSpan, VERSION_V3, FOOTER_LEN, FRAME_OVERHEAD, MAGIC,
+};
+use crate::format::{LostVariable, SalvageReport};
+use crate::storage::{crc32c, LocalDisk, Storage};
+use crate::{MaskedArray, Variable};
+use bytes::{BufMut, Bytes, BytesMut};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::path::Path;
+
+/// Raw (uncompressed) chunk body.
+pub const CODEC_RAW: u8 = 0;
+/// PackBits run-length-encoded chunk body.
+pub const CODEC_RLE: u8 = 1;
+
+/// Writer knobs for the v3 layout.
+#[derive(Debug, Clone)]
+pub struct V3Options {
+    /// Time steps per chunk window (≥ 1).
+    pub window: usize,
+    /// Pyramid levels per window (≥ 1; level 0 is full resolution). The
+    /// writer caps this per variable once every spatial dimension has
+    /// collapsed to a single cell.
+    pub levels: usize,
+    /// Try PackBits compression per chunk (kept only when smaller).
+    pub compress: bool,
+}
+
+impl Default for V3Options {
+    fn default() -> V3Options {
+        V3Options { window: 4, levels: 3, compress: true }
+    }
+}
+
+/// Byte extents of one chunk frame — the fuzzer/fault-storm oracle for
+/// "which (variable, window, level) does this byte belong to".
+#[derive(Debug, Clone)]
+pub struct ChunkSpan {
+    pub var: usize,
+    pub window: usize,
+    pub level: usize,
+    /// The whole frame: kind byte through trailing CRC.
+    pub frame: Range<usize>,
+    /// The payload bytes within the file.
+    pub payload: Range<usize>,
+}
+
+/// Full byte map of an encoded v3 file.
+#[derive(Debug, Clone)]
+pub struct V3Layout {
+    /// All sections in file order (header, axes, varmetas, chunks,
+    /// chunkdir, trailer). Chunk sections appear here too, with
+    /// `variable: None`.
+    pub sections: Vec<SectionSpan>,
+    /// The chunk frames with their (var, window, level) identity.
+    pub chunks: Vec<ChunkSpan>,
+    /// The 12-byte end-of-file footer.
+    pub footer: Range<usize>,
+}
+
+/// Per-variable metadata decoded from a `VarMeta` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct V3VarMeta {
+    pub id: String,
+    /// Ordinals into the deduplicated axis list.
+    pub axis_refs: Vec<usize>,
+    pub attributes: Attributes,
+    pub shape: Vec<usize>,
+    /// Time steps per chunk window.
+    pub window: usize,
+    /// Pyramid levels actually written for this variable.
+    pub levels: usize,
+    /// Position of the time axis among this variable's dims (derived from
+    /// the axis kinds, not serialized).
+    pub time_axis: Option<usize>,
+}
+
+impl V3VarMeta {
+    /// Number of time steps (1 when there is no time axis).
+    pub fn n_times(&self) -> usize {
+        match self.time_axis {
+            Some(t) => self.shape.get(t).copied().unwrap_or(0),
+            None => 1,
+        }
+    }
+
+    /// Number of chunk windows along time.
+    pub fn n_windows(&self) -> usize {
+        match self.time_axis {
+            Some(_) => self.n_times().div_ceil(self.window.max(1)),
+            None => 1,
+        }
+    }
+
+    /// Time-step range covered by window `w`.
+    pub fn window_range(&self, w: usize) -> Range<usize> {
+        match self.time_axis {
+            Some(_) => {
+                let start = w * self.window;
+                start..(start + self.window).min(self.n_times())
+            }
+            None => 0..1,
+        }
+    }
+
+    /// Shape of the level-0 slab for window `w` (full shape with the time
+    /// dim cut to the window length).
+    pub fn slab_shape(&self, w: usize) -> Vec<usize> {
+        let mut shape = self.shape.clone();
+        if let Some(t) = self.time_axis {
+            if let Some(d) = shape.get_mut(t) {
+                *d = self.window_range(w).len();
+            }
+        }
+        shape
+    }
+
+    /// The (up to two) trailing non-time dims the pyramid downsamples.
+    pub fn pyramid_dims(&self) -> Vec<usize> {
+        let mut dims: Vec<usize> =
+            (0..self.shape.len()).filter(|&d| Some(d) != self.time_axis).collect();
+        let keep = dims.len().min(2);
+        dims.split_off(dims.len() - keep)
+    }
+
+    /// Shape of the chunk for window `w` at pyramid `level`.
+    pub fn level_shape(&self, w: usize, level: usize) -> Vec<usize> {
+        let mut shape = self.slab_shape(w);
+        let factor = 1usize << level.min(63);
+        for d in self.pyramid_dims() {
+            if let Some(v) = shape.get_mut(d) {
+                *v = v.div_ceil(factor).max(1);
+            }
+        }
+        shape
+    }
+
+    /// Element count of the chunk for window `w` at `level`.
+    pub fn level_volume(&self, w: usize, level: usize) -> Option<usize> {
+        format::checked_volume(&self.level_shape(w, level))
+    }
+}
+
+/// One entry of the `ChunkDir` section: where a chunk frame lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDirEntry {
+    pub var: usize,
+    pub window: usize,
+    pub level: usize,
+    /// File offset of the chunk *frame* (kind byte).
+    pub offset: u64,
+    /// Payload length (frame is `FRAME_OVERHEAD` bytes longer).
+    pub len: u64,
+    /// CRC32C of the payload.
+    pub crc: u32,
+}
+
+impl ChunkDirEntry {
+    /// Byte length of the whole frame on disk.
+    pub fn frame_len(&self) -> usize {
+        self.len as usize + FRAME_OVERHEAD
+    }
+}
+
+/// Everything a streaming reader needs to locate chunks without scanning:
+/// the decoded header, axes, per-variable metadata, and chunk directory.
+#[derive(Debug, Clone)]
+pub struct V3Meta {
+    pub id: String,
+    pub attributes: Attributes,
+    pub axes: Vec<Axis>,
+    pub vars: Vec<V3VarMeta>,
+    /// Sorted by (var, window, level).
+    pub chunks: Vec<ChunkDirEntry>,
+    /// Total file length, for bounds-checking ranged reads.
+    pub file_len: u64,
+}
+
+impl V3Meta {
+    /// Directory entry for (var, window, level), by binary search.
+    pub fn chunk(&self, var: usize, window: usize, level: usize) -> Option<&ChunkDirEntry> {
+        self.chunks
+            .binary_search_by_key(&(var, window, level), |e| (e.var, e.window, e.level))
+            .ok()
+            .and_then(|i| self.chunks.get(i))
+    }
+
+    /// Ordinal of the variable with the given id.
+    pub fn var_index(&self, id: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v.id == id)
+    }
+
+    /// The axes of variable `var`, resolved through its refs.
+    pub fn var_axes(&self, var: usize) -> Result<Vec<Axis>> {
+        let meta = self
+            .vars
+            .get(var)
+            .ok_or_else(|| CdmsError::NotFound(format!("variable ordinal {var}")))?;
+        meta.axis_refs
+            .iter()
+            .map(|&r| {
+                self.axes.get(r).cloned().ok_or_else(|| {
+                    CdmsError::Format(format!(
+                        "variable '{}' references axis {r}, only {} exist",
+                        meta.id,
+                        self.axes.len()
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+// ---- encoding ----
+
+/// Serializes a dataset in v3 with default options.
+pub fn to_bytes_v3(ds: &Dataset) -> (Bytes, V3Layout) {
+    to_bytes_v3_with(ds, &V3Options::default())
+}
+
+/// Serializes a dataset in v3, returning the byte map alongside.
+///
+/// Chunk payloads (downsample + optional compression — the expensive part)
+/// are encoded in parallel into pre-allocated slots, so the output bytes
+/// are identical at any `RAYON_NUM_THREADS`; the frame assembly is
+/// sequential.
+pub fn to_bytes_v3_with(ds: &Dataset, opts: &V3Options) -> (Bytes, V3Layout) {
+    let window = opts.window.max(1);
+    let req_levels = opts.levels.max(1);
+
+    // Deduplicate axes across variables, as v2 does.
+    let mut axes: Vec<&Axis> = Vec::new();
+    let mut metas: Vec<V3VarMeta> = Vec::with_capacity(ds.variables().len());
+    for var in ds.variables() {
+        let refs: Vec<usize> = var
+            .axes
+            .iter()
+            .map(|ax| match axes.iter().position(|a| *a == ax) {
+                Some(i) => i,
+                None => {
+                    axes.push(ax);
+                    axes.len() - 1
+                }
+            })
+            .collect();
+        let time_axis = var.axis_index(AxisKind::Time);
+        let mut meta = V3VarMeta {
+            id: var.id.clone(),
+            axis_refs: refs,
+            attributes: var.attributes.clone(),
+            shape: var.array.shape().to_vec(),
+            window,
+            levels: 1,
+            time_axis,
+        };
+        meta.levels = effective_levels(&meta, req_levels);
+        metas.push(meta);
+    }
+
+    // One job per (var, window, level), in file order.
+    let jobs: Vec<(usize, usize, usize)> = metas
+        .iter()
+        .enumerate()
+        .flat_map(|(vi, m)| {
+            (0..m.n_windows())
+                .flat_map(move |w| (0..m.levels).map(move |l| (vi, w, l)))
+        })
+        .collect();
+    let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); jobs.len()];
+    {
+        let metas = &metas;
+        payloads.par_iter_mut().zip(jobs.par_iter()).for_each(|(slot, &(vi, w, l))| {
+            // jobs were enumerated from the same variable list, so the
+            // ordinal is always in range; fall back to an empty payload
+            // (caught by the strict reader) rather than panicking
+            if let (Some(var), Some(meta)) = (ds.variables().get(vi), metas.get(vi)) {
+                *slot = encode_chunk_payload(var, meta, vi, w, l, opts.compress);
+            }
+        });
+    }
+
+    let mut buf = BytesMut::new();
+    let mut estimate = 64;
+    for p in &payloads {
+        estimate += p.len() + FRAME_OVERHEAD + 32;
+    }
+    buf.reserve(estimate);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_V3);
+
+    let mut sections: Vec<SectionSpan> = Vec::new();
+    let mut dir: Vec<(u8, u64, u64, u32)> = Vec::new();
+    let mut chunk_spans: Vec<ChunkSpan> = Vec::new();
+    let mut chunk_dir: Vec<ChunkDirEntry> = Vec::new();
+
+    // header (same payload shape as v2: id, attrs, axis count, var count)
+    let mut p = BytesMut::new();
+    format::put_string(&mut p, &ds.id);
+    format::put_attrs(&mut p, &ds.attributes);
+    p.put_u32_le(axes.len() as u32);
+    p.put_u32_le(metas.len() as u32);
+    put_frame(&mut buf, SectionKind::Header, &p, &mut sections, &mut dir, None);
+
+    for ax in &axes {
+        let mut p = BytesMut::new();
+        format::put_axis(&mut p, ax);
+        put_frame(&mut buf, SectionKind::Axis, &p, &mut sections, &mut dir, None);
+    }
+
+    for meta in &metas {
+        let mut p = BytesMut::new();
+        format::put_string(&mut p, &meta.id);
+        p.put_u32_le(meta.axis_refs.len() as u32);
+        for &r in &meta.axis_refs {
+            p.put_u32_le(r as u32);
+        }
+        format::put_attrs(&mut p, &meta.attributes);
+        p.put_u32_le(meta.shape.len() as u32);
+        for &d in &meta.shape {
+            p.put_u64_le(d as u64);
+        }
+        p.put_u32_le(meta.window as u32);
+        p.put_u32_le(meta.levels as u32);
+        put_frame(
+            &mut buf,
+            SectionKind::VarMeta,
+            &p,
+            &mut sections,
+            &mut dir,
+            Some((meta.id.clone(), meta.axis_refs.clone())),
+        );
+    }
+
+    for (&(vi, w, l), payload) in jobs.iter().zip(&payloads) {
+        let (frame, span, crc) =
+            put_frame(&mut buf, SectionKind::Chunk, payload, &mut sections, &mut dir, None);
+        chunk_dir.push(ChunkDirEntry {
+            var: vi,
+            window: w,
+            level: l,
+            offset: frame.start as u64,
+            len: payload.len() as u64,
+            crc,
+        });
+        chunk_spans.push(ChunkSpan { var: vi, window: w, level: l, frame, payload: span });
+    }
+
+    let mut p = BytesMut::new();
+    p.put_u32_le(chunk_dir.len() as u32);
+    for e in &chunk_dir {
+        p.put_u32_le(e.var as u32);
+        p.put_u32_le(e.window as u32);
+        p.put_u32_le(e.level as u32);
+        p.put_u64_le(e.offset);
+        p.put_u64_le(e.len);
+        p.put_u32_le(e.crc);
+    }
+    put_frame(&mut buf, SectionKind::ChunkDir, &p, &mut sections, &mut dir, None);
+
+    // trailer + footer: byte-compatible with v2 so salvage's directory
+    // bootstrap works unchanged.
+    let trailer_offset = buf.len();
+    let mut p = BytesMut::new();
+    p.put_u32_le(dir.len() as u32);
+    let mut crc_bytes = Vec::with_capacity(dir.len() * 4);
+    for &(kind, off, len, crc) in &dir {
+        p.put_u8(kind);
+        p.put_u64_le(off);
+        p.put_u64_le(len);
+        p.put_u32_le(crc);
+        crc_bytes.extend_from_slice(&crc.to_le_bytes());
+    }
+    p.put_u32_le(crc32c(&crc_bytes));
+    put_frame(&mut buf, SectionKind::Trailer, &p, &mut sections, &mut dir, None);
+
+    let footer_start = buf.len();
+    buf.put_u64_le(trailer_offset as u64);
+    buf.put_u32_le(crc32c(&(trailer_offset as u64).to_le_bytes()));
+
+    let layout =
+        V3Layout { sections, chunks: chunk_spans, footer: footer_start..buf.len() };
+    (buf.freeze(), layout)
+}
+
+/// Appends one framed section, returning (frame range, payload range, crc).
+fn put_frame(
+    buf: &mut BytesMut,
+    kind: SectionKind,
+    payload: &[u8],
+    sections: &mut Vec<SectionSpan>,
+    dir: &mut Vec<(u8, u64, u64, u32)>,
+    variable: Option<(String, Vec<usize>)>,
+) -> (Range<usize>, Range<usize>, u32) {
+    let frame_start = buf.len();
+    buf.put_u8(kind.as_u8());
+    buf.put_u64_le(payload.len() as u64);
+    let payload_start = buf.len();
+    buf.put_slice(payload);
+    let crc = crc32c(payload);
+    buf.put_u32_le(crc);
+    let frame = frame_start..buf.len();
+    let span = payload_start..payload_start + payload.len();
+    sections.push(SectionSpan { kind, frame: frame.clone(), payload: span.clone(), variable });
+    dir.push((kind.as_u8(), frame_start as u64, payload.len() as u64, crc));
+    (frame, span, crc)
+}
+
+/// Levels worth writing: stop once every pyramid dim has collapsed to 1.
+fn effective_levels(meta: &V3VarMeta, requested: usize) -> usize {
+    let dims = meta.pyramid_dims();
+    if dims.is_empty() {
+        return 1;
+    }
+    let mut halvings = 0usize;
+    for d in dims {
+        let mut v = meta.shape.get(d).copied().unwrap_or(1);
+        let mut h = 0usize;
+        while v > 1 {
+            v = v.div_ceil(2);
+            h += 1;
+        }
+        halvings = halvings.max(h);
+    }
+    requested.min(halvings + 1)
+}
+
+/// Encodes one chunk payload: header, then the (possibly downsampled,
+/// possibly compressed) data + mask body.
+fn encode_chunk_payload(
+    var: &Variable,
+    meta: &V3VarMeta,
+    vi: usize,
+    w: usize,
+    level: usize,
+    compress: bool,
+) -> Vec<u8> {
+    // Window slab (full resolution). `time_window` only fails when the
+    // range is empty/out of bounds, which `n_windows` precludes; fall back
+    // to the whole array (the no-time-axis single-window case).
+    let slab: Variable = match meta.time_axis {
+        Some(_) => var.time_window(meta.window_range(w)).unwrap_or_else(|_| var.clone()),
+        None => var.clone(),
+    };
+    let slab_shape = meta.slab_shape(w);
+    let (data, mask) = if level == 0 {
+        (slab.array.data().to_vec(), slab.array.mask().to_vec())
+    } else {
+        downsample(slab.array.data(), slab.array.mask(), &slab_shape, &meta.pyramid_dims(), level)
+    };
+
+    let n = data.len();
+    let mut raw = Vec::with_capacity(4 * n + n.div_ceil(8));
+    for &v in &data {
+        raw.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut packed = vec![0u8; n.div_ceil(8)];
+    for (i, &m) in mask.iter().enumerate() {
+        if m {
+            packed[i / 8] |= 1 << (i % 8);
+        }
+    }
+    raw.extend_from_slice(&packed);
+
+    let (codec, body) = if compress {
+        let rle = packbits_encode(&raw);
+        if rle.len() < raw.len() {
+            (CODEC_RLE, rle)
+        } else {
+            (CODEC_RAW, raw)
+        }
+    } else {
+        (CODEC_RAW, raw)
+    };
+
+    let mut out = Vec::with_capacity(21 + body.len());
+    out.extend_from_slice(&(vi as u32).to_le_bytes());
+    out.extend_from_slice(&(w as u32).to_le_bytes());
+    out.extend_from_slice(&(level as u32).to_le_bytes());
+    out.push(codec);
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Mean-of-valid-cells downsampling of `dims` by `2^level`. A destination
+/// cell whose source block holds no valid cell is masked.
+fn downsample(
+    data: &[f32],
+    mask: &[bool],
+    shape: &[usize],
+    dims: &[usize],
+    level: usize,
+) -> (Vec<f32>, Vec<bool>) {
+    let factor = 1usize << level.min(63);
+    let mut out_shape = shape.to_vec();
+    for &d in dims {
+        if let Some(v) = out_shape.get_mut(d) {
+            *v = v.div_ceil(factor).max(1);
+        }
+    }
+    let out_n = out_shape.iter().product::<usize>();
+    let mut out = vec![0.0f32; out_n];
+    let mut out_mask = vec![true; out_n];
+    let rank = shape.len();
+    let in_strides = row_major_strides(shape);
+    let out_strides = row_major_strides(&out_shape);
+
+    let mut idx = vec![0usize; rank];
+    for (oi, (slot, mslot)) in out.iter_mut().zip(out_mask.iter_mut()).enumerate() {
+        // multi-index of this output cell
+        let mut rem = oi;
+        for d in 0..rank {
+            idx[d] = rem / out_strides[d];
+            rem %= out_strides[d];
+        }
+        // source block bounds per dim (identity outside `dims`)
+        let mut lo = vec![0usize; rank];
+        let mut hi = vec![0usize; rank];
+        for d in 0..rank {
+            if dims.contains(&d) {
+                lo[d] = idx[d] * factor;
+                hi[d] = (lo[d] + factor).min(shape[d]);
+            } else {
+                lo[d] = idx[d];
+                hi[d] = idx[d] + 1;
+            }
+        }
+        // average the valid cells of the block (local accumulator —
+        // deterministic, sequential per output cell)
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        let mut cursor = lo.clone();
+        'block: loop {
+            let lin: usize = cursor.iter().zip(&in_strides).map(|(&i, &s)| i * s).sum();
+            if let (Some(&v), Some(&m)) = (data.get(lin), mask.get(lin)) {
+                if !m {
+                    sum += v as f64;
+                    count += 1;
+                }
+            }
+            // odometer increment over the block
+            for d in (0..rank).rev() {
+                cursor[d] += 1;
+                if cursor[d] < hi[d] {
+                    continue 'block;
+                }
+                cursor[d] = lo[d];
+            }
+            break;
+        }
+        if count > 0 {
+            *slot = (sum / count as f64) as f32;
+            *mslot = false;
+        }
+    }
+    (out, out_mask)
+}
+
+/// Nearest-neighbor upsampling from `from_shape` to `to_shape` (same rank).
+pub fn upsample_nearest(
+    data: &[f32],
+    mask: &[bool],
+    from_shape: &[usize],
+    to_shape: &[usize],
+) -> Result<(Vec<f32>, Vec<bool>)> {
+    if from_shape.len() != to_shape.len() {
+        return Err(CdmsError::ShapeMismatch {
+            expected: to_shape.to_vec(),
+            got: from_shape.to_vec(),
+        });
+    }
+    let from_n = format::checked_volume(from_shape)
+        .ok_or_else(|| CdmsError::Format("upsample source shape overflows".into()))?;
+    if data.len() != from_n || mask.len() != from_n {
+        return Err(CdmsError::Format(format!(
+            "upsample source has {} elements, shape wants {from_n}",
+            data.len()
+        )));
+    }
+    let to_n = format::checked_volume(to_shape)
+        .ok_or_else(|| CdmsError::Format("upsample target shape overflows".into()))?;
+    let rank = to_shape.len();
+    let from_strides = row_major_strides(from_shape);
+    let to_strides = row_major_strides(to_shape);
+    let mut out = vec![0.0f32; to_n];
+    let mut out_mask = vec![true; to_n];
+    for oi in 0..to_n {
+        let mut rem = oi;
+        let mut src = 0usize;
+        for d in 0..rank {
+            let i = rem / to_strides[d];
+            rem %= to_strides[d];
+            let (td, fd) = (to_shape[d].max(1), from_shape[d].max(1));
+            let si = if td == fd { i } else { (i * fd / td).min(fd - 1) };
+            src += si * from_strides[d];
+        }
+        if let (Some(&v), Some(&m)) = (data.get(src), mask.get(src)) {
+            out[oi] = v;
+            out_mask[oi] = m;
+        }
+    }
+    Ok((out, out_mask))
+}
+
+fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for d in (0..shape.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1].max(1);
+    }
+    strides
+}
+
+// ---- PackBits codec ----
+
+/// Classic PackBits: tag `0..=127` = literal run of tag+1 bytes; tag
+/// `129..=255` = the next byte repeated `257-tag` times; 128 is unused.
+pub(crate) fn packbits_encode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 4 + 16);
+    let mut i = 0usize;
+    while i < input.len() {
+        // measure the run starting here
+        let b = input[i];
+        let mut run = 1usize;
+        while run < 128 && i + run < input.len() && input[i + run] == b {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push((257 - run) as u8);
+            out.push(b);
+            i += run;
+            continue;
+        }
+        // literal run: until the next ≥3 repeat or 128 bytes
+        let lit_start = i;
+        let mut j = i;
+        while j < input.len() && j - lit_start < 128 {
+            let c = input[j];
+            let mut r = 1usize;
+            while r < 3 && j + r < input.len() && input[j + r] == c {
+                r += 1;
+            }
+            if r >= 3 {
+                break;
+            }
+            j += 1;
+        }
+        let lit = &input[lit_start..j.max(lit_start + 1)];
+        out.push((lit.len() - 1) as u8);
+        out.extend_from_slice(lit);
+        i = lit_start + lit.len();
+    }
+    out
+}
+
+/// Decodes PackBits, requiring exactly `expected_len` output bytes.
+pub(crate) fn packbits_decode(input: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0usize;
+    while i < input.len() {
+        let tag = input[i];
+        i += 1;
+        if tag == 128 {
+            return Err(CdmsError::Format("packbits: reserved tag 128".into()));
+        }
+        if tag < 128 {
+            let n = tag as usize + 1;
+            let lit = input
+                .get(i..i + n)
+                .ok_or_else(|| CdmsError::Format("packbits: literal run truncated".into()))?;
+            if out.len() + n > expected_len {
+                return Err(CdmsError::Format("packbits: output overruns declared size".into()));
+            }
+            out.extend_from_slice(lit);
+            i += n;
+        } else {
+            let n = 257 - tag as usize;
+            let &b = input
+                .get(i)
+                .ok_or_else(|| CdmsError::Format("packbits: repeat run truncated".into()))?;
+            if out.len() + n > expected_len {
+                return Err(CdmsError::Format("packbits: output overruns declared size".into()));
+            }
+            out.resize(out.len() + n, b);
+            i += 1;
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CdmsError::Format(format!(
+            "packbits: decoded {} bytes, expected {expected_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+// ---- chunk decode ----
+
+/// Decodes a chunk payload, checking its identity triple and element count
+/// against the directory/metadata. Returns (data, mask).
+pub fn decode_chunk_payload(
+    payload: &[u8],
+    expect: (usize, usize, usize),
+    expect_n: usize,
+) -> Result<(Vec<f32>, Vec<bool>)> {
+    let mut cur = payload;
+    let buf = &mut cur;
+    let var = format::get_u32(buf)? as usize;
+    let window = format::get_u32(buf)? as usize;
+    let level = format::get_u32(buf)? as usize;
+    if (var, window, level) != expect {
+        return Err(CdmsError::Format(format!(
+            "chunk identity ({var},{window},{level}) != expected {expect:?}"
+        )));
+    }
+    let codec = format::get_u8(buf)?;
+    let n = format::get_u64(buf)? as usize;
+    if n != expect_n {
+        return Err(CdmsError::Format(format!(
+            "chunk ({var},{window},{level}) declares {n} elements, metadata wants {expect_n}"
+        )));
+    }
+    let raw_len = 4usize
+        .checked_mul(n)
+        .and_then(|b| b.checked_add(n.div_ceil(8)))
+        .ok_or_else(|| CdmsError::Format("chunk size overflows".into()))?;
+    let raw: Vec<u8> = match codec {
+        CODEC_RAW => {
+            if buf.len() != raw_len {
+                return Err(CdmsError::Format(format!(
+                    "raw chunk body is {} bytes, expected {raw_len}",
+                    buf.len()
+                )));
+            }
+            buf.to_vec()
+        }
+        CODEC_RLE => packbits_decode(buf, raw_len)?,
+        c => return Err(CdmsError::Format(format!("unknown chunk codec {c}"))),
+    };
+    let mut data = Vec::with_capacity(n);
+    let (floats, packed) = raw.split_at(4 * n);
+    data.extend(floats.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+    let mut mcur = packed;
+    let mask = format::get_mask(&mut mcur, n)?;
+    Ok((data, mask))
+}
+
+/// Verifies a chunk *frame* (as read from disk at a directory entry's
+/// offset) against the entry — kind, length, and payload CRC — and returns
+/// the payload slice. A short read shows up as a length mismatch.
+pub fn verify_chunk_frame<'a>(frame: &'a [u8], entry: &ChunkDirEntry) -> Result<&'a [u8]> {
+    if frame.len() != entry.frame_len() {
+        return Err(CdmsError::Format(format!(
+            "chunk frame is {} bytes, directory promises {}",
+            frame.len(),
+            entry.frame_len()
+        )));
+    }
+    let mut pos = 0usize;
+    let parsed = format::read_frame(frame, &mut pos, frame.len())?;
+    format::expect_kind(&parsed, SectionKind::Chunk)?;
+    if parsed.crc != entry.crc {
+        return Err(CdmsError::Format(format!(
+            "chunk ({},{},{}) checksum disagrees with directory",
+            entry.var, entry.window, entry.level
+        )));
+    }
+    // Re-borrow through `frame` to decouple the payload lifetime from the
+    // local `parsed`.
+    frame
+        .get(9..9 + parsed.payload.len())
+        .ok_or_else(|| CdmsError::Format("chunk frame truncated".into()))
+}
+
+// ---- strict decode ----
+
+/// Strict v3 decoder: verifies every frame CRC, the chunk directory, the
+/// trailer, and the footer, and rebuilds variables from level-0 chunks.
+pub fn from_bytes_v3(full: &[u8]) -> Result<Dataset> {
+    if full.len() < 8 + FRAME_OVERHEAD + FOOTER_LEN {
+        return Err(CdmsError::Format(format!("truncated v3 file ({} bytes)", full.len())));
+    }
+    let footer_at = full.len() - FOOTER_LEN;
+    let declared_trailer = format::verify_footer(full, footer_at)?;
+
+    let mut pos = 8usize;
+    let mut observed: Vec<(u8, u64, u64, u32)> = Vec::new();
+    let note = |f: &format::Frame<'_>| {
+        (f.kind.as_u8(), f.offset as u64, f.payload.len() as u64, f.crc)
+    };
+
+    let header = format::read_frame(full, &mut pos, footer_at)?;
+    format::expect_kind(&header, SectionKind::Header)?;
+    observed.push(note(&header));
+    let (id, attributes, n_axes, n_vars) = format::decode_header(header.payload)?;
+
+    let mut axes = Vec::new();
+    for _ in 0..n_axes {
+        let frame = format::read_frame(full, &mut pos, footer_at)?;
+        format::expect_kind(&frame, SectionKind::Axis)?;
+        observed.push(note(&frame));
+        axes.push(format::decode_axis_payload(frame.payload)?);
+    }
+
+    let mut metas = Vec::with_capacity(n_vars);
+    for _ in 0..n_vars {
+        let frame = format::read_frame(full, &mut pos, footer_at)?;
+        format::expect_kind(&frame, SectionKind::VarMeta)?;
+        observed.push(note(&frame));
+        metas.push(decode_varmeta_payload(frame.payload, &axes)?);
+    }
+
+    // chunk frames, in (var, window, level) order
+    let mut chunk_frames: Vec<(ChunkDirEntry, &[u8])> = Vec::new();
+    for (vi, meta) in metas.iter().enumerate() {
+        for w in 0..meta.n_windows() {
+            for l in 0..meta.levels {
+                let frame = format::read_frame(full, &mut pos, footer_at)?;
+                format::expect_kind(&frame, SectionKind::Chunk)?;
+                observed.push(note(&frame));
+                chunk_frames.push((
+                    ChunkDirEntry {
+                        var: vi,
+                        window: w,
+                        level: l,
+                        offset: frame.offset as u64,
+                        len: frame.payload.len() as u64,
+                        crc: frame.crc,
+                    },
+                    frame.payload,
+                ));
+            }
+        }
+    }
+
+    let chunkdir = format::read_frame(full, &mut pos, footer_at)?;
+    format::expect_kind(&chunkdir, SectionKind::ChunkDir)?;
+    observed.push(note(&chunkdir));
+    let dir_entries = decode_chunkdir_payload(chunkdir.payload)?;
+    if dir_entries.len() != chunk_frames.len() {
+        return Err(CdmsError::Format(format!(
+            "chunk directory lists {} chunks, file has {}",
+            dir_entries.len(),
+            chunk_frames.len()
+        )));
+    }
+    for (listed, (found, _)) in dir_entries.iter().zip(&chunk_frames) {
+        if listed != found {
+            return Err(CdmsError::Format(format!(
+                "chunk directory disagrees with chunk at byte {}",
+                found.offset
+            )));
+        }
+    }
+
+    let trailer_at = pos;
+    let trailer = format::read_frame(full, &mut pos, footer_at)?;
+    format::expect_kind(&trailer, SectionKind::Trailer)?;
+    if pos != footer_at {
+        return Err(CdmsError::Format(format!(
+            "{} unexpected bytes between trailer and footer",
+            footer_at - pos
+        )));
+    }
+    if declared_trailer != trailer_at as u64 {
+        return Err(CdmsError::Format(format!(
+            "footer points at byte {declared_trailer}, trailer found at {trailer_at}"
+        )));
+    }
+    format::verify_trailer(trailer.payload, &observed)?;
+
+    // Rebuild variables from level-0 chunks; higher levels were already
+    // CRC-verified by read_frame, and get a full decode check here too so
+    // a corrupt-but-CRC-consistent pyramid cannot hide.
+    let mut ds = Dataset::new(&id);
+    ds.attributes = attributes;
+    let mut cursor = 0usize;
+    for (vi, meta) in metas.iter().enumerate() {
+        let volume = format::checked_volume(&meta.shape)
+            .ok_or_else(|| CdmsError::Format(format!("variable '{}': shape overflows", meta.id)))?;
+        let mut data = vec![0.0f32; volume];
+        let mut mask = vec![false; volume];
+        for w in 0..meta.n_windows() {
+            for l in 0..meta.levels {
+                let (entry, payload) = chunk_frames
+                    .get(cursor)
+                    .ok_or_else(|| CdmsError::Format("chunk frames exhausted early".into()))?;
+                cursor += 1;
+                let n = meta.level_volume(w, l).ok_or_else(|| {
+                    CdmsError::Format(format!("variable '{}': level shape overflows", meta.id))
+                })?;
+                let (cdata, cmask) = decode_chunk_payload(payload, (vi, w, l), n)?;
+                if l == 0 {
+                    scatter_window(
+                        &cdata,
+                        &cmask,
+                        &mut data,
+                        &mut mask,
+                        &meta.shape,
+                        meta.time_axis,
+                        meta.window_range(w),
+                    )?;
+                }
+                let _ = entry;
+            }
+        }
+        let array = MaskedArray::with_mask(data, mask, &meta.shape)?;
+        let var_axes: Vec<Axis> = meta
+            .axis_refs
+            .iter()
+            .map(|&r| {
+                axes.get(r).cloned().ok_or_else(|| {
+                    CdmsError::Format(format!(
+                        "variable '{}' references axis {r}, only {} exist",
+                        meta.id,
+                        axes.len()
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut var = Variable::new(&meta.id, array, var_axes)?;
+        var.attributes = meta.attributes.clone();
+        ds.add_variable(var);
+    }
+    Ok(ds)
+}
+
+/// Copies a window slab (time dim cut to `range`) into the full array.
+pub(crate) fn scatter_window(
+    slab_data: &[f32],
+    slab_mask: &[bool],
+    full_data: &mut [f32],
+    full_mask: &mut [bool],
+    shape: &[usize],
+    time_axis: Option<usize>,
+    range: Range<usize>,
+) -> Result<()> {
+    let Some(t) = time_axis else {
+        // single-window variable: the slab IS the array
+        if slab_data.len() != full_data.len() {
+            return Err(CdmsError::Format(format!(
+                "window slab has {} elements, variable wants {}",
+                slab_data.len(),
+                full_data.len()
+            )));
+        }
+        full_data.copy_from_slice(slab_data);
+        full_mask.copy_from_slice(slab_mask);
+        return Ok(());
+    };
+    let nt = shape.get(t).copied().unwrap_or(0);
+    if range.start >= range.end || range.end > nt {
+        return Err(CdmsError::Format(format!("window {range:?} out of range for {nt} steps")));
+    }
+    let pre: usize = shape.get(..t).map(|s| s.iter().product()).unwrap_or(1);
+    let post: usize = shape.get(t + 1..).map(|s| s.iter().product()).unwrap_or(1);
+    let wlen = range.len();
+    if slab_data.len() != pre * wlen * post {
+        return Err(CdmsError::Format(format!(
+            "window slab has {} elements, expected {}",
+            slab_data.len(),
+            pre * wlen * post
+        )));
+    }
+    for p in 0..pre {
+        for (k, ti) in range.clone().enumerate() {
+            let src = (p * wlen + k) * post;
+            let dst = (p * nt + ti) * post;
+            let (Some(sd), Some(dd)) =
+                (slab_data.get(src..src + post), full_data.get_mut(dst..dst + post))
+            else {
+                return Err(CdmsError::Format("window scatter out of bounds".into()));
+            };
+            dd.copy_from_slice(sd);
+            let (Some(sm), Some(dm)) =
+                (slab_mask.get(src..src + post), full_mask.get_mut(dst..dst + post))
+            else {
+                return Err(CdmsError::Format("window scatter out of bounds".into()));
+            };
+            dm.copy_from_slice(sm);
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a `VarMeta` payload, deriving the time-axis position.
+pub(crate) fn decode_varmeta_payload(payload: &[u8], axes: &[Axis]) -> Result<V3VarMeta> {
+    let mut cur = payload;
+    let buf = &mut cur;
+    let id = format::get_string(buf)?;
+    let naxes = format::get_u32(buf)? as usize;
+    if naxes > 64 {
+        return Err(CdmsError::Format(format!("implausible rank {naxes}")));
+    }
+    let mut refs = Vec::with_capacity(naxes);
+    for _ in 0..naxes {
+        refs.push(format::get_u32(buf)? as usize);
+    }
+    let attributes = format::get_attrs(buf)?;
+    let rank = format::get_u32(buf)? as usize;
+    if rank != naxes {
+        return Err(CdmsError::Format(format!(
+            "variable '{id}': rank {rank} != axis count {naxes}"
+        )));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(format::get_u64(buf)? as usize);
+    }
+    let window = format::get_u32(buf)? as usize;
+    let levels = format::get_u32(buf)? as usize;
+    if !buf.is_empty() {
+        return Err(CdmsError::Format(format!("varmeta '{id}' payload has trailing bytes")));
+    }
+    if window == 0 || levels == 0 || levels > 32 {
+        return Err(CdmsError::Format(format!(
+            "varmeta '{id}': implausible window {window} / levels {levels}"
+        )));
+    }
+    // shape must agree with the referenced axes (when they resolve)
+    let time_axis = refs
+        .iter()
+        .position(|&r| axes.get(r).map(|a| a.kind == AxisKind::Time).unwrap_or(false));
+    for (d, &r) in refs.iter().enumerate() {
+        if let (Some(ax), Some(&dim)) = (axes.get(r), shape.get(d)) {
+            if ax.len() != dim {
+                return Err(CdmsError::Format(format!(
+                    "variable '{id}': dim {d} is {dim}, axis '{}' has {} points",
+                    ax.id,
+                    ax.len()
+                )));
+            }
+        }
+    }
+    Ok(V3VarMeta { id, axis_refs: refs, attributes, shape, window, levels, time_axis })
+}
+
+/// Decodes a `ChunkDir` payload into its entries (file order).
+pub(crate) fn decode_chunkdir_payload(payload: &[u8]) -> Result<Vec<ChunkDirEntry>> {
+    let mut cur = payload;
+    let buf = &mut cur;
+    let n = format::get_u32(buf)? as usize;
+    if n > buf.len() / 32 {
+        return Err(CdmsError::Format(format!("implausible chunk count {n}")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(ChunkDirEntry {
+            var: format::get_u32(buf)? as usize,
+            window: format::get_u32(buf)? as usize,
+            level: format::get_u32(buf)? as usize,
+            offset: format::get_u64(buf)?,
+            len: format::get_u64(buf)?,
+            crc: format::get_u32(buf)?,
+        });
+    }
+    if !buf.is_empty() {
+        return Err(CdmsError::Format("chunk directory has trailing bytes".into()));
+    }
+    Ok(out)
+}
+
+// ---- salvage ----
+
+/// Per-chunk best-effort decode: every variable whose metadata and axes
+/// survive is rebuilt window by window — full resolution when the level-0
+/// chunk is intact, the best intact pyramid level (upsampled) otherwise,
+/// and a fully-masked window when every level of a window is gone.
+pub fn salvage_v3(full: &[u8]) -> (Dataset, SalvageReport) {
+    let (raw, directory_intact) = format::locate_sections(full);
+    let mut report = SalvageReport {
+        sections_total: raw.len(),
+        directory_intact,
+        ..SalvageReport::default()
+    };
+
+    let mut header: Option<(String, Attributes)> = None;
+    let mut axes: Vec<Option<Axis>> = Vec::new();
+    // intact payload per varmeta slot, None where the section is corrupt —
+    // decoded after the axis list exists (the time axis is derived from it)
+    let mut varmeta_slots: Vec<Option<&[u8]>> = Vec::new();
+    let mut chunk_payloads: Vec<&[u8]> = Vec::new();
+    for s in &raw {
+        let Some(payload) = format::verified_payload(full, s) else {
+            report.sections_corrupt += 1;
+            match s.kind {
+                SectionKind::Axis => axes.push(None),
+                SectionKind::VarMeta => varmeta_slots.push(None),
+                _ => {}
+            }
+            continue;
+        };
+        match s.kind {
+            SectionKind::Header => {
+                if let Ok((id, attrs, _, _)) = format::decode_header(payload) {
+                    header = Some((id, attrs));
+                } else {
+                    report.sections_corrupt += 1;
+                }
+            }
+            SectionKind::Axis => match format::decode_axis_payload(payload) {
+                Ok(ax) => axes.push(Some(ax)),
+                Err(_) => {
+                    report.sections_corrupt += 1;
+                    axes.push(None);
+                }
+            },
+            SectionKind::VarMeta => varmeta_slots.push(Some(payload)),
+            SectionKind::Chunk => chunk_payloads.push(payload),
+            _ => {}
+        }
+    }
+    report.header_intact = header.is_some();
+    let (id, attributes) = header.unwrap_or_else(|| (String::new(), Attributes::new()));
+    let mut ds = Dataset::new(&id);
+    ds.attributes = attributes;
+
+    // Resolve varmetas now that the (possibly holey) axis list exists.
+    let resolved_axes: Vec<Axis> = axes
+        .iter()
+        .map(|a| a.clone().unwrap_or_else(|| Axis::empty("corrupt", "", AxisKind::Generic)))
+        .collect();
+    let metas: Vec<Option<V3VarMeta>> = varmeta_slots
+        .iter()
+        .map(|slot| {
+            let payload = (*slot)?;
+            match decode_varmeta_payload(payload, &resolved_axes) {
+                Ok(m) => Some(m),
+                Err(_) => {
+                    report.sections_corrupt += 1;
+                    None
+                }
+            }
+        })
+        .collect();
+
+    // Index intact chunks by their self-declared identity triple.
+    let mut chunk_index: BTreeMap<(usize, usize, usize), &[u8]> = BTreeMap::new();
+    for payload in chunk_payloads {
+        let mut cur = payload;
+        let buf = &mut cur;
+        if let (Ok(v), Ok(w), Ok(l)) =
+            (format::get_u32(buf), format::get_u32(buf), format::get_u32(buf))
+        {
+            chunk_index.insert((v as usize, w as usize, l as usize), payload);
+        }
+    }
+
+    for (vi, meta) in metas.iter().enumerate() {
+        let Some(meta) = meta else {
+            report.lost_variables.push(LostVariable {
+                id: None,
+                section: vi,
+                reason: "varmeta section checksum mismatch".into(),
+            });
+            continue;
+        };
+        // all referenced axes must be intact
+        let mut bad_axis = None;
+        for &r in &meta.axis_refs {
+            if !matches!(axes.get(r), Some(Some(_))) {
+                bad_axis = Some(r);
+                break;
+            }
+        }
+        if let Some(r) = bad_axis {
+            report.lost_variables.push(LostVariable {
+                id: Some(meta.id.clone()),
+                section: vi,
+                reason: format!("axis section {r} corrupt"),
+            });
+            continue;
+        }
+        match salvage_variable_v3(vi, meta, &chunk_index, &resolved_axes, &mut report) {
+            Ok(var) => {
+                report.recovered_variables.push(var.id.clone());
+                ds.add_variable(var);
+            }
+            Err(reason) => {
+                report.lost_variables.push(LostVariable {
+                    id: Some(meta.id.clone()),
+                    section: vi,
+                    reason,
+                });
+            }
+        }
+    }
+    (ds, report)
+}
+
+/// Rebuilds one variable from whatever chunks survive.
+fn salvage_variable_v3(
+    vi: usize,
+    meta: &V3VarMeta,
+    chunk_index: &BTreeMap<(usize, usize, usize), &[u8]>,
+    axes: &[Axis],
+    report: &mut SalvageReport,
+) -> std::result::Result<Variable, String> {
+    let volume = format::checked_volume(&meta.shape).ok_or("shape overflows")?;
+    let mut data = vec![0.0f32; volume];
+    let mut mask = vec![true; volume]; // windows with no chunk stay masked
+    for w in 0..meta.n_windows() {
+        let full_shape = meta.slab_shape(w);
+        let mut recovered = None;
+        for l in 0..meta.levels {
+            let Some(payload) = chunk_index.get(&(vi, w, l)) else { continue };
+            let Some(n) = meta.level_volume(w, l) else { continue };
+            let Ok((cdata, cmask)) = decode_chunk_payload(payload, (vi, w, l), n) else {
+                report.sections_corrupt += 1;
+                continue;
+            };
+            if l == 0 {
+                recovered = Some((cdata, cmask));
+            } else {
+                let from_shape = meta.level_shape(w, l);
+                match upsample_nearest(&cdata, &cmask, &from_shape, &full_shape) {
+                    Ok(up) => recovered = Some(up),
+                    Err(_) => continue,
+                }
+            }
+            break;
+        }
+        let (cdata, cmask) = match recovered {
+            Some(r) => r,
+            // every level gone: leave the window masked
+            None => continue,
+        };
+        scatter_window(
+            &cdata,
+            &cmask,
+            &mut data,
+            &mut mask,
+            &meta.shape,
+            meta.time_axis,
+            meta.window_range(w),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    let array = MaskedArray::with_mask(data, mask, &meta.shape).map_err(|e| e.to_string())?;
+    let var_axes: Vec<Axis> = meta
+        .axis_refs
+        .iter()
+        .map(|&r| axes.get(r).cloned().ok_or_else(|| format!("axis {r} missing")))
+        .collect::<std::result::Result<_, _>>()?;
+    let mut var = Variable::new(&meta.id, array, var_axes).map_err(|e| e.to_string())?;
+    var.attributes = meta.attributes.clone();
+    Ok(var)
+}
+
+// ---- metadata bootstrap for streaming readers ----
+
+/// Reads only the metadata of a v3 file through ranged reads: footer →
+/// trailer → header/axes/varmetas/chunkdir. No chunk payload is touched,
+/// so opening a petascale series costs a handful of small reads.
+pub fn read_meta_with(storage: &dyn Storage, path: &Path) -> Result<V3Meta> {
+    let file_len = storage.len(path)?;
+    let min = (8 + FRAME_OVERHEAD + FOOTER_LEN) as u64;
+    if file_len < min {
+        return Err(CdmsError::Format(format!(
+            "{}: truncated v3 file ({file_len} bytes)",
+            path.display()
+        )));
+    }
+    let head = storage.read_at(path, 0, 8)?;
+    if head.get(..4) != Some(&MAGIC[..]) {
+        return Err(CdmsError::Format(format!("{}: bad magic (not an .ncr file)", path.display())));
+    }
+    let version = head
+        .get(4..8)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| CdmsError::Format("short read on magic".into()))?;
+    if version != VERSION_V3 {
+        return Err(CdmsError::Format(format!(
+            "{}: version {version} is not streamable (only v3 has a chunk directory)",
+            path.display()
+        )));
+    }
+
+    let footer_at = file_len - FOOTER_LEN as u64;
+    let footer = read_exact_at(storage, path, footer_at, FOOTER_LEN)?;
+    let trailer_at = format::verify_footer(&footer, 0)?;
+    if trailer_at < 8 || trailer_at >= footer_at {
+        return Err(CdmsError::Format(format!(
+            "{}: footer points outside the file (byte {trailer_at})",
+            path.display()
+        )));
+    }
+    let trailer_bytes =
+        read_exact_at(storage, path, trailer_at, (footer_at - trailer_at) as usize)?;
+    let mut pos = 0usize;
+    let trailer = format::read_frame(&trailer_bytes, &mut pos, trailer_bytes.len())?;
+    format::expect_kind(&trailer, SectionKind::Trailer)?;
+
+    // section directory: (kind, offset, len, crc)
+    let mut cur = trailer.payload;
+    let buf = &mut cur;
+    let n = format::get_u32(buf)? as usize;
+    if n > buf.len() / 21 {
+        return Err(CdmsError::Format("trailer directory truncated".into()));
+    }
+    let mut header_sec = None;
+    let mut axis_secs = Vec::new();
+    let mut varmeta_secs = Vec::new();
+    let mut chunkdir_sec = None;
+    for _ in 0..n {
+        let kind = format::get_u8(buf)?;
+        let off = format::get_u64(buf)?;
+        let len = format::get_u64(buf)?;
+        let _crc = format::get_u32(buf)?;
+        if off.checked_add(FRAME_OVERHEAD as u64 + len).map(|end| end > footer_at).unwrap_or(true)
+        {
+            return Err(CdmsError::Format(format!(
+                "directory entry at byte {off} overruns the file"
+            )));
+        }
+        match SectionKind::from_u8(kind) {
+            Some(SectionKind::Header) => header_sec = Some((off, len)),
+            Some(SectionKind::Axis) => axis_secs.push((off, len)),
+            Some(SectionKind::VarMeta) => varmeta_secs.push((off, len)),
+            Some(SectionKind::ChunkDir) => chunkdir_sec = Some((off, len)),
+            _ => {}
+        }
+    }
+    let (hoff, hlen) =
+        header_sec.ok_or_else(|| CdmsError::Format("no header section in directory".into()))?;
+    let (id, attributes, n_axes, n_vars) =
+        format::decode_header(read_section(storage, path, hoff, hlen)?.as_slice())?;
+    if axis_secs.len() != n_axes || varmeta_secs.len() != n_vars {
+        return Err(CdmsError::Format(format!(
+            "{}: header declares {n_axes} axes / {n_vars} variables, directory lists {} / {}",
+            path.display(),
+            axis_secs.len(),
+            varmeta_secs.len()
+        )));
+    }
+
+    let mut axes = Vec::with_capacity(axis_secs.len());
+    for (off, len) in axis_secs {
+        axes.push(format::decode_axis_payload(&read_section(storage, path, off, len)?)?);
+    }
+    let mut vars = Vec::with_capacity(varmeta_secs.len());
+    for (off, len) in varmeta_secs {
+        vars.push(decode_varmeta_payload(&read_section(storage, path, off, len)?, &axes)?);
+    }
+    let (coff, clen) = chunkdir_sec
+        .ok_or_else(|| CdmsError::Format("no chunk directory section in directory".into()))?;
+    let mut chunks = decode_chunkdir_payload(&read_section(storage, path, coff, clen)?)?;
+    chunks.sort_by_key(|e| (e.var, e.window, e.level));
+    for e in &chunks {
+        if e.offset.checked_add(e.frame_len() as u64).map(|end| end > footer_at).unwrap_or(true) {
+            return Err(CdmsError::Format(format!(
+                "chunk ({},{},{}) overruns the file",
+                e.var, e.window, e.level
+            )));
+        }
+    }
+    Ok(V3Meta { id, attributes, axes, vars, chunks, file_len })
+}
+
+/// Ranged read that treats a short result as corruption (the caller asked
+/// for bytes the format says must exist).
+pub(crate) fn read_exact_at(
+    storage: &dyn Storage,
+    path: &Path,
+    offset: u64,
+    len: usize,
+) -> Result<Vec<u8>> {
+    let got = storage.read_at(path, offset, len)?;
+    if got.len() != len {
+        return Err(CdmsError::Format(format!(
+            "{}: short read at byte {offset}: got {} of {len} bytes",
+            path.display(),
+            got.len()
+        )));
+    }
+    Ok(got)
+}
+
+/// Reads and CRC-verifies one section frame, returning its payload.
+fn read_section(storage: &dyn Storage, path: &Path, offset: u64, len: u64) -> Result<Vec<u8>> {
+    let frame = read_exact_at(storage, path, offset, len as usize + FRAME_OVERHEAD)?;
+    let mut pos = 0usize;
+    let parsed = format::read_frame(&frame, &mut pos, frame.len())?;
+    Ok(parsed.payload.to_vec())
+}
+
+// ---- file I/O ----
+
+/// Writes a dataset in v3 crash-safely (atomic temp-file + fsync + rename
+/// + parent-dir fsync via [`crate::storage::write_atomic`]).
+pub fn write_dataset_v3(ds: &Dataset, path: &Path) -> Result<()> {
+    write_dataset_v3_with(&LocalDisk, ds, path, &V3Options::default())
+}
+
+/// Writes v3 through an explicit backend with explicit options.
+pub fn write_dataset_v3_with(
+    storage: &dyn Storage,
+    ds: &Dataset,
+    path: &Path,
+    opts: &V3Options,
+) -> Result<()> {
+    crate::storage::write_atomic(storage, path, &to_bytes_v3_with(ds, opts).0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Calendar;
+    use crate::format::{from_bytes, from_bytes_salvage, to_bytes};
+    use crate::synth::SynthesisSpec;
+
+    fn sample() -> Dataset {
+        SynthesisSpec::new(6, 2, 8, 12).seed(11).build()
+    }
+
+    #[test]
+    fn v3_roundtrip_is_bit_exact_with_source() {
+        let ds = sample();
+        let (bytes, layout) = to_bytes_v3(&ds);
+        assert!(!layout.chunks.is_empty());
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.id, ds.id);
+        assert_eq!(back.attributes, ds.attributes);
+        for var in ds.variables() {
+            let b = back.variable(&var.id).unwrap();
+            assert_eq!(b.array, var.array, "variable '{}'", var.id);
+            assert_eq!(b.axes, var.axes);
+            assert_eq!(b.attributes, var.attributes);
+        }
+    }
+
+    #[test]
+    fn v3_matches_v2_decode() {
+        let ds = sample();
+        let via_v2 = from_bytes(&to_bytes(&ds)).unwrap();
+        let via_v3 = from_bytes(&to_bytes_v3(&ds).0).unwrap();
+        for var in via_v2.variables() {
+            assert_eq!(via_v3.variable(&var.id).unwrap().array, var.array);
+        }
+    }
+
+    #[test]
+    fn chunk_layout_is_complete_and_ordered() {
+        let ds = sample();
+        let opts = V3Options { window: 2, levels: 3, compress: true };
+        let (bytes, layout) = to_bytes_v3_with(&ds, &opts);
+        // every chunk span's CRC verifies against the bytes
+        for c in &layout.chunks {
+            let payload = &bytes[c.payload.clone()];
+            let crc_at = c.frame.end - 4;
+            let stored = u32::from_le_bytes([
+                bytes[crc_at],
+                bytes[crc_at + 1],
+                bytes[crc_at + 2],
+                bytes[crc_at + 3],
+            ]);
+            assert_eq!(crc32c(payload), stored);
+        }
+        // (var, window, level) strictly increasing in file order
+        let keys: Vec<_> = layout.chunks.iter().map(|c| (c.var, c.window, c.level)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn single_byte_flips_fail_strict_decode() {
+        let ds = SynthesisSpec::new(3, 1, 4, 6).seed(3).build();
+        let bytes = to_bytes_v3(&ds).0.to_vec();
+        for i in (8..bytes.len()).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(from_bytes(&corrupt).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn salvage_degrades_corrupt_level0_to_pyramid() {
+        let ds = sample();
+        let opts = V3Options { window: 2, levels: 3, compress: true };
+        let (bytes, layout) = to_bytes_v3_with(&ds, &opts);
+        let mut bytes = bytes.to_vec();
+        // kill the level-0 chunk of (var 0, window 1)
+        let target = layout
+            .chunks
+            .iter()
+            .find(|c| c.var == 0 && c.window == 1 && c.level == 0)
+            .unwrap();
+        bytes[target.payload.start + 20] ^= 0xFF;
+        assert!(from_bytes(&bytes).is_err());
+        let (salvaged, report) = from_bytes_salvage(&bytes).unwrap();
+        assert_eq!(report.sections_corrupt, 1, "{report}");
+        assert_eq!(report.recovered_variables.len(), ds.variables().len());
+        // the damaged window is filled from the pyramid: values exist (not
+        // fully masked), but differ from the original at full resolution
+        let vid = &ds.variables()[0].id;
+        let orig = ds.variable(vid).unwrap();
+        let got = salvaged.variable(vid).unwrap();
+        assert_eq!(got.array.shape(), orig.array.shape());
+        let w1 = got.time_window(2..4).unwrap();
+        assert!(w1.array.valid_count() > 0, "pyramid fallback should fill the window");
+    }
+
+    #[test]
+    fn salvage_masks_window_when_all_levels_die() {
+        let ds = sample();
+        let opts = V3Options { window: 2, levels: 2, compress: false };
+        let (bytes, layout) = to_bytes_v3_with(&ds, &opts);
+        let mut bytes = bytes.to_vec();
+        for c in layout.chunks.iter().filter(|c| c.var == 0 && c.window == 0) {
+            bytes[c.payload.start + 15] ^= 0xFF;
+        }
+        let (salvaged, report) = from_bytes_salvage(&bytes).unwrap();
+        assert!(report.sections_corrupt >= 2, "{report}");
+        let vid = &ds.variables()[0].id;
+        let got = salvaged.variable(vid).unwrap();
+        assert_eq!(got.time_window(0..2).unwrap().array.valid_count(), 0);
+        assert_eq!(
+            got.time_window(2..6).unwrap().array,
+            ds.variable(vid).unwrap().time_window(2..6).unwrap().array,
+            "undamaged windows must be bit-exact"
+        );
+    }
+
+    #[test]
+    fn packbits_roundtrips() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![1, 2, 3, 4, 5],
+            vec![0; 1000],
+            (0..=255u8).cycle().take(700).collect(),
+            [vec![9u8; 200], (0..100u8).collect(), vec![3u8; 5]].concat(),
+        ];
+        for case in cases {
+            let enc = packbits_encode(&case);
+            let dec = packbits_decode(&enc, case.len()).unwrap();
+            assert_eq!(dec, case);
+        }
+        // constant input compresses hard
+        let enc = packbits_encode(&[0u8; 1000]);
+        assert!(enc.len() < 20, "{}", enc.len());
+    }
+
+    #[test]
+    fn compression_only_kept_when_smaller() {
+        // a constant field: RLE wins, and the roundtrip stays exact
+        let mut ds = Dataset::new("flat");
+        let ax = Axis::new("x", (0..64).map(f64::from).collect(), "m", AxisKind::Generic)
+            .unwrap();
+        ds.add_variable(
+            Variable::new("c", MaskedArray::filled(2.5, &[64]), vec![ax]).unwrap(),
+        );
+        let (with, _) = to_bytes_v3_with(&ds, &V3Options { compress: true, ..Default::default() });
+        let (without, _) =
+            to_bytes_v3_with(&ds, &V3Options { compress: false, ..Default::default() });
+        assert!(with.len() < without.len());
+        assert_eq!(
+            from_bytes(&with).unwrap().variable("c").unwrap().array,
+            ds.variable("c").unwrap().array
+        );
+    }
+
+    #[test]
+    fn meta_bootstrap_reads_no_chunks() {
+        let dir = std::env::temp_dir().join("cdms_v3_meta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta.ncr");
+        let ds = sample();
+        write_dataset_v3(&ds, &path).unwrap();
+        let meta = read_meta_with(&LocalDisk, &path).unwrap();
+        assert_eq!(meta.id, ds.id);
+        assert_eq!(meta.vars.len(), ds.variables().len());
+        let m0 = &meta.vars[0];
+        assert_eq!(m0.n_windows(), 6usize.div_ceil(4));
+        for e in &meta.chunks {
+            assert!(meta.chunk(e.var, e.window, e.level).is_some());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn upsample_nearest_covers_shape() {
+        let (data, mask) =
+            upsample_nearest(&[1.0, 2.0, 3.0, 4.0], &[false, false, true, false], &[2, 2], &[4, 4])
+                .unwrap();
+        assert_eq!(data.len(), 16);
+        assert_eq!(data[0], 1.0);
+        assert_eq!(data[15], 4.0);
+        assert!(mask[2 * 4 + 1], "masked source cell propagates");
+        assert!(upsample_nearest(&[1.0], &[false], &[1], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn downsample_masks_empty_blocks_and_averages_valid() {
+        let data = vec![1.0, 3.0, 5.0, 7.0];
+        let mask = vec![false, false, true, true];
+        let (d, m) = downsample(&data, &mask, &[2, 2], &[0, 1], 1);
+        assert_eq!(d.len(), 1);
+        assert!(!m[0]);
+        assert_eq!(d[0], 2.0, "mean of the two valid cells");
+        let (_, m) = downsample(&data, &[true; 4], &[2, 2], &[0, 1], 1);
+        assert!(m[0], "block with no valid cells is masked");
+    }
+
+    #[test]
+    fn scalar_and_no_time_variables_roundtrip() {
+        let mut ds = Dataset::new("edge");
+        ds.add_variable(Variable::new("s", MaskedArray::filled(1.5, &[]), vec![]).unwrap());
+        let lat = Axis::latitude(vec![-10.0, 10.0]).unwrap();
+        ds.add_variable(
+            Variable::new("g", MaskedArray::filled(4.0, &[2]), vec![lat]).unwrap(),
+        );
+        let back = from_bytes(&to_bytes_v3(&ds).0).unwrap();
+        assert_eq!(back.variable("s").unwrap().array.data(), &[1.5]);
+        assert_eq!(back.variable("g").unwrap().array.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn time_axis_not_first_roundtrips() {
+        // (lat, time) order: windows must scatter through the stride logic
+        let time =
+            Axis::time(vec![0.0, 1.0, 2.0, 3.0, 4.0], "days since 2000-01-01", Calendar::NoLeap365)
+                .unwrap();
+        let lat = Axis::latitude(vec![-30.0, 30.0]).unwrap();
+        let arr = MaskedArray::from_fn(&[2, 5], |ix| (ix[0] * 10 + ix[1]) as f32);
+        let mut ds = Dataset::new("tmid");
+        ds.add_variable(Variable::new("v", arr, vec![lat, time]).unwrap());
+        let opts = V3Options { window: 2, levels: 2, compress: true };
+        let back = from_bytes(&to_bytes_v3_with(&ds, &opts).0).unwrap();
+        assert_eq!(back.variable("v").unwrap().array, ds.variable("v").unwrap().array);
+    }
+}

@@ -35,6 +35,13 @@
 //!   errors, and a deterministic [`storage::FaultyStorage`] for injecting
 //!   short writes, torn writes, bit flips, ENOSPC and EINTR-style faults in
 //!   tests.
+//! * [`format_v3`] + [`stream`] — the out-of-core layer: format v3 splits
+//!   each variable into per-time-window chunk frames with a coarse-to-fine
+//!   resolution pyramid, indexed by a trailer chunk directory;
+//!   [`StreamingVariable`] reads any (window, level) piecewise through
+//!   `Storage::read_at` behind a byte-budgeted LRU chunk cache with
+//!   prefetch, per-chunk retry, and pyramid/masked-fill degradation, so
+//!   animation of a series far larger than RAM never stalls on a fault.
 //! * [`catalog`] — a directory-backed stand-in for Earth System Grid (ESG)
 //!   federated data access: search by attribute, open remote variables;
 //!   corrupt files are quarantined or salvaged with a recorded reason
@@ -65,8 +72,10 @@ pub mod catalog;
 pub mod dataset;
 pub mod error;
 pub mod format;
+pub mod format_v3;
 pub mod grid;
 pub mod storage;
+pub mod stream;
 pub mod synth;
 pub mod variable;
 
@@ -77,6 +86,8 @@ pub use calendar::{Calendar, CompTime, RelTime, TimeUnits};
 pub use dataset::Dataset;
 pub use error::{CdmsError, Result};
 pub use format::{LostVariable, SalvageReport};
+pub use format_v3::{V3Layout, V3Options};
 pub use grid::RectGrid;
 pub use storage::Storage;
+pub use stream::{StreamOptions, StreamReport, StreamingDataset, StreamingVariable};
 pub use variable::Variable;

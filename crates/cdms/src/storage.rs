@@ -23,6 +23,7 @@
 use crate::error::{CdmsError, Result};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -219,10 +220,22 @@ fn crc32c_shift(mut crc: u32, mut len: u64) -> u32 {
 pub trait Storage: Send + Sync {
     /// Reads a whole file.
     fn read(&self, path: &Path) -> Result<Vec<u8>>;
+    /// Ranged read: up to `len` bytes starting at byte `offset`. A read
+    /// past EOF returns the bytes that exist (possibly empty) — callers
+    /// that know the exact extent they asked for treat a short result as
+    /// corruption, the same way they treat a failed checksum. This is the
+    /// primitive the out-of-core `.ncr` v3 streaming layer is built on:
+    /// one chunk frame per call, never the whole file.
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Vec<u8>>;
     /// Creates/truncates `path` and writes `bytes` in full.
     fn write_all(&self, path: &Path, bytes: &[u8]) -> Result<()>;
     /// Flushes file content to stable storage (`fsync`).
     fn sync(&self, path: &Path) -> Result<()>;
+    /// Flushes a *directory* to stable storage. POSIX makes the rename in
+    /// [`write_atomic`] atomic but not durable: until the parent directory
+    /// is fsynced, a power loss can roll the directory entry back to the
+    /// old file. Called on the destination's parent after every rename.
+    fn sync_dir(&self, dir: &Path) -> Result<()>;
     /// Size of the file in bytes.
     fn len(&self, path: &Path) -> Result<u64>;
     /// Atomically renames `from` onto `to` (same directory).
@@ -241,12 +254,35 @@ impl Storage for LocalDisk {
         Ok(std::fs::read(path)?)
     }
 
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = std::fs::File::open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        let mut filled = 0usize;
+        while filled < len {
+            match f.read(&mut buf[filled..]) {
+                Ok(0) => break, // EOF: return the short prefix
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        buf.truncate(filled);
+        Ok(buf)
+    }
+
     fn write_all(&self, path: &Path, bytes: &[u8]) -> Result<()> {
         Ok(std::fs::write(path, bytes)?)
     }
 
     fn sync(&self, path: &Path) -> Result<()> {
         Ok(std::fs::File::open(path)?.sync_all()?)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<()> {
+        let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+        Ok(std::fs::File::open(dir)?.sync_all()?)
     }
 
     fn len(&self, path: &Path) -> Result<u64> {
@@ -290,12 +326,18 @@ fn retry_transient<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
 }
 
 /// Writes `bytes` to `path` crash-safely: temp file in the same directory,
-/// fsync, length + CRC32C read-back verification, then an atomic rename.
+/// fsync, length + CRC32C read-back verification, an atomic rename, then an
+/// fsync of the parent directory so the rename itself is durable (without
+/// it a power loss can roll the directory entry back to the old file).
 ///
 /// The guarantee (enumerated by the crash-safety tests): whatever primitive
 /// step fails — torn write, short write, bit flip, ENOSPC, scripted crash —
 /// `path` afterwards holds either its complete previous content or the
-/// complete new content. Transient errors are retried per primitive.
+/// complete new content. Transient errors are retried per primitive. A
+/// failure of the final directory sync is reported as an error even though
+/// the rename has already landed: the caller must treat the publish as
+/// not-yet-durable, but the destination still parses as exactly one of the
+/// two complete states.
 pub fn write_atomic(storage: &dyn Storage, path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = temp_sibling(path);
     let result = write_atomic_steps(storage, &tmp, path, bytes);
@@ -329,6 +371,13 @@ fn write_atomic_steps(storage: &dyn Storage, tmp: &Path, path: &Path, bytes: &[u
         )));
     }
     retry_transient(|| storage.rename(tmp, path))?;
+    // Durability barrier for the rename itself: fsync the parent directory
+    // entry. Paths with no named parent live in the current directory.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    retry_transient(|| storage.sync_dir(parent))?;
     Ok(())
 }
 
@@ -356,15 +405,46 @@ pub enum StorageFault {
     Transient { times: u32 },
     /// The process dies before the operation runs at all.
     CrashBefore,
+    /// A read completes only after `ms` milliseconds — a contended or
+    /// spinning-up disk. The data that eventually arrives is correct;
+    /// deadline-aware readers count the miss and move on.
+    DelayedRead { ms: u64 },
+    /// A read returns only the first `keep` bytes of what was asked for —
+    /// a torn page or truncated object. Callers treat the short result
+    /// like a checksum failure.
+    ShortRead { keep: usize },
+    /// A hard, non-transient read failure (media error). Retrying does not
+    /// help; streaming readers degrade to a coarser pyramid level instead.
+    ReadError,
+}
+
+/// One scripted read-side fault, addressed by the *byte offset* of a
+/// [`Storage::read_at`] call instead of a primitive-operation index. This
+/// is what lets a fault storm target one specific `.ncr` v3 chunk — the
+/// chunk's frame offset is known from the file layout — deterministically,
+/// regardless of how many unrelated reads the prefetcher issues first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadFault {
+    /// `read_at` calls whose starting offset falls in this range trigger
+    /// the fault.
+    pub offsets: Range<u64>,
+    /// What happens. Read-meaningful kinds: [`StorageFault::DelayedRead`],
+    /// [`StorageFault::ShortRead`], [`StorageFault::ReadError`],
+    /// [`StorageFault::BitFlip`], [`StorageFault::Transient`] (whose inner
+    /// `times` is ignored here — `times` below is the budget).
+    pub fault: StorageFault,
+    /// How many matching reads fire the fault; 0 means every one, forever.
+    pub times: u32,
 }
 
 /// A scripted failure scenario for a storage backend: primitive-operation
-/// index → fault. Plain data, chainable, deterministic — the same plan
-/// always produces the same failure, so crash-safety tests are ordinary
-/// unit tests, not flaky chaos runs.
+/// index → fault, plus offset-addressed read faults. Plain data, chainable,
+/// deterministic — the same plan always produces the same failure, so
+/// crash-safety tests are ordinary unit tests, not flaky chaos runs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StorageFaultPlan {
     per_op: BTreeMap<u64, StorageFault>,
+    reads: Vec<ReadFault>,
 }
 
 impl StorageFaultPlan {
@@ -380,14 +460,32 @@ impl StorageFaultPlan {
         self
     }
 
+    /// Scripts `fault` to fire on the first `times` [`Storage::read_at`]
+    /// calls whose starting offset falls in `offsets` (`times == 0`: every
+    /// matching call). Chainable; earlier entries win on overlap.
+    pub fn inject_read(
+        mut self,
+        offsets: Range<u64>,
+        fault: StorageFault,
+        times: u32,
+    ) -> StorageFaultPlan {
+        self.reads.push(ReadFault { offsets, fault, times });
+        self
+    }
+
     /// The fault scripted for `op`, if any.
     pub fn at(&self, op: u64) -> Option<&StorageFault> {
         self.per_op.get(&op)
     }
 
+    /// The scripted read faults, in priority order.
+    pub fn read_faults(&self) -> &[ReadFault] {
+        &self.reads
+    }
+
     /// True when nothing is scripted.
     pub fn is_empty(&self) -> bool {
-        self.per_op.is_empty()
+        self.per_op.is_empty() && self.reads.is_empty()
     }
 }
 
@@ -401,18 +499,46 @@ pub struct FaultyStorage {
     op: AtomicU64,
     crashed: AtomicBool,
     transient_left: Mutex<u32>,
+    /// Remaining fire budget per scripted read fault (`u32::MAX` = forever).
+    read_budgets: Mutex<Vec<u32>>,
 }
 
 impl FaultyStorage {
     /// Wraps the local filesystem with a fault script.
     pub fn new(plan: StorageFaultPlan) -> FaultyStorage {
+        let budgets = plan
+            .read_faults()
+            .iter()
+            .map(|r| if r.times == 0 { u32::MAX } else { r.times })
+            .collect();
         FaultyStorage {
             inner: LocalDisk,
             plan,
             op: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
             transient_left: Mutex::new(0),
+            read_budgets: Mutex::new(budgets),
         }
+    }
+
+    /// Pops the read fault scripted for a `read_at` call at `offset`, if
+    /// one is armed, decrementing its budget.
+    fn read_fault_at(&self, offset: u64) -> Option<StorageFault> {
+        let mut budgets = self.read_budgets.lock();
+        for (i, rf) in self.plan.read_faults().iter().enumerate() {
+            if !rf.offsets.contains(&offset) {
+                continue;
+            }
+            let left = budgets.get_mut(i)?;
+            if *left == 0 {
+                continue;
+            }
+            if *left != u32::MAX {
+                *left -= 1;
+            }
+            return Some(rf.fault.clone());
+        }
+        None
     }
 
     /// Primitive operations issued so far.
@@ -459,6 +585,11 @@ impl FaultyStorage {
                 *self.transient_left.lock() = times.saturating_sub(1);
                 Err(CdmsError::TransientIo("interrupted (injected EINTR)".into()))
             }
+            Some(StorageFault::DelayedRead { ms }) => {
+                // a slow primitive, not a failed one: stall, then behave
+                std::thread::sleep(std::time::Duration::from_millis(*ms));
+                Ok(None)
+            }
             Some(f) => Ok(Some(f.clone())),
         }
     }
@@ -492,7 +623,50 @@ impl Storage for FaultyStorage {
             }
             // on a read, "torn at k" models a crash mid-read
             Some(StorageFault::TornWrite { .. }) => Err(self.crash_now()),
+            Some(StorageFault::ShortRead { keep }) => {
+                let mut bytes = self.inner.read(path)?;
+                bytes.truncate(keep);
+                Ok(bytes)
+            }
+            Some(StorageFault::ReadError) => {
+                Err(CdmsError::Io("media error on read (injected)".into()))
+            }
             Some(_) | None => self.inner.read(path),
+        }
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Vec<u8>> {
+        // per-op faults first (crash/transient machinery), then the
+        // offset-addressed script the streaming fault storms use
+        let per_op = self.gate()?;
+        let fault = match per_op {
+            Some(f) => Some(f),
+            None => self.read_fault_at(offset),
+        };
+        match fault {
+            None => self.inner.read_at(path, offset, len),
+            Some(StorageFault::DelayedRead { ms }) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.read_at(path, offset, len)
+            }
+            Some(StorageFault::ShortRead { keep }) => {
+                let mut bytes = self.inner.read_at(path, offset, len)?;
+                bytes.truncate(keep);
+                Ok(bytes)
+            }
+            Some(StorageFault::BitFlip { bit }) => {
+                let mut bytes = self.inner.read_at(path, offset, len)?;
+                flip_bit(&mut bytes, bit);
+                Ok(bytes)
+            }
+            Some(StorageFault::ReadError) => {
+                Err(CdmsError::Io("media error on read (injected)".into()))
+            }
+            Some(StorageFault::Transient { .. }) => {
+                Err(CdmsError::TransientIo("interrupted read (injected EINTR)".into()))
+            }
+            Some(StorageFault::TornWrite { .. }) => Err(self.crash_now()),
+            Some(_) => self.inner.read_at(path, offset, len),
         }
     }
 
@@ -528,6 +702,16 @@ impl Storage for FaultyStorage {
             }
             Some(StorageFault::TornWrite { .. }) => Err(self.crash_now()),
             _ => self.inner.sync(path),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<()> {
+        match self.gate()? {
+            Some(StorageFault::Enospc) => {
+                Err(CdmsError::Io("no space left on device (injected ENOSPC)".into()))
+            }
+            Some(StorageFault::TornWrite { .. }) => Err(self.crash_now()),
+            _ => self.inner.sync_dir(dir),
         }
     }
 
@@ -734,6 +918,92 @@ mod tests {
         assert!(faulty.crashed());
         assert!(faulty.read(&path).is_err());
         assert!(faulty.write_all(&path, b"y").is_err());
+    }
+
+    #[test]
+    fn read_at_ranges_and_eof() {
+        let path = temp_path("ranged");
+        write_atomic(&LocalDisk, &path, b"0123456789").unwrap();
+        assert_eq!(LocalDisk.read_at(&path, 0, 4).unwrap(), b"0123");
+        assert_eq!(LocalDisk.read_at(&path, 4, 3).unwrap(), b"456");
+        // reads past EOF return the short prefix, not an error
+        assert_eq!(LocalDisk.read_at(&path, 8, 10).unwrap(), b"89");
+        assert_eq!(LocalDisk.read_at(&path, 20, 5).unwrap(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn offset_read_faults_fire_with_budget() {
+        let path = temp_path("readfaults");
+        write_atomic(&LocalDisk, &path, b"abcdefghij").unwrap();
+        let faulty = FaultyStorage::new(
+            StorageFaultPlan::none()
+                .inject_read(0..4, StorageFault::Transient { times: 0 }, 2)
+                .inject_read(4..8, StorageFault::ReadError, 0)
+                .inject_read(8..10, StorageFault::ShortRead { keep: 1 }, 1),
+        );
+        // budget 2: two transient failures, then clean
+        assert!(faulty.read_at(&path, 0, 4).unwrap_err().is_transient());
+        assert!(faulty.read_at(&path, 2, 4).unwrap_err().is_transient());
+        assert_eq!(faulty.read_at(&path, 0, 4).unwrap(), b"abcd");
+        // budget 0 = forever
+        assert!(faulty.read_at(&path, 5, 2).is_err());
+        assert!(faulty.read_at(&path, 5, 2).is_err());
+        // short read fires once
+        assert_eq!(faulty.read_at(&path, 8, 2).unwrap(), b"i");
+        assert_eq!(faulty.read_at(&path, 8, 2).unwrap(), b"ij");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_read_fault_corrupts_payload() {
+        let path = temp_path("readflip");
+        write_atomic(&LocalDisk, &path, b"abcdefghij").unwrap();
+        let faulty = FaultyStorage::new(
+            StorageFaultPlan::none().inject_read(0..1, StorageFault::BitFlip { bit: 0 }, 1),
+        );
+        let got = faulty.read_at(&path, 0, 4).unwrap();
+        assert_ne!(got, b"abcd");
+        assert_eq!(faulty.read_at(&path, 0, 4).unwrap(), b"abcd", "budget spent");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delayed_read_returns_correct_bytes_late() {
+        let path = temp_path("delayed");
+        write_atomic(&LocalDisk, &path, b"abcdefghij").unwrap();
+        let faulty = FaultyStorage::new(
+            StorageFaultPlan::none().inject_read(0..4, StorageFault::DelayedRead { ms: 30 }, 1),
+        );
+        let t0 = std::time::Instant::now();
+        assert_eq!(faulty.read_at(&path, 0, 4).unwrap(), b"abcd");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_dir_fault_surfaces_after_rename() {
+        // op 5 is the parent-directory fsync: the rename already landed, so
+        // the new content is visible even though the write reports failure.
+        let path = temp_path("dirsync");
+        write_atomic(&LocalDisk, &path, b"old content").unwrap();
+        let faulty =
+            FaultyStorage::new(StorageFaultPlan::none().inject(5, StorageFault::Enospc));
+        let err = write_atomic(&faulty, &path, b"new content").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(LocalDisk.read(&path).unwrap(), b"new content");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_dir_transient_is_retried_through() {
+        let path = temp_path("dirsync_transient");
+        let faulty = FaultyStorage::new(
+            StorageFaultPlan::none().inject(5, StorageFault::Transient { times: TRANSIENT_RETRIES }),
+        );
+        write_atomic(&faulty, &path, b"content").unwrap();
+        assert_eq!(LocalDisk.read(&path).unwrap(), b"content");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,950 @@
+//! Out-of-core streaming reads of `.ncr` v3 files.
+//!
+//! [`StreamingDataset`] opens a v3 file by reading only its metadata (a
+//! handful of ranged reads: footer → trailer → header/axes/varmetas/chunk
+//! directory — see [`crate::format_v3::read_meta_with`]), then serves any
+//! (variable, time window, pyramid level) through [`Storage::read_at`],
+//! one chunk frame per call. Nothing else of the file is ever resident,
+//! so a time series far larger than RAM plays back in bounded memory.
+//!
+//! The layer is built for hostile storage:
+//!
+//! * **Bounded-memory cache** — decoded chunks live in a byte-budgeted
+//!   LRU ([`StreamOptions::cache_bytes`]). The budget is a hard ceiling:
+//!   eviction runs *before* insertion, so resident bytes never exceed it,
+//!   not even transiently. Hits, misses, evictions and the high-water
+//!   mark are all counted.
+//! * **Transient retry** — EINTR-style failures retry up to
+//!   [`StreamOptions::max_retries`] times with capped exponential backoff.
+//!   Hard failures (media errors, checksum mismatches, short reads) do
+//!   not retry: the chunk is negative-cached so later frames fail fast
+//!   instead of re-paying the I/O.
+//! * **Per-chunk salvage** — [`StreamingVariable::time_slab_degraded`]
+//!   never stalls on a damaged chunk: it falls back to the best intact
+//!   pyramid level (upsampled to full resolution) and, at worst, to a
+//!   fully-masked slab. Playback always gets *a* frame.
+//! * **Deadline bookkeeping** — fetches that exceed
+//!   [`StreamOptions::deadline_ms`] (e.g. a disk spinning up under an
+//!   injected [`crate::storage::StorageFault::DelayedRead`]) are counted
+//!   as deadline misses.
+//! * **Prefetch** — after serving a frame, the next
+//!   [`StreamOptions::prefetch_windows`] windows' full-resolution chunks
+//!   are pulled into the cache, so steady playback hits warm chunks.
+//!
+//! Every event lands in a [`StreamReport`], which fault-storm tests
+//! assert against exactly: with a scripted
+//! [`crate::storage::StorageFaultPlan`], the counters are a deterministic
+//! function of the plan.
+
+use crate::axis::AxisKind;
+use crate::error::{CdmsError, Result};
+use crate::format_v3::{self, upsample_nearest, ChunkDirEntry, V3Meta, V3VarMeta};
+use crate::storage::{LocalDisk, Storage};
+use crate::{MaskedArray, Variable};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a streaming session.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Chunk-cache budget in bytes of decoded data. A hard ceiling, never
+    /// exceeded; chunks larger than the whole budget are served without
+    /// being cached.
+    pub cache_bytes: usize,
+    /// Full-resolution windows to pull ahead after serving a frame.
+    pub prefetch_windows: usize,
+    /// Retries for *transient* read failures (hard failures never retry).
+    pub max_retries: u32,
+    /// First retry backoff; doubles each retry.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Soft per-fetch deadline; fetches that take longer are counted in
+    /// [`StreamReport::deadline_missed`]. `None` disables the bookkeeping.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> StreamOptions {
+        StreamOptions {
+            cache_bytes: 8 << 20,
+            prefetch_windows: 2,
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 50,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Identity of one cached chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ChunkKey {
+    var: usize,
+    window: usize,
+    level: usize,
+}
+
+/// Decoded chunk: data plus validity mask, shared between cache and
+/// callers without copying.
+type ChunkData = (Vec<f32>, Vec<bool>);
+
+struct CacheEntry {
+    data: Arc<ChunkData>,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// Byte-budgeted LRU of decoded chunks. All counters live here so a
+/// single lock covers lookup + accounting.
+struct ChunkCache {
+    budget: usize,
+    map: BTreeMap<ChunkKey, CacheEntry>,
+    tick: u64,
+    bytes: usize,
+    peak_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ChunkCache {
+    fn new(budget: usize) -> ChunkCache {
+        ChunkCache {
+            budget,
+            map: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            peak_bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks a chunk up, counting the hit/miss and refreshing recency.
+    fn get(&mut self, key: &ChunkKey) -> Option<Arc<ChunkData>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.stamp = tick;
+                self.hits += 1;
+                Some(Arc::clone(&e.data))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True when the chunk is resident; does not disturb the counters
+    /// (used by the prefetcher to skip warm windows).
+    fn contains(&self, key: &ChunkKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts a decoded chunk, evicting least-recently-used entries
+    /// *first* so resident bytes never exceed the budget. A chunk larger
+    /// than the whole budget is not cached at all.
+    fn insert(&mut self, key: ChunkKey, data: Arc<ChunkData>, bytes: usize) {
+        if bytes > self.budget {
+            return;
+        }
+        while self.bytes + bytes > self.budget {
+            let Some(oldest) =
+                self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k)
+            else {
+                break;
+            };
+            if let Some(e) = self.map.remove(&oldest) {
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        let stamp = self.tick;
+        if self.map.insert(key, CacheEntry { data, bytes, stamp }).is_none() {
+            self.bytes += bytes;
+        }
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+    }
+}
+
+/// Counters of everything a streaming session did, for asserting
+/// fault-storm behaviour exactly and for benchmarking overhead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Chunk frames successfully fetched and decoded from storage.
+    pub chunk_reads: u64,
+    /// Bytes of chunk frames read from storage (successful reads).
+    pub bytes_read: u64,
+    /// Cache hits / misses / evictions.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub evictions: u64,
+    /// Resident decoded bytes high-water mark (≤ the configured budget).
+    pub peak_cache_bytes: u64,
+    /// Transient-failure retries performed.
+    pub retried: u64,
+    /// Chunks permanently failed (negative-cached): hard I/O errors,
+    /// checksum mismatches, short reads, or retry exhaustion.
+    pub failed_chunks: u64,
+    /// Frame serves that fell back to a coarser pyramid level.
+    pub degraded: u64,
+    /// Frame serves where every level was gone — masked fill.
+    pub salvaged: u64,
+    /// Fetches that blew the soft deadline.
+    pub deadline_missed: u64,
+}
+
+impl std::fmt::Display for StreamReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} chunk reads ({} B), cache {}h/{}m/{}e (peak {} B), \
+             {} retried, {} failed, {} degraded, {} salvaged, {} deadline-missed",
+            self.chunk_reads,
+            self.bytes_read,
+            self.cache_hits,
+            self.cache_misses,
+            self.evictions,
+            self.peak_cache_bytes,
+            self.retried,
+            self.failed_chunks,
+            self.degraded,
+            self.salvaged,
+            self.deadline_missed
+        )
+    }
+}
+
+/// Non-cache counters, behind their own lock.
+#[derive(Default)]
+struct ReportCore {
+    chunk_reads: u64,
+    bytes_read: u64,
+    retried: u64,
+    failed_chunks: u64,
+    degraded: u64,
+    salvaged: u64,
+    deadline_missed: u64,
+}
+
+/// How a window's data was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Served {
+    /// Full resolution (level 0).
+    Full,
+    /// Upsampled from this coarser pyramid level.
+    Degraded(usize),
+    /// Every level failed; fully-masked fill.
+    Masked,
+}
+
+struct Shared {
+    storage: Arc<dyn Storage>,
+    path: PathBuf,
+    meta: V3Meta,
+    opts: StreamOptions,
+    cache: Mutex<ChunkCache>,
+    /// Chunks that failed permanently; later fetches fail fast.
+    failed: Mutex<BTreeSet<ChunkKey>>,
+    report: Mutex<ReportCore>,
+}
+
+/// A v3 file opened for streaming: metadata resident, bulk data fetched
+/// chunk-by-chunk on demand.
+pub struct StreamingDataset {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for StreamingDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingDataset")
+            .field("path", &self.shared.path)
+            .field("id", &self.shared.meta.id)
+            .field("vars", &self.shared.meta.vars.len())
+            .field("chunks", &self.shared.meta.chunks.len())
+            .finish()
+    }
+}
+
+impl StreamingDataset {
+    /// Opens a v3 file on the local filesystem with default options.
+    pub fn open(path: &Path) -> Result<StreamingDataset> {
+        StreamingDataset::open_with(Arc::new(LocalDisk), path, StreamOptions::default())
+    }
+
+    /// Opens a v3 file through an explicit backend. Only metadata is read
+    /// here; the first chunk I/O happens on the first frame access.
+    pub fn open_with(
+        storage: Arc<dyn Storage>,
+        path: &Path,
+        opts: StreamOptions,
+    ) -> Result<StreamingDataset> {
+        let meta = format_v3::read_meta_with(storage.as_ref(), path)?;
+        let cache = Mutex::new(ChunkCache::new(opts.cache_bytes.max(1)));
+        Ok(StreamingDataset {
+            shared: Arc::new(Shared {
+                storage,
+                path: path.to_path_buf(),
+                meta,
+                opts,
+                cache,
+                failed: Mutex::new(BTreeSet::new()),
+                report: Mutex::new(ReportCore::default()),
+            }),
+        })
+    }
+
+    /// Dataset id from the header.
+    pub fn id(&self) -> &str {
+        &self.shared.meta.id
+    }
+
+    /// The decoded file metadata (axes, per-variable shapes, chunk map).
+    pub fn meta(&self) -> &V3Meta {
+        &self.shared.meta
+    }
+
+    /// Ids of the variables in the file.
+    pub fn variable_ids(&self) -> Vec<&str> {
+        self.shared.meta.vars.iter().map(|v| v.id.as_str()).collect()
+    }
+
+    /// A lazy view of one variable.
+    pub fn variable(&self, id: &str) -> Result<StreamingVariable> {
+        let var = self
+            .shared
+            .meta
+            .var_index(id)
+            .ok_or_else(|| CdmsError::NotFound(format!("variable '{id}'")))?;
+        Ok(StreamingVariable { shared: Arc::clone(&self.shared), var })
+    }
+
+    /// Snapshot of everything the session has done so far.
+    pub fn report(&self) -> StreamReport {
+        let core = self.shared.report.lock();
+        let cache = self.shared.cache.lock();
+        StreamReport {
+            chunk_reads: core.chunk_reads,
+            bytes_read: core.bytes_read,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            evictions: cache.evictions,
+            peak_cache_bytes: cache.peak_bytes as u64,
+            retried: core.retried,
+            failed_chunks: core.failed_chunks,
+            degraded: core.degraded,
+            salvaged: core.salvaged,
+            deadline_missed: core.deadline_missed,
+        }
+    }
+}
+
+/// A lazy, bounded-memory view of one variable in a streaming session.
+/// Cloning is cheap (shared cache, report, and negative cache).
+#[derive(Clone)]
+pub struct StreamingVariable {
+    shared: Arc<Shared>,
+    var: usize,
+}
+
+impl std::fmt::Debug for StreamingVariable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingVariable")
+            .field("id", &self.id())
+            .field("shape", &self.shape())
+            .finish()
+    }
+}
+
+impl StreamingVariable {
+    fn meta(&self) -> Result<&V3VarMeta> {
+        self.shared
+            .meta
+            .vars
+            .get(self.var)
+            .ok_or_else(|| CdmsError::NotFound(format!("variable ordinal {}", self.var)))
+    }
+
+    /// The variable's id.
+    pub fn id(&self) -> &str {
+        self.shared
+            .meta
+            .vars
+            .get(self.var)
+            .map(|m| m.id.as_str())
+            .unwrap_or("")
+    }
+
+    /// Full (not per-window) shape.
+    pub fn shape(&self) -> &[usize] {
+        self.shared
+            .meta
+            .vars
+            .get(self.var)
+            .map(|m| m.shape.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of time steps (1 when there is no time axis).
+    pub fn n_times(&self) -> usize {
+        self.shared.meta.vars.get(self.var).map(|m| m.n_times()).unwrap_or(0)
+    }
+
+    /// Number of chunk windows.
+    pub fn n_windows(&self) -> usize {
+        self.shared.meta.vars.get(self.var).map(|m| m.n_windows()).unwrap_or(0)
+    }
+
+    /// Whether the variable carries a time axis (and hence real frames).
+    pub fn has_time_axis(&self) -> bool {
+        self.shared.meta.vars.get(self.var).is_some_and(|m| m.time_axis.is_some())
+    }
+
+    /// Session counters (shared with the owning dataset).
+    pub fn report(&self) -> StreamReport {
+        StreamingDataset { shared: Arc::clone(&self.shared) }.report()
+    }
+
+    // ---- chunk fetch ----
+
+    /// Fetches and decodes one chunk: cache → negative cache → ranged
+    /// read with transient retry. No lock is held across I/O or backoff.
+    fn fetch_chunk(&self, key: ChunkKey) -> Result<Arc<ChunkData>> {
+        if let Some(data) = self.shared.cache.lock().get(&key) {
+            return Ok(data);
+        }
+        if self.shared.failed.lock().contains(&key) {
+            return Err(CdmsError::Io(format!(
+                "chunk ({},{},{}) previously failed permanently",
+                key.var, key.window, key.level
+            )));
+        }
+        let entry: ChunkDirEntry =
+            *self.shared.meta.chunk(key.var, key.window, key.level).ok_or_else(|| {
+                CdmsError::NotFound(format!(
+                    "chunk ({},{},{}) in directory",
+                    key.var, key.window, key.level
+                ))
+            })?;
+        let meta = self.meta()?;
+        let n = meta.level_volume(key.window, key.level).ok_or_else(|| {
+            CdmsError::Format(format!("variable '{}': level shape overflows", meta.id))
+        })?;
+
+        let opts = &self.shared.opts;
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        let decoded: ChunkData = loop {
+            match self.shared.storage.read_at(&self.shared.path, entry.offset, entry.frame_len())
+            {
+                Ok(frame) => {
+                    let verified = format_v3::verify_chunk_frame(&frame, &entry).and_then(|p| {
+                        format_v3::decode_chunk_payload(p, (key.var, key.window, key.level), n)
+                    });
+                    match verified {
+                        Ok(dm) => break dm,
+                        // corruption (bad CRC, short frame, bad codec):
+                        // retrying the same bytes cannot help
+                        Err(e) => return Err(self.fail_chunk(key, e)),
+                    }
+                }
+                Err(e) if e.is_transient() && attempt < opts.max_retries => {
+                    attempt += 1;
+                    self.shared.report.lock().retried += 1;
+                    let shift = (attempt - 1).min(16);
+                    let ms = opts
+                        .backoff_base_ms
+                        .saturating_mul(1u64 << shift)
+                        .min(opts.backoff_cap_ms);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                Err(e) => return Err(self.fail_chunk(key, e)),
+            }
+        };
+        if let Some(dl) = opts.deadline_ms {
+            if started.elapsed() > Duration::from_millis(dl) {
+                self.shared.report.lock().deadline_missed += 1;
+            }
+        }
+        {
+            let mut core = self.shared.report.lock();
+            core.chunk_reads += 1;
+            core.bytes_read += entry.frame_len() as u64;
+        }
+        let bytes = decoded.0.len() * 4 + decoded.1.len();
+        let data = Arc::new(decoded);
+        self.shared.cache.lock().insert(key, Arc::clone(&data), bytes);
+        Ok(data)
+    }
+
+    /// Negative-caches a permanently failed chunk and counts it once.
+    fn fail_chunk(&self, key: ChunkKey, e: CdmsError) -> CdmsError {
+        if self.shared.failed.lock().insert(key) {
+            self.shared.report.lock().failed_chunks += 1;
+        }
+        e
+    }
+
+    /// Window `w` at full resolution, strict: any failure propagates.
+    fn window_strict(&self, w: usize) -> Result<Arc<ChunkData>> {
+        self.fetch_chunk(ChunkKey { var: self.var, window: w, level: 0 })
+    }
+
+    /// Window `w` at the best available fidelity. Never fails on I/O or
+    /// corruption: level 0, else the first intact coarser level upsampled
+    /// to full resolution, else a fully-masked slab.
+    fn window_degraded(&self, w: usize) -> Result<(Arc<ChunkData>, Served)> {
+        if let Ok(data) = self.window_strict(w) {
+            return Ok((data, Served::Full));
+        }
+        let meta = self.meta()?;
+        let full_shape = meta.slab_shape(w);
+        for level in 1..meta.levels {
+            let Ok(coarse) = self.fetch_chunk(ChunkKey { var: self.var, window: w, level })
+            else {
+                continue;
+            };
+            let from_shape = meta.level_shape(w, level);
+            let (d, m) = &*coarse;
+            let (data, mask) = match upsample_nearest(d, m, &from_shape, &full_shape) {
+                Ok(up) => up,
+                Err(_) => continue,
+            };
+            self.shared.report.lock().degraded += 1;
+            return Ok((Arc::new((data, mask)), Served::Degraded(level)));
+        }
+        let n = crate::format::checked_volume(&full_shape)
+            .ok_or_else(|| CdmsError::Format(format!("variable '{}': shape overflows", meta.id)))?;
+        self.shared.report.lock().salvaged += 1;
+        Ok((Arc::new((vec![0.0; n], vec![true; n])), Served::Masked))
+    }
+
+    // ---- frame access ----
+
+    /// One time step at full resolution, strict: the time axis is dropped,
+    /// like [`Variable::time_slab`]. Any storage fault propagates.
+    pub fn time_slab(&self, t: usize) -> Result<Variable> {
+        let (w, k) = self.locate(t)?;
+        let data = self.window_strict(w)?;
+        self.assemble_step(&data, w, k)
+    }
+
+    /// One time step at the best available fidelity — the call that keeps
+    /// an animation running through a fault storm. Falls back to a coarser
+    /// pyramid level (upsampled) or a masked slab; the only remaining
+    /// errors are out-of-range `t` and metadata inconsistencies. After
+    /// serving, prefetches the next [`StreamOptions::prefetch_windows`]
+    /// windows.
+    pub fn time_slab_degraded(&self, t: usize) -> Result<Variable> {
+        let (w, k) = self.locate(t)?;
+        let (data, _served) = self.window_degraded(w)?;
+        let out = self.assemble_step(&data, w, k)?;
+        self.prefetch_from(w + 1);
+        Ok(out)
+    }
+
+    /// Chunk window `w` as a [`Variable`] with the time axis kept (sliced
+    /// to the window's steps) — the unit a streaming task-graph source
+    /// serves. Strict: any storage fault propagates.
+    pub fn window_variable(&self, w: usize) -> Result<Variable> {
+        let data = self.window_strict(w)?;
+        self.assemble_window(&data, w)
+    }
+
+    /// Like [`StreamingVariable::window_variable`] at the best available
+    /// fidelity: a damaged window degrades to an upsampled pyramid level
+    /// or, at worst, a fully-masked slab instead of failing.
+    pub fn window_variable_degraded(&self, w: usize) -> Result<Variable> {
+        let (data, _served) = self.window_degraded(w)?;
+        self.assemble_window(&data, w)
+    }
+
+    /// Pulls the level-0 chunks of up to `prefetch_windows` windows
+    /// starting at `w` into the cache, skipping warm and known-dead ones.
+    /// Failures are absorbed (they are negative-cached for later serves).
+    pub fn prefetch_from(&self, w: usize) {
+        let Ok(meta) = self.meta() else { return };
+        let n_windows = meta.n_windows();
+        let count = self.shared.opts.prefetch_windows;
+        for w2 in w..(w + count).min(n_windows) {
+            let key = ChunkKey { var: self.var, window: w2, level: 0 };
+            let warm =
+                self.shared.cache.lock().contains(&key) || self.shared.failed.lock().contains(&key);
+            if warm {
+                continue;
+            }
+            let _ = self.fetch_chunk(key);
+        }
+    }
+
+    /// Materializes the whole variable (strict, full resolution) —
+    /// bounded-memory only in the sense that chunks stream through the
+    /// cache; the result itself is the full array.
+    pub fn materialize(&self) -> Result<Variable> {
+        let meta = self.meta()?.clone();
+        let volume = crate::format::checked_volume(&meta.shape)
+            .ok_or_else(|| CdmsError::Format(format!("variable '{}': shape overflows", meta.id)))?;
+        let mut data = vec![0.0f32; volume];
+        let mut mask = vec![false; volume];
+        for w in 0..meta.n_windows() {
+            let chunk = self.window_strict(w)?;
+            let (cd, cm) = &*chunk;
+            format_v3::scatter_window(
+                cd,
+                cm,
+                &mut data,
+                &mut mask,
+                &meta.shape,
+                meta.time_axis,
+                meta.window_range(w),
+            )?;
+        }
+        let array = MaskedArray::with_mask(data, mask, &meta.shape)?;
+        let axes = self.shared.meta.var_axes(self.var)?;
+        let mut var = Variable::new(&meta.id, array, axes)?;
+        var.attributes = meta.attributes.clone();
+        Ok(var)
+    }
+
+    // ---- internals ----
+
+    /// Maps a global time step to (window, index-within-window).
+    fn locate(&self, t: usize) -> Result<(usize, usize)> {
+        let meta = self.meta()?;
+        let n = meta.n_times();
+        match meta.time_axis {
+            Some(_) => {
+                if t >= n {
+                    return Err(CdmsError::Invalid(format!(
+                        "time step {t} out of range for {n} step(s) on '{}'",
+                        meta.id
+                    )));
+                }
+                Ok((t / meta.window.max(1), t % meta.window.max(1)))
+            }
+            None => {
+                if t != 0 {
+                    return Err(CdmsError::Invalid(format!(
+                        "time step {t} on '{}' which has no time axis",
+                        meta.id
+                    )));
+                }
+                Ok((0, 0))
+            }
+        }
+    }
+
+    /// Builds the window-`w` [`Variable`] (time axis kept, sliced to the
+    /// window) from that window's full-resolution-shaped data.
+    fn assemble_window(&self, chunk: &ChunkData, w: usize) -> Result<Variable> {
+        let meta = self.meta()?;
+        let slab_shape = meta.slab_shape(w);
+        let range = meta.window_range(w);
+        let axes = self.shared.meta.var_axes(self.var)?;
+        let out_axes = axes
+            .into_iter()
+            .map(|ax| {
+                if ax.kind == AxisKind::Time {
+                    ax.subset(range.start, range.end)
+                } else {
+                    Ok(ax)
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let array = MaskedArray::with_mask(chunk.0.clone(), chunk.1.clone(), &slab_shape)?;
+        let mut var = Variable::new(&meta.id, array, out_axes)?;
+        var.attributes = meta.attributes.clone();
+        Ok(var)
+    }
+
+    /// Builds the time-axis-dropped [`Variable`] for step `k` of window
+    /// `w` from that window's full-resolution-shaped data.
+    fn assemble_step(&self, chunk: &ChunkData, w: usize, k: usize) -> Result<Variable> {
+        let meta = self.meta()?;
+        let slab_shape = meta.slab_shape(w);
+        let (data, mask) = extract_step(&chunk.0, &chunk.1, &slab_shape, meta.time_axis, k)?;
+        let out_shape: Vec<usize> = slab_shape
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| Some(*d) != meta.time_axis)
+            .map(|(_, &v)| v)
+            .collect();
+        let axes = self.shared.meta.var_axes(self.var)?;
+        let out_axes = axes
+            .into_iter()
+            .filter(|ax| ax.kind != AxisKind::Time)
+            .collect();
+        let array = MaskedArray::with_mask(data, mask, &out_shape)?;
+        let mut var = Variable::new(&meta.id, array, out_axes)?;
+        var.attributes = meta.attributes.clone();
+        Ok(var)
+    }
+}
+
+/// Copies time step `k` out of a window slab, dropping the time dim.
+fn extract_step(
+    data: &[f32],
+    mask: &[bool],
+    slab_shape: &[usize],
+    time_axis: Option<usize>,
+    k: usize,
+) -> Result<ChunkData> {
+    let Some(t) = time_axis else {
+        if k != 0 {
+            return Err(CdmsError::Invalid(format!("step {k} of a windowless slab")));
+        }
+        return Ok((data.to_vec(), mask.to_vec()));
+    };
+    let wlen = slab_shape.get(t).copied().unwrap_or(0);
+    if k >= wlen {
+        return Err(CdmsError::Invalid(format!("step {k} out of range for window of {wlen}")));
+    }
+    let pre: usize = slab_shape.get(..t).map(|s| s.iter().product()).unwrap_or(1);
+    let post: usize = slab_shape.get(t + 1..).map(|s| s.iter().product()).unwrap_or(1);
+    let mut out = Vec::with_capacity(pre * post);
+    let mut out_mask = Vec::with_capacity(pre * post);
+    for p in 0..pre {
+        let src = (p * wlen + k) * post;
+        let (Some(d), Some(m)) = (data.get(src..src + post), mask.get(src..src + post)) else {
+            return Err(CdmsError::Format("window slab shorter than its shape".into()));
+        };
+        out.extend_from_slice(d);
+        out_mask.extend_from_slice(m);
+    }
+    Ok((out, out_mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format_v3::V3Options;
+    use crate::storage::{FaultyStorage, StorageFault, StorageFaultPlan};
+    use crate::synth::SynthesisSpec;
+    use crate::Dataset;
+
+    fn write_sample(name: &str, opts: &V3Options) -> (Dataset, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join("cdms_stream_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let ds = SynthesisSpec::new(8, 2, 6, 10).seed(5).build();
+        crate::storage::write_atomic(&LocalDisk, &path, &crate::format_v3::to_bytes_v3_with(&ds, opts).0)
+            .unwrap();
+        (ds, path)
+    }
+
+    #[test]
+    fn streamed_frames_match_in_memory_slabs() {
+        let opts = V3Options { window: 3, levels: 2, compress: true };
+        let (ds, path) = write_sample("frames.ncr", &opts);
+        let sd = StreamingDataset::open(&path).unwrap();
+        assert_eq!(sd.id(), ds.id);
+        for var in ds.variables() {
+            let sv = sd.variable(&var.id).unwrap();
+            if var.axis_index(AxisKind::Time).is_none() {
+                // windowless variable: one "step" carrying the whole array
+                let streamed = sv.time_slab(0).unwrap();
+                assert_eq!(streamed.array, var.array, "var '{}'", var.id);
+                assert_eq!(streamed.axes, var.axes);
+                continue;
+            }
+            assert_eq!(sv.n_times(), var.n_times());
+            for t in 0..sv.n_times() {
+                let streamed = sv.time_slab(t).unwrap();
+                let direct = var.time_slab(t).unwrap();
+                assert_eq!(streamed.array, direct.array, "var '{}' t={t}", var.id);
+                assert_eq!(streamed.axes, direct.axes);
+            }
+        }
+        let report = sd.report();
+        assert!(report.chunk_reads > 0);
+        assert_eq!(report.failed_chunks, 0);
+        assert_eq!(report.degraded + report.salvaged, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn window_variables_match_in_memory_time_windows() {
+        let opts = V3Options { window: 3, levels: 2, compress: true };
+        let (ds, path) = write_sample("winvar.ncr", &opts);
+        let sd = StreamingDataset::open(&path).unwrap();
+        let ta = ds.variable("ta").unwrap();
+        let sv = sd.variable("ta").unwrap();
+        for w in 0..sv.n_windows() {
+            let got = sv.window_variable(w).unwrap();
+            let vi = sd.meta().var_index("ta").unwrap();
+            let range = sd.meta().vars[vi].window_range(w);
+            let want = ta.time_window(range).unwrap();
+            assert_eq!(got.array, want.array, "window {w}");
+            assert_eq!(got.axes, want.axes, "window {w}");
+            // and the degraded path is identical on healthy storage
+            assert_eq!(sv.window_variable_degraded(w).unwrap().array, want.array);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn materialize_matches_source() {
+        let opts = V3Options { window: 4, levels: 2, compress: false };
+        let (ds, path) = write_sample("mat.ncr", &opts);
+        let sd = StreamingDataset::open(&path).unwrap();
+        for var in ds.variables() {
+            let got = sd.variable(&var.id).unwrap().materialize().unwrap();
+            assert_eq!(got.array, var.array);
+            assert_eq!(got.axes, var.axes);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_budget_is_a_hard_ceiling() {
+        let opts = V3Options { window: 1, levels: 1, compress: false };
+        let (_, path) = write_sample("budget.ncr", &opts);
+        // one window = 2*6*10 floats = 540 B decoded; budget of ~2 windows
+        let sopts = StreamOptions {
+            cache_bytes: 1200,
+            prefetch_windows: 0,
+            ..StreamOptions::default()
+        };
+        let sd = StreamingDataset::open_with(Arc::new(LocalDisk), &path, sopts).unwrap();
+        let sv = sd.variable("ta").unwrap();
+        for t in 0..sv.n_times() {
+            sv.time_slab(t).unwrap();
+        }
+        // revisit to force churn
+        for t in (0..sv.n_times()).rev() {
+            sv.time_slab(t).unwrap();
+        }
+        let report = sd.report();
+        assert!(report.peak_cache_bytes <= 1200, "{report}");
+        assert!(report.evictions > 0, "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_read_faults_retry_and_succeed() {
+        let opts = V3Options { window: 2, levels: 2, compress: true };
+        let (ds, path) = write_sample("transient.ncr", &opts);
+        let meta = format_v3::read_meta_with(&LocalDisk, &path).unwrap();
+        let entry = *meta.chunk(0, 0, 0).unwrap();
+        let plan = StorageFaultPlan::none().inject_read(
+            entry.offset..entry.offset + 1,
+            StorageFault::Transient { times: 0 },
+            2,
+        );
+        let faulty: Arc<dyn Storage> = Arc::new(FaultyStorage::new(plan));
+        let sopts = StreamOptions {
+            prefetch_windows: 0,
+            backoff_base_ms: 0,
+            ..StreamOptions::default()
+        };
+        let sd = StreamingDataset::open_with(faulty, &path, sopts).unwrap();
+        let vid = meta.vars.first().unwrap().id.clone();
+        let sv = sd.variable(&vid).unwrap();
+        let got = sv.time_slab(0).unwrap();
+        assert_eq!(got.array, ds.variable(&vid).unwrap().time_slab(0).unwrap().array);
+        let report = sd.report();
+        assert_eq!(report.retried, 2, "{report}");
+        assert_eq!(report.failed_chunks, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hard_fault_degrades_then_masks() {
+        let opts = V3Options { window: 2, levels: 2, compress: true };
+        let (ds, path) = write_sample("degrade.ncr", &opts);
+        let meta = format_v3::read_meta_with(&LocalDisk, &path).unwrap();
+        let vid = meta.vars.first().unwrap().id.clone();
+        let e00 = *meta.chunk(0, 0, 0).unwrap();
+        let e10 = *meta.chunk(0, 1, 0).unwrap();
+        let e11 = *meta.chunk(0, 1, 1).unwrap();
+        // window 0: level 0 dead, level 1 intact → degraded
+        // window 1: both levels dead → masked
+        let plan = StorageFaultPlan::none()
+            .inject_read(e00.offset..e00.offset + 1, StorageFault::ReadError, 0)
+            .inject_read(e10.offset..e10.offset + 1, StorageFault::ReadError, 0)
+            .inject_read(e11.offset..e11.offset + 1, StorageFault::BitFlip { bit: 400 }, 0);
+        let sopts = StreamOptions { prefetch_windows: 0, ..StreamOptions::default() };
+        let sd =
+            StreamingDataset::open_with(Arc::new(FaultyStorage::new(plan)), &path, sopts).unwrap();
+        let sv = sd.variable(&vid).unwrap();
+        // strict access fails…
+        assert!(sv.time_slab(0).is_err());
+        // …degraded access always yields a frame
+        let f0 = sv.time_slab_degraded(0).unwrap();
+        assert!(f0.array.valid_count() > 0, "window 0 comes from the pyramid");
+        let f2 = sv.time_slab_degraded(2).unwrap();
+        assert_eq!(f2.array.valid_count(), 0, "window 1 is masked fill");
+        // undamaged window is bit-exact
+        let f4 = sv.time_slab_degraded(4).unwrap();
+        assert_eq!(f4.array, ds.variable(&vid).unwrap().time_slab(4).unwrap().array);
+        let report = sd.report();
+        assert_eq!(report.degraded, 1, "{report}");
+        assert_eq!(report.salvaged, 1, "{report}");
+        assert_eq!(report.failed_chunks, 3, "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delayed_read_counts_deadline_miss() {
+        let opts = V3Options { window: 2, levels: 1, compress: false };
+        let (_, path) = write_sample("deadline.ncr", &opts);
+        let meta = format_v3::read_meta_with(&LocalDisk, &path).unwrap();
+        let entry = *meta.chunk(0, 0, 0).unwrap();
+        let plan = StorageFaultPlan::none().inject_read(
+            entry.offset..entry.offset + 1,
+            StorageFault::DelayedRead { ms: 40 },
+            1,
+        );
+        let sopts = StreamOptions {
+            prefetch_windows: 0,
+            deadline_ms: Some(5),
+            ..StreamOptions::default()
+        };
+        let sd =
+            StreamingDataset::open_with(Arc::new(FaultyStorage::new(plan)), &path, sopts).unwrap();
+        let vid = meta.vars.first().unwrap().id.clone();
+        let sv = sd.variable(&vid).unwrap();
+        sv.time_slab(0).unwrap(); // slow but correct
+        sv.time_slab(2).unwrap(); // clean
+        let report = sd.report();
+        assert_eq!(report.deadline_missed, 1, "{report}");
+        assert_eq!(report.failed_chunks, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prefetch_warms_the_next_window() {
+        let opts = V3Options { window: 2, levels: 1, compress: false };
+        let (_, path) = write_sample("prefetch.ncr", &opts);
+        let sopts = StreamOptions { prefetch_windows: 1, ..StreamOptions::default() };
+        let sd = StreamingDataset::open_with(Arc::new(LocalDisk), &path, sopts).unwrap();
+        let sv = sd.variable("ta").unwrap();
+        sv.time_slab_degraded(0).unwrap(); // serves w0, prefetches w1
+        let before = sd.report();
+        sv.time_slab_degraded(2).unwrap(); // w1 must be warm
+        let after = sd.report();
+        assert_eq!(after.chunk_reads, before.chunk_reads + 1, "only w2's prefetch reads");
+        assert!(after.cache_hits > before.cache_hits);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_v2_files() {
+        let dir = std::env::temp_dir().join("cdms_stream_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v2.ncr");
+        let ds = SynthesisSpec::new(2, 1, 4, 4).seed(1).build();
+        crate::format::write_dataset(&ds, &path).unwrap();
+        let err = StreamingDataset::open(&path).unwrap_err();
+        assert!(err.to_string().contains("not streamable"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

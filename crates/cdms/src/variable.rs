@@ -202,6 +202,27 @@ impl Variable {
     pub fn n_times(&self) -> usize {
         self.axis(AxisKind::Time).map(|a| a.len()).unwrap_or(1)
     }
+
+    /// Extracts time steps `range` as a new variable, *keeping* the (now
+    /// shorter) time axis — the unit of transfer for `.ncr` v3 chunking and
+    /// [`crate::stream`] window reads, where [`Variable::time_slab`] is the
+    /// per-frame cut.
+    pub fn time_window(&self, range: std::ops::Range<usize>) -> Result<Variable> {
+        let idx = self
+            .axis_index(AxisKind::Time)
+            .ok_or_else(|| CdmsError::NotFound(format!("time axis on '{}'", self.id)))?;
+        let n = self.axes[idx].len();
+        if range.start >= range.end || range.end > n {
+            return Err(CdmsError::Invalid(format!(
+                "time window {}..{} out of range for {} step(s) on '{}'",
+                range.start, range.end, n, self.id
+            )));
+        }
+        let mut specs: Vec<SliceSpec> =
+            self.shape().iter().map(|&d| SliceSpec::all(d)).collect();
+        specs[idx] = SliceSpec::range(range.start, range.end);
+        self.slice(&specs)
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +329,19 @@ mod tests {
         )
         .unwrap();
         assert!(lat_only.subset_time("2000-01-01", "2000-01-02").is_err());
+    }
+
+    #[test]
+    fn time_window_keeps_time_axis() {
+        let v = sample();
+        let w = v.time_window(1..2).unwrap();
+        assert_eq!(w.shape(), &[1, 3, 4]);
+        assert_eq!(w.axes[0].kind, AxisKind::Time);
+        assert_eq!(w.axes[0].values, vec![1.0]);
+        assert_eq!(w.array.get(&[0, 0, 0]).unwrap(), 100.0);
+        assert_eq!(v.time_window(0..2).unwrap().array, v.array);
+        assert!(v.time_window(0..0).is_err());
+        assert!(v.time_window(1..3).is_err());
     }
 
     #[test]

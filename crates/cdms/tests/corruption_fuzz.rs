@@ -25,10 +25,13 @@
 //! `CDMS_FUZZ_ITERS` (CI smoke runs use a reduced count).
 
 use cdms::format::{self, SectionKind, V2Layout};
+use cdms::format_v3::{self, V3Meta, V3Options};
+use cdms::storage::LocalDisk;
 use cdms::synth::SynthesisSpec;
 use cdms::Dataset;
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Wall-clock ceiling for decoding one ~50 KB mutated file. An honest
@@ -202,6 +205,172 @@ fn corruption_fuzz_truncations_never_panic() {
             t0.elapsed()
         );
     }
+}
+
+/// Copies a window slab into the full array (test-local mirror of the
+/// decoder's scatter, used to build the v3 oracle's expected arrays).
+fn scatter(
+    slab_d: &[f32],
+    slab_m: &[bool],
+    full_d: &mut [f32],
+    full_m: &mut [bool],
+    shape: &[usize],
+    time_axis: Option<usize>,
+    range: Range<usize>,
+) {
+    let Some(t) = time_axis else {
+        full_d.copy_from_slice(slab_d);
+        full_m.copy_from_slice(slab_m);
+        return;
+    };
+    let nt = shape[t];
+    let pre: usize = shape[..t].iter().product();
+    let post: usize = shape[t + 1..].iter().product();
+    let wlen = range.len();
+    for p in 0..pre {
+        for (k, ti) in range.clone().enumerate() {
+            let src = (p * wlen + k) * post;
+            let dst = (p * nt + ti) * post;
+            full_d[dst..dst + post].copy_from_slice(&slab_d[src..src + post]);
+            full_m[dst..dst + post].copy_from_slice(&slab_m[src..src + post]);
+        }
+    }
+}
+
+/// The v3 oracle: for one variable whose metadata survived, the exact
+/// array salvage must produce — per window, the first level whose payload
+/// bytes are untouched (level 0 verbatim, coarser levels upsampled), or
+/// masked fill when every level was hit.
+fn expected_v3_array(
+    vi: usize,
+    meta: &V3Meta,
+    layout: &format_v3::V3Layout,
+    original: &[u8],
+    mutated: &[u8],
+) -> (Vec<f32>, Vec<bool>, usize, usize) {
+    let vm = &meta.vars[vi];
+    let volume: usize = vm.shape.iter().product::<usize>().max(1);
+    let mut data = vec![0.0f32; volume];
+    let mut mask = vec![true; volume];
+    let mut degraded = 0usize;
+    let mut masked = 0usize;
+    for w in 0..vm.n_windows() {
+        let full_shape = vm.slab_shape(w);
+        let mut served = false;
+        for l in 0..vm.levels {
+            let span = layout
+                .chunks
+                .iter()
+                .find(|c| c.var == vi && c.window == w && c.level == l)
+                .expect("layout lists every chunk");
+            if original[span.payload.clone()] != mutated[span.payload.clone()] {
+                continue;
+            }
+            let n = vm.level_volume(w, l).expect("well-formed shapes");
+            let (cd, cm) =
+                format_v3::decode_chunk_payload(&original[span.payload.clone()], (vi, w, l), n)
+                    .expect("original chunks decode");
+            let (sd, sm) = if l == 0 {
+                (cd, cm)
+            } else {
+                degraded += 1;
+                format_v3::upsample_nearest(&cd, &cm, &vm.level_shape(w, l), &full_shape)
+                    .expect("pyramid shapes are consistent")
+            };
+            scatter(&sd, &sm, &mut data, &mut mask, &vm.shape, vm.time_axis, vm.window_range(w));
+            served = true;
+            break;
+        }
+        if !served {
+            masked += 1;
+        }
+    }
+    (data, mask, degraded, masked)
+}
+
+#[test]
+fn corruption_fuzz_v3_chunk_map_oracle() {
+    // v3 sharpens the salvage contract from per-variable to per-chunk:
+    // untouched chunks come back bit-exact, windows whose level-0 chunk
+    // was hit degrade to the best intact pyramid level, and fully-dead
+    // windows are masked — never garbage, never a panic.
+    let ds = sample();
+    let max_elements = element_count(&ds);
+    let opts = V3Options { window: 2, levels: 3, compress: true };
+    let (bytes, layout) = format_v3::to_bytes_v3_with(&ds, &opts);
+    let original = bytes.to_vec();
+
+    // the chunk-map oracle needs the decoded metadata (window/level shapes)
+    let dir = std::env::temp_dir().join(format!("cdms_v3_fuzz_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("oracle.ncr");
+    std::fs::write(&path, &original).unwrap();
+    let meta = format_v3::read_meta_with(&LocalDisk, &path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let axis_payloads: Vec<&Range<usize>> = layout
+        .sections
+        .iter()
+        .filter(|s| s.kind == SectionKind::Axis)
+        .map(|s| &s.payload)
+        .collect();
+    let varmeta_spans: Vec<(&Range<usize>, &Vec<usize>)> = layout
+        .sections
+        .iter()
+        .filter_map(|s| s.variable.as_ref().map(|(_, refs)| (&s.payload, refs)))
+        .collect();
+    let trailer_start = layout
+        .sections
+        .iter()
+        .find(|s| s.kind == SectionKind::Trailer)
+        .expect("v3 always has a trailer")
+        .frame
+        .start;
+
+    let mut rng = TestRng::from_name("corruption_fuzz_v3");
+    let iters = (fuzz_iters() / 2).max(200);
+    let (mut exact_windows, mut degraded_windows, mut masked_windows) = (0usize, 0usize, 0usize);
+    for iter in 0..iters {
+        let mut mutated = original.clone();
+        let n_mut = 1 + (rng.next_u64() as usize) % 8;
+        mutate(&mut mutated, &mut rng, n_mut, 8, trailer_start);
+
+        let t0 = Instant::now();
+        let strict = format::from_bytes(&mutated);
+        if strict.is_ok() {
+            assert_eq!(mutated, original, "iter {iter}: strict v3 decode accepted altered bytes");
+        }
+        let (salvaged, report) =
+            format::from_bytes_salvage(&mutated).expect("salvage of v3 bytes");
+        assert!(report.directory_intact, "iter {iter}: trailer untouched yet directory lost");
+        assert!(
+            element_count(&salvaged) <= max_elements,
+            "iter {iter}: v3 salvage produced more data than was ever written"
+        );
+        assert!(t0.elapsed() < DECODE_BUDGET, "iter {iter}: v3 decode took {:?}", t0.elapsed());
+
+        let untouched = |r: &Range<usize>| original[r.clone()] == mutated[r.clone()];
+        for (vi, vm) in meta.vars.iter().enumerate() {
+            let (span, refs) = varmeta_spans[vi];
+            if !untouched(span) || !refs.iter().all(|&a| untouched(axis_payloads[a])) {
+                continue; // metadata hit: salvage may drop the variable
+            }
+            let got = salvaged.variable(&vm.id).unwrap_or_else(|| {
+                panic!("iter {iter}: variable '{}' with intact metadata not recovered", vm.id)
+            });
+            let (want_d, want_m, degraded, masked) =
+                expected_v3_array(vi, &meta, &layout, &original, &mutated);
+            assert_eq!(got.array.data(), want_d.as_slice(), "iter {iter}: '{}' data", vm.id);
+            assert_eq!(got.array.mask(), want_m.as_slice(), "iter {iter}: '{}' mask", vm.id);
+            degraded_windows += degraded;
+            masked_windows += masked;
+            exact_windows += vm.n_windows() - degraded - masked;
+        }
+    }
+    // the fuzzer must actually exercise all three outcomes
+    assert!(exact_windows > 0, "no window ever survived untouched — fuzzer mis-aimed");
+    assert!(degraded_windows > 0, "no window ever degraded to the pyramid — fuzzer mis-aimed");
+    assert!(masked_windows > 0, "no window was ever fully lost — fuzzer mis-aimed");
 }
 
 proptest! {

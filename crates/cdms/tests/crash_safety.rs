@@ -4,18 +4,28 @@
 //! parses as either the complete old dataset or the complete new dataset —
 //! never a hybrid, never unreadable.
 //!
-//! The atomic writer issues exactly five primitives per clean write
-//! (`write_all` tmp → `sync` → `len` → `read` back → `rename`), so the
-//! matrix below is exhaustive over the protocol, not a sample of it.
+//! The atomic writer issues exactly six primitives per clean write
+//! (`write_all` tmp → `sync` → `len` → `read` back → `rename` →
+//! `sync_dir` of the parent), so the matrix below is exhaustive over the
+//! protocol, not a sample of it. The final primitive has one deliberate
+//! asymmetry: a hard fault on the directory sync is reported as an error
+//! even though the rename already landed — the publish is complete but
+//! not yet durable — so for that op alone an `Err` outcome may leave the
+//! complete NEW state on disk.
 
 use cdms::format;
+use cdms::format_v3;
 use cdms::storage::{FaultyStorage, StorageFault, StorageFaultPlan, TRANSIENT_RETRIES};
 use cdms::synth::SynthesisSpec;
 use cdms::Dataset;
 use std::path::PathBuf;
 
 /// Primitive ops issued by one fault-free `write_atomic` call.
-const PROTOCOL_OPS: u64 = 5;
+const PROTOCOL_OPS: u64 = 6;
+
+/// Index of the post-rename parent-directory sync — the one op where a
+/// failed write may still have published the new content.
+const SYNC_DIR_OP: u64 = 5;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("cdms_crash_safety_{tag}_{}", std::process::id()));
@@ -78,6 +88,10 @@ fn every_crash_point_leaves_complete_old_or_complete_new() {
                     same_dataset(&on_disk, &new),
                     "op {op} fault {name}: write reported success but new state absent"
                 ),
+                Err(_) if op == SYNC_DIR_OP => assert!(
+                    same_dataset(&on_disk, &old) || same_dataset(&on_disk, &new),
+                    "op {op} fault {name}: post-rename sync failure must leave a complete state"
+                ),
                 Err(_) => assert!(
                     same_dataset(&on_disk, &old),
                     "op {op} fault {name}: failed write must leave the old state untouched"
@@ -105,9 +119,57 @@ fn crash_on_first_ever_write_leaves_no_file_or_complete_file() {
                         .unwrap_or_else(|e| panic!("op {op} fault {name}: {e}"));
                     assert!(same_dataset(&on_disk, &new), "op {op} fault {name}");
                 }
+                Err(_) if op == SYNC_DIR_OP => {
+                    // the rename already landed; a published file must be
+                    // the complete new dataset
+                    if path.exists() {
+                        let on_disk = format::read_dataset(&path)
+                            .unwrap_or_else(|e| panic!("op {op} fault {name}: {e}"));
+                        assert!(same_dataset(&on_disk, &new), "op {op} fault {name}");
+                    }
+                }
                 Err(_) => assert!(
                     !path.exists(),
                     "op {op} fault {name}: failed first write must not publish a file"
+                ),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v3_writer_crash_points_leave_complete_old_or_complete_new() {
+    // The chunked v3 writer rides the same six-primitive atomic protocol,
+    // so it inherits the same guarantee: any single fault at any step
+    // leaves the destination as exactly one complete, strictly-verifiable
+    // dataset (old v2 or new v3 — cross-version overwrites included).
+    let dir = temp_dir("v3matrix");
+    let (old, new) = old_and_new();
+    let opts = format_v3::V3Options { window: 2, levels: 2, compress: true };
+    for op in 0..PROTOCOL_OPS {
+        for (name, fault) in fault_kinds() {
+            let path = dir.join(format!("v3_op{op}_{name}.ncr"));
+            format::write_dataset(&old, &path).expect("seeding the old state");
+
+            let storage = FaultyStorage::new(StorageFaultPlan::none().inject(op, fault.clone()));
+            let outcome = format_v3::write_dataset_v3_with(&storage, &new, &path, &opts);
+
+            let on_disk = format::read_dataset(&path).unwrap_or_else(|e| {
+                panic!("v3 op {op} fault {name}: destination unreadable after fault: {e}")
+            });
+            match &outcome {
+                Ok(()) => assert!(
+                    same_dataset(&on_disk, &new),
+                    "v3 op {op} fault {name}: write reported success but new state absent"
+                ),
+                Err(_) if op == SYNC_DIR_OP => assert!(
+                    same_dataset(&on_disk, &old) || same_dataset(&on_disk, &new),
+                    "v3 op {op} fault {name}: post-rename sync failure must leave a complete state"
+                ),
+                Err(_) => assert!(
+                    same_dataset(&on_disk, &old),
+                    "v3 op {op} fault {name}: failed write must leave the old state untouched"
                 ),
             }
         }

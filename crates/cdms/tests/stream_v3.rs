@@ -1,0 +1,264 @@
+//! Integration tests for `.ncr` v3 out-of-core streaming (ISSUE 9):
+//!
+//! * property test: v3 and v2 encodings of the same dataset decode to
+//!   per-time-window identical slabs, for arbitrary window/level/codec
+//!   options;
+//! * the parallel v3 encoder is byte-identical at 1, 2 and 8 threads;
+//! * a seeded fault storm over a series 4× larger than the chunk cache
+//!   plays back every frame — no stall, no panic — with salvage and
+//!   degradation counters matching the injected fault plan EXACTLY, the
+//!   cache never exceeding its byte budget, and the whole report
+//!   bit-identical across thread counts.
+
+use cdms::format::{self};
+use cdms::format_v3::{self, V3Options};
+use cdms::storage::{FaultyStorage, LocalDisk, StorageFault, StorageFaultPlan};
+use cdms::stream::{StreamOptions, StreamReport, StreamingDataset};
+use cdms::synth::SynthesisSpec;
+use cdms::{AxisKind, Dataset, Storage};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Serializes RAYON_NUM_THREADS mutation across tests in this binary:
+/// the test harness runs cases concurrently and the env var is
+/// process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    out
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cdms_stream_v3_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.ncr"))
+}
+
+// ---- v3 ↔ v2 equivalence ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary (small) datasets and arbitrary writer options, the
+    /// v3 encoding decodes to exactly the same dataset as the v2
+    /// encoding, window by window.
+    #[test]
+    fn v3_decodes_identical_to_v2_per_time_window(
+        nt in 1usize..9,
+        nlev in 1usize..3,
+        nlat in 2usize..7,
+        nlon in 2usize..9,
+        seed in 0u64..1000,
+        window in 1usize..5,
+        levels in 1usize..4,
+        compress in any::<bool>(),
+    ) {
+        let ds = SynthesisSpec::new(nt, nlev, nlat, nlon).seed(seed).build();
+        let opts = V3Options { window, levels, compress };
+        let via_v2 = format::from_bytes(&format::to_bytes(&ds)).unwrap();
+        let via_v3 = format::from_bytes(&format_v3::to_bytes_v3_with(&ds, &opts).0).unwrap();
+        prop_assert_eq!(via_v2.variable_ids(), via_v3.variable_ids());
+        for v2 in via_v2.variables() {
+            let v3 = via_v3.variable(&v2.id).unwrap();
+            prop_assert_eq!(&v3.axes, &v2.axes);
+            prop_assert_eq!(&v3.attributes, &v2.attributes);
+            if v2.axis_index(AxisKind::Time).is_some() {
+                // compare window by window, the granularity v3 stores
+                let n = v2.n_times();
+                let mut t = 0;
+                while t < n {
+                    let hi = (t + window).min(n);
+                    let a = v2.time_window(t..hi).unwrap();
+                    let b = v3.time_window(t..hi).unwrap();
+                    prop_assert_eq!(a.array, b.array, "var '{}' window {}..{}", v2.id, t, hi);
+                    t = hi;
+                }
+            } else {
+                prop_assert_eq!(&v3.array, &v2.array);
+            }
+        }
+    }
+}
+
+#[test]
+fn v3_encode_is_byte_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let ds = SynthesisSpec::new(10, 3, 16, 24).seed(77).build();
+    let opts = V3Options { window: 3, levels: 3, compress: true };
+    let reference = with_threads(1, || format_v3::to_bytes_v3_with(&ds, &opts).0);
+    for n in [2usize, 8] {
+        let bytes = with_threads(n, || format_v3::to_bytes_v3_with(&ds, &opts).0);
+        assert_eq!(
+            bytes, reference,
+            "v3 encoding differs between 1 and {n} threads"
+        );
+    }
+}
+
+#[test]
+fn v1_and_v2_files_remain_readable() {
+    // regression guard for the version dispatch: introducing v3 must not
+    // disturb how existing files parse
+    let ds = SynthesisSpec::new(3, 1, 6, 8).seed(9).build();
+    let v2 = format::to_bytes(&ds);
+    let back = format::from_bytes(&v2).unwrap();
+    assert_eq!(back.variable_ids(), ds.variable_ids());
+    // and a v2 file opened for streaming fails cleanly, not confusingly
+    let path = temp_path("v2_guard");
+    std::fs::write(&path, &v2).unwrap();
+    let err = StreamingDataset::open(&path).unwrap_err();
+    assert!(err.to_string().contains("not streamable"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+// ---- the fault storm ----
+
+/// The storm: a 24-step series streamed through a cache 1/4 its size
+/// while scripted faults kill, corrupt, delay and interrupt specific
+/// chunks. Returns the per-frame outcomes and the final report.
+fn run_fault_storm(path: &std::path::Path, ds: &Dataset) -> (Vec<(usize, &'static str)>, StreamReport) {
+    let meta = format_v3::read_meta_with(&LocalDisk, path).unwrap();
+    let vi = meta.var_index("ta").unwrap();
+    let entry = |w: usize, l: usize| *meta.chunk(vi, w, l).unwrap();
+
+    // window 3: level 0 dead forever, level 1 intact   → every frame degrades
+    // window 5: level 0 corrupt, level 1 dead          → every frame masked
+    // window 7: level 0 transiently failing twice      → retried, then exact
+    // window 9: level 0 slow once (40 ms vs 5 ms SLO)  → one deadline miss
+    let e30 = entry(3, 0);
+    let e50 = entry(5, 0);
+    let e51 = entry(5, 1);
+    let e70 = entry(7, 0);
+    let e90 = entry(9, 0);
+    let plan = StorageFaultPlan::none()
+        .inject_read(e30.offset..e30.offset + 1, StorageFault::ReadError, 0)
+        .inject_read(e50.offset..e50.offset + 1, StorageFault::BitFlip { bit: 301 }, 0)
+        .inject_read(e51.offset..e51.offset + 1, StorageFault::ReadError, 0)
+        .inject_read(e70.offset..e70.offset + 1, StorageFault::Transient { times: 0 }, 2)
+        .inject_read(e90.offset..e90.offset + 1, StorageFault::DelayedRead { ms: 40 }, 1);
+
+    let storage: Arc<dyn Storage> = Arc::new(FaultyStorage::new(plan));
+    let sopts = StreamOptions {
+        cache_bytes: 8_000,
+        prefetch_windows: 1,
+        max_retries: 3,
+        backoff_base_ms: 0,
+        backoff_cap_ms: 0,
+        deadline_ms: Some(5),
+    };
+    let sd = StreamingDataset::open_with(storage, path, sopts).unwrap();
+    let sv = sd.variable("ta").unwrap();
+    let ta = ds.variable("ta").unwrap();
+
+    let mut outcomes = Vec::new();
+    for t in 0..sv.n_times() {
+        // the acceptance criterion: EVERY frame completes, storm or not
+        let frame = sv
+            .time_slab_degraded(t)
+            .unwrap_or_else(|e| panic!("frame {t} stalled: {e}"));
+        let exact = ta.time_slab(t).unwrap();
+        let outcome = if frame.array == exact.array {
+            "exact"
+        } else if frame.array.valid_count() == 0 {
+            "masked"
+        } else {
+            "degraded"
+        };
+        outcomes.push((t, outcome));
+    }
+    (outcomes, sd.report())
+}
+
+#[test]
+fn fault_storm_playback_completes_every_frame_with_exact_counters() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    // 24 steps × 2 levels × 12×16 cells, windows of 2 → 12 level-0 chunks
+    // of 3 840 decoded bytes each
+    let ds = SynthesisSpec::new(24, 2, 12, 16).seed(4242).build();
+    let opts = V3Options { window: 2, levels: 2, compress: false };
+    let path = temp_path("storm");
+    format_v3::write_dataset_v3_with(&LocalDisk, &ds, &path, &opts).unwrap();
+
+    // the premise of the test: the series dwarfs the cache budget
+    let meta = format_v3::read_meta_with(&LocalDisk, &path).unwrap();
+    let vi = meta.var_index("ta").unwrap();
+    let vm = &meta.vars[vi];
+    let decoded_level0_bytes: usize = (0..vm.n_windows())
+        .map(|w| vm.level_volume(w, 0).unwrap() * 5)
+        .sum();
+    assert!(
+        decoded_level0_bytes >= 4 * 8_000,
+        "series ({decoded_level0_bytes} B decoded) must be ≥ 4× the 8 kB cache budget"
+    );
+
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let (outcomes, report) = with_threads(threads, || run_fault_storm(&path, &ds));
+
+        // per-frame outcomes follow the fault plan exactly
+        for (t, outcome) in &outcomes {
+            let want = match t / 2 {
+                3 => "degraded",
+                5 => "masked",
+                _ => "exact",
+            };
+            assert_eq!(outcome, &want, "frame {t} at {threads} thread(s)");
+        }
+        assert_eq!(outcomes.len(), 24);
+
+        // counters are a deterministic function of the plan:
+        //   retried        = the 2 budgeted transient failures on (7,0)
+        //   degraded       = 2 frames of window 3 served from level 1
+        //   salvaged       = 2 frames of window 5 served as masked fill
+        //   deadline_missed= 1 delayed read of (9,0)
+        //   failed_chunks  = (3,0) hard, (5,0) corrupt, (5,1) hard
+        assert_eq!(report.retried, 2, "threads {threads}: {report}");
+        assert_eq!(report.degraded, 2, "threads {threads}: {report}");
+        assert_eq!(report.salvaged, 2, "threads {threads}: {report}");
+        assert_eq!(report.deadline_missed, 1, "threads {threads}: {report}");
+        assert_eq!(report.failed_chunks, 3, "threads {threads}: {report}");
+        // the budget held, and the cache actually worked
+        assert!(report.peak_cache_bytes <= 8_000, "threads {threads}: {report}");
+        assert!(report.evictions > 0, "threads {threads}: {report}");
+        assert!(report.cache_hits > 0, "threads {threads}: {report}");
+        reports.push(report);
+    }
+    // the whole session is deterministic: byte-for-byte identical reports
+    assert_eq!(reports[0], reports[1], "1 vs 2 threads");
+    assert_eq!(reports[0], reports[2], "1 vs 8 threads");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn healthy_playback_is_bit_exact_and_fault_free() {
+    let ds = SynthesisSpec::new(16, 2, 10, 14).seed(11).build();
+    let opts = V3Options { window: 4, levels: 3, compress: true };
+    let path = temp_path("healthy");
+    format_v3::write_dataset_v3_with(&LocalDisk, &ds, &path, &opts).unwrap();
+    let sopts = StreamOptions { cache_bytes: 64 << 10, ..StreamOptions::default() };
+    let sd = StreamingDataset::open_with(Arc::new(LocalDisk), &path, sopts).unwrap();
+    for var in ds.variables() {
+        if var.axis_index(AxisKind::Time).is_none() {
+            continue;
+        }
+        let sv = sd.variable(&var.id).unwrap();
+        for t in 0..sv.n_times() {
+            let frame = sv.time_slab_degraded(t).unwrap();
+            assert_eq!(frame.array, var.time_slab(t).unwrap().array, "'{}' t={t}", var.id);
+        }
+    }
+    let report = sd.report();
+    assert_eq!(report.retried, 0);
+    assert_eq!(report.failed_chunks, 0);
+    assert_eq!(report.degraded + report.salvaged + report.deadline_missed, 0);
+    std::fs::remove_file(&path).ok();
+}

@@ -9,7 +9,7 @@ use crate::plots::Plot;
 use crate::translation::{translate_scalar, TranslationOptions};
 use crate::{Dv3dError, Result};
 use cdms::axis::AxisKind;
-use cdms::Variable;
+use cdms::{StreamReport, StreamingVariable, Variable};
 use rvtk::ImageData;
 
 /// Steps a plot through a time series.
@@ -119,6 +119,108 @@ impl AnimationController {
     }
 }
 
+/// Steps a plot through a time series streamed off disk.
+///
+/// Unlike [`AnimationController`], which pre-translates every timestep
+/// into memory, this controller holds only a [`StreamingVariable`] — a
+/// lazy, bounded-memory view of a `.ncr` v3 file — and translates each
+/// frame on demand as the playhead reaches it. A series far larger than
+/// RAM plays at a fixed memory ceiling (the stream's chunk-cache budget),
+/// and faulted chunks degrade to a coarser pyramid level or masked fill
+/// instead of stalling playback; [`StreamingAnimation::report`] says how
+/// often that happened.
+#[derive(Debug, Clone)]
+pub struct StreamingAnimation {
+    var: StreamingVariable,
+    opts: TranslationOptions,
+    current: usize,
+    /// Wrap around at the ends.
+    pub looping: bool,
+}
+
+impl StreamingAnimation {
+    /// Wraps a streaming variable for playback. The variable must carry a
+    /// time axis; frames are fetched, salvaged, and translated lazily.
+    pub fn new(var: StreamingVariable, opts: TranslationOptions) -> Result<StreamingAnimation> {
+        if !var.has_time_axis() {
+            return Err(Dv3dError::Config(format!("'{}' has no time axis", var.id())));
+        }
+        Ok(StreamingAnimation { var, opts, current: 0, looping: true })
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.var.n_times()
+    }
+
+    /// Never true ([`StreamingVariable`] always has ≥ 1 timestep).
+    pub fn is_empty(&self) -> bool {
+        self.var.n_times() == 0
+    }
+
+    /// Current frame index.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Fault-tolerance counters for the underlying streaming session.
+    pub fn report(&self) -> StreamReport {
+        self.var.report()
+    }
+
+    /// Fetches and translates frame `t`, degrading rather than failing
+    /// when chunks are unreadable. Also prefetches upcoming windows.
+    fn frame(&self, t: usize) -> Result<ImageData> {
+        let slab = self.var.time_slab_degraded(t).map_err(Dv3dError::from)?;
+        translate_scalar(&slab, &self.opts)
+    }
+
+    /// Steps by `delta` (negative allowed), honouring `looping`, and
+    /// installs the freshly streamed frame. Returns the new index.
+    pub fn step(&mut self, plot: &mut dyn Plot, delta: i64) -> Result<usize> {
+        let n = self.var.n_times() as i64;
+        let raw = self.current as i64 + delta;
+        let next = if self.looping {
+            raw.rem_euclid(n) as usize
+        } else {
+            raw.clamp(0, n - 1) as usize
+        };
+        plot.set_image(self.frame(next)?)?;
+        self.current = next;
+        Ok(next)
+    }
+
+    /// Jumps to an absolute frame.
+    pub fn seek(&mut self, plot: &mut dyn Plot, index: usize) -> Result<usize> {
+        if index >= self.var.n_times() {
+            return Err(Dv3dError::Config(format!(
+                "frame {index} out of range ({} frames)",
+                self.var.n_times()
+            )));
+        }
+        plot.set_image(self.frame(index)?)?;
+        self.current = index;
+        Ok(index)
+    }
+
+    /// Renders one full pass over all frames at the given size — the
+    /// offline path for series that never fit in memory at once.
+    pub fn render_loop(
+        &mut self,
+        cell: &mut crate::cell::Dv3dCell,
+        width: usize,
+        height: usize,
+    ) -> Result<Vec<rvtk::render::Framebuffer>> {
+        let n = self.var.n_times();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            self.seek(cell.plot_mut(), i)?;
+            out.push(cell.render(width, height)?);
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +313,118 @@ mod tests {
         let a: Vec<[u8; 4]> = frames[0].colors().iter().map(|c| c.to_u8()).collect();
         let b: Vec<[u8; 4]> = frames[2].colors().iter().map(|c| c.to_u8()).collect();
         assert_ne!(a, b);
+    }
+
+    // ---- streaming playback ----
+
+    mod streaming {
+        use super::*;
+        use cdms::format_v3::{self, V3Options};
+        use cdms::storage::{FaultyStorage, LocalDisk, StorageFault, StorageFaultPlan};
+        use cdms::{Storage, StreamOptions, StreamingDataset};
+        use std::sync::Arc;
+
+        fn temp_path(tag: &str) -> std::path::PathBuf {
+            let dir =
+                std::env::temp_dir().join(format!("dv3d_stream_anim_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            dir.join(format!("{tag}.ncr"))
+        }
+
+        #[test]
+        fn streaming_matches_precomputed_animation() {
+            let ds = SynthesisSpec::new(6, 1, 8, 16).seed(31).build();
+            let pr = ds.variable("pr").unwrap();
+            let opts = TranslationOptions::default();
+            let path = temp_path("healthy");
+            let v3 = V3Options { window: 2, levels: 2, compress: true };
+            format_v3::write_dataset_v3_with(&LocalDisk, &ds, &path, &v3).unwrap();
+
+            let sd = StreamingDataset::open(&path).unwrap();
+            let mut precomputed = AnimationController::from_variable(pr, &opts).unwrap();
+            let mut streamed =
+                StreamingAnimation::new(sd.variable("pr").unwrap(), opts.clone()).unwrap();
+            assert_eq!(streamed.len(), precomputed.len());
+
+            let first = translate_scalar(&pr.time_slab(0).unwrap(), &opts).unwrap();
+            let mut cell_a = Dv3dCell::new("pr", PlotSpec::slicer(first.clone()));
+            let mut cell_b = Dv3dCell::new("pr", PlotSpec::slicer(first));
+            for t in 0..streamed.len() {
+                precomputed.seek(cell_a.plot_mut(), t).unwrap();
+                streamed.seek(cell_b.plot_mut(), t).unwrap();
+                assert_eq!(
+                    cell_b.plot().image().scalars,
+                    cell_a.plot().image().scalars,
+                    "streamed frame {t} differs from precomputed"
+                );
+            }
+            let report = streamed.report();
+            assert_eq!(report.failed_chunks, 0);
+            assert_eq!(report.degraded + report.salvaged + report.retried, 0);
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn streaming_render_survives_fault_storm() {
+            let ds = SynthesisSpec::new(8, 1, 10, 16).seed(7).build();
+            let pr = ds.variable("pr").unwrap();
+            let v3 = V3Options { window: 2, levels: 2, compress: false };
+            let path = temp_path("storm");
+            format_v3::write_dataset_v3_with(&LocalDisk, &ds, &path, &v3).unwrap();
+
+            // window 1: level 0 dead       → frames 2,3 degrade to the pyramid
+            // window 2: both levels dead   → frames 4,5 fall back to masked fill
+            let meta = format_v3::read_meta_with(&LocalDisk, &path).unwrap();
+            let vi = meta.var_index("pr").unwrap();
+            let entry = |w: usize, l: usize| *meta.chunk(vi, w, l).unwrap();
+            let (e10, e20, e21) = (entry(1, 0), entry(2, 0), entry(2, 1));
+            let plan = StorageFaultPlan::none()
+                .inject_read(e10.offset..e10.offset + 1, StorageFault::ReadError, 0)
+                .inject_read(e20.offset..e20.offset + 1, StorageFault::ReadError, 0)
+                .inject_read(e21.offset..e21.offset + 1, StorageFault::ReadError, 0);
+            let storage: Arc<dyn Storage> = Arc::new(FaultyStorage::new(plan));
+            let sopts = StreamOptions {
+                cache_bytes: 4_000,
+                prefetch_windows: 1,
+                backoff_base_ms: 0,
+                backoff_cap_ms: 0,
+                ..StreamOptions::default()
+            };
+            let sd = StreamingDataset::open_with(storage, &path, sopts).unwrap();
+
+            let topts = TranslationOptions::default();
+            let mut anim =
+                StreamingAnimation::new(sd.variable("pr").unwrap(), topts.clone()).unwrap();
+            let first = translate_scalar(&pr.time_slab(0).unwrap(), &topts).unwrap();
+            let mut cell = Dv3dCell::new("pr", PlotSpec::slicer(first));
+            cell.show_colorbar = false;
+            cell.show_labels = false;
+
+            // the acceptance criterion: every frame renders, storm or not
+            let frames = anim.render_loop(&mut cell, 32, 32).unwrap();
+            assert_eq!(frames.len(), 8);
+
+            // stepping across the wrap keeps working with faults active
+            assert_eq!(anim.step(cell.plot_mut(), 1).unwrap(), 0);
+            assert_eq!(anim.step(cell.plot_mut(), -1).unwrap(), 7);
+
+            let report = anim.report();
+            assert_eq!(report.degraded, 2, "{report}");
+            assert_eq!(report.salvaged, 2, "{report}");
+            assert_eq!(report.failed_chunks, 3, "{report}");
+            assert!(report.peak_cache_bytes <= 4_000, "{report}");
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn streaming_rejects_windowless_variables() {
+            let ds = SynthesisSpec::new(2, 1, 6, 8).build();
+            let path = temp_path("windowless");
+            format_v3::write_dataset_v3(&ds, &path).unwrap();
+            let sd = StreamingDataset::open(&path).unwrap();
+            let lf = sd.variable("sftlf").unwrap();
+            assert!(StreamingAnimation::new(lf, TranslationOptions::default()).is_err());
+            std::fs::remove_file(&path).ok();
+        }
     }
 }
