@@ -116,8 +116,30 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or(hw);
-    let (serial_ms, pool1) = fused_ms_at(ta, 1, reps);
+    // Full sweep at 1/2/4/8 requested workers (the BENCH_render.json
+    // convention), plus the legacy serial / wide rows.
+    let sweep: Vec<(usize, f64, usize)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            let (ms, pool) = fused_ms_at(ta, t, reps);
+            (t, ms, pool)
+        })
+        .collect();
+    let (serial_ms, pool1) = sweep
+        .first()
+        .map(|&(_, ms, pool)| (ms, pool))
+        .unwrap_or((f64::NAN, 1));
     let (wide_ms, pool_n) = fused_ms_at(ta, wide, reps);
+    let sweep_json = sweep
+        .iter()
+        .map(|(t, ms, pool)| {
+            format!(
+                "    {{ \"requested\": {t}, \"effective_pool\": {pool}, \
+                 \"fused_ms\": {ms:.4} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
 
     let speedup = eager / fused;
     let stepwise_speedup = eager / stepwise;
@@ -137,7 +159,8 @@ fn main() {
             "  \"hardware_threads\": {},\n",
             "  \"effective_pool_one_thread\": {},\n",
             "  \"effective_pool_all_threads\": {},\n",
-            "  \"requested_threads\": {}\n",
+            "  \"requested_threads\": {},\n",
+            "  \"thread_sweep\": [\n{}\n  ]\n",
             "}}\n"
         ),
         reps,
@@ -153,6 +176,7 @@ fn main() {
         pool1,
         pool_n,
         wide,
+        sweep_json,
     );
     // workspace root, independent of the bench binary's cwd
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");

@@ -111,8 +111,30 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or(hw);
-    let (t1, pool1) = scaling_ms(ta, &target, 1, reps);
+    // Full sweep at 1/2/4/8 requested workers (the BENCH_render.json
+    // convention), plus the legacy one-thread / wide rows derived from it.
+    let sweep: Vec<(usize, f64, usize)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            let (ms, pool) = scaling_ms(ta, &target, t, reps);
+            (t, ms, pool)
+        })
+        .collect();
+    let (t1, pool1) = sweep
+        .first()
+        .map(|&(_, ms, pool)| (ms, pool))
+        .unwrap_or((f64::NAN, 1));
     let (tn, pool_n) = scaling_ms(ta, &target, wide, reps);
+    let sweep_json = sweep
+        .iter()
+        .map(|(t, ms, pool)| {
+            format!(
+                "    {{ \"requested\": {t}, \"effective_pool\": {pool}, \
+                 \"apply_ms\": {ms:.4} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
 
     // Cache counters over a realistic reuse pattern: two variables, same
     // grid pair, through the public wrapper API.
@@ -145,6 +167,7 @@ fn main() {
             "  \"effective_pool_one_thread\": {},\n",
             "  \"effective_pool_all_threads\": {},\n",
             "  \"requested_threads\": {},\n",
+            "  \"thread_sweep\": [\n{}\n  ],\n",
             "  \"cache_hits\": {},\n",
             "  \"cache_misses\": {}\n",
             "}}\n"
@@ -164,6 +187,7 @@ fn main() {
         pool1,
         pool_n,
         wide,
+        sweep_json,
         stats.hits,
         stats.misses
     );

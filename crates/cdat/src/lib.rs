@@ -41,6 +41,7 @@ pub mod averager;
 pub mod climatology;
 pub mod conditioned;
 pub mod eager_ref;
+pub mod ensemble;
 pub mod eof;
 pub mod expr;
 pub mod hovmoller;

@@ -431,9 +431,144 @@ pub fn selected_mean_axis(
     MaskedArray::with_mask(data, mask, &out_shape)
 }
 
+/// Minimum along `axis`, masked lanes skipped, empty cells masked — the
+/// deterministic-parallel `reduce_axis(Min)`: same strict-compare
+/// accumulation (from `+∞`, ascending axis order) as the eager kernel, so
+/// results are bit-identical to it, with outer slabs distributed over the
+/// pool. Order-insensitive anyway for NaN-free data, so thread-count
+/// invariance is immediate.
+pub fn min_axis(arr: &MaskedArray, axis: usize) -> Result<MaskedArray> {
+    extreme_axis(arr, axis, true)
+}
+
+/// Maximum along `axis` — [`min_axis`]'s mirror (from `−∞`).
+pub fn max_axis(arr: &MaskedArray, axis: usize) -> Result<MaskedArray> {
+    extreme_axis(arr, axis, false)
+}
+
+fn extreme_axis(arr: &MaskedArray, axis: usize, want_min: bool) -> Result<MaskedArray> {
+    let (outer, k, inner, out_shape) = axis_split(arr, axis)?;
+    let (src_d, src_m) = (arr.data(), arr.mask());
+    let init = if want_min { f32::INFINITY } else { f32::NEG_INFINITY };
+    let mut data = vec![init; outer * inner];
+    let mut mask = vec![false; outer * inner];
+    data.par_chunks_mut(inner.max(1))
+        .zip(mask.par_chunks_mut(inner.max(1)))
+        .enumerate()
+        .for_each(|(o, (dd, mm))| {
+            let mut cnt = vec![0u32; dd.len()];
+            for j in 0..k {
+                let base = (o * k + j) * inner;
+                let drow = src_d.get(base..base + inner).unwrap_or_default();
+                let mrow = src_m.get(base..base + inner).unwrap_or_default();
+                for (((d, c), &v), &m) in dd.iter_mut().zip(cnt.iter_mut()).zip(drow).zip(mrow)
+                {
+                    if !m {
+                        // strict compare, exactly the eager Acc::push
+                        if (want_min && v < *d) || (!want_min && v > *d) {
+                            *d = v;
+                        }
+                        *c += 1;
+                    }
+                }
+            }
+            for ((d, mk), &c) in dd.iter_mut().zip(mm.iter_mut()).zip(&cnt) {
+                if c == 0 {
+                    *d = 0.0;
+                    *mk = true;
+                }
+            }
+        });
+    MaskedArray::with_mask(data, mask, &out_shape)
+}
+
+/// The `q`-th percentile (0–100) along `axis`: per output cell, the valid
+/// values are collected, sorted with `total_cmp` (a total order, so the
+/// result is deterministic), and linearly interpolated at rank
+/// `q/100 × (n−1)` in `f64`. Masked lanes are skipped; cells with no valid
+/// input are masked. Output cells are independent, so parallelism over the
+/// outer slabs cannot change any cell's value.
+pub fn percentile_axis(arr: &MaskedArray, axis: usize, q: f64) -> Result<MaskedArray> {
+    if !(0.0..=100.0).contains(&q) {
+        return Err(CdmsError::Invalid(format!("percentile {q} outside [0, 100]")));
+    }
+    let (outer, k, inner, out_shape) = axis_split(arr, axis)?;
+    let (src_d, src_m) = (arr.data(), arr.mask());
+    let mut data = vec![0.0f32; outer * inner];
+    let mut mask = vec![false; outer * inner];
+    data.par_chunks_mut(inner.max(1))
+        .zip(mask.par_chunks_mut(inner.max(1)))
+        .enumerate()
+        .for_each(|(o, (dd, mm))| {
+            // per-slab scratch, reused across the slab's cells (cap = k)
+            let mut vals: Vec<f32> = Vec::with_capacity(k);
+            for (i, (d, mk)) in dd.iter_mut().zip(mm.iter_mut()).enumerate() {
+                vals.clear();
+                for j in 0..k {
+                    let idx = (o * k + j) * inner + i;
+                    if !src_m.get(idx).copied().unwrap_or(true) {
+                        vals.push(src_d.get(idx).copied().unwrap_or(0.0));
+                    }
+                }
+                if vals.is_empty() {
+                    *mk = true;
+                    continue;
+                }
+                vals.sort_by(f32::total_cmp);
+                let rank = q / 100.0 * (vals.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let f = rank - lo as f64;
+                let a = f64::from(vals.get(lo).copied().unwrap_or(0.0));
+                let b = f64::from(vals.get(hi).copied().unwrap_or(0.0));
+                *d = (a + (b - a) * f) as f32;
+            }
+        });
+    MaskedArray::with_mask(data, mask, &out_shape)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn min_max_axis_match_eager_bits() {
+        let data: Vec<f32> = (0..120).map(|i| (i as f32).sin() * 10.0).collect();
+        let mask: Vec<bool> = (0..120).map(|i| i % 7 == 3).collect();
+        let a = MaskedArray::with_mask(data, mask, &[5, 4, 6]).unwrap();
+        for axis in 0..3 {
+            let mins = min_axis(&a, axis).unwrap();
+            let maxs = max_axis(&a, axis).unwrap();
+            let emin = a.reduce_axis(axis, cdms::array::Reduction::Min).unwrap();
+            let emax = a.reduce_axis(axis, cdms::array::Reduction::Max).unwrap();
+            assert_eq!(mins.mask(), emin.mask(), "axis {axis}");
+            assert_eq!(maxs.mask(), emax.mask(), "axis {axis}");
+            let b = |m: &MaskedArray| -> Vec<u32> { m.data().iter().map(|v| v.to_bits()).collect() };
+            assert_eq!(b(&mins), b(&emin), "axis {axis}");
+            assert_eq!(b(&maxs), b(&emax), "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn percentile_axis_interpolates_and_masks() {
+        // column [1, 2, 3, 100(masked)] → median 2, p0 1, p100 3
+        let a = MaskedArray::with_mask(
+            vec![1.0, 2.0, 3.0, 100.0],
+            vec![false, false, false, true],
+            &[4, 1],
+        )
+        .unwrap();
+        assert_eq!(percentile_axis(&a, 0, 50.0).unwrap().data(), &[2.0]);
+        assert_eq!(percentile_axis(&a, 0, 0.0).unwrap().data(), &[1.0]);
+        assert_eq!(percentile_axis(&a, 0, 100.0).unwrap().data(), &[3.0]);
+        // p25 of [1,2,3] = 1.5 (linear interpolation)
+        assert_eq!(percentile_axis(&a, 0, 25.0).unwrap().data(), &[1.5]);
+        // all-masked column masks the output
+        let all = MaskedArray::with_mask(vec![1.0, 2.0], vec![true, true], &[2, 1]).unwrap();
+        assert!(percentile_axis(&all, 0, 50.0).unwrap().mask()[0]);
+        assert!(percentile_axis(&a, 0, 101.0).is_err());
+        assert!(percentile_axis(&a, 2, 50.0).is_err());
+    }
 
     #[test]
     fn neumaier_recovers_lost_low_bits() {

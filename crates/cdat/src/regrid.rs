@@ -27,6 +27,31 @@ pub fn regrid(var: &Variable, target: &RectGrid, method: RegridMethod) -> Result
     plan.apply(var)
 }
 
+/// Regrids N ensemble members onto `target` with one plan-cache consult
+/// and a single blocked multi-RHS apply ([`RegridPlan::apply_batch`]):
+/// a 200-member ensemble touches the cache once instead of contending
+/// 200 times, and the weight matrix streams through cache once per row
+/// band instead of once per member. Every member must sit on the same
+/// source grid; outputs are bit-identical to per-member [`regrid`] calls.
+pub fn regrid_batch(
+    members: &[&Variable],
+    target: &RectGrid,
+    method: RegridMethod,
+) -> Result<Vec<Variable>> {
+    let Some(first) = members.first() else {
+        return Ok(Vec::new());
+    };
+    let (lat_i, lon_i) = horizontal_axes(first)?;
+    let (src_lat, src_lon) = match (first.axes.get(lat_i), first.axes.get(lon_i)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(CdmsError::Invalid("horizontal axes out of range".into())),
+    };
+    let key = plan_key(axes_fingerprint(src_lat, src_lon), target.fingerprint(), method);
+    let plan = plan_cache::shared_global()
+        .get_or_build(key, || RegridPlan::build(method, src_lat, src_lon, target))?;
+    plan.apply_batch(members)
+}
+
 /// Bilinear regridding onto `target`. Longitude wraps for circular source
 /// axes; masked source corners invalidate the interpolated point (a
 /// conservative mask-propagation choice). Leading (time/level) axes are

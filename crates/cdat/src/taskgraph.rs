@@ -2,18 +2,27 @@
 //!
 //! An analysis recipe is a DAG of named tasks, each a closure from its
 //! dependencies' outputs to a new [`Variable`]. The graph runs either
-//! serially (for baselines/ablation) or wavefront-parallel with rayon.
+//! serially ([`TaskGraph::run_serial`], the determinism oracle) or on a
+//! **dependency-counting, event-driven executor**
+//! ([`TaskGraph::run_with_pool`] / [`TaskGraph::run_parallel`]): a bounded
+//! worker pool in which a task is enqueued the instant its last dependency
+//! completes — no inter-wave barriers, so a slow task only delays its own
+//! dependents, never unrelated work. Ready tasks are dispatched
+//! critical-path-first, the first task error cancels the rest of the graph
+//! (in-flight tasks drain cleanly), and outputs are bit-identical to
+//! `run_serial` at any worker count. See DESIGN.md §18.
+//!
+//! On the dv3dlint `indexing_hot_paths` list: the scheduler runs under
+//! every batch workload and must not panic, so element access goes through
+//! `.get()` and iterators.
 
 use cdms::{CdmsError, Result, Variable};
-use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 type TaskFn = dyn Fn(&BTreeMap<String, Arc<Variable>>) -> Result<Variable> + Send + Sync;
-/// One finished task: name, outcome, per-attempt wall times.
-type TaskOutcome = (String, Result<Variable>, Vec<Duration>);
 
 struct Task {
     name: String,
@@ -83,6 +92,11 @@ pub struct TaskGraph {
     pub retry: RetryPolicy,
 }
 
+/// Hard cap on graph size: scheduler state (dependency counts, ready heap,
+/// done set) is sized per task, and graphs are often built from
+/// user-supplied workflow files.
+pub const MAX_TASKS: usize = 100_000;
+
 /// Execution report: per-task wall time plus the result set.
 #[derive(Debug, Clone)]
 pub struct TaskReport {
@@ -93,6 +107,8 @@ pub struct TaskReport {
     /// Per-task wall time of each individual attempt, in order (length 1
     /// everywhere unless the retry policy re-ran a failing task).
     pub attempt_timings: BTreeMap<String, Vec<Duration>>,
+    /// Worker threads the run actually used (1 for `run_serial`).
+    pub workers: usize,
     /// Total wall time of the run.
     pub total: Duration,
 }
@@ -112,6 +128,11 @@ impl TaskGraph {
     ) -> Result<()> {
         if self.tasks.iter().any(|t| t.name == name) {
             return Err(CdmsError::Invalid(format!("duplicate task '{name}'")));
+        }
+        if self.tasks.len() >= MAX_TASKS {
+            return Err(CdmsError::Invalid(format!(
+                "task graph at capacity ({MAX_TASKS} tasks); refusing to add '{name}'"
+            )));
         }
         self.tasks.push(Task {
             name: name.to_string(),
@@ -244,6 +265,35 @@ impl TaskGraph {
         })
     }
 
+    /// Adds one task that regrids N ensemble-member inputs onto `target`
+    /// in a single batched apply ([`crate::regrid::regrid_batch`]): the
+    /// plan cache is consulted once and the weight matrix streams through
+    /// cache once per row band instead of once per member. The task's
+    /// output stacks the regridded members along a new leading `member`
+    /// axis, in the order of `inputs`.
+    pub fn add_regrid_batch_task(
+        &mut self,
+        name: &str,
+        inputs: &[&str],
+        target: cdms::RectGrid,
+        method: crate::regrid_plan::RegridMethod,
+    ) -> Result<()> {
+        let deps: Vec<String> = inputs.iter().map(|s| s.to_string()).collect();
+        self.add_task(name, inputs, move |dep_vals| {
+            let mut members: Vec<&Variable> = Vec::with_capacity(deps.len());
+            for d in &deps {
+                members.push(
+                    dep_vals
+                        .get(d)
+                        .map(Arc::as_ref)
+                        .ok_or_else(|| CdmsError::NotFound(format!("dependency '{d}'")))?,
+                );
+            }
+            let regridded = crate::regrid::regrid_batch(&members, &target, method)?;
+            crate::ensemble::stack(&regridded)
+        })
+    }
+
     /// Adds a task that runs a fused analysis pipeline
     /// ([`crate::pipeline::run`]) over the output of `input`: the steps
     /// execute with cross-step fusion (a few streaming passes) instead of
@@ -294,13 +344,17 @@ impl TaskGraph {
             let ready: Vec<usize> = (0..self.tasks.len())
                 .filter(|i| !done.contains(i))
                 .filter(|&i| {
-                    self.tasks[i].deps.iter().all(|d| done.contains(&index[d.as_str()]))
+                    self.tasks.get(i).is_some_and(|t| {
+                        t.deps
+                            .iter()
+                            .all(|d| index.get(d.as_str()).is_some_and(|j| done.contains(j)))
+                    })
                 })
                 .collect();
             if ready.is_empty() {
                 let stuck: Vec<String> = (0..self.tasks.len())
                     .filter(|i| !done.contains(i))
-                    .map(|i| self.tasks[i].name.clone())
+                    .filter_map(|i| self.tasks.get(i).map(|t| t.name.clone()))
                     .collect();
                 return Err(CdmsError::Invalid(format!("cycle among tasks {stuck:?}")));
             }
@@ -319,7 +373,7 @@ impl TaskGraph {
         let mut attempt_timings = BTreeMap::new();
         for wave in waves {
             for i in wave {
-                let t = &self.tasks[i];
+                let Some(t) = self.tasks.get(i) else { continue };
                 let (attempts, out) = self.retry.run(&t.run, &outputs);
                 let out = out
                     .map_err(|e| CdmsError::Invalid(format!("task '{}': {e}", t.name)))?;
@@ -328,44 +382,295 @@ impl TaskGraph {
                 outputs.insert(t.name.clone(), Arc::new(out));
             }
         }
-        Ok(TaskReport { outputs, timings, attempt_timings, total: start.elapsed() })
+        Ok(TaskReport { outputs, timings, attempt_timings, workers: 1, total: start.elapsed() })
     }
 
-    /// Runs the graph with each wavefront parallelized by rayon.
-    pub fn run_parallel(&self) -> Result<TaskReport> {
-        let start = Instant::now();
-        let waves = self.schedule()?;
-        let mut outputs: BTreeMap<String, Arc<Variable>> = BTreeMap::new();
-        let mut timings = BTreeMap::new();
-        let mut attempt_timings = BTreeMap::new();
-        for wave in waves {
-            // Scoped OS threads rather than the rayon pool: analysis tasks
-            // may block on I/O (catalog transfers), which a work-stealing
-            // pool on a small machine would serialize.
-            let collected: Mutex<Vec<TaskOutcome>> =
-                Mutex::new(Vec::with_capacity(wave.len()));
-            std::thread::scope(|scope| {
-                for &i in &wave {
-                    let t = &self.tasks[i];
-                    let outputs = &outputs;
-                    let collected = &collected;
-                    let retry = &self.retry;
-                    scope.spawn(move || {
-                        let (attempts, out) = retry.run(&t.run, outputs);
-                        collected.lock().push((t.name.clone(), out, attempts));
-                    });
+    /// Validates the graph and derives the executor topology: the
+    /// name→index map, the forward dependency counts, the dependents
+    /// adjacency, and each task's critical-path height (longest chain of
+    /// tasks from it to any sink). Errors match [`TaskGraph::schedule`]
+    /// byte-for-byte on unknown deps and cycles.
+    fn topology(&self) -> Result<Topology> {
+        let index: BTreeMap<&str, usize> =
+            self.tasks.iter().enumerate().map(|(i, t)| (t.name.as_str(), i)).collect();
+        let n = self.tasks.len();
+        let mut deps_left = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.deps {
+                let Some(&j) = index.get(d.as_str()) else {
+                    return Err(CdmsError::NotFound(format!(
+                        "task '{}' depends on unknown '{d}'",
+                        t.name
+                    )));
+                };
+                if let Some(c) = deps_left.get_mut(i) {
+                    *c += 1;
                 }
-            });
-            for (name, out, attempts) in collected.into_inner() {
-                let out =
-                    out.map_err(|e| CdmsError::Invalid(format!("task '{name}': {e}")))?;
-                timings.insert(name.clone(), attempts.iter().sum());
-                attempt_timings.insert(name.clone(), attempts);
-                outputs.insert(name, Arc::new(out));
+                if let Some(v) = dependents.get_mut(j) {
+                    v.push(i);
+                }
             }
         }
-        Ok(TaskReport { outputs, timings, attempt_timings, total: start.elapsed() })
+        // Kahn order doubles as the cycle check and gives the reverse
+        // order for the height computation.
+        let mut counts = deps_left.clone();
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut frontier: Vec<usize> =
+            counts.iter().enumerate().filter(|(_, &c)| c == 0).map(|(i, _)| i).collect();
+        while let Some(i) = frontier.pop() {
+            order.push(i);
+            for &j in dependents.get(i).map(Vec::as_slice).unwrap_or_default() {
+                if let Some(c) = counts.get_mut(j) {
+                    *c -= 1;
+                    if *c == 0 {
+                        frontier.push(j);
+                    }
+                }
+            }
+        }
+        if order.len() < n {
+            let stuck: Vec<String> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, _)| {
+                    self.tasks.get(i).map(|t| t.name.clone()).unwrap_or_default()
+                })
+                .collect();
+            return Err(CdmsError::Invalid(format!("cycle among tasks {stuck:?}")));
+        }
+        // Critical-path height, sinks = 1, in reverse topological order:
+        // dispatching the tallest ready task first keeps the longest
+        // remaining chain moving while shorter branches fill spare workers.
+        let mut height = vec![1u32; n];
+        for &i in order.iter().rev() {
+            let tallest_dependent = dependents
+                .get(i)
+                .map(Vec::as_slice)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|&j| height.get(j).copied())
+                .max()
+                .unwrap_or(0);
+            if let Some(h) = height.get_mut(i) {
+                *h = tallest_dependent.saturating_add(1);
+            }
+        }
+        Ok(Topology { deps_left, dependents, height })
     }
+
+    /// Runs the graph on the dependency-counting executor with a worker
+    /// pool sized from `RAYON_NUM_THREADS` / available parallelism (the
+    /// same resolution the vendored rayon uses). Outputs are bit-identical
+    /// to [`TaskGraph::run_serial`]; each task sees exactly its declared
+    /// dependencies' outputs.
+    pub fn run_parallel(&self) -> Result<TaskReport> {
+        self.run_with_pool(rayon::current_num_threads())
+    }
+
+    /// Runs the graph on a bounded pool of exactly `threads` workers
+    /// (clamped to at least 1, at most the task count).
+    ///
+    /// Scheduling is event-driven: every task carries a count of unmet
+    /// dependencies, and the completion that zeroes the count pushes the
+    /// task onto a priority queue ordered by critical-path height (ties
+    /// broken by insertion index, so the queue order is deterministic).
+    /// There are no inter-wave barriers. The first task failure cancels
+    /// the run: the ready queue is drained, no new task starts, in-flight
+    /// tasks finish and their workers exit cleanly. Retry semantics
+    /// ([`TaskGraph::retry`]) are applied per task exactly as in
+    /// `run_serial`.
+    pub fn run_with_pool(&self, threads: usize) -> Result<TaskReport> {
+        let start = Instant::now();
+        let topo = self.topology()?;
+        let n = self.tasks.len();
+        let workers = threads.max(1).min(n.max(1));
+        // Seed the ready queue with every zero-dependency task. The heap
+        // is bounded by the task count; with_capacity states the cap.
+        let mut ready: BinaryHeap<Ready> = BinaryHeap::with_capacity(n);
+        for (i, &c) in topo.deps_left.iter().enumerate() {
+            if c == 0 {
+                ready.push(Ready { height: topo.height.get(i).copied().unwrap_or(1), index: i });
+            }
+        }
+        let shared = ExecShared {
+            state: StdMutex::new(ExecState {
+                ready,
+                deps_left: topo.deps_left.clone(),
+                outputs: BTreeMap::new(),
+                timings: BTreeMap::new(),
+                attempt_timings: BTreeMap::new(),
+                in_flight: 0,
+                done: 0,
+                error: None,
+            }),
+            cv: Condvar::new(),
+        };
+        if workers <= 1 {
+            // Single-worker pool: run inline on the caller's thread. Same
+            // code path, no spawn cost — this is the serial-fallback the
+            // benches time as "pool of 1".
+            self.exec_worker(&shared, &topo);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| self.exec_worker(&shared, &topo));
+                }
+            });
+        }
+        let state = shared
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+        Ok(TaskReport {
+            outputs: state.outputs,
+            timings: state.timings,
+            attempt_timings: state.attempt_timings,
+            workers,
+            total: start.elapsed(),
+        })
+    }
+
+    /// One executor worker: pop the tallest ready task, run it outside the
+    /// scheduler lock, publish the result, and wake peers. Exits when the
+    /// graph is complete or cancelled-and-drained.
+    fn exec_worker(&self, shared: &ExecShared, topo: &Topology) {
+        let n = self.tasks.len();
+        let mut guard = std_lock(&shared.state);
+        loop {
+            while guard.ready.is_empty() && !guard.finished(n) {
+                let cv = &shared.cv;
+                guard = cv.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if guard.finished(n) {
+                drop(guard);
+                shared.cv.notify_all();
+                return;
+            }
+            let Some(next) = guard.ready.pop() else { continue };
+            let Some(task) = self.tasks.get(next.index) else { continue };
+            // Snapshot exactly the declared dependencies (Arc clones) while
+            // still under the lock; the task body runs without it.
+            let mut dep_vals: BTreeMap<String, Arc<Variable>> = BTreeMap::new();
+            for d in &task.deps {
+                if let Some(v) = guard.outputs.get(d) {
+                    dep_vals.insert(d.clone(), Arc::clone(v));
+                }
+            }
+            guard.in_flight += 1;
+            drop(guard);
+
+            let (attempts, out) = self.retry.run(&task.run, &dep_vals);
+
+            guard = std_lock(&shared.state);
+            guard.in_flight -= 1;
+            match out {
+                Ok(v) => {
+                    guard.timings.insert(task.name.clone(), attempts.iter().sum());
+                    guard.attempt_timings.insert(task.name.clone(), attempts);
+                    guard.outputs.insert(task.name.clone(), Arc::new(v));
+                    guard.done += 1;
+                    if guard.error.is_none() {
+                        for &j in
+                            topo.dependents.get(next.index).map(Vec::as_slice).unwrap_or_default()
+                        {
+                            let now_ready = match guard.deps_left.get_mut(j) {
+                                Some(c) => {
+                                    *c = c.saturating_sub(1);
+                                    *c == 0
+                                }
+                                None => false,
+                            };
+                            if now_ready {
+                                let h = topo.height.get(j).copied().unwrap_or(1);
+                                guard.ready.push(Ready { height: h, index: j });
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    // First-error cancellation: record the error once and
+                    // drain the ready queue so nothing new starts.
+                    if guard.error.is_none() {
+                        guard.error = Some(CdmsError::Invalid(format!(
+                            "task '{}': {e}",
+                            task.name
+                        )));
+                    }
+                    guard.ready.clear();
+                }
+            }
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// Locks the executor mutex, recovering from poisoning (the scheduler
+/// state stays consistent: a panicking task closure unwinds outside the
+/// lock, and bookkeeping updates are straight-line code).
+fn std_lock<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Static topology the executor schedules against.
+struct Topology {
+    /// Unmet forward-dependency count per task (the executor's seed).
+    deps_left: Vec<usize>,
+    /// Tasks unblocked by each task's completion.
+    dependents: Vec<Vec<usize>>,
+    /// Critical-path height (longest chain to any sink), for priority.
+    height: Vec<u32>,
+}
+
+/// A ready task in the dispatch heap: tallest critical path first, then
+/// lowest insertion index — a total, deterministic order.
+#[derive(PartialEq, Eq)]
+struct Ready {
+    height: u32,
+    index: usize,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Ready) -> std::cmp::Ordering {
+        self.height.cmp(&other.height).then(other.index.cmp(&self.index))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Ready) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Mutable scheduler state, guarded by one mutex that is never held
+/// across a task body (workers snapshot dependencies, drop the lock, run,
+/// re-lock to publish).
+struct ExecState {
+    ready: BinaryHeap<Ready>,
+    deps_left: Vec<usize>,
+    outputs: BTreeMap<String, Arc<Variable>>,
+    timings: BTreeMap<String, Duration>,
+    attempt_timings: BTreeMap<String, Vec<Duration>>,
+    in_flight: usize,
+    done: usize,
+    error: Option<CdmsError>,
+}
+
+impl ExecState {
+    /// True when no worker has anything left to do: every task completed,
+    /// or the run was cancelled and all in-flight work has drained.
+    fn finished(&self, n: usize) -> bool {
+        self.done == n || (self.error.is_some() && self.in_flight == 0 && self.ready.is_empty())
+    }
+}
+
+struct ExecShared {
+    state: StdMutex<ExecState>,
+    cv: Condvar,
 }
 
 impl std::fmt::Debug for TaskGraph {
@@ -471,10 +776,13 @@ mod tests {
 
     #[test]
     fn parallel_is_faster_on_independent_tasks() {
-        // two independent 60ms tasks: serial ≥ 120ms, parallel ≈ 60ms
+        // two independent 60ms tasks: serial ≥ 120ms, parallel ≈ 60ms.
+        // Pool pinned to 2 so the assertion holds regardless of the
+        // RAYON_NUM_THREADS ambient value.
         let g = analysis_graph(60);
         let s = g.run_serial().unwrap();
-        let p = g.run_parallel().unwrap();
+        let p = g.run_with_pool(2).unwrap();
+        assert_eq!(p.workers, 2);
         assert!(
             p.total < s.total,
             "parallel {:?} !< serial {:?}",

@@ -371,17 +371,20 @@ fn analyze_fn(
                     .unwrap_or_default();
                 let blocks = cfg.blocking_calls.contains(&c.method)
                     || cfg.blocking_calls.contains(&qual_name);
+                // The condvar exemption applies to the direct blocking fact
+                // AND the call edge: `cv.wait(guard)` releases the guard it
+                // is handed, so that guard is not held across whatever the
+                // callee name resolves to in the workspace graph either.
+                let is_condvar_wait = cfg.condvar_waits.contains(&c.method);
+                let held: Vec<HeldLock> = guards
+                    .iter()
+                    .filter(|g| {
+                        !(is_condvar_wait
+                            && g.var.as_ref().is_some_and(|v| c.args.contains(v)))
+                    })
+                    .map(|g| HeldLock { lock: g.lock.clone(), line: g.line })
+                    .collect();
                 if blocks {
-                    let is_condvar_wait = cfg.condvar_waits.contains(&c.method);
-                    let held: Vec<HeldLock> = guards
-                        .iter()
-                        .filter(|g| {
-                            // a condvar wait releases the guard it is given
-                            !(is_condvar_wait
-                                && g.var.as_ref().is_some_and(|v| c.args.contains(v)))
-                        })
-                        .map(|g| HeldLock { lock: g.lock.clone(), line: g.line })
-                        .collect();
                     facts.blocking.push(BlockingUse {
                         callee: if qual_name.is_empty() || !cfg.blocking_calls.contains(&qual_name)
                         {
@@ -390,17 +393,14 @@ fn analyze_fn(
                             qual_name
                         },
                         line: c.line,
-                        held,
+                        held: held.clone(),
                     });
                 }
                 // call edge (for the global graph)
                 facts.calls.push(CallUse {
                     callee: c.method.clone(),
                     line: c.line,
-                    held: guards
-                        .iter()
-                        .map(|g| HeldLock { lock: g.lock.clone(), line: g.line })
-                        .collect(),
+                    held,
                 });
             }
         }

@@ -213,6 +213,36 @@ fn bad(&self) {
         assert!(d.message.contains("build"), "witness chain names the path: {}", d.message);
     }
 
+    /// A workspace fn named `wait` (the plan-cache build slot) must not
+    /// re-flag a condvar wait through the call graph: `cv.wait(guard)`
+    /// releases the guard it is handed, so the name-resolved call edge
+    /// carries no held guard either.
+    #[test]
+    fn condvar_wait_is_exempt_on_the_call_edge_too() {
+        let src = "\
+fn wait(&self) {
+    let mut done = self.done.lock();
+    while !*done {
+        done = self.cv.wait(done);
+    }
+}
+fn pump(&self) {
+    let mut guard = self.state.lock();
+    while guard.pending {
+        guard = self.cv.wait(guard);
+    }
+}
+";
+        let diags = run_on_ws(
+            &GuardAcrossBlocking,
+            "cdat",
+            "crates/cdat/src/x.rs",
+            src,
+            &cfg(),
+        );
+        assert_eq!(lines(&diags), Vec::<u32>::new(), "{diags:?}");
+    }
+
     #[test]
     fn allow_directive_suppresses() {
         let src = "\
